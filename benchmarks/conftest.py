@@ -1,0 +1,26 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each benchmark regenerates one paper artifact on a reduced grid
+(:meth:`ExperimentConfig.quick`) and asserts the *shape* the paper reports —
+who wins, roughly by how much, where trends point. Absolute numbers are the
+simulator's, not the authors' testbed's.
+
+The context is session-scoped so the profiling runs (interference + scaling
+model fits) are paid once and amortized across figures, exactly as the
+paper amortizes them across applications.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(config=ExperimentConfig.quick())
+
+
+def run_once(benchmark, func, *args):
+    """Run a figure exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Benchmarks for the design-choice ablations (DESIGN.md A1, A2)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import ablation_alternatives, ablation_model_families
+
+
+def test_a1_model_family_selection(benchmark, ctx):
+    """Sec. 2.2: exponential wins for ET, quadratic-family for scaling."""
+    fig = run_once(benchmark, ablation_model_families, ctx)
+    exec_rows = sorted(fig.select(curve="exec-time(video)"), key=lambda r: r["rank"])
+    # The exponential family must rank at/near the top for ET (cubic can
+    # shadow it on a short sampled range — both must beat simple linear/log).
+    exec_ranks = {r["family"]: r["rank"] for r in exec_rows}
+    assert exec_ranks["exponential"] <= 3
+    assert exec_ranks["exponential"] < exec_ranks["logarithmic"]
+
+    scaling_rows = fig.select(curve="scaling(aws)")
+    scaling_ranks = {r["family"]: r["rank"] for r in scaling_rows}
+    # The paper's choice (second-order polynomial) must beat linear and log.
+    assert scaling_ranks["quadratic"] < scaling_ranks["linear"]
+    assert scaling_ranks["quadratic"] < scaling_ranks["logarithmic"]
+
+
+def test_a2_alternatives_lose_to_propack(benchmark, ctx):
+    """Serial batching / staggering: the rejected mitigations of Secs. 1/4."""
+    fig = run_once(benchmark, ablation_alternatives, ctx)
+    for app in {r["app"] for r in fig.rows}:
+        by_technique = {r["technique"]: r for r in fig.select(app=app)}
+        propack = by_technique["propack"]
+        batching = by_technique["serial batching (500)"]
+        stagger = by_technique["staggered (0.25s)"]
+        baseline = by_technique["no packing"]
+        # ProPack dominates every alternative on service time...
+        assert propack["service_s"] < batching["service_s"]
+        assert propack["service_s"] < stagger["service_s"]
+        assert propack["service_s"] < baseline["service_s"]
+        # ...and on expense.
+        assert propack["expense_usd"] < batching["expense_usd"]
+        assert propack["expense_usd"] < stagger["expense_usd"]
+        # Staggering degrades service relative to the plain burst.
+        assert stagger["service_s"] > baseline["service_s"]

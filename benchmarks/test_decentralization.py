@@ -1,0 +1,29 @@
+"""Benchmark for the decentralization × packing matrix (D1)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import decentralization_matrix
+
+
+def test_d1_packing_complements_decentralization(benchmark, ctx):
+    fig = run_once(benchmark, decentralization_matrix, ctx)
+
+    def cell(shards, packing):
+        return fig.select(shards=shards, packing=packing)[0]
+
+    central_base = cell(1, "none")
+    central_packed = cell(1, "propack")
+    sharded_base = cell(4, "none")
+    sharded_packed = cell(4, "propack")
+    excessive_base = cell(64, "none")
+
+    # Decentralization alone collapses scaling time...
+    assert sharded_base["scaling_s"] < 0.2 * central_base["scaling_s"]
+    # ...but over-sharding re-bottlenecks on synchronization (Sec. 5).
+    assert excessive_base["scaling_s"] > 1.5 * sharded_base["scaling_s"]
+    # Decentralization cannot touch expense; packing cuts it everywhere.
+    assert sharded_base["expense_usd"] == central_base["expense_usd"]
+    assert sharded_packed["expense_usd"] < 0.5 * sharded_base["expense_usd"]
+    # The combination is the best service-time cell in the matrix.
+    best_service = min(r["service_s"] for r in fig.rows)
+    assert sharded_packed["service_s"] == best_service

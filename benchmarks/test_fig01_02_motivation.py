@@ -1,0 +1,33 @@
+"""Benchmarks for the motivation figures (Figs. 1-2)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig1, fig2
+
+
+def test_fig1_scaling_share_grows_and_dominates(benchmark, ctx):
+    fig = run_once(benchmark, fig1, ctx)
+    high_c = ctx.config.high_concurrency
+    low_c = min(ctx.config.concurrencies)
+    for platform in {r["platform"] for r in fig.rows}:
+        for app in {r["app"] for r in fig.rows}:
+            series = {
+                r["concurrency"]: r["share_pct"]
+                for r in fig.select(platform=platform, app=app)
+            }
+            # Share grows with concurrency on every platform and app...
+            assert series[high_c] > series[low_c]
+    # ...and exceeds 80% at the highest concurrency on AWS (paper Fig. 1).
+    aws_high = [
+        r["share_pct"]
+        for r in fig.select(platform="aws-lambda", concurrency=high_c)
+    ]
+    assert min(aws_high) > 80.0
+
+
+def test_fig2_all_components_grow_with_concurrency(benchmark, ctx):
+    fig = run_once(benchmark, fig2, ctx)
+    for component in ("scheduling_pct", "startup_pct", "shipping_pct"):
+        series = fig.column(component)
+        assert series == sorted(series), component
+        assert series[-1] == 100.0  # normalized to the max-C value

@@ -1,0 +1,31 @@
+"""Benchmarks for the model-foundation figures (Figs. 4, 5a, 5b)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig4, fig5a, fig5b
+
+
+def test_fig4_exponential_fit_tracks_observations(benchmark, ctx):
+    fig = run_once(benchmark, fig4, ctx)
+    # ET grows with the packing degree for every app...
+    for app in {r["app"] for r in fig.rows}:
+        rows = sorted(fig.select(app=app), key=lambda r: r["degree"])
+        assert rows[-1]["observed_s"] > 1.5 * rows[0]["observed_s"]
+    # ...and the fitted exponential stays within a few percent everywhere.
+    assert max(fig.column("error_pct")) < 5.0
+
+
+def test_fig5a_execution_time_flat_in_concurrency(benchmark, ctx):
+    fig = run_once(benchmark, fig5a, ctx)
+    for app in {r["app"] for r in fig.rows}:
+        values = [r["mean_exec_s"] for r in fig.select(app=app)]
+        spread = (max(values) - min(values)) / (sum(values) / len(values))
+        assert spread < 0.05  # the paper's "<5% variation"
+
+
+def test_fig5b_scaling_time_app_independent(benchmark, ctx):
+    fig = run_once(benchmark, fig5b, ctx)
+    for c in ctx.config.concurrencies:
+        values = [r["scaling_s"] for r in fig.select(concurrency=c)]
+        spread = (max(values) - min(values)) / (sum(values) / len(values))
+        assert spread < 0.10

@@ -1,0 +1,33 @@
+"""Benchmarks for the packing-tradeoff figures (Figs. 6-7)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig6, fig7
+
+
+def test_fig6_scaling_time_falls_with_packing(benchmark, ctx):
+    fig = run_once(benchmark, fig6, ctx)
+    for app in {r["app"] for r in fig.rows}:
+        rows = sorted(fig.select(app=app), key=lambda r: r["degree"])
+        scaling = [r["scaling_s"] for r in rows]
+        # Strictly decreasing in the packing degree at fixed concurrency.
+        assert all(a > b for a, b in zip(scaling, scaling[1:]))
+        # And the drop from degree 1 to max is large (>80%).
+        assert scaling[-1] < 0.2 * scaling[0]
+
+
+def test_fig7_expense_non_monotonic_with_interior_minimum(benchmark, ctx):
+    fig = run_once(benchmark, fig7, ctx)
+    interior = 0
+    for app in {r["app"] for r in fig.rows}:
+        rows = sorted(fig.select(app=app), key=lambda r: r["degree"])
+        expense = [r["expense_usd"] for r in rows]
+        best = int(np.argmin(expense))
+        # Packing always saves vs degree 1...
+        assert min(expense) < expense[0]
+        # ...and the minimum is interior (rises again) for the paper's apps.
+        if 0 < best < len(expense) - 1:
+            interior += 1
+            assert expense[-1] > expense[best]
+    assert interior >= 2  # non-monotonicity is the figure's point

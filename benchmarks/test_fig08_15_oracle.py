@@ -1,0 +1,31 @@
+"""Benchmarks for the Oracle-accuracy figures (Figs. 8 and 15)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig8, fig15
+
+
+def test_fig8_propack_matches_oracle_degrees(benchmark, ctx):
+    fig = run_once(benchmark, fig8, ctx)
+    matches = fig.column("match")
+    # The paper: correct in all but 2 of its cells. Allow a couple of
+    # off-by-small cells on the reduced grid.
+    assert sum(matches) >= 0.85 * len(matches)
+    # Oracle degree grows with concurrency (Fig. 8 observation 1).
+    for app in {r["app"] for r in fig.rows}:
+        rows = sorted(
+            fig.select(app=app, merit="total"), key=lambda r: r["concurrency"]
+        )
+        degrees = [r["oracle_degree"] for r in rows]
+        assert degrees[-1] >= degrees[0]
+
+
+def test_fig15_expense_objective_packs_more(benchmark, ctx):
+    fig = run_once(benchmark, fig15, ctx)
+    for app in {r["app"] for r in fig.rows}:
+        for c in {r["concurrency"] for r in fig.select(app=app)}:
+            service = fig.select(app=app, concurrency=c, objective="service")[0]
+            expense = fig.select(app=app, concurrency=c, objective="expense")[0]
+            # Fig. 15: Oracle degree is higher when minimizing expense.
+            assert expense["oracle_degree"] >= service["oracle_degree"]
+    assert sum(fig.column("match")) >= 0.8 * len(fig.rows)

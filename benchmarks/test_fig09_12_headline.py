@@ -1,0 +1,82 @@
+"""Benchmarks for the headline improvement figures (Figs. 9-12)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig9, fig10, fig11, fig12
+
+
+def _series_grows(fig, value_col, merit="total"):
+    for app in {r["app"] for r in fig.rows}:
+        rows = sorted(
+            fig.select(app=app, merit=merit), key=lambda r: r["concurrency"]
+        )
+        values = [r[value_col] for r in rows]
+        assert values[-1] > values[0], app
+
+
+def test_fig9_service_improvement(benchmark, ctx):
+    fig = run_once(benchmark, fig9, ctx)
+    _series_grows(fig, "improvement_pct")
+    high = [
+        r["improvement_pct"]
+        for r in fig.rows
+        if r["concurrency"] == ctx.config.high_concurrency
+        and r["merit"] == "total"
+    ]
+    # Paper: 85% average at C=5000; on the reduced grid (max C=3500) the
+    # mean must already be well past 50%.
+    assert float(np.mean(high)) > 60.0
+    # Positive at every evaluated concurrency for total and tail merits
+    # (paper: "faster service ... for all figures of merit"). Median at
+    # C=1000 is a documented calibration deviation (EXPERIMENTS.md): the
+    # median instance sees little scaling delay at low C in our substrate,
+    # so the joint plan trades it for expense there.
+    for merit in ("total", "tail"):
+        assert min(
+            r["improvement_pct"] for r in fig.rows if r["merit"] == merit
+        ) > 0.0
+    median_high = [
+        r["improvement_pct"]
+        for r in fig.rows
+        if r["merit"] == "median" and r["concurrency"] >= 2000
+    ]
+    assert min(median_high) > 0.0
+    assert {r["merit"] for r in fig.rows} == {"total", "tail", "median"}
+
+
+def test_fig10_scaling_improvement_exceeds_service(benchmark, ctx):
+    fig10_result = run_once(benchmark, fig10, ctx)
+    high = [
+        r["improvement_pct"]
+        for r in fig10_result.rows
+        if r["concurrency"] == ctx.config.high_concurrency
+    ]
+    # "At a concurrency level of 5000 the reduction in scaling time is
+    # often more than 90%" — and it exceeds the service-time reduction.
+    assert min(high) > 90.0
+
+
+def test_fig11_expense_improvement(benchmark, ctx):
+    fig = run_once(benchmark, fig11, ctx)
+    assert min(fig.column("improvement_pct")) > 0.0
+    high = [
+        r["improvement_pct"]
+        for r in fig.rows
+        if r["concurrency"] == ctx.config.high_concurrency
+    ]
+    assert float(np.mean(high)) > 50.0  # paper: 66% average
+
+
+def test_fig12_absolute_function_hours_and_dollars(benchmark, ctx):
+    fig = run_once(benchmark, fig12, ctx)
+    for app in {r["app"] for r in fig.rows}:
+        base = fig.select(app=app, variant="no packing")[0]
+        packed = fig.select(app=app, variant="propack")[0]
+        # ProPack cuts both absolute function-hours and dollars (Fig. 12).
+        assert packed["function_hours"] < base["function_hours"]
+        assert packed["expense_usd"] < base["expense_usd"]
+    # Baseline magnitudes are in the paper's ballpark (tens of hours / $).
+    sort_base = fig.select(app="sort", variant="no packing")[0]
+    assert sort_base["function_hours"] > 30.0
+    assert sort_base["expense_usd"] > 20.0

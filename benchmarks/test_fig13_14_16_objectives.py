@@ -1,0 +1,37 @@
+"""Benchmarks for the objective-variant figures (Figs. 13, 14, 16)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig13, fig14, fig16
+
+
+def test_fig13_service_only_beats_joint_on_service(benchmark, ctx):
+    fig = run_once(benchmark, fig13, ctx)
+    deltas = fig.column("delta_pct")
+    # Single-objective never loses on its own axis, wins a few % on average
+    # (paper: 7.5%).
+    assert min(deltas) >= -1e-6
+    assert 0.5 < float(np.mean(deltas)) < 30.0
+
+
+def test_fig14_expense_only_beats_joint_on_expense(benchmark, ctx):
+    fig = run_once(benchmark, fig14, ctx)
+    deltas = fig.column("delta_pct")
+    assert min(deltas) >= -1e-6
+    assert 0.1 < float(np.mean(deltas)) < 30.0  # paper: 9.3%
+
+
+def test_fig16_weights_trade_the_two_objectives(benchmark, ctx):
+    fig = run_once(benchmark, fig16, ctx)
+    rows = sorted(fig.rows, key=lambda r: r["w_s"])
+    service = [r["service_improvement_pct"] for r in rows]
+    expense = [r["expense_improvement_pct"] for r in rows]
+    degrees = [r["degree"] for r in rows]
+    # More service weight → lower packing degree, better service, worse
+    # expense (monotone trend ends; paper notes one experimental dip).
+    assert degrees == sorted(degrees, reverse=True)
+    assert service[-1] > service[0]
+    assert expense[0] > expense[-1]
+    # Every configuration still improves both metrics over no packing.
+    assert min(service) > 0 and min(expense) > 0

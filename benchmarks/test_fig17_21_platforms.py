@@ -1,0 +1,60 @@
+"""Benchmarks for the workload/platform figures (Figs. 17, 18, 19, 21)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig17, fig18, fig19, fig21
+from repro.workloads import SMITH_WATERMAN
+
+
+def test_fig17_smith_waterman(benchmark, ctx):
+    fig = run_once(benchmark, fig17, ctx)
+    rows = sorted(fig.rows, key=lambda r: r["concurrency"])
+    # Improvements grow with concurrency and scaling cut > service cut.
+    service = [r["service_improvement_pct"] for r in rows]
+    assert service[-1] > service[0]
+    assert min(fig.column("expense_improvement_pct")) > 0
+    for r in rows:
+        assert r["scaling_improvement_pct"] > r["service_improvement_pct"]
+    # Compute-intensive: chosen degree stays far below the max of 35.
+    max_degree = SMITH_WATERMAN.max_packing_degree(10240)
+    assert max(fig.column("degree")) < 0.5 * max_degree
+
+
+def test_fig18_funcx_scales_faster_but_lambda_packs_better(benchmark, ctx):
+    fig = run_once(benchmark, fig18, ctx)
+    rows = sorted(fig.rows, key=lambda r: r["concurrency"])
+    high = rows[-1]
+    # FuncX scales faster (paper: ~15% at C=5000).
+    assert 5.0 < high["funcx_speedup_pct"] < 35.0
+    # With ProPack, service time is lower on Lambda (paper: ~12%).
+    assert high["aws_propack_service_s"] < high["funcx_propack_service_s"]
+
+
+def test_fig19_propack_beats_pywren(benchmark, ctx):
+    fig = run_once(benchmark, fig19, ctx)
+    assert min(fig.column("service_improvement_pct")) > 0
+    assert min(fig.column("expense_improvement_pct")) > 0
+    # Paper averages: 52% service, 78% expense.
+    assert float(np.mean(fig.column("service_improvement_pct"))) > 25.0
+    assert float(np.mean(fig.column("expense_improvement_pct"))) > 55.0
+
+
+def test_fig21_cross_platform(benchmark, ctx):
+    fig = run_once(benchmark, fig21, ctx)
+    assert {r["platform"] for r in fig.rows} == {
+        "aws-lambda",
+        "google-cloud-functions",
+        "azure-functions",
+    }
+    assert min(fig.column("service_improvement_pct")) > 0
+    assert min(fig.column("expense_improvement_pct")) > 0
+    # Egress fees make the expense win larger off-AWS (paper Fig. 21).
+    def mean_expense(platform):
+        return float(
+            np.mean([r["expense_improvement_pct"] for r in fig.select(platform=platform)])
+        )
+
+    aws = mean_expense("aws-lambda")
+    assert mean_expense("google-cloud-functions") > aws
+    assert mean_expense("azure-functions") > aws

@@ -1,0 +1,22 @@
+"""Benchmark for the Xapian QoS figure (Fig. 20)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig20
+
+
+def test_fig20_qos_aware_packing(benchmark, ctx):
+    fig = run_once(benchmark, fig20, ctx)
+    service = fig.select(variant="service-only")[0]
+    qos = fig.select(variant="qos-joint")[0]
+    expense = fig.select(variant="expense-only")[0]
+    # Fig. 20a: degree ordering service <= qos-joint <= expense.
+    assert service["degree"] <= qos["degree"] <= expense["degree"]
+    # The QoS plan meets the bound in the realized tail.
+    assert qos["meets_qos"]
+    # Fig. 20b ordering: the QoS plan trades a little tail for expense.
+    assert qos["expense_usd"] <= service["expense_usd"]
+    assert qos["tail_service_s"] <= expense["tail_service_s"]
+    # Both improvements remain large (paper: >80% tail, >65% expense).
+    assert qos["tail_improvement_pct"] > 65.0
+    assert qos["expense_improvement_pct"] > 50.0

@@ -1,0 +1,19 @@
+"""Benchmark for the shared-fleet provider-side benefit (M2)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import multitenant_benefit
+
+
+def test_m2_neighbor_packing_benefit(benchmark, ctx):
+    """Paper Sec. 5: packing improves fleet utilization — the small
+    tenant's scaling time falls monotonically as the big tenant packs."""
+    fig = run_once(benchmark, multitenant_benefit, ctx)
+    rows = sorted(fig.rows, key=lambda r: r["big_tenant_degree"])
+    small_scaling = [r["small_scaling_s"] for r in rows]
+    big_scaling = [r["big_scaling_s"] for r in rows]
+    # Both tenants benefit as the big tenant packs deeper.
+    assert small_scaling == sorted(small_scaling, reverse=True)
+    assert big_scaling == sorted(big_scaling, reverse=True)
+    # The neighbor's win is dramatic (>2x from degree 1 to 8).
+    assert small_scaling[-1] < 0.5 * small_scaling[0]

@@ -1,0 +1,97 @@
+"""Performance microbenchmarks of the simulation substrate itself.
+
+Unlike the figure benchmarks (one timed round, shape assertions), these
+measure the primitives' throughput across many rounds — the numbers that
+determine how large an experiment the harness can afford. Regressions here
+make every figure slower.
+"""
+
+import pytest
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.providers import AWS_LAMBDA
+from repro.sim.engine import Simulator
+from repro.sim.resources import FifoResource, ProcessorSharingResource
+from repro.workloads import SORT
+
+
+def test_perf_engine_event_throughput(benchmark):
+    """Raw event-loop rate: schedule + execute 10k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i % 100), lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 10_000
+
+
+def test_perf_processor_sharing_queue(benchmark):
+    """Virtual-time PS queue with 2k concurrent jobs (O(log n) per event)."""
+
+    def run():
+        sim = Simulator()
+        ps = ProcessorSharingResource(sim, capacity=100.0)
+        done = []
+        for i in range(2_000):
+            ps.submit(1.0 + (i % 5) * 0.1, lambda: done.append(1))
+        sim.run()
+        return len(done)
+
+    assert benchmark(run) == 2_000
+
+
+def test_perf_fifo_queue(benchmark):
+    def run():
+        sim = Simulator()
+        fifo = FifoResource(sim, servers=32)
+        done = []
+        for _ in range(5_000):
+            fifo.submit(0.5, lambda: done.append(1))
+        sim.run()
+        return len(done)
+
+    assert benchmark(run) == 5_000
+
+
+def test_perf_full_burst_c1000(benchmark):
+    """End-to-end burst simulation rate at C=1000 (the harness workhorse)."""
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=221)
+
+    def run():
+        return platform.run_burst(
+            BurstSpec(app=SORT, concurrency=1000)
+        ).n_instances
+
+    assert benchmark(run) == 1000
+
+
+def test_perf_full_burst_c5000_packed(benchmark):
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=222)
+
+    def run():
+        return platform.run_burst(
+            BurstSpec(app=SORT, concurrency=5000, packing_degree=8)
+        ).n_instances
+
+    assert benchmark(run) == 625
+
+
+def test_perf_optimizer_degree_search(benchmark):
+    """Model-driven degree optimization must stay trivially cheap — that is
+    ProPack's whole selling point vs the Oracle's brute force."""
+    from repro.core.propack import ProPack
+
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=223)
+    propack = ProPack(platform)
+    propack.interference_profile(SORT)
+    propack.scaling_profile()
+
+    def run():
+        optimizer = propack.optimizer(SORT, 5000)
+        return optimizer.optimal_joint()
+
+    assert benchmark(run) >= 1

@@ -1,0 +1,19 @@
+"""Benchmark for the streaming-packing extension (S1)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import streaming_policies
+
+
+def test_s1_streaming_policies_meet_qos_and_save(benchmark, ctx):
+    fig = run_once(benchmark, streaming_policies, ctx)
+    rows = sorted(fig.rows, key=lambda r: r["rate_per_s"])
+    # Every planned policy meets the p95 sojourn bound in simulation.
+    assert all(r["meets_qos"] for r in rows)
+    # Packing saves a lot per request, and savings grow with traffic.
+    savings = [r["savings_vs_solo_pct"] for r in rows]
+    assert min(savings) > 50.0
+    assert savings[-1] > savings[0]
+    # Deeper packing fits under the same bound at higher rates.
+    degrees = [r["degree"] for r in rows]
+    assert degrees[-1] >= degrees[0]

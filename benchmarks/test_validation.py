@@ -1,0 +1,14 @@
+"""Benchmark for the Sec. 2.4 χ² model validation."""
+
+from conftest import run_once
+
+from repro.experiments.figures import validation_chi2
+
+
+def test_chi_square_accepts_all_models(benchmark, ctx):
+    fig = run_once(benchmark, validation_chi2, ctx)
+    assert all(fig.column("accepted"))
+    # Same ordering as the paper: the expense model fits far tighter than
+    # the service model (0.055 vs 3.81 in the paper).
+    assert max(fig.column("expense_chi2")) < max(fig.column("service_chi2"))
+    assert max(fig.column("service_chi2")) < 4.075

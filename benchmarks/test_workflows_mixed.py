@@ -1,0 +1,58 @@
+"""Benchmarks for the workflow and mixed-packing extensions."""
+
+from conftest import run_once
+
+from repro.core.propack import ProPack
+from repro.extensions.mixed import MixedPacker
+from repro.platform.providers import AWS_LAMBDA
+from repro.workflows import Stage, WorkflowGraph, WorkflowRunner
+from repro.workloads import SMITH_WATERMAN, SORT, STATELESS_COST, VIDEO
+
+
+def _run_workflow_pair(ctx):
+    platform = ctx.platform()
+    pipeline = WorkflowGraph([
+        Stage("split", STATELESS_COST, 1000),
+        Stage("encode", VIDEO, 3000, depends_on=("split",)),
+        Stage("index", STATELESS_COST, 2000, depends_on=("split",)),
+        Stage("merge", SORT, 1000, depends_on=("encode", "index")),
+    ])
+    unpacked = WorkflowRunner(platform).run(pipeline)
+    packed = WorkflowRunner(platform, propack=ctx.propack()).run(pipeline)
+    return unpacked, packed
+
+
+def test_workflow_packing_cuts_makespan_and_expense(benchmark, ctx):
+    unpacked, packed = run_once(benchmark, _run_workflow_pair, ctx)
+    assert packed.makespan_s < unpacked.makespan_s
+    assert packed.expense_usd < 0.5 * unpacked.expense_usd
+    # The realized critical path passes through the heavy encode stage.
+    assert "encode" in packed.critical_path()
+
+
+def _mixed_vs_segregated(ctx):
+    packer = MixedPacker(AWS_LAMBDA)
+    demand = {SMITH_WATERMAN: 200, STATELESS_COST: 400, SORT: 100}
+    mixed = packer.pack_mixed(demand)
+    # Segregation at each app's stand-alone joint degree for this scale.
+    pp = ctx.propack()
+    degrees = {
+        app: pp.plan(app, count * 5, objective="joint")[0].degree
+        for app, count in demand.items()
+    }
+    segregated = packer.pack_segregated(demand, degrees)
+    return mixed, segregated, packer
+
+
+def test_mixed_packing_reduces_instances_feasibly(benchmark, ctx):
+    mixed, segregated, packer = run_once(benchmark, _mixed_vs_segregated, ctx)
+    assert mixed.functions_packed() == segregated.functions_packed()
+    # Mixing low-pressure riders with heavy functions needs no more
+    # instances than segregation, and every group stays feasible.
+    assert mixed.n_instances <= segregated.n_instances
+    for group in mixed.groups:
+        assert group.memory_mb <= AWS_LAMBDA.max_memory_mb
+        assert (
+            packer.model.instance_execution_seconds(group)
+            <= AWS_LAMBDA.max_execution_seconds
+        )

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Smith-Waterman at serverless scale: the paper's HPC case study (Fig. 17).
+
+Part 1 runs real protein-sequence alignments locally through the packing
+runtime and prints one optimal local alignment.
+
+Part 2 shows why compute-intensive kernels pack conservatively: ProPack's
+profiled interference curve for Smith-Waterman is steep, so the chosen
+degree stays far below the memory-permitted maximum of 35 — yet service
+time and expense still drop dramatically at high concurrency.
+
+    python examples/bioinformatics_smith_waterman.py
+"""
+
+from repro import AWS_LAMBDA, ProPack, ServerlessPlatform, run_unpacked
+from repro.runtime import PackedExecutor
+from repro.workloads import SMITH_WATERMAN, SmithWaterman
+
+
+def local_alignment_demo() -> None:
+    print("== Part 1: real local alignments through the packing runtime ==")
+    app = SmithWaterman(query_len=40, reference_len=120)
+    tasks = app.make_tasks(6, seed=23)
+    outcome = PackedExecutor(app).run(tasks, packing_degree=3)
+    assert outcome.ok, outcome.errors
+
+    best = max((r for r in outcome.results), key=lambda r: r.value["score"])
+    print(f"  aligned {len(tasks)} query/reference pairs "
+          f"(packed 3-per-worker, {outcome.n_workers} workers)")
+    print(f"  best alignment (score {best.value['score']}):")
+    print(f"    query: {best.value['query']}")
+    print(f"    ref:   {best.value['reference']}\n")
+
+
+def packing_analysis_demo() -> None:
+    print("== Part 2: why compute-bound kernels pack conservatively ==")
+    concurrency = 5000
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=17)
+    propack = ProPack(platform)
+
+    profile = propack.interference_profile(SMITH_WATERMAN)
+    et1 = profile.model.predict(1)
+    et10 = profile.model.predict(10)
+    print(f"  profiled interference: ET(1)={et1:.0f}s -> ET(10)={et10:.0f}s "
+          f"(alpha={profile.model.alpha:.3f})")
+
+    optimizer = propack.optimizer(SMITH_WATERMAN, concurrency)
+    print(f"  memory-permitted max degree: "
+          f"{SMITH_WATERMAN.max_packing_degree(AWS_LAMBDA.max_memory_mb)}; "
+          f"after the 15-min execution cap: {optimizer.max_degree()}")
+
+    outcome = propack.run(SMITH_WATERMAN, concurrency)
+    baseline = run_unpacked(platform, SMITH_WATERMAN, concurrency)
+    print(f"  chosen degree: {outcome.plan.degree}")
+    print(f"  service time: {baseline.service_time():.0f}s -> "
+          f"{outcome.result.service_time():.0f}s "
+          f"({100 * (1 - outcome.result.service_time() / baseline.service_time()):.0f}% "
+          f"better; paper: 81% at C=5000)")
+    print(f"  expense: ${baseline.expense.total_usd:.2f} -> "
+          f"${outcome.total_expense_usd:.2f} "
+          f"({100 * (1 - outcome.total_expense_usd / baseline.expense.total_usd):.0f}% "
+          f"better; paper: 59% at C=5000)")
+
+
+if __name__ == "__main__":
+    local_alignment_demo()
+    packing_analysis_demo()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Multi-cloud planner: where should a concurrent burst run, and how packed?
+
+Plans the same workload across AWS Lambda, Google Cloud Functions, Azure
+Functions, and an on-prem FuncX endpoint (Figs. 18 and 21): ProPack's
+scaling model is re-fit per platform (coefficients are platform-specific
+but application-independent), the interference model is reused, and the
+planner reports the best packed configuration everywhere.
+
+    python examples/multicloud_cost_planner.py
+"""
+
+from repro import (
+    AWS_LAMBDA,
+    AZURE_FUNCTIONS,
+    GOOGLE_CLOUD_FUNCTIONS,
+    FuncXEndpoint,
+    ProPack,
+    ServerlessPlatform,
+    run_unpacked,
+)
+from repro.workloads import STATELESS_COST
+
+CONCURRENCY = 2000
+
+
+def main() -> None:
+    app = STATELESS_COST
+    print(f"== Planning {app.name} at concurrency {CONCURRENCY} across platforms ==\n")
+    print(f"{'platform':<24} {'degree':>6} {'service(s)':>10} {'vs base':>8} "
+          f"{'expense($)':>10} {'vs base':>8}")
+
+    platforms = [ServerlessPlatform(p, seed=37)
+                 for p in (AWS_LAMBDA, GOOGLE_CLOUD_FUNCTIONS, AZURE_FUNCTIONS)]
+    platforms.append(FuncXEndpoint(seed=37).platform)
+
+    rows = []
+    for platform in platforms:
+        propack = ProPack(platform)
+        baseline = run_unpacked(platform, app, CONCURRENCY)
+        outcome = propack.run(app, CONCURRENCY)
+        service_cut = 1 - outcome.result.service_time() / baseline.service_time()
+        expense_cut = 1 - outcome.total_expense_usd / baseline.expense.total_usd
+        rows.append((platform.profile.name, outcome, service_cut, expense_cut))
+        print(f"{platform.profile.name:<24} {outcome.plan.degree:>6} "
+              f"{outcome.result.service_time():>10.1f} {100 * service_cut:>7.1f}% "
+              f"{outcome.total_expense_usd:>10.2f} {100 * expense_cut:>7.1f}%")
+
+    fastest = min(rows, key=lambda r: r[1].result.service_time())
+    cheapest = min(rows, key=lambda r: r[1].total_expense_usd)
+    print(f"\nfastest packed platform:  {fastest[0]} "
+          f"({fastest[1].result.service_time():.1f}s)")
+    print(f"cheapest packed platform: {cheapest[0]} "
+          f"(${cheapest[1].total_expense_usd:.2f})")
+    print("\nNote: Google/Azure see larger expense cuts than AWS because their"
+          "\nper-GB networking fee shrinks when co-located functions share"
+          "\ntransfers (paper Fig. 21); FuncX 'expense' is a node-seconds proxy.")
+
+
+if __name__ == "__main__":
+    main()

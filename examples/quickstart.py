@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: pack a 5000-way concurrent burst and compare to no packing.
+
+Runs ProPack end to end on the simulated AWS Lambda platform:
+profile the app → fit the models → pick the optimal packing degree →
+execute → compare service time and expense against the traditional
+one-function-per-instance deployment.
+
+    python examples/quickstart.py
+"""
+
+from repro import AWS_LAMBDA, ProPack, ServerlessPlatform, run_unpacked
+from repro.workloads import VIDEO
+
+CONCURRENCY = 5000
+
+
+def main() -> None:
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=7)
+    propack = ProPack(platform)
+
+    print(f"== ProPack quickstart: {VIDEO.name}, concurrency {CONCURRENCY} ==\n")
+
+    # The traditional deployment: one function per instance.
+    baseline = run_unpacked(platform, VIDEO, CONCURRENCY)
+    print("baseline (packing degree 1):")
+    print(f"  scaling time   {baseline.scaling_time:9.1f} s "
+          f"({100 * baseline.scaling_time / baseline.service_time():.0f}% of service time)")
+    print(f"  service time   {baseline.service_time():9.1f} s")
+    print(f"  expense        {baseline.expense.total_usd:9.2f} $\n")
+
+    # ProPack: profile, fit, optimize, execute.
+    outcome = propack.run(VIDEO, CONCURRENCY, objective="joint")
+    plan = outcome.plan
+    print(f"propack (packing degree {plan.degree}, objective={plan.objective}):")
+    print(f"  instances      {plan.n_instances:9d}  (effective concurrency)")
+    print(f"  predicted      {plan.predicted_service_s:9.1f} s service, "
+          f"{plan.predicted_expense_usd:.2f} $")
+    print(f"  scaling time   {outcome.result.scaling_time:9.1f} s")
+    print(f"  service time   {outcome.result.service_time():9.1f} s")
+    print(f"  expense        {outcome.result.expense.total_usd:9.2f} $ "
+          f"(+ {outcome.overhead_usd:.2f} $ one-time profiling overhead)\n")
+
+    service_cut = 1 - outcome.result.service_time() / baseline.service_time()
+    expense_cut = 1 - outcome.total_expense_usd / baseline.expense.total_usd
+    print(f"service time improvement: {100 * service_cut:.1f}%  (paper: ~85% at C=5000)")
+    print(f"expense improvement:      {100 * expense_cut:.1f}%  (paper: ~66% at C=5000)")
+
+    # The validated models (Sec. 2.4): both must pass the chi-square test.
+    gof = propack.validate_models(VIDEO, 1000)
+    print(f"\nmodel validation (chi-square, critical 4.075): "
+          f"service={gof['service'].statistic:.3f}, "
+          f"expense={gof['expense'].statistic:.4f} -> "
+          f"{'accepted' if gof['service'].accepted and gof['expense'].accepted else 'REJECTED'}")
+
+
+if __name__ == "__main__":
+    main()

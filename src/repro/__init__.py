@@ -1,0 +1,128 @@
+"""ProPack reproduction: executing concurrent serverless functions faster
+and cheaper.
+
+This library reproduces *ProPack* (Roy et al., HPDC 2023) end to end:
+
+* :mod:`repro.platform` — a discrete-event serverless-platform substrate
+  (AWS Lambda / Google Cloud Functions / Azure Functions profiles) with the
+  scheduling/start-up/shipping scaling bottleneck the paper characterizes;
+* :mod:`repro.funcx` — an on-premise FuncX-style endpoint;
+* :mod:`repro.core` — ProPack itself: interference profiling, analytical
+  models, optimal packing-degree selection, QoS-aware weighting, and the
+  χ² model validation;
+* :mod:`repro.baselines` — no-packing, Pywren, serial batching, staggering,
+  and the brute-force Oracle;
+* :mod:`repro.workloads` — the five evaluation applications with real,
+  runnable kernels;
+* :mod:`repro.runtime` — a thread-based local executor that actually packs
+  and runs functions;
+* :mod:`repro.experiments` — regenerates every figure of the paper's
+  evaluation.
+
+Quickstart::
+
+    from repro import AWS_LAMBDA, ProPack, ServerlessPlatform, VIDEO
+
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=7)
+    outcome = ProPack(platform).run(VIDEO, concurrency=5000)
+    print(outcome.plan.degree, outcome.service_time_s, outcome.total_expense_usd)
+"""
+
+from repro.baselines import Oracle, PywrenManager, SerialBatcher, StaggeredInvoker, run_unpacked
+from repro.core import (
+    ExecutionTimeModel,
+    GoodnessOfFit,
+    InterferenceProfiler,
+    PackingOptimizer,
+    PackingPlan,
+    ProPack,
+    ProPackOutcome,
+    QoSWeightSearch,
+    ScalingProfiler,
+    ScalingTimeModel,
+)
+from repro.extensions import (
+    AdaptiveProPack,
+    MixedGroup,
+    MixedInterferenceModel,
+    MixedPacker,
+    run_campaign,
+)
+from repro.funcx import FuncXEndpoint
+from repro.platform import (
+    AWS_LAMBDA,
+    AZURE_FUNCTIONS,
+    GOOGLE_CLOUD_FUNCTIONS,
+    PROVIDERS,
+    BurstSpec,
+    PlatformProfile,
+    RunResult,
+    ServerlessPlatform,
+    SharedFleet,
+)
+from repro.runtime import PackedExecutor
+from repro.workflows import Stage, WorkflowGraph, WorkflowRunner
+from repro.workloads import (
+    ALL_APPS,
+    BENCHMARK_APPS,
+    SMITH_WATERMAN,
+    SORT,
+    STATELESS_COST,
+    VIDEO,
+    XAPIAN,
+    AppSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # platform
+    "ServerlessPlatform",
+    "SharedFleet",
+    "PlatformProfile",
+    "BurstSpec",
+    "RunResult",
+    "AWS_LAMBDA",
+    "GOOGLE_CLOUD_FUNCTIONS",
+    "AZURE_FUNCTIONS",
+    "PROVIDERS",
+    # core
+    "ProPack",
+    "ProPackOutcome",
+    "PackingPlan",
+    "PackingOptimizer",
+    "ExecutionTimeModel",
+    "ScalingTimeModel",
+    "InterferenceProfiler",
+    "ScalingProfiler",
+    "QoSWeightSearch",
+    "GoodnessOfFit",
+    # baselines
+    "run_unpacked",
+    "PywrenManager",
+    "SerialBatcher",
+    "StaggeredInvoker",
+    "Oracle",
+    # funcx + runtime
+    "FuncXEndpoint",
+    "PackedExecutor",
+    # workflows + extensions
+    "Stage",
+    "WorkflowGraph",
+    "WorkflowRunner",
+    "AdaptiveProPack",
+    "MixedGroup",
+    "MixedInterferenceModel",
+    "MixedPacker",
+    "run_campaign",
+    # workloads
+    "AppSpec",
+    "VIDEO",
+    "SORT",
+    "STATELESS_COST",
+    "SMITH_WATERMAN",
+    "XAPIAN",
+    "BENCHMARK_APPS",
+    "ALL_APPS",
+]

@@ -1,0 +1,29 @@
+"""Competing techniques ProPack is evaluated against.
+
+* :mod:`~repro.baselines.nopack` — the traditional deployment (packing
+  degree 1), the paper's primary baseline.
+* :mod:`~repro.baselines.pywren` — the state-of-the-art serverless workload
+  manager: warm-instance reuse, cached-runtime cold-start mitigation, and
+  shared-storage data-movement optimization (paper Fig. 19).
+* :mod:`~repro.baselines.batching` — serial batching, the "intuitive
+  solution" the paper's introduction rejects.
+* :mod:`~repro.baselines.stagger` — staggered invocation, the latency-hiding
+  alternative the paper reports as unsuitable (Sec. 4).
+* :mod:`~repro.baselines.oracle` — exhaustive brute-force search for the
+  true optimal packing degree (the paper's Oracle).
+"""
+
+from repro.baselines.batching import SerialBatcher
+from repro.baselines.nopack import run_unpacked
+from repro.baselines.oracle import Oracle, OracleResult
+from repro.baselines.pywren import PywrenManager
+from repro.baselines.stagger import StaggeredInvoker
+
+__all__ = [
+    "run_unpacked",
+    "PywrenManager",
+    "SerialBatcher",
+    "StaggeredInvoker",
+    "Oracle",
+    "OracleResult",
+]

@@ -1,0 +1,62 @@
+"""Serial batching: the "intuitive solution" the paper rejects (Sec. 1).
+
+Group the ``C`` functions into batches of ``batch_size`` and spawn the
+batches one after another. This lowers the instantaneous concurrency (so
+each batch scales quickly) but serializes execution — hurting turnaround
+time for applications whose figure of merit is the completion of the whole
+job, and removing the simultaneous parallelism some applications require.
+Included as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.nopack import run_unpacked
+from repro.platform.base import ServerlessPlatform
+from repro.platform.metrics import ExpenseBreakdown, RunResult
+from repro.workloads.base import AppSpec
+
+
+@dataclass
+class BatchedOutcome:
+    """Aggregate view over serially executed batches."""
+
+    batch_results: list[RunResult]
+
+    @property
+    def service_time(self) -> float:
+        """End-to-end turnaround: batches run back to back."""
+        return sum(r.service_time() for r in self.batch_results)
+
+    @property
+    def expense_usd(self) -> float:
+        return sum(r.expense.total_usd for r in self.batch_results)
+
+    @property
+    def expense(self) -> ExpenseBreakdown:
+        total = self.batch_results[0].expense
+        for r in self.batch_results[1:]:
+            total = total + r.expense
+        return total
+
+
+class SerialBatcher:
+    """Spawns fixed-size batches serially (each batch unpacked)."""
+
+    def __init__(self, platform: ServerlessPlatform, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        self.platform = platform
+        self.batch_size = batch_size
+
+    def run(self, app: AppSpec, concurrency: int) -> BatchedOutcome:
+        n_batches = math.ceil(concurrency / self.batch_size)
+        results = []
+        remaining = concurrency
+        for _ in range(n_batches):
+            size = min(self.batch_size, remaining)
+            remaining -= size
+            results.append(run_unpacked(self.platform, app, size))
+        return BatchedOutcome(batch_results=results)

@@ -1,0 +1,31 @@
+"""The traditional baseline: one function per instance (packing degree 1).
+
+All of the paper's improvement percentages are reported "over spawning
+serverless instances in the traditional way, with no packing".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.metrics import RunResult
+from repro.workloads.base import AppSpec
+
+
+def run_unpacked(
+    platform: ServerlessPlatform,
+    app: AppSpec,
+    concurrency: int,
+    provisioned_mb: Optional[int] = None,
+) -> RunResult:
+    """Execute a burst with packing degree 1 (the no-packing baseline)."""
+    return platform.run_burst(
+        BurstSpec(
+            app=app,
+            concurrency=concurrency,
+            packing_degree=1,
+            provisioned_mb=provisioned_mb,
+        )
+    )

@@ -1,0 +1,102 @@
+"""Oracle: exhaustive brute-force search for the true optimal packing degree.
+
+"We perform an exhaustive brute force search to determine the optimal
+packing degree (Oracle packing degree)" (paper Sec. 3). The Oracle runs the
+*actual* burst at every feasible packing degree and picks the measured
+optimum — the accuracy yardstick for ProPack's analytical models (Figs. 8
+and 15). It is exactly the expensive search ProPack's models avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec, FunctionTimeoutError
+from repro.platform.metrics import RunResult
+from repro.workloads.base import AppSpec
+
+Objective = Callable[[RunResult], float]
+
+
+def service_objective(merit: str = "total") -> Objective:
+    return lambda result: result.service_time(merit)
+
+
+def expense_objective() -> Objective:
+    return lambda result: result.expense.total_usd
+
+
+def joint_objective(
+    results: dict[int, RunResult], w_s: float = 0.5, merit: str = "total"
+) -> dict[int, float]:
+    """Eq. 7's regret combination applied to *measured* curves."""
+    service = {d: r.service_time(merit) for d, r in results.items()}
+    expense = {d: r.expense.total_usd for d, r in results.items()}
+    s_best = min(service.values())
+    e_best = min(expense.values())
+    return {
+        d: w_s * (service[d] - s_best) / s_best
+        + (1.0 - w_s) * (expense[d] - e_best) / e_best
+        for d in results
+    }
+
+
+@dataclass
+class OracleResult:
+    """Everything the brute-force sweep measured."""
+
+    app_name: str
+    concurrency: int
+    results: dict[int, RunResult] = field(default_factory=dict)
+    infeasible: list[int] = field(default_factory=list)
+
+    def best_degree(
+        self, objective: str = "joint", w_s: float = 0.5, merit: str = "total"
+    ) -> int:
+        if not self.results:
+            raise ValueError("oracle sweep produced no feasible degrees")
+        if objective == "service":
+            return min(
+                self.results, key=lambda d: self.results[d].service_time(merit)
+            )
+        if objective == "expense":
+            return min(self.results, key=lambda d: self.results[d].expense.total_usd)
+        if objective == "joint":
+            combined = joint_objective(self.results, w_s=w_s, merit=merit)
+            return min(combined, key=combined.get)
+        raise ValueError(f"unknown objective {objective!r}")
+
+    def best_result(self, objective: str = "joint", **kwargs) -> RunResult:
+        return self.results[self.best_degree(objective, **kwargs)]
+
+
+class Oracle:
+    """Runs the exhaustive sweep over packing degrees."""
+
+    def __init__(self, platform: ServerlessPlatform) -> None:
+        self.platform = platform
+
+    def sweep(
+        self,
+        app: AppSpec,
+        concurrency: int,
+        degrees: Optional[Sequence[int]] = None,
+    ) -> OracleResult:
+        """Measure every feasible degree (platform timeouts are infeasible)."""
+        max_degree = min(
+            app.max_packing_degree(self.platform.profile.max_memory_mb), concurrency
+        )
+        if degrees is None:
+            degrees = range(1, max_degree + 1)
+        outcome = OracleResult(app_name=app.name, concurrency=concurrency)
+        for degree in degrees:
+            if degree > max_degree:
+                raise ValueError(f"degree {degree} exceeds P_max {max_degree}")
+            spec = BurstSpec(app=app, concurrency=concurrency, packing_degree=degree)
+            try:
+                outcome.results[degree] = self.platform.run_burst(spec)
+            except FunctionTimeoutError:
+                outcome.infeasible.append(degree)
+        return outcome

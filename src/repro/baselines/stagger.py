@@ -1,0 +1,76 @@
+"""Staggered invocation: the latency-hiding alternative the paper tried.
+
+"Alternative to packing, we also attempted other latency-hiding techniques
+such as staggering instances, but such techniques result in severe service
+degradation due to inserted delays and are unsuitable for workloads that
+need synchronous progress" (paper Sec. 4).
+
+Inserting a fixed delay between invocations keeps the *instantaneous*
+placement queue short, so each instance's scheduling delay is small — but
+the inserted delays themselves push the last start time out by
+``delay × (C - 1)``, which quickly dominates. Included as an ablation
+baseline; the aggregate is modelled analytically on top of single-burst
+measurements of small windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.metrics import RunResult
+from repro.workloads.base import AppSpec
+
+
+@dataclass
+class StaggeredOutcome:
+    """Outcome of a staggered burst."""
+
+    window_result: RunResult
+    concurrency: int
+    delay_s: float
+
+    @property
+    def scaling_time(self) -> float:
+        """Last start: the inserted delays plus one window's scaling."""
+        return self.delay_s * (self.concurrency - 1) + self.window_result.scaling_time
+
+    @property
+    def service_time(self) -> float:
+        return self.scaling_time + self.window_result.mean_exec_seconds
+
+    @property
+    def expense_usd(self) -> float:
+        # Staggering does not change per-function billing.
+        scale = self.concurrency / self.window_result.concurrency
+        return self.window_result.expense.total_usd * scale
+
+
+class StaggeredInvoker:
+    """Invokes functions with a fixed inter-invocation delay."""
+
+    def __init__(self, platform: ServerlessPlatform, delay_s: float = 0.25,
+                 window: int = 50) -> None:
+        if delay_s <= 0:
+            raise ValueError("stagger delay must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.platform = platform
+        self.delay_s = delay_s
+        self.window = window
+
+    def run(self, app: AppSpec, concurrency: int) -> StaggeredOutcome:
+        """Measure one window burst; extrapolate the inserted-delay chain.
+
+        With a delay of ``delay_s`` between invocations, at most
+        ``window ≈ exec/delay`` instances are ever in flight, so a single
+        window-sized burst measures the per-instance pipeline accurately.
+        """
+        window = min(self.window, concurrency)
+        result = self.platform.run_burst(
+            BurstSpec(app=app, concurrency=window, packing_degree=1)
+        )
+        return StaggeredOutcome(
+            window_result=result, concurrency=concurrency, delay_s=self.delay_s
+        )

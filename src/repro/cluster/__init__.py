@@ -1,0 +1,24 @@
+"""Datacenter substrate: servers, network fabric, and the image registry.
+
+These are the physical resources the serverless control plane
+(:mod:`repro.platform`) schedules onto. The model matches the paper's
+description of what happens behind a function invocation (Sec. 1):
+
+1. a *scheduling* pass searches running servers for placement targets,
+2. the server holding the function image *builds* containers/microVMs by
+   downloading and installing the runtime + dependencies,
+3. built containers are *shipped* over the builder's uplink to the chosen
+   servers.
+"""
+
+from repro.cluster.network import NetworkFabric
+from repro.cluster.registry import FunctionImage, ImageRegistry
+from repro.cluster.server import Server, ServerPool
+
+__all__ = [
+    "NetworkFabric",
+    "FunctionImage",
+    "ImageRegistry",
+    "Server",
+    "ServerPool",
+]

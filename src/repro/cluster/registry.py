@@ -1,0 +1,61 @@
+"""Function image registry.
+
+A serverless function is stored as an *image*: source code, runtime
+environment, and dependency manifest (paper Sec. 1). The registry holds
+images and answers size queries used by the build and ship stages. Image
+size drives container start-up (download + install) and shipping times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FunctionImage:
+    """Stored image for one serverless function."""
+
+    name: str
+    code_mb: float
+    runtime_mb: float
+    dependencies_mb: float
+
+    def __post_init__(self) -> None:
+        for label, size in (
+            ("code_mb", self.code_mb),
+            ("runtime_mb", self.runtime_mb),
+            ("dependencies_mb", self.dependencies_mb),
+        ):
+            if size < 0:
+                raise ValueError(f"{label} must be non-negative (got {size})")
+
+    @property
+    def total_mb(self) -> float:
+        return self.code_mb + self.runtime_mb + self.dependencies_mb
+
+    @property
+    def install_mb(self) -> float:
+        """Bytes that must be downloaded and installed at container build."""
+        return self.runtime_mb + self.dependencies_mb
+
+
+class ImageRegistry:
+    """Name → image mapping with upsert semantics."""
+
+    def __init__(self) -> None:
+        self._images: dict[str, FunctionImage] = {}
+
+    def register(self, image: FunctionImage) -> None:
+        self._images[image.name] = image
+
+    def get(self, name: str) -> FunctionImage:
+        try:
+            return self._images[name]
+        except KeyError:
+            raise KeyError(f"no image registered under {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._images
+
+    def __len__(self) -> int:
+        return len(self._images)

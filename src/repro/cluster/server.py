@@ -1,0 +1,97 @@
+"""Execution servers of the datacenter.
+
+A :class:`Server` hosts function instances (microVMs / containers / pods).
+The pool tracks occupancy so the placement scheduler's search cost can grow
+with the number of busy servers — the mechanism behind the super-linear
+scheduling delay the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Server:
+    """One execution server (an EC2 host in the AWS Lambda story)."""
+
+    server_id: int
+    cores: int
+    memory_mb: int
+    used_cores: int = 0
+    used_memory_mb: int = 0
+    instances: int = 0
+
+    def can_host(self, cores: int, memory_mb: int) -> bool:
+        return (
+            self.used_cores + cores <= self.cores
+            and self.used_memory_mb + memory_mb <= self.memory_mb
+        )
+
+    def allocate(self, cores: int, memory_mb: int) -> None:
+        if not self.can_host(cores, memory_mb):
+            raise ValueError(f"server {self.server_id} cannot host ({cores}c, {memory_mb}MB)")
+        self.used_cores += cores
+        self.used_memory_mb += memory_mb
+        self.instances += 1
+
+    def release(self, cores: int, memory_mb: int) -> None:
+        if self.instances <= 0:
+            raise ValueError(f"server {self.server_id} has no instances to release")
+        self.used_cores -= cores
+        self.used_memory_mb -= memory_mb
+        self.instances -= 1
+
+    @property
+    def busy(self) -> bool:
+        return self.instances > 0
+
+
+class ServerPool:
+    """The fleet of execution servers.
+
+    Placement is round-robin first-fit: realistic enough for a burst of
+    identical instances, while keeping the interesting cost (the *search*
+    itself, charged by the scheduler) explicit rather than emergent from
+    bin-packing detail.
+    """
+
+    def __init__(self, n_servers: int, cores_per_server: int, memory_mb_per_server: int) -> None:
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        self.servers = [
+            Server(i, cores_per_server, memory_mb_per_server) for i in range(n_servers)
+        ]
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    @property
+    def busy_servers(self) -> int:
+        return sum(1 for s in self.servers if s.busy)
+
+    @property
+    def total_instances(self) -> int:
+        return sum(s.instances for s in self.servers)
+
+    def find_placement(self, cores: int, memory_mb: int) -> Optional[Server]:
+        """First-fit from a moving cursor; ``None`` if the fleet is full."""
+        n = len(self.servers)
+        for offset in range(n):
+            server = self.servers[(self._cursor + offset) % n]
+            if server.can_host(cores, memory_mb):
+                self._cursor = (self._cursor + offset + 1) % n
+                return server
+        return None
+
+    def place(self, cores: int, memory_mb: int) -> Server:
+        server = self.find_placement(cores, memory_mb)
+        if server is None:
+            raise RuntimeError(
+                f"fleet exhausted: {len(self.servers)} servers, "
+                f"{self.total_instances} instances placed"
+            )
+        server.allocate(cores, memory_mb)
+        return server

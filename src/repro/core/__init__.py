@@ -1,0 +1,46 @@
+"""ProPack: the paper's primary contribution.
+
+Pipeline (paper Fig. 3):
+
+1. :mod:`~repro.core.profiler` — estimate performance interference by
+   running one instance at a few sampled packing degrees, and estimate the
+   platform's application-independent scaling behaviour with no-op probes.
+2. :mod:`~repro.core.models` — fit the exponential execution-time model
+   (Eq. 1) and the second-order-polynomial scaling-time model (Eq. 2).
+3. :mod:`~repro.core.optimizer` — derive optimal packing degrees for
+   service time (Eq. 3), expense (Eq. 4), or the joint regret objective
+   (Eqs. 5–7); :mod:`~repro.core.qos` searches the objective weights under
+   a tail-latency QoS bound (Eqs. 8–9).
+4. :mod:`~repro.core.validation` — the Pearson χ² goodness-of-fit check of
+   Sec. 2.4.
+5. :mod:`~repro.core.propack` — the user-facing facade tying it together.
+"""
+
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel, fit_model_family
+from repro.core.optimizer import ExpenseModel, PackingOptimizer, ServiceTimeModel
+from repro.core.persistence import load_models, save_models
+from repro.core.planner import PackingPlan
+from repro.core.profiler import InterferenceProfile, InterferenceProfiler, ScalingProfiler
+from repro.core.propack import ProPack, ProPackOutcome
+from repro.core.qos import QoSWeightSearch
+from repro.core.validation import GoodnessOfFit, chi_square_statistic
+
+__all__ = [
+    "ExecutionTimeModel",
+    "ScalingTimeModel",
+    "fit_model_family",
+    "ExpenseModel",
+    "PackingOptimizer",
+    "ServiceTimeModel",
+    "PackingPlan",
+    "InterferenceProfile",
+    "InterferenceProfiler",
+    "ScalingProfiler",
+    "ProPack",
+    "ProPackOutcome",
+    "QoSWeightSearch",
+    "GoodnessOfFit",
+    "chi_square_statistic",
+    "save_models",
+    "load_models",
+]

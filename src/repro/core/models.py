@@ -1,0 +1,200 @@
+"""ProPack's analytical models.
+
+Execution time vs. packing degree (paper Eq. 1)::
+
+    ET(P) = exp(M_func · α · P)
+
+fit in log space, so the model is ``A · exp(B · P)`` with ``B = M_func · α``
+(the paper's formulation absorbs the scale ``A`` into the exponent; we keep
+it explicit, which is the standard log-linear least-squares fit of the same
+family).
+
+Scaling time vs. effective concurrency (paper Eq. 2)::
+
+    Scaling(C_eff) = β1 · C_eff² + β2 · C_eff − β3
+
+fit by polynomial regression.
+
+The paper notes (Sec. 2.2) that the authors "attempted several models like
+linear, quadratic, cubic, exponential, logarithmic, logistic, normal, and
+sinusoidal" before choosing these; :func:`fit_model_family` reproduces that
+model-selection step and backs the model-family ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import optimize
+
+
+@dataclass(frozen=True)
+class ExecutionTimeModel:
+    """``ET(P) = A · exp(B · P)`` — the paper's Eq. 1 family."""
+
+    coeff_a: float
+    coeff_b: float
+    mem_gb: float
+
+    @property
+    def alpha(self) -> float:
+        """The paper's α (interference constant): ``B = M_func · α``."""
+        return self.coeff_b / self.mem_gb
+
+    @classmethod
+    def fit(
+        cls,
+        degrees: Sequence[int],
+        times: Sequence[float],
+        mem_gb: float,
+    ) -> "ExecutionTimeModel":
+        """Log-linear least squares over (degree, execution time) samples."""
+        deg = np.asarray(degrees, dtype=float)
+        t = np.asarray(times, dtype=float)
+        if deg.size < 2:
+            raise ValueError("need at least two packing-degree samples to fit")
+        if np.any(t <= 0):
+            raise ValueError("execution times must be positive")
+        slope, intercept = np.polyfit(deg, np.log(t), 1)
+        return cls(coeff_a=float(np.exp(intercept)), coeff_b=float(slope), mem_gb=mem_gb)
+
+    def predict(self, degree: float) -> float:
+        if degree < 1:
+            raise ValueError("packing degree must be >= 1")
+        return float(self.coeff_a * np.exp(self.coeff_b * degree))
+
+    def predict_many(self, degrees: Sequence[float]) -> np.ndarray:
+        deg = np.asarray(degrees, dtype=float)
+        if np.any(deg < 1):
+            raise ValueError("packing degrees must be >= 1")
+        return self.coeff_a * np.exp(self.coeff_b * deg)
+
+    def max_degree_within(self, latency_bound_s: float) -> int:
+        """Largest degree whose predicted ET stays within ``latency_bound_s``.
+
+        Implements the paper's latency/QoS constraint on ``P_max``
+        (Sec. 2.1): packing is capped where the instance execution time
+        would exceed the platform cap or a user latency target.
+        """
+        if latency_bound_s <= 0:
+            raise ValueError("latency bound must be positive")
+        if self.predict(1) > latency_bound_s:
+            return 1
+        if self.coeff_b <= 0:
+            return np.iinfo(np.int32).max
+        degree = int(np.floor((np.log(latency_bound_s) - np.log(self.coeff_a)) / self.coeff_b))
+        return max(1, degree)
+
+
+@dataclass(frozen=True)
+class ScalingTimeModel:
+    """``Scaling(C_eff) = β1·C_eff² + β2·C_eff − β3`` — the paper's Eq. 2."""
+
+    beta1: float
+    beta2: float
+    beta3: float
+
+    @classmethod
+    def fit(
+        cls, concurrencies: Sequence[float], scaling_times: Sequence[float]
+    ) -> "ScalingTimeModel":
+        c = np.asarray(concurrencies, dtype=float)
+        s = np.asarray(scaling_times, dtype=float)
+        if c.size < 3:
+            raise ValueError("need at least three concurrency samples to fit")
+        b1, b2, b0 = np.polyfit(c, s, 2)
+        return cls(beta1=float(b1), beta2=float(b2), beta3=float(-b0))
+
+    def predict(self, c_eff: float) -> float:
+        """Predicted scaling time; floored at 0 (a tiny burst scales freely)."""
+        if c_eff < 0:
+            raise ValueError("effective concurrency must be non-negative")
+        value = self.beta1 * c_eff**2 + self.beta2 * c_eff - self.beta3
+        return float(max(0.0, value))
+
+    def predict_many(self, c_effs: Sequence[float]) -> np.ndarray:
+        c = np.asarray(c_effs, dtype=float)
+        if np.any(c < 0):
+            raise ValueError("effective concurrencies must be non-negative")
+        return np.maximum(0.0, self.beta1 * c**2 + self.beta2 * c - self.beta3)
+
+
+# --------------------------------------------------------------------- #
+# Model-family selection (the paper's Sec. 2.2 comparison, reproduced).
+# --------------------------------------------------------------------- #
+
+def _safe_curve_fit(func, x, y, p0) -> tuple[np.ndarray, float]:
+    import warnings
+
+    with warnings.catch_warnings():
+        # Degenerate fits (e.g. a 4-parameter sinusoid on 2 points) warn
+        # about the covariance; we only use the SSE, so silence it.
+        warnings.simplefilter("ignore", optimize.OptimizeWarning)
+        params, _ = optimize.curve_fit(func, x, y, p0=p0, maxfev=20000)
+    residuals = y - func(x, *params)
+    return params, float(np.sum(residuals**2))
+
+
+MODEL_FAMILIES: dict[str, Callable] = {
+    "linear": lambda x, a, b: a * x + b,
+    "quadratic": lambda x, a, b, c: a * x**2 + b * x + c,
+    "cubic": lambda x, a, b, c, d: a * x**3 + b * x**2 + c * x + d,
+    "exponential": lambda x, a, b: a * np.exp(np.clip(b * x, -50, 50)),
+    "logarithmic": lambda x, a, b: a * np.log(x) + b,
+    "logistic": lambda x, l, k, x0: l / (1.0 + np.exp(np.clip(-k * (x - x0), -50, 50))),
+    "normal": lambda x, a, mu, sig: a * np.exp(-((x - mu) ** 2) / (2 * sig**2 + 1e-9)),
+    "sinusoidal": lambda x, a, w, phi, c: a * np.sin(w * x + phi) + c,
+}
+
+_INITIAL_GUESSES: dict[str, Callable[[np.ndarray, np.ndarray], list[float]]] = {
+    "linear": lambda x, y: [1.0, float(y.mean())],
+    "quadratic": lambda x, y: [0.01, 1.0, float(y.mean())],
+    "cubic": lambda x, y: [0.001, 0.01, 1.0, float(y.mean())],
+    "exponential": lambda x, y: [float(max(y.min(), 1e-6)), 0.05],
+    "logarithmic": lambda x, y: [1.0, float(y.mean())],
+    "logistic": lambda x, y: [float(y.max() * 2), 0.2, float(x.mean())],
+    "normal": lambda x, y: [float(y.max()), float(x.mean()), float(x.std() + 1.0)],
+    "sinusoidal": lambda x, y: [float(y.std() + 1.0), 0.5, 0.0, float(y.mean())],
+}
+
+
+@dataclass(frozen=True)
+class FamilyFit:
+    """One candidate family's fit quality on a sample set."""
+
+    family: str
+    params: tuple[float, ...]
+    sse: float
+
+    def predict(self, x: Sequence[float]) -> np.ndarray:
+        return np.asarray(
+            MODEL_FAMILIES[self.family](np.asarray(x, dtype=float), *self.params)
+        )
+
+
+def fit_model_family(
+    x: Sequence[float],
+    y: Sequence[float],
+    families: Sequence[str] = tuple(MODEL_FAMILIES),
+) -> list[FamilyFit]:
+    """Fit each candidate family; results sorted by SSE (best first).
+
+    Families that fail to converge on the data are skipped — matching how a
+    practitioner would discard them during model selection.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    fits: list[FamilyFit] = []
+    for family in families:
+        func = MODEL_FAMILIES[family]
+        try:
+            params, sse = _safe_curve_fit(func, xs, ys, _INITIAL_GUESSES[family](xs, ys))
+        except (RuntimeError, TypeError, ValueError):
+            continue
+        if not np.all(np.isfinite(params)):
+            continue
+        fits.append(FamilyFit(family=family, params=tuple(map(float, params)), sse=sse))
+    fits.sort(key=lambda f: f.sse)
+    return fits

@@ -1,0 +1,194 @@
+"""Optimal packing degree selection (paper Eqs. 3-7).
+
+:class:`ServiceTimeModel` — ``S(P) = ET(P) + Scaling(C/P)`` (argument of Eq. 3):
+the total service time is "the longest chain: the start of the last function
+instance and the time it takes to execute the function instance".
+
+:class:`ExpenseModel` — the argument of Eq. 4, extended to mirror the full
+billing schedule (GB-seconds × instance count, per-request fees, storage
+operations, and egress where charged) so the model is validated against the
+same quantity the user is billed.
+
+:class:`PackingOptimizer` — evaluates both curves over every feasible
+packing degree and returns:
+
+* ``optimal_service()`` — Eq. 3,
+* ``optimal_expense()`` — Eq. 4,
+* ``optimal_joint(w_s, w_e)`` — Eqs. 5-7: minimize the weighted sum of the
+  *fractional regret* of each objective against its own optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.platform.providers import PlatformProfile
+from repro.workloads.base import AppSpec
+
+
+def instance_layout(concurrency: int, degree: int) -> list[tuple[int, int]]:
+    """(count, packed) pairs for a burst: full instances plus a remainder."""
+    full, rest = divmod(concurrency, degree)
+    layout = []
+    if full:
+        layout.append((full, degree))
+    if rest:
+        layout.append((1, rest))
+    return layout
+
+
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """Predicted service time as a function of the packing degree."""
+
+    exec_model: ExecutionTimeModel
+    scaling_model: ScalingTimeModel
+    concurrency: int
+
+    def n_instances(self, degree: int) -> int:
+        return math.ceil(self.concurrency / degree)
+
+    def predict(self, degree: int, merit: str = "total") -> float:
+        """``S(P)`` for a figure of merit.
+
+        ``total`` uses the full effective concurrency; ``tail``/``median``
+        use the start time of the 95%/50% quantile instance — instance
+        starts are ordered, so the k-th start is the scaling time of an
+        effective burst of k instances.
+        """
+        c_eff = self.n_instances(degree)
+        if merit == "total":
+            quantile = 1.0
+        elif merit == "tail":
+            quantile = 0.95
+        elif merit == "median":
+            quantile = 0.5
+        else:
+            raise ValueError(f"unknown figure of merit {merit!r}")
+        return self.scaling_model.predict(
+            math.ceil(quantile * c_eff)
+        ) + self.exec_model.predict(degree)
+
+    def curve(self, degrees: Sequence[int], merit: str = "total") -> np.ndarray:
+        return np.asarray([self.predict(d, merit) for d in degrees])
+
+
+@dataclass(frozen=True)
+class ExpenseModel:
+    """Predicted burst expense as a function of the packing degree."""
+
+    exec_model: ExecutionTimeModel
+    profile: PlatformProfile
+    app: AppSpec
+    concurrency: int
+    provisioned_mb: Optional[int] = None
+
+    def _billed_gb(self) -> float:
+        requested = self.provisioned_mb or self.profile.max_memory_mb
+        step = self.profile.min_billed_memory_mb
+        return (-(-requested // step) * step) / 1024.0
+
+    def predict(self, degree: int) -> float:
+        """Predicted dollars for the burst at ``degree``."""
+        billed_gb = self._billed_gb()
+        compute = 0.0
+        requests = 0.0
+        storage = 0.0
+        transferred_mb = 0.0
+        for count, packed in instance_layout(self.concurrency, degree):
+            et = self.exec_model.predict(packed)
+            compute += count * et * billed_gb * self.profile.gb_second_usd
+            requests += count * self.profile.per_request_usd
+            storage += count * packed * (
+                self.profile.storage_put_usd + self.profile.storage_get_usd
+            )
+            shared = self.app.io_mb * self.app.io_shared_fraction
+            private = self.app.io_mb * (1.0 - self.app.io_shared_fraction)
+            transferred_mb += count * (shared + private * packed)
+        egress = (transferred_mb / 1024.0) * self.profile.egress_usd_per_gb
+        return compute + requests + storage + egress
+
+    def curve(self, degrees: Sequence[int]) -> np.ndarray:
+        return np.asarray([self.predict(d) for d in degrees])
+
+
+@dataclass
+class PackingOptimizer:
+    """Evaluates the packing-degree search space for one (app, C) pair."""
+
+    exec_model: ExecutionTimeModel
+    scaling_model: ScalingTimeModel
+    app: AppSpec
+    profile: PlatformProfile
+    concurrency: int
+    provisioned_mb: Optional[int] = None
+    latency_safety: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.service = ServiceTimeModel(
+            self.exec_model, self.scaling_model, self.concurrency
+        )
+        self.expense = ExpenseModel(
+            self.exec_model,
+            self.profile,
+            self.app,
+            self.concurrency,
+            self.provisioned_mb,
+        )
+
+    # ------------------------------------------------------------------ #
+    def max_degree(self) -> int:
+        """``P_max``: memory capacity AND the platform execution cap.
+
+        Paper Sec. 2.1: the memory limit bounds packing; the predicted
+        execution time must also stay within the platform's maximum
+        execution time (Lambda kills longer runs), with a small safety
+        margin for execution noise.
+        """
+        memory_cap = self.app.max_packing_degree(self.profile.max_memory_mb)
+        latency_cap = self.exec_model.max_degree_within(
+            self.profile.max_execution_seconds * self.latency_safety
+        )
+        return max(1, min(memory_cap, latency_cap, self.concurrency))
+
+    def degrees(self) -> list[int]:
+        return list(range(1, self.max_degree() + 1))
+
+    # ------------------------------------------------------------------ #
+    def optimal_service(self, merit: str = "total") -> int:
+        """Eq. 3: the degree minimizing predicted service time."""
+        degs = self.degrees()
+        return int(degs[int(np.argmin(self.service.curve(degs, merit)))])
+
+    def optimal_expense(self) -> int:
+        """Eq. 4: the degree minimizing predicted expense."""
+        degs = self.degrees()
+        return int(degs[int(np.argmin(self.expense.curve(degs)))])
+
+    def regrets(self, merit: str = "total") -> tuple[np.ndarray, np.ndarray]:
+        """ΔS and ΔE (Eqs. 5-6): fractional change from each optimum."""
+        degs = self.degrees()
+        s = self.service.curve(degs, merit)
+        e = self.expense.curve(degs)
+        return (s - s.min()) / s.min(), (e - e.min()) / e.min()
+
+    def optimal_joint(
+        self, w_s: float = 0.5, w_e: Optional[float] = None, merit: str = "total"
+    ) -> int:
+        """Eq. 7: minimize ``W_S·ΔS + W_E·ΔE`` (weights sum to 1)."""
+        if w_e is None:
+            w_e = 1.0 - w_s
+        if not math.isclose(w_s + w_e, 1.0, abs_tol=1e-9):
+            raise ValueError(f"weights must sum to 1 (got {w_s} + {w_e})")
+        if not 0.0 <= w_s <= 1.0:
+            raise ValueError(f"W_S must be in [0, 1] (got {w_s})")
+        delta_s, delta_e = self.regrets(merit)
+        combined = w_s * delta_s + w_e * delta_e
+        return int(self.degrees()[int(np.argmin(combined))])

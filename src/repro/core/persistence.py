@@ -1,0 +1,121 @@
+"""Persisting fitted models across processes.
+
+The paper amortizes profiling "over thousands of applications and runs" —
+which, for a library, means fitted models must outlive the process.
+:func:`save_models` / :func:`load_models` serialize a ProPack instance's
+interference profiles and scaling profile to a JSON document keyed by
+platform name, so a later session (or another machine) can plan without
+re-profiling:
+
+    propack = ProPack(platform)
+    propack.run(VIDEO, 5000)
+    save_models(propack, "models.json")
+
+    later = ProPack(platform)
+    load_models(later, "models.json")     # no profiling runs needed
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.core.profiler import InterferenceProfile, ScalingProfile
+from repro.core.propack import ProPack
+
+FORMAT_VERSION = 1
+
+
+def _profile_to_dict(profile: InterferenceProfile) -> dict:
+    return {
+        "app_name": profile.app_name,
+        "degrees": profile.degrees,
+        "exec_times": profile.exec_times,
+        "model": {
+            "coeff_a": profile.model.coeff_a,
+            "coeff_b": profile.model.coeff_b,
+            "mem_gb": profile.model.mem_gb,
+        },
+        "overhead_usd": profile.overhead_usd,
+        "overhead_gb_seconds": profile.overhead_gb_seconds,
+        "overhead_wall_s": profile.overhead_wall_s,
+    }
+
+
+def _profile_from_dict(data: dict) -> InterferenceProfile:
+    return InterferenceProfile(
+        app_name=data["app_name"],
+        degrees=list(data["degrees"]),
+        exec_times=list(data["exec_times"]),
+        model=ExecutionTimeModel(**data["model"]),
+        overhead_usd=data["overhead_usd"],
+        overhead_gb_seconds=data["overhead_gb_seconds"],
+        overhead_wall_s=data["overhead_wall_s"],
+    )
+
+
+def _scaling_to_dict(profile: ScalingProfile) -> dict:
+    return {
+        "platform_name": profile.platform_name,
+        "concurrencies": profile.concurrencies,
+        "scaling_times": profile.scaling_times,
+        "model": {
+            "beta1": profile.model.beta1,
+            "beta2": profile.model.beta2,
+            "beta3": profile.model.beta3,
+        },
+        "overhead_wall_s": profile.overhead_wall_s,
+    }
+
+
+def _scaling_from_dict(data: dict) -> ScalingProfile:
+    return ScalingProfile(
+        platform_name=data["platform_name"],
+        concurrencies=list(data["concurrencies"]),
+        scaling_times=list(data["scaling_times"]),
+        model=ScalingTimeModel(**data["model"]),
+        overhead_wall_s=data["overhead_wall_s"],
+    )
+
+
+def save_models(propack: ProPack, path: Union[str, Path]) -> None:
+    """Write every fitted model the instance holds to ``path`` (JSON)."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "platform": propack.platform.profile.name,
+        "interference": {
+            name: _profile_to_dict(profile)
+            for name, profile in propack._interference_cache.items()
+        },
+        "scaling": (
+            _scaling_to_dict(propack._scaling_profile)
+            if propack._scaling_profile is not None
+            else None
+        ),
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_models(propack: ProPack, path: Union[str, Path]) -> None:
+    """Populate a ProPack instance's model caches from ``path``.
+
+    Refuses documents written for a *different platform* — the scaling
+    model is platform-specific, and silently reusing it would corrupt every
+    plan (interference profiles transfer poorly across instance shapes too).
+    """
+    document = json.loads(Path(path).read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model-document version {version!r}")
+    platform = document.get("platform")
+    if platform != propack.platform.profile.name:
+        raise ValueError(
+            f"models were fitted on {platform!r}, not "
+            f"{propack.platform.profile.name!r} — re-profile instead"
+        )
+    for name, data in document["interference"].items():
+        propack._interference_cache[name] = _profile_from_dict(data)
+    if document["scaling"] is not None:
+        propack._scaling_profile = _scaling_from_dict(document["scaling"])

@@ -1,0 +1,87 @@
+"""Packing plan: the optimizer's decision, ready to execute.
+
+A plan records the chosen degree, the objective that chose it, the model's
+predictions, and the memory-limit clamp the paper describes in Sec. 2.6
+("if the optimal packing degree … is larger than the memory limit enforced
+by the cloud provider … ProPack's packing degree can be modified to ensure
+that it does not violate the memory limit — treating that as a constraint").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.optimizer import PackingOptimizer
+from repro.platform.invoker import BurstSpec
+from repro.workloads.base import AppSpec
+
+
+@dataclass(frozen=True)
+class PackingPlan:
+    """An executable packing decision for one burst."""
+
+    app: AppSpec
+    concurrency: int
+    degree: int
+    objective: str
+    w_s: float
+    w_e: float
+    predicted_service_s: float
+    predicted_tail_s: float
+    predicted_expense_usd: float
+    provisioned_mb: int
+
+    @property
+    def n_instances(self) -> int:
+        return math.ceil(self.concurrency / self.degree)
+
+    def burst_spec(self) -> BurstSpec:
+        return BurstSpec(
+            app=self.app,
+            concurrency=self.concurrency,
+            packing_degree=self.degree,
+            provisioned_mb=self.provisioned_mb,
+        )
+
+
+def build_plan(
+    optimizer: PackingOptimizer,
+    objective: str = "joint",
+    w_s: float = 0.5,
+    merit: str = "total",
+    provisioned_mb: Optional[int] = None,
+) -> PackingPlan:
+    """Choose a degree under ``objective`` and wrap it as a plan.
+
+    ``objective`` ∈ {"joint", "service", "expense"} — the three ProPack
+    variants the paper evaluates (ProPack, ProPack (Service Time),
+    ProPack (Expense)).
+    """
+    if objective == "service":
+        degree, eff_ws = optimizer.optimal_service(merit), 1.0
+    elif objective == "expense":
+        degree, eff_ws = optimizer.optimal_expense(), 0.0
+    elif objective == "joint":
+        degree, eff_ws = optimizer.optimal_joint(w_s=w_s, merit=merit), w_s
+    else:
+        raise ValueError(f"unknown objective {objective!r}")
+
+    # Memory-limit clamp (Sec. 2.6): never exceed what the provider allows.
+    memory_cap = optimizer.app.max_packing_degree(optimizer.profile.max_memory_mb)
+    degree = min(degree, memory_cap)
+
+    provisioned = provisioned_mb or optimizer.profile.max_memory_mb
+    return PackingPlan(
+        app=optimizer.app,
+        concurrency=optimizer.concurrency,
+        degree=degree,
+        objective=objective,
+        w_s=eff_ws,
+        w_e=1.0 - eff_ws,
+        predicted_service_s=optimizer.service.predict(degree, merit="total"),
+        predicted_tail_s=optimizer.service.predict(degree, merit="tail"),
+        predicted_expense_usd=optimizer.expense.predict(degree),
+        provisioned_mb=provisioned,
+    )

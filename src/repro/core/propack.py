@@ -1,0 +1,219 @@
+"""The ProPack facade — the library's primary public entry point.
+
+Usage::
+
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=7)
+    propack = ProPack(platform)
+    outcome = propack.run(VIDEO, concurrency=5000)          # joint objective
+    outcome.result.service_time(), outcome.total_expense_usd
+
+``ProPack.run`` profiles the app (once; cached), fits the models, validates
+them (χ², Sec. 2.4), picks the optimal degree under the requested objective
+(optionally under a QoS tail bound), executes the packed burst, and reports
+the result *with* the profiling overhead folded into the expense — exactly
+the accounting the paper's evaluation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.core.optimizer import PackingOptimizer
+from repro.core.planner import PackingPlan, build_plan
+from repro.core.profiler import (
+    InterferenceProfile,
+    InterferenceProfiler,
+    ScalingProfile,
+    ScalingProfiler,
+)
+from repro.core.qos import QoSDecision, QoSWeightSearch
+from repro.core.validation import GoodnessOfFit, validate_fit
+from repro.platform.base import ServerlessPlatform
+from repro.platform.metrics import RunResult
+from repro.workloads.base import AppSpec
+
+
+@dataclass
+class ProPackOutcome:
+    """A packed execution plus the overheads that produced it."""
+
+    plan: PackingPlan
+    result: RunResult
+    interference_profile: InterferenceProfile
+    scaling_profile: ScalingProfile
+    qos_decision: Optional[QoSDecision] = None
+
+    @property
+    def overhead_usd(self) -> float:
+        """Dollars spent building the models (charged to ProPack, not the
+        baseline — paper Sec. 4)."""
+        return self.interference_profile.overhead_usd
+
+    @property
+    def total_expense_usd(self) -> float:
+        """Burst expense including ProPack's own exploration overhead."""
+        return self.result.expense.total_usd + self.overhead_usd
+
+    @property
+    def service_time_s(self) -> float:
+        return self.result.service_time()
+
+
+class ProPack:
+    """Performance- and cost-aware packing for concurrent serverless bursts."""
+
+    def __init__(
+        self,
+        platform: ServerlessPlatform,
+        profiler_repetitions: int = 1,
+    ) -> None:
+        self.platform = platform
+        self.profiler_repetitions = profiler_repetitions
+        self._interference_cache: dict[str, InterferenceProfile] = {}
+        self._scaling_profile: Optional[ScalingProfile] = None
+
+    # ------------------------------------------------------------------ #
+    # Model estimation (cached; scaling is app-independent, per platform).
+    # ------------------------------------------------------------------ #
+    def interference_profile(self, app: AppSpec) -> InterferenceProfile:
+        profile = self._interference_cache.get(app.name)
+        if profile is None:
+            profiler = InterferenceProfiler(
+                self.platform, repetitions=self.profiler_repetitions
+            )
+            profile = profiler.profile(app)
+            self._interference_cache[app.name] = profile
+        return profile
+
+    def scaling_profile(self) -> ScalingProfile:
+        if self._scaling_profile is None:
+            self._scaling_profile = ScalingProfiler(self.platform).profile()
+        return self._scaling_profile
+
+    def exec_model(self, app: AppSpec) -> ExecutionTimeModel:
+        return self.interference_profile(app).model
+
+    def scaling_model(self) -> ScalingTimeModel:
+        return self.scaling_profile().model
+
+    # ------------------------------------------------------------------ #
+    def optimizer(
+        self,
+        app: AppSpec,
+        concurrency: int,
+        provisioned_mb: Optional[int] = None,
+    ) -> PackingOptimizer:
+        return PackingOptimizer(
+            exec_model=self.exec_model(app),
+            scaling_model=self.scaling_model(),
+            app=app,
+            profile=self.platform.profile,
+            concurrency=concurrency,
+            provisioned_mb=provisioned_mb,
+        )
+
+    def plan(
+        self,
+        app: AppSpec,
+        concurrency: int,
+        objective: str = "joint",
+        w_s: float = 0.5,
+        merit: str = "total",
+        qos_tail_bound_s: Optional[float] = None,
+        skew_cv: float = 0.0,
+    ) -> tuple[PackingPlan, Optional[QoSDecision]]:
+        """Choose the packing degree (Eqs. 3/4/7, plus Eqs. 8-9 under QoS).
+
+        ``skew_cv`` > 0 switches to the straggler-corrected skew-aware
+        optimizer (see :mod:`repro.extensions.skewaware`).
+        """
+        if skew_cv > 0.0:
+            from repro.extensions.skewaware import SkewAwareOptimizer
+
+            optimizer = SkewAwareOptimizer(
+                exec_model=self.exec_model(app),
+                scaling_model=self.scaling_model(),
+                app=app,
+                profile=self.platform.profile,
+                concurrency=concurrency,
+                cv=skew_cv,
+            )
+        else:
+            optimizer = self.optimizer(app, concurrency)
+        qos_decision: Optional[QoSDecision] = None
+        if qos_tail_bound_s is not None:
+            if objective != "joint":
+                raise ValueError("QoS-aware planning applies to the joint objective")
+            qos_decision = QoSWeightSearch(optimizer).search(qos_tail_bound_s)
+            w_s = qos_decision.w_s
+            merit = "tail"
+        plan = build_plan(optimizer, objective=objective, w_s=w_s, merit=merit)
+        return plan, qos_decision
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        app: AppSpec,
+        concurrency: int,
+        objective: str = "joint",
+        w_s: float = 0.5,
+        merit: str = "total",
+        qos_tail_bound_s: Optional[float] = None,
+        skew_cv: float = 0.0,
+    ) -> ProPackOutcome:
+        """Profile → plan → execute one burst; returns the full outcome."""
+        plan, qos_decision = self.plan(
+            app,
+            concurrency,
+            objective=objective,
+            w_s=w_s,
+            merit=merit,
+            qos_tail_bound_s=qos_tail_bound_s,
+            skew_cv=skew_cv,
+        )
+        spec = plan.burst_spec()
+        if skew_cv > 0.0:
+            from dataclasses import replace
+
+            spec = replace(spec, skew_cv=skew_cv)
+        result = self.platform.run_burst(spec)
+        return ProPackOutcome(
+            plan=plan,
+            result=result,
+            interference_profile=self.interference_profile(app),
+            scaling_profile=self.scaling_profile(),
+            qos_decision=qos_decision,
+        )
+
+    # ------------------------------------------------------------------ #
+    def validate_models(
+        self, app: AppSpec, concurrency: int
+    ) -> dict[str, GoodnessOfFit]:
+        """Sec. 2.4: χ² goodness-of-fit of the service and expense models.
+
+        Observed values come from real (simulated) runs across sampled
+        packing degrees at ``concurrency``; expected values from the fitted
+        analytical models.
+        """
+        from repro.platform.invoker import BurstSpec  # local to avoid cycle
+
+        optimizer = self.optimizer(app, concurrency)
+        degrees = [d for d in optimizer.degrees() if d % 2 == 1 or d == max(optimizer.degrees())]
+        observed_service: list[float] = []
+        observed_expense: list[float] = []
+        expected_service: list[float] = []
+        expected_expense: list[float] = []
+        for degree in degrees:
+            result = self.platform.run_burst(
+                BurstSpec(app=app, concurrency=concurrency, packing_degree=degree)
+            )
+            observed_service.append(result.service_time())
+            observed_expense.append(result.expense.total_usd)
+            expected_service.append(optimizer.service.predict(degree))
+            expected_expense.append(optimizer.expense.predict(degree))
+        return {
+            "service": validate_fit(observed_service, expected_service),
+            "expense": validate_fit(observed_expense, expected_expense),
+        }

@@ -1,0 +1,94 @@
+"""QoS-aware weight search (paper Eqs. 8-9, Sec. 2.6).
+
+For latency-critical applications (Xapian), the joint optimum with equal
+weights may violate a tail-latency QoS bound. ProPack then shifts weight
+toward the service-time objective: the tail service time at the
+joint-optimal degree for weights ``(W_S, 1-W_S)`` is
+
+    TS(W_S) = Tail(S(P_opt(W_S)))                                   (Eq. 8)
+
+and ProPack chooses the weight
+
+    W_S = argmin { TS(W_S, 1-W_S) | TS ≤ QoS }                      (Eq. 9)
+
+i.e. among weights whose tail latency meets the bound, the *smallest* such
+``W_S`` — giving the expense objective as much influence as the QoS bound
+allows (more weight on service time than necessary would give up expense
+savings for latency headroom the SLo does not require).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.optimizer import PackingOptimizer
+
+
+@dataclass(frozen=True)
+class QoSDecision:
+    """Outcome of the weight search."""
+
+    w_s: float
+    w_e: float
+    degree: int
+    predicted_tail_s: float
+    qos_bound_s: float
+    feasible: bool
+
+
+class QoSWeightSearch:
+    """Grid search over ``W_S`` meeting a tail-latency QoS bound."""
+
+    def __init__(
+        self,
+        optimizer: PackingOptimizer,
+        step: float = 0.05,
+        safety_margin: float = 0.04,
+    ) -> None:
+        """``safety_margin`` shrinks the bound the *predicted* tail must meet,
+        leaving headroom for execution noise in the realized tail."""
+        if not 0.0 < step <= 0.5:
+            raise ValueError("step must be in (0, 0.5]")
+        if not 0.0 <= safety_margin < 1.0:
+            raise ValueError("safety margin must be in [0, 1)")
+        self.optimizer = optimizer
+        self.step = step
+        self.safety_margin = safety_margin
+
+    def tail_at_weight(self, w_s: float) -> tuple[int, float]:
+        """(joint-optimal degree, predicted tail service time) at ``w_s``."""
+        degree = self.optimizer.optimal_joint(w_s=w_s, merit="tail")
+        tail = self.optimizer.service.predict(degree, merit="tail")
+        return degree, tail
+
+    def search(self, qos_bound_s: float) -> QoSDecision:
+        """Eq. 9: smallest ``W_S`` whose predicted tail meets the bound.
+
+        If no weight meets the bound, falls back to the weight with the
+        lowest predicted tail (all-in on service time) and flags the
+        decision infeasible so the caller can renegotiate the QoS.
+        """
+        if qos_bound_s <= 0:
+            raise ValueError("QoS bound must be positive")
+        effective_bound = qos_bound_s * (1.0 - self.safety_margin)
+        weights = np.round(np.arange(0.0, 1.0 + 1e-9, self.step), 10)
+        best_fallback: Optional[QoSDecision] = None
+        for w_s in weights:
+            degree, tail = self.tail_at_weight(float(w_s))
+            decision = QoSDecision(
+                w_s=float(w_s),
+                w_e=float(1.0 - w_s),
+                degree=degree,
+                predicted_tail_s=tail,
+                qos_bound_s=qos_bound_s,
+                feasible=tail <= effective_bound,
+            )
+            if decision.feasible:
+                return decision
+            if best_fallback is None or tail < best_fallback.predicted_tail_s:
+                best_fallback = decision
+        assert best_fallback is not None
+        return best_fallback

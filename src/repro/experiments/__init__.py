@@ -1,0 +1,15 @@
+"""Experiment harness: regenerates every figure of the paper's evaluation.
+
+Each ``fig*`` function in :mod:`~repro.experiments.figures` reproduces one
+paper artifact (same workloads, same sweep structure, same reported rows)
+against the simulated substrate. ``python -m repro.experiments all`` prints
+every table; ``--quick`` shrinks the grids for smoke runs. The
+per-experiment index lives in DESIGN.md; paper-vs-measured numbers in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.tables import FigureResult
+
+__all__ = ["ExperimentConfig", "ExperimentContext", "FigureResult"]

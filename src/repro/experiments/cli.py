@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m repro.experiments`` /
+``propack-experiments``.
+
+Examples::
+
+    propack-experiments all               # every figure, full grids
+    propack-experiments fig9 fig11        # selected figures
+    propack-experiments all --quick       # reduced grids (fast)
+    propack-experiments all --markdown --out results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.tables import render_all
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="propack-experiments",
+        description="Regenerate the ProPack paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=[],
+        help=f"figure ids ({', '.join(ALL_FIGURES)}) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument("--quick", action="store_true", help="reduced grids")
+    parser.add_argument("--seed", type=int, default=None, help="experiment seed")
+    parser.add_argument("--markdown", action="store_true", help="emit markdown")
+    parser.add_argument("--out", type=str, default=None, help="write to file")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, func in ALL_FIGURES.items():
+            summary = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<24} {summary}")
+        return 0
+    if not args.figures:
+        print("no figures requested (use 'all' or --list)", file=sys.stderr)
+        return 2
+    names = list(ALL_FIGURES) if "all" in args.figures else list(args.figures)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
+    if args.seed is not None:
+        config = ExperimentConfig(**{**config.__dict__, "seed": args.seed})
+    ctx = ExperimentContext(config=config)
+
+    results = []
+    for name in names:
+        start = time.perf_counter()
+        results.append(ALL_FIGURES[name](ctx))
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]", file=sys.stderr)
+    text = render_all(results, markdown=args.markdown)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

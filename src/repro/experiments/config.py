@@ -1,0 +1,43 @@
+"""Experiment grids and defaults.
+
+``full`` mirrors the paper's sweeps (concurrency 1000-5000); ``quick`` is a
+reduced grid used by the pytest benchmarks so the whole suite runs in
+minutes on one core while still exercising every figure's code path and
+shape assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Grid sizes and defaults for one harness run."""
+
+    concurrencies: tuple[int, ...] = (1000, 2000, 3000, 4000, 5000)
+    high_concurrency: int = 5000
+    mid_concurrency: int = 2000
+    low_concurrency: int = 1000
+    seed: int = 2023
+    merits: tuple[str, ...] = ("total", "tail", "median")
+    weight_grid: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9)
+    oracle_stride: int = 1  # sweep every degree (paper: exhaustive)
+    xapian_qos_s: float = 30.0
+    repetitions: int = 3    # the paper repeats runs for significance
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        return cls(
+            concurrencies=(1000, 2000, 3500),
+            high_concurrency=3500,
+            mid_concurrency=2000,
+            low_concurrency=1000,
+            oracle_stride=2,
+            xapian_qos_s=25.0,
+            repetitions=1,
+        )

@@ -1,0 +1,68 @@
+"""Shared experiment context: platforms, cached ProPack models, helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.propack import ProPack
+from repro.experiments.config import ExperimentConfig
+from repro.funcx import FuncXEndpoint
+from repro.platform.base import ServerlessPlatform
+from repro.platform.metrics import RunResult
+from repro.platform.providers import (
+    AWS_LAMBDA,
+    AZURE_FUNCTIONS,
+    GOOGLE_CLOUD_FUNCTIONS,
+    PlatformProfile,
+)
+
+
+def improvement(baseline: float, treated: float) -> float:
+    """Percentage improvement over the baseline (paper's reporting metric)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (1.0 - treated / baseline)
+
+
+@dataclass
+class ExperimentContext:
+    """Caches platforms and ProPack model fits across figures.
+
+    The scaling model is fit once per platform and the interference model
+    once per (platform, app) — exactly the amortization the paper describes
+    — so regenerating all figures does not re-profile per figure.
+    """
+
+    config: ExperimentConfig = field(default_factory=ExperimentConfig.full)
+    _platforms: dict[str, ServerlessPlatform] = field(default_factory=dict)
+    _propacks: dict[str, ProPack] = field(default_factory=dict)
+    _funcx: Optional[FuncXEndpoint] = None
+
+    def platform(self, profile: PlatformProfile = AWS_LAMBDA) -> ServerlessPlatform:
+        plat = self._platforms.get(profile.name)
+        if plat is None:
+            plat = ServerlessPlatform(profile, seed=self.config.seed)
+            self._platforms[profile.name] = plat
+        return plat
+
+    def propack(self, profile: PlatformProfile = AWS_LAMBDA) -> ProPack:
+        pp = self._propacks.get(profile.name)
+        if pp is None:
+            pp = ProPack(self.platform(profile))
+            self._propacks[profile.name] = pp
+        return pp
+
+    def funcx(self) -> FuncXEndpoint:
+        if self._funcx is None:
+            self._funcx = FuncXEndpoint(seed=self.config.seed)
+        return self._funcx
+
+    def cloud_profiles(self) -> tuple[PlatformProfile, ...]:
+        return (AWS_LAMBDA, GOOGLE_CLOUD_FUNCTIONS, AZURE_FUNCTIONS)
+
+    # ------------------------------------------------------------------ #
+    def baseline(self, app, concurrency: int, profile=AWS_LAMBDA) -> RunResult:
+        from repro.baselines.nopack import run_unpacked
+
+        return run_unpacked(self.platform(profile), app, concurrency)

@@ -1,0 +1,82 @@
+"""Rendering of experiment results as text / markdown tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure/table: identity, rows, and commentary."""
+
+    figure_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        missing = [c for c in self.columns if c not in row]
+        extra = [k for k in row if k not in self.columns]
+        if missing or extra:
+            raise ValueError(
+                f"{self.figure_id}: row keys mismatch (missing={missing}, extra={extra})"
+            )
+        self.rows.append(row)
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise KeyError(f"{self.figure_id}: no column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def select(self, **filters: Any) -> list[dict[str, Any]]:
+        """Rows matching all equality filters."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in filters.items())
+        ]
+
+    # ------------------------------------------------------------------ #
+    def to_text(self) -> str:
+        widths = {
+            c: max(len(c), *(len(_format(r[c])) for r in self.rows)) if self.rows else len(c)
+            for c in self.columns
+        }
+        header = " | ".join(c.ljust(widths[c]) for c in self.columns)
+        sep = "-+-".join("-" * widths[c] for c in self.columns)
+        lines = [f"== {self.figure_id}: {self.title} ==", header, sep]
+        for row in self.rows:
+            lines.append(
+                " | ".join(_format(row[c]).ljust(widths[c]) for c in self.columns)
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"### {self.figure_id}: {self.title}",
+            "",
+            "| " + " | ".join(self.columns) + " |",
+            "|" + "|".join("---" for _ in self.columns) + "|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(_format(row[c]) for c in self.columns) + " |")
+        for note in self.notes:
+            lines.append(f"\n> {note}")
+        return "\n".join(lines)
+
+
+def render_all(results: Sequence[FigureResult], markdown: bool = False) -> str:
+    parts = [r.to_markdown() if markdown else r.to_text() for r in results]
+    return ("\n\n").join(parts)

@@ -1,0 +1,176 @@
+"""Adaptive re-profiling when the platform drifts (paper Sec. 5 extension).
+
+"If the cloud provider side mitigation is effective, the optimal packing
+degree for ProPack is likely to decrease" — which means a fitted scaling
+model goes stale when the provider improves (or degrades) its control
+plane. :class:`AdaptiveProPack` wraps :class:`~repro.core.propack.ProPack`
+and, after each executed burst, compares the realized service time against
+the model's prediction; when the relative error exceeds a threshold for
+``patience`` consecutive bursts, it discards the fitted models and
+re-profiles on the next run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.propack import ProPack, ProPackOutcome
+from repro.platform.base import ServerlessPlatform
+from repro.workloads.base import AppSpec
+
+
+@dataclass
+class DriftObservation:
+    """One burst's prediction-vs-reality comparison.
+
+    Staleness shows up in the *scaling-time* prediction, not the service
+    time: at a packed operating point the scaling term is a small share of
+    service time, so even a 10x provider-side change barely moves the
+    service error — while the packing decision it should trigger (a lower
+    degree) goes unmade. We therefore track both errors.
+    """
+
+    app_name: str
+    concurrency: int
+    predicted_service_s: float
+    realized_service_s: float
+    predicted_scaling_s: float
+    realized_scaling_s: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.realized_service_s - self.predicted_service_s) / max(
+            self.realized_service_s, 1e-9
+        )
+
+    @property
+    def scaling_error(self) -> float:
+        return abs(self.realized_scaling_s - self.predicted_scaling_s) / max(
+            self.realized_scaling_s, self.predicted_scaling_s, 1e-9
+        )
+
+    @property
+    def scaling_gap_s(self) -> float:
+        return abs(self.realized_scaling_s - self.predicted_scaling_s)
+
+
+class AdaptiveProPack:
+    """ProPack with staleness detection and automatic re-profiling."""
+
+    def __init__(
+        self,
+        platform: ServerlessPlatform,
+        error_threshold: float = 0.15,
+        patience: int = 2,
+        scaling_floor_s: float = 5.0,
+        probe_every: int = 3,
+        probe_concurrency: int = 2000,
+    ) -> None:
+        """``scaling_floor_s`` is the absolute scaling-prediction gap below
+        which drift is ignored (tiny gaps are fit noise, not drift).
+
+        A burst executed at a well-packed operating point barely exercises
+        the scaling curve, so drift in the platform's control plane can be
+        invisible from run telemetry alone while the *decision* it should
+        change (a lower packing degree) goes unmade. Every ``probe_every``
+        runs the adaptor therefore issues one cheap no-op scaling probe at
+        ``probe_concurrency`` — the same probe ProPack's profiler uses —
+        and checks the model against it directly.
+        """
+        if not 0.0 < error_threshold < 1.0:
+            raise ValueError("error threshold must be in (0, 1)")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if scaling_floor_s < 0:
+            raise ValueError("scaling floor must be non-negative")
+        if probe_every < 1:
+            raise ValueError("probe_every must be >= 1")
+        self.platform = platform
+        self.error_threshold = error_threshold
+        self.patience = patience
+        self.scaling_floor_s = scaling_floor_s
+        self.probe_every = probe_every
+        self.probe_concurrency = probe_concurrency
+        self._runs_since_probe = 0
+        self._propack = ProPack(platform)
+        self._consecutive_misses = 0
+        self.reprofile_count = 0
+        self.history: list[DriftObservation] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def propack(self) -> ProPack:
+        return self._propack
+
+    def switch_platform(self, platform: ServerlessPlatform) -> None:
+        """Point at a (possibly changed) platform without dropping models.
+
+        Models are deliberately kept — the whole point is that the adaptor
+        must *notice* the drift from prediction error, not be told.
+        """
+        self.platform = platform
+        self._propack.platform = platform
+
+    def _note(self, outcome: ProPackOutcome) -> DriftObservation:
+        scaling_model = self._propack.scaling_model()
+        observation = DriftObservation(
+            app_name=outcome.plan.app.name,
+            concurrency=outcome.plan.concurrency,
+            predicted_service_s=outcome.plan.predicted_service_s,
+            realized_service_s=outcome.result.service_time(),
+            predicted_scaling_s=scaling_model.predict(outcome.plan.n_instances),
+            realized_scaling_s=outcome.result.scaling_time,
+        )
+        self.history.append(observation)
+        service_miss = observation.relative_error > self.error_threshold
+        scaling_miss = (
+            observation.scaling_error > self.error_threshold
+            and observation.scaling_gap_s > self.scaling_floor_s
+        )
+        if service_miss or scaling_miss:
+            self._consecutive_misses += 1
+        else:
+            self._consecutive_misses = 0
+        if self._consecutive_misses >= self.patience:
+            self._reprofile()
+        return observation
+
+    def _reprofile(self) -> None:
+        """Drop every fitted model; the next run re-profiles from scratch."""
+        self._propack._interference_cache.clear()
+        self._propack._scaling_profile = None
+        self._consecutive_misses = 0
+        self.reprofile_count += 1
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        app: AppSpec,
+        concurrency: int,
+        objective: str = "joint",
+        qos_tail_bound_s: Optional[float] = None,
+    ) -> ProPackOutcome:
+        """Plan+execute one burst, then update the drift detector."""
+        outcome = self._propack.run(
+            app, concurrency, objective=objective, qos_tail_bound_s=qos_tail_bound_s
+        )
+        self._note(outcome)
+        self._runs_since_probe += 1
+        if self._runs_since_probe >= self.probe_every:
+            self._runs_since_probe = 0
+            self._probe_scaling()
+        return outcome
+
+    def _probe_scaling(self) -> None:
+        """One cheap no-op probe burst; re-profile on a clear model miss."""
+        predicted = self._propack.scaling_model().predict(self.probe_concurrency)
+        realized = self.platform.measure_scaling_time(self.probe_concurrency)
+        gap = abs(predicted - realized)
+        error = gap / max(predicted, realized, 1e-9)
+        if error > self.error_threshold and gap > self.scaling_floor_s:
+            self._reprofile()
+
+    @property
+    def last_error(self) -> Optional[float]:
+        return self.history[-1].relative_error if self.history else None

@@ -1,0 +1,74 @@
+"""Profiling-overhead amortization across repeated runs.
+
+The paper includes ProPack's one-time exploration overhead in every
+reported number, and notes it "will be much lower due to amortization over
+thousands of applications and runs" (Sec. 2.2). :func:`run_campaign`
+executes a campaign of repeated bursts and reports the effective expense
+improvement as a function of run count — the overhead is paid once, the
+savings accrue per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.nopack import run_unpacked
+from repro.core.propack import ProPack
+from repro.platform.base import ServerlessPlatform
+from repro.workloads.base import AppSpec
+
+
+@dataclass
+class CampaignReport:
+    """Cumulative economics of a repeated-burst campaign."""
+
+    app_name: str
+    concurrency: int
+    runs: int
+    overhead_usd: float
+    per_run_baseline_usd: list[float] = field(default_factory=list)
+    per_run_packed_usd: list[float] = field(default_factory=list)
+
+    def cumulative_improvement_pct(self, upto: int) -> float:
+        """Expense improvement over the first ``upto`` runs, overhead included."""
+        if not 1 <= upto <= self.runs:
+            raise ValueError(f"upto must be in [1, {self.runs}]")
+        base = sum(self.per_run_baseline_usd[:upto])
+        packed = sum(self.per_run_packed_usd[:upto]) + self.overhead_usd
+        return 100.0 * (1.0 - packed / base)
+
+    def amortization_curve(self) -> list[tuple[int, float]]:
+        return [(n, self.cumulative_improvement_pct(n)) for n in range(1, self.runs + 1)]
+
+    @property
+    def overhead_share_final_pct(self) -> float:
+        """Overhead as % of total packed spend after the whole campaign."""
+        packed = sum(self.per_run_packed_usd) + self.overhead_usd
+        return 100.0 * self.overhead_usd / packed
+
+
+def run_campaign(
+    platform: ServerlessPlatform,
+    app: AppSpec,
+    concurrency: int,
+    runs: int,
+    objective: str = "joint",
+) -> CampaignReport:
+    """Execute ``runs`` repeated bursts, profiling once."""
+    if runs < 1:
+        raise ValueError("need at least one run")
+    propack = ProPack(platform)
+    report = CampaignReport(
+        app_name=app.name,
+        concurrency=concurrency,
+        runs=runs,
+        overhead_usd=0.0,
+    )
+    for i in range(runs):
+        outcome = propack.run(app, concurrency, objective=objective)
+        if i == 0:
+            report.overhead_usd = outcome.overhead_usd
+        baseline = run_unpacked(platform, app, concurrency)
+        report.per_run_baseline_usd.append(baseline.expense.total_usd)
+        report.per_run_packed_usd.append(outcome.result.expense.total_usd)
+    return report

@@ -1,0 +1,222 @@
+"""Mixed-application packing (paper Sec. 5 extension).
+
+The evaluated ProPack packs functions of one application per instance. This
+extension models heterogeneous groups: the interference a function suffers
+is driven by the *other* residents' memory pressure, so the single-app
+exponential generalizes per member ``i`` of group ``G`` to::
+
+    ET_i(G) = base_i * exp(isolation * Σ_{j ∈ G, j ≠ i} pressure_j * mem_j)
+
+and the instance finishes with its slowest member:
+``ET(G) = max_i ET_i(G)``. With a homogeneous group of size ``p`` this
+reduces exactly to the paper's Eq. 1 form (``exp(pressure·mem·(p−1))``),
+so the extension is a strict generalization.
+
+:class:`MixedPacker` plans groups for a multi-app demand under the
+instance memory cap and the platform execution cap, either *segregated*
+(same-app groups only — the paper's single-user security posture) or
+*mixed* (first-fit decreasing over the combined pressure budget). The
+planner's value is measured by predicted service time and expense via the
+same scaling model ProPack already fits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.models import ScalingTimeModel
+from repro.platform.providers import PlatformProfile
+from repro.workloads.base import AppSpec
+
+
+@dataclass(frozen=True)
+class MixedGroup:
+    """One instance's residents: (app, count) pairs."""
+
+    members: tuple[tuple[AppSpec, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a group needs at least one member")
+        if any(count < 1 for _, count in self.members):
+            raise ValueError("member counts must be >= 1")
+
+    @property
+    def size(self) -> int:
+        return sum(count for _, count in self.members)
+
+    @property
+    def memory_mb(self) -> int:
+        return sum(app.mem_mb * count for app, count in self.members)
+
+    @property
+    def apps(self) -> list[AppSpec]:
+        return [app for app, _ in self.members]
+
+    def pressure_sum(self) -> float:
+        """Total memory-pressure of all residents (GB-weighted)."""
+        return sum(
+            app.pressure_per_gb * app.mem_gb * count for app, count in self.members
+        )
+
+    def is_homogeneous(self) -> bool:
+        return len(self.members) == 1
+
+
+class MixedInterferenceModel:
+    """Execution-time model for heterogeneous groups."""
+
+    def __init__(self, isolation_penalty: float = 1.0) -> None:
+        if isolation_penalty <= 0:
+            raise ValueError("isolation penalty must be positive")
+        self.isolation_penalty = isolation_penalty
+
+    def member_execution_seconds(self, group: MixedGroup, app: AppSpec) -> float:
+        """ET of one ``app`` function inside ``group``."""
+        if app not in group.apps:
+            raise ValueError(f"{app.name} is not a member of the group")
+        others = group.pressure_sum() - app.pressure_per_gb * app.mem_gb
+        return app.base_seconds * math.exp(self.isolation_penalty * others)
+
+    def instance_execution_seconds(self, group: MixedGroup) -> float:
+        """The group's makespan: its slowest member."""
+        return max(self.member_execution_seconds(group, app) for app in group.apps)
+
+
+@dataclass
+class MixedPlan:
+    """A packing plan over a multi-application demand."""
+
+    groups: list[MixedGroup]
+    segregated: bool
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.groups)
+
+    def functions_packed(self) -> dict[str, int]:
+        packed: dict[str, int] = {}
+        for group in self.groups:
+            for app, count in group.members:
+                packed[app.name] = packed.get(app.name, 0) + count
+        return packed
+
+    def predicted_service_time(
+        self, model: MixedInterferenceModel, scaling: ScalingTimeModel
+    ) -> float:
+        """Scaling of the instance burst plus the slowest instance."""
+        slowest = max(model.instance_execution_seconds(g) for g in self.groups)
+        return scaling.predict(self.n_instances) + slowest
+
+    def predicted_expense_usd(
+        self, model: MixedInterferenceModel, profile: PlatformProfile
+    ) -> float:
+        billed_gb = profile.max_memory_mb / 1024.0
+        total = 0.0
+        for group in self.groups:
+            et = model.instance_execution_seconds(group)
+            total += et * billed_gb * profile.gb_second_usd + profile.per_request_usd
+        return total
+
+
+class MixedPacker:
+    """Plans instance groups for a multi-application demand."""
+
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        isolation_penalty: Optional[float] = None,
+        latency_safety: float = 0.98,
+    ) -> None:
+        self.profile = profile
+        self.model = MixedInterferenceModel(
+            isolation_penalty if isolation_penalty is not None
+            else profile.isolation_penalty
+        )
+        self.latency_safety = latency_safety
+
+    # ------------------------------------------------------------------ #
+    def _fits(self, members: list[tuple[AppSpec, int]], app: AppSpec) -> bool:
+        """Would adding one ``app`` function keep the group feasible?"""
+        trial = _bump(members, app)
+        group = MixedGroup(tuple(trial))
+        if group.memory_mb > self.profile.max_memory_mb:
+            return False
+        cap = self.profile.max_execution_seconds * self.latency_safety
+        return self.model.instance_execution_seconds(group) <= cap
+
+    def pack_segregated(
+        self, demand: dict[AppSpec, int], degrees: dict[AppSpec, int]
+    ) -> MixedPlan:
+        """Same-app groups at per-app degrees (the paper's deployment)."""
+        groups: list[MixedGroup] = []
+        for app, count in demand.items():
+            degree = degrees[app]
+            if degree < 1:
+                raise ValueError(f"degree for {app.name} must be >= 1")
+            full, rest = divmod(count, degree)
+            groups.extend(MixedGroup(((app, degree),)) for _ in range(full))
+            if rest:
+                groups.append(MixedGroup(((app, rest),)))
+        return MixedPlan(groups=groups, segregated=True)
+
+    def pack_mixed(self, demand: dict[AppSpec, int]) -> MixedPlan:
+        """First-fit decreasing by per-function pressure contribution.
+
+        High-pressure functions are placed first so each lands in the group
+        where it raises the makespan least; low-pressure functions then fill
+        the remaining memory/latency headroom.
+        """
+        queue: list[AppSpec] = []
+        for app, count in demand.items():
+            if count < 0:
+                raise ValueError("demand counts must be non-negative")
+            queue.extend([app] * count)
+        queue.sort(key=lambda a: a.pressure_per_gb * a.mem_gb, reverse=True)
+
+        bins: list[list[tuple[AppSpec, int]]] = []
+        for app in queue:
+            placed = False
+            best_bin = None
+            best_makespan = math.inf
+            for members in bins:
+                if not self._fits(members, app):
+                    continue
+                trial = MixedGroup(tuple(_bump(members, app)))
+                makespan = self.model.instance_execution_seconds(trial)
+                if makespan < best_makespan:
+                    best_makespan = makespan
+                    best_bin = members
+                    placed = True
+            if placed:
+                _bump_inplace(best_bin, app)
+            else:
+                bins.append([(app, 1)])
+        return MixedPlan(
+            groups=[MixedGroup(tuple(members)) for members in bins],
+            segregated=False,
+        )
+
+
+def _bump(members: Sequence[tuple[AppSpec, int]], app: AppSpec) -> list[tuple[AppSpec, int]]:
+    out = []
+    found = False
+    for member_app, count in members:
+        if member_app is app or member_app.name == app.name:
+            out.append((member_app, count + 1))
+            found = True
+        else:
+            out.append((member_app, count))
+    if not found:
+        out.append((app, 1))
+    return out
+
+
+def _bump_inplace(members: list[tuple[AppSpec, int]], app: AppSpec) -> None:
+    for i, (member_app, count) in enumerate(members):
+        if member_app is app or member_app.name == app.name:
+            members[i] = (member_app, count + 1)
+            return
+    members.append((app, 1))

@@ -1,0 +1,176 @@
+"""Skew-aware packing (extension; closes the gap ablation A4 exposes).
+
+With heterogeneous inputs a packed instance finishes with its slowest
+function, so the homogeneous models under-predict packed execution and
+ProPack over-packs — at high skew the naive plan can lose to no packing
+outright. This module corrects both models analytically:
+
+* the execution term gains the expected *straggler factor* — the mean of
+  the maximum of ``p`` unit-mean lognormal work draws, computed by numeric
+  quadrature over the order-statistic density;
+* the billed instance time gains the same factor (you pay until the last
+  packed function finishes);
+* the *service* term additionally accounts for the burst-wide straggler:
+  the total (or tail/median quantile) over all ``C`` function draws, which
+  multiplies whichever per-instance execution time the degree choice
+  produces.
+
+The planner then re-runs the standard degree optimization over the
+corrected curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.core.optimizer import PackingOptimizer, instance_layout
+from repro.platform.providers import PlatformProfile
+from repro.workloads.base import AppSpec
+
+
+def lognormal_sigma(cv: float) -> float:
+    """Log-space sigma of a lognormal with coefficient of variation ``cv``."""
+    if cv < 0:
+        raise ValueError("cv must be non-negative")
+    return math.sqrt(math.log1p(cv * cv))
+
+
+def straggler_factor(n: int, cv: float) -> float:
+    """E[max of ``n`` unit-mean lognormal draws], by numeric quadrature.
+
+    ``E[max] = ∫ n Φ(z)^{n-1} φ(z) exp(σz - σ²/2) dz`` — the order-statistic
+    density of the standard-normal max, pushed through the lognormal map.
+    (A Blom plug-in underestimates by 3-7% because it approximates the
+    median of the max, and Jensen's inequality bites on the exp.)
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if cv <= 0.0 or n == 1:
+        return 1.0
+    sigma = lognormal_sigma(cv)
+    z = np.linspace(-8.0, 8.0 + sigma, 4001)
+    density = n * stats.norm.cdf(z) ** (n - 1) * stats.norm.pdf(z)
+    values = np.exp(sigma * z - 0.5 * sigma * sigma)
+    return float(np.trapezoid(density * values, z))
+
+
+def quantile_factor(n: int, quantile: float, cv: float) -> float:
+    """Unit-mean lognormal quantile of the ``quantile``-th order statistic
+    over ``n`` draws (the burst-wide straggler for tail/median merits)."""
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    if cv <= 0.0:
+        return 1.0
+    sigma = lognormal_sigma(cv)
+    if quantile >= 1.0:
+        return straggler_factor(n, cv)
+    z = float(stats.norm.ppf(quantile))
+    return math.exp(sigma * z - 0.5 * sigma * sigma)
+
+
+@dataclass(frozen=True)
+class SkewAwareExecutionModel:
+    """Wraps Eq. 1's model with the per-instance straggler factor."""
+
+    base: ExecutionTimeModel
+    cv: float
+
+    @property
+    def coeff_a(self) -> float:
+        return self.base.coeff_a
+
+    @property
+    def coeff_b(self) -> float:
+        return self.base.coeff_b
+
+    @property
+    def mem_gb(self) -> float:
+        return self.base.mem_gb
+
+    def predict(self, degree: float) -> float:
+        return self.base.predict(degree) * straggler_factor(int(degree), self.cv)
+
+    def predict_many(self, degrees) -> np.ndarray:
+        return np.asarray([self.predict(d) for d in degrees])
+
+    def max_degree_within(self, latency_bound_s: float) -> int:
+        """Largest degree whose skew-inflated ET stays within the bound."""
+        cap = self.base.max_degree_within(latency_bound_s)
+        degree = 1
+        for d in range(1, cap + 1):
+            if self.predict(d) <= latency_bound_s:
+                degree = d
+            else:
+                break
+        return degree
+
+
+class SkewAwareOptimizer(PackingOptimizer):
+    """Degree optimization over skew-corrected service/expense curves."""
+
+    def __init__(
+        self,
+        exec_model: ExecutionTimeModel,
+        scaling_model: ScalingTimeModel,
+        app: AppSpec,
+        profile: PlatformProfile,
+        concurrency: int,
+        cv: float,
+    ) -> None:
+        self.cv = cv
+        skewed = SkewAwareExecutionModel(base=exec_model, cv=cv)
+        super().__init__(
+            exec_model=skewed,
+            scaling_model=scaling_model,
+            app=app,
+            profile=profile,
+            concurrency=concurrency,
+        )
+
+    # The burst-wide straggler multiplies the exec term of the *service*
+    # prediction: the last completion over C draws, not just over one
+    # instance's p draws (which the exec model already covers).
+    def _burst_factor(self, merit: str) -> float:
+        quantile = {"total": 1.0, "tail": 0.95, "median": 0.5}[merit]
+        per_instance = straggler_factor(
+            max(1, min(self.concurrency, self._typical_degree())), self.cv
+        )
+        burst = (
+            straggler_factor(self.concurrency, self.cv)
+            if quantile >= 1.0
+            else quantile_factor(self.concurrency, quantile, self.cv)
+        )
+        return max(1.0, burst / per_instance)
+
+    def _typical_degree(self) -> int:
+        return 1  # exec model covers per-instance stragglers from degree 1
+
+    def service_curve(self, merit: str = "total") -> np.ndarray:
+        degs = self.degrees()
+        factor = self._burst_factor(merit)
+        scaling = np.asarray(
+            [
+                self.scaling_model.predict(math.ceil(
+                    {"total": 1.0, "tail": 0.95, "median": 0.5}[merit]
+                    * self.service.n_instances(d)
+                ))
+                for d in degs
+            ]
+        )
+        exec_term = np.asarray([self.exec_model.predict(d) for d in degs])
+        return scaling + exec_term * factor
+
+    def optimal_service(self, merit: str = "total") -> int:
+        degs = self.degrees()
+        return int(degs[int(np.argmin(self.service_curve(merit)))])
+
+    def regrets(self, merit: str = "total"):
+        degs = self.degrees()
+        s = self.service_curve(merit)
+        e = self.expense.curve(degs)
+        return (s - s.min()) / s.min(), (e - e.min()) / e.min()

@@ -1,0 +1,21 @@
+"""FuncX-like on-premise serverless execution substrate.
+
+FuncX [11] spawns the processes of parallel applications as serverless
+workers in Kubernetes pods on a user-provided cluster. Relative to AWS
+Lambda (paper Fig. 18 discussion):
+
+* it scales **faster** — pods have lower start-up time than Firecracker
+  microVMs, FuncX co-locates multiple workers in one pod, and Kubernetes'
+  built-in container caching avoids repeated image installs;
+* but packed execution is **slower** — Firecracker microVMs isolate
+  network/compute/storage better, so co-located functions interfere more
+  inside a pod than inside a microVM.
+
+Both effects are captured as a :class:`~repro.platform.providers.PlatformProfile`
+variant plus an endpoint wrapper mirroring the funcX client API.
+"""
+
+from repro.funcx.endpoint import FuncXEndpoint, funcx_profile
+from repro.funcx.pods import PodSpec
+
+__all__ = ["FuncXEndpoint", "funcx_profile", "PodSpec"]

@@ -1,0 +1,105 @@
+"""FuncX endpoint: an on-prem platform profile plus a client-style facade.
+
+The endpoint reuses the full serverless platform simulation with
+coefficients derived from the pod/cluster specs:
+
+* pods start faster than microVMs (``build_base_s`` lower) and Kubernetes'
+  image caching shrinks the install bytes (``build_cache_factor``);
+* co-locating several workers per pod divides the per-worker ship traffic;
+* the cluster fabric is a fast local network (no cloud egress fees, no
+  per-request billing — FuncX runs on hardware the user already owns, so
+  "expense" on FuncX is reported as node-seconds via the same GB-second
+  accounting for comparability);
+* pods isolate co-runners *less* well than Firecracker microVMs:
+  ``isolation_penalty`` > 1 raises packed-execution interference, and a
+  small ``concurrency_leak`` models cross-pod contention on shared nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.funcx.pods import ClusterSpec, PodSpec
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.metrics import RunResult
+from repro.platform.providers import AWS_LAMBDA, PlatformProfile
+from repro.workloads.base import AppSpec
+
+
+def funcx_profile(
+    pod: PodSpec = PodSpec(),
+    cluster: ClusterSpec = ClusterSpec(),
+) -> PlatformProfile:
+    """Platform profile of a FuncX endpoint on the given cluster."""
+    return AWS_LAMBDA.with_overrides(
+        name="funcx",
+        # The endpoint scheduler searches a 100-node cluster, not a cloud
+        # fleet, and Kubernetes placement is cheaper per pod — but it still
+        # serializes placement decisions, so the same super-linear shape
+        # remains, ~15% faster at high concurrency (paper Fig. 18).
+        sched_base_s=0.0015,
+        sched_search_s=1.35e-4,
+        # On-prem pods have no Lambda-style 15-minute execution cap.
+        max_execution_seconds=7200.0,
+        build_slots=cluster.nodes,
+        # Workers co-located in one pod amortize the pod sandbox start and
+        # the on-wire snapshot across the pod (paper Fig. 18 discussion:
+        # "FuncX co-locates multiple workers inside one pod").
+        build_base_s=pod.pod_start_base_s * (0.25 + 0.75 / pod.workers_per_pod),
+        build_cache_factor=pod.cache_hit_install_fraction,
+        ship_overhead_mb=96.0 / pod.workers_per_pod,
+        uplink_gbps=120.0,
+        # Pods isolate less well than Firecracker microVMs.
+        isolation_penalty=2.1,
+        concurrency_leak=0.08,
+        exec_noise_sigma=0.012,
+        # On-prem: no cloud billing lines; keep GB-second accounting as a
+        # node-seconds proxy so expense comparisons remain meaningful.
+        per_request_usd=0.0,
+        storage_put_usd=0.0,
+        storage_get_usd=0.0,
+        egress_usd_per_gb=0.0,
+        # Kubernetes overcommits CPU shares and memory limits across pods
+        # (workers time-share nodes at high concurrency); the overcommit
+        # factors below let a 100-node cluster admit a 5000-instance burst,
+        # with the resulting contention captured by isolation_penalty and
+        # concurrency_leak above.
+        fleet_servers=cluster.nodes,
+        server_cores=cluster.cores_per_node * 40,
+        server_memory_mb=cluster.memory_mb_per_node * 3,
+    )
+
+
+class FuncXEndpoint:
+    """funcX-client-style facade over the simulated on-prem platform."""
+
+    def __init__(
+        self,
+        pod: PodSpec = PodSpec(),
+        cluster: ClusterSpec = ClusterSpec(),
+        seed: int = 0,
+    ) -> None:
+        self.pod = pod
+        self.cluster = cluster
+        self.profile = funcx_profile(pod, cluster)
+        self.platform = ServerlessPlatform(self.profile, seed=seed)
+
+    def map(
+        self,
+        app: AppSpec,
+        concurrency: int,
+        packing_degree: int = 1,
+        provisioned_mb: Optional[int] = None,
+    ) -> RunResult:
+        """Run ``concurrency`` invocations of ``app`` on the endpoint."""
+        spec = BurstSpec(
+            app=app,
+            concurrency=concurrency,
+            packing_degree=packing_degree,
+            provisioned_mb=provisioned_mb or self.pod.memory_mb_per_pod,
+        )
+        return self.platform.run_burst(spec)
+
+    def measure_scaling_time(self, concurrency: int) -> float:
+        return self.platform.measure_scaling_time(concurrency)

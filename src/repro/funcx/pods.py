@@ -1,0 +1,47 @@
+"""Kubernetes pod model for the FuncX endpoint.
+
+A pod hosts several serverless workers; Kubernetes caches container images
+per node, so only the first pod on a node pays the full image install.
+The endpoint converts a cluster description (nodes × cores/memory) plus a
+pod shape into the platform-profile coefficients used by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PodSpec:
+    """Shape of one FuncX worker pod."""
+
+    workers_per_pod: int = 4
+    cores_per_pod: int = 6
+    memory_mb_per_pod: int = 10240
+    # Kubernetes pulls an image once per node and caches it; warm pods pay
+    # only this fraction of the full container install.
+    cache_hit_install_fraction: float = 0.15
+    pod_start_base_s: float = 0.12  # pod sandbox start (no microVM boot)
+
+    def __post_init__(self) -> None:
+        if self.workers_per_pod < 1:
+            raise ValueError("workers_per_pod must be >= 1")
+        if not 0.0 < self.cache_hit_install_fraction <= 1.0:
+            raise ValueError("cache_hit_install_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The cluster a FuncX endpoint manages.
+
+    Defaults follow the paper's testbed: ~100 nodes of r5.2xlarge /
+    r5.4xlarge EC2 VMs with 1000 cores total and ~20 TB of memory.
+    """
+
+    nodes: int = 100
+    cores_per_node: int = 10
+    memory_mb_per_node: int = 211_000
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node

@@ -1,0 +1,5 @@
+"""Co-runner interference model inside one function instance."""
+
+from repro.interference.model import InterferenceModel
+
+__all__ = ["InterferenceModel"]

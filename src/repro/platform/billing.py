@@ -1,0 +1,56 @@
+"""Provider billing.
+
+"Users are only charged for the time they actually use the computing
+resources (execution time per function instance × memory consumption)"
+(paper Sec. 1) — scaling/queueing delay is never billed. Line items:
+
+* compute — GB-seconds: execution seconds × provisioned GB × rate,
+* requests — one per *instance* invocation (packing cuts the request count),
+* storage — per PUT/GET request,
+* egress — per GB transferred, only on providers with a networking fee
+  (Google/Azure; AWS charges none — paper Fig. 21 discussion).
+"""
+
+from __future__ import annotations
+
+from repro.platform.metrics import ExpenseBreakdown, InstanceRecord
+from repro.platform.providers import PlatformProfile
+from repro.platform.storage import StorageUsage
+
+
+class BillingModel:
+    """Converts run records + storage usage into an expense breakdown."""
+
+    def __init__(self, profile: PlatformProfile) -> None:
+        self.profile = profile
+
+    def billed_memory_mb(self, requested_mb: int) -> int:
+        """Providers bill in memory increments with a floor."""
+        step = self.profile.min_billed_memory_mb
+        if requested_mb <= 0:
+            raise ValueError("requested memory must be positive")
+        increments = -(-requested_mb // step)  # ceil division
+        return int(increments * step)
+
+    def instance_compute_usd(self, record: InstanceRecord) -> float:
+        billed_gb = self.billed_memory_mb(record.provisioned_mb) / 1024.0
+        return record.exec_seconds * billed_gb * self.profile.gb_second_usd
+
+    def burst_expense(
+        self,
+        records: list[InstanceRecord],
+        storage: StorageUsage,
+    ) -> ExpenseBreakdown:
+        compute = sum(self.instance_compute_usd(r) for r in records)
+        requests = len(records) * self.profile.per_request_usd
+        storage_usd = (
+            storage.put_requests * self.profile.storage_put_usd
+            + storage.get_requests * self.profile.storage_get_usd
+        )
+        egress = (storage.transferred_mb / 1024.0) * self.profile.egress_usd_per_gb
+        return ExpenseBreakdown(
+            compute_usd=float(compute),
+            requests_usd=float(requests),
+            storage_usd=float(storage_usd),
+            egress_usd=float(egress),
+        )

@@ -1,0 +1,33 @@
+"""Function-instance execution.
+
+An instance is one container/microVM running ``n_packed`` functions of the
+same application as parallel threads sharing the instance's memory and
+cores (paper Sec. 2.6, "Practical realization of function packing"). The
+execution time comes from the mechanistic interference model plus a small
+lognormal noise term; provider-side isolation means the number of
+*co-running instances* does not affect it (Fig. 5a), except through the
+profile's ``concurrency_leak`` (used for FuncX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.server import Server
+from repro.workloads.base import AppSpec
+
+
+@dataclass
+class FunctionInstance:
+    """One running container executing ``n_packed`` packed functions."""
+
+    instance_id: int
+    app: AppSpec
+    n_packed: int
+    server: Server
+    provisioned_mb: int
+    cores: int
+
+    def release(self) -> None:
+        """Return this instance's resources to its server."""
+        self.server.release(cores=self.cores, memory_mb=self.provisioned_mb)

@@ -1,0 +1,337 @@
+"""Burst invoker (the Step-Functions role).
+
+Drives one burst of concurrent instance invocations through the full
+pipeline: placement scheduling → container build → shipping → execution.
+Also supports the *wave* dispatch pattern used by the Pywren baseline:
+at most ``wave_size`` instances are provisioned cold; when an instance
+finishes and logical functions remain, it is reused warm (execution only,
+no build/ship), matching Pywren's instance-reuse optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.registry import FunctionImage
+from repro.interference.model import InterferenceModel
+from repro.platform.billing import BillingModel
+from repro.platform.container import ContainerPipeline
+from repro.platform.instance import FunctionInstance
+from repro.platform.metrics import InstanceRecord, RunResult
+from repro.platform.providers import PlatformProfile
+from repro.platform.scheduler import PlacementScheduler
+from repro.platform.storage import ObjectStore
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.workloads.base import AppSpec
+
+
+class FunctionTimeoutError(RuntimeError):
+    """An instance exceeded the platform's maximum execution time."""
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """One burst request.
+
+    ``concurrency`` is the number of logical functions ``C``; the burst
+    spawns ``ceil(C / packing_degree)`` instances (the last instance may be
+    partially packed). ``provisioned_mb`` defaults to the platform maximum,
+    matching the paper's setup ("we use Lambdas with the maximum memory
+    size"). ``wave_size`` caps simultaneously provisioned instances;
+    ``build_factor``/``ship_factor`` discount the cold-start pipeline
+    (used by the Pywren baseline), and ``exec_overhead`` multiplies
+    execution wall time (e.g. Pywren's S3 (de)serialization inside the
+    handler — it is billed, because it runs inside the function).
+    """
+
+    app: AppSpec
+    concurrency: int
+    packing_degree: int = 1
+    provisioned_mb: Optional[int] = None
+    wave_size: Optional[int] = None
+    build_factor: float = 1.0
+    ship_factor: float = 1.0
+    exec_overhead: float = 1.0
+    warm_dispatch_s: float = 0.05
+    extra_io_mb_per_function: float = 0.0
+    # Coefficient of variation of per-function work (input skew). A packed
+    # instance finishes with its slowest function, so skew stretches packed
+    # execution times beyond the homogeneous model's prediction.
+    skew_cv: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.packing_degree < 1:
+            raise ValueError("packing degree must be >= 1")
+        if self.packing_degree > self.concurrency:
+            raise ValueError(
+                f"packing degree {self.packing_degree} exceeds concurrency "
+                f"{self.concurrency}"
+            )
+        if self.wave_size is not None and self.wave_size < 1:
+            raise ValueError("wave_size must be >= 1")
+        if self.skew_cv < 0.0:
+            raise ValueError("skew_cv must be non-negative")
+        if self.build_factor <= 0.0 or self.ship_factor <= 0.0:
+            raise ValueError("build/ship factors must be positive")
+        if self.exec_overhead < 1.0:
+            raise ValueError("exec_overhead must be >= 1.0")
+
+    @property
+    def n_instances(self) -> int:
+        return math.ceil(self.concurrency / self.packing_degree)
+
+
+class BurstInvoker:
+    """Executes one :class:`BurstSpec` on a fresh simulation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: PlatformProfile,
+        scheduler: PlacementScheduler,
+        pipeline: ContainerPipeline,
+        store: ObjectStore,
+        rng: RandomStreams,
+        interference: InterferenceModel,
+        enforce_timeout: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.scheduler = scheduler
+        self.pipeline = pipeline
+        self.store = store
+        self.rng = rng
+        self.interference = interference
+        self.enforce_timeout = enforce_timeout
+        self._records: list[InstanceRecord] = []
+        self._pending_functions = 0
+        self._lost_functions = 0
+
+    # ------------------------------------------------------------------ #
+    def begin(self, spec: BurstSpec, image: FunctionImage) -> None:
+        """Enqueue the burst's invocations at the current simulation time.
+
+        Does not drive the simulation — callers sharing one simulator
+        across bursts (see :mod:`repro.platform.multitenant`) call
+        ``begin`` per burst, run the simulator once, then ``collect``.
+        """
+        self._spec = spec
+        self._image = image
+        n_inst = spec.n_instances
+        cold = n_inst if spec.wave_size is None else min(n_inst, spec.wave_size)
+        self._concurrency_level = cold
+        self._invoked_at = self.sim.now
+
+        provisioned = spec.provisioned_mb or self.profile.max_memory_mb
+        if provisioned > self.profile.max_memory_mb:
+            raise ValueError(
+                f"provisioned memory {provisioned} MB exceeds the platform "
+                f"maximum {self.profile.max_memory_mb} MB"
+            )
+        remaining = spec.concurrency
+        self._instances: dict[int, FunctionInstance] = {}
+        for i in range(cold):
+            n_packed = min(spec.packing_degree, remaining)
+            remaining -= n_packed
+            record = InstanceRecord(
+                instance_id=i, n_packed=n_packed, invoked_at=self.sim.now,
+                provisioned_mb=provisioned,
+            )
+            self._records.append(record)
+            # Placement search and container build proceed in parallel: the
+            # image server does not need the placement target to build.
+            self.scheduler.request_placement(
+                self.profile.cores_per_instance, provisioned, self._placed, record
+            )
+            self.pipeline.build(
+                self._image, self._built, record, build_factor=spec.build_factor
+            )
+        self._pending_functions = remaining
+
+    def collect(self) -> RunResult:
+        """Assemble the result after the simulation has drained.
+
+        Timestamps are normalized to the burst's own invocation instant so
+        a burst submitted mid-simulation reports the same metrics as one
+        submitted at t=0.
+        """
+        if self._invoked_at:
+            offset = self._invoked_at
+            for record in self._records:
+                record.invoked_at -= offset
+                for field_name in ("sched_done", "built_at", "shipped_at",
+                                   "exec_start", "exec_end"):
+                    value = getattr(record, field_name)
+                    if value is not None:
+                        setattr(record, field_name, value - offset)
+            self._invoked_at = 0.0
+        billing = BillingModel(self.profile)
+        expense = billing.burst_expense(self._records, self.store.usage)
+        return RunResult(
+            platform_name=self.profile.name,
+            app_name=self._spec.app.name,
+            concurrency=self._spec.concurrency,
+            packing_degree=self._spec.packing_degree,
+            records=self._records,
+            expense=expense,
+            lost_functions=self._lost_functions,
+        )
+
+    def run(self, spec: BurstSpec, image: FunctionImage) -> RunResult:
+        """Simulate the burst to completion and return its result."""
+        self.begin(spec, image)
+        self.sim.run()
+        return self.collect()
+
+    # ------------------------------------------------------------------ #
+    def _placed(self, server, record: InstanceRecord) -> None:
+        record.sched_done = self.sim.now
+        self._instances[record.instance_id] = FunctionInstance(
+            instance_id=record.instance_id,
+            app=self._spec.app,
+            n_packed=record.n_packed,
+            server=server,
+            provisioned_mb=record.provisioned_mb,
+            cores=self.profile.cores_per_instance,
+        )
+        self._maybe_ship(record)
+
+    def _built(self, record: InstanceRecord) -> None:
+        record.built_at = self.sim.now
+        self._maybe_ship(record)
+
+    def _maybe_ship(self, record: InstanceRecord) -> None:
+        # A container ships once it is both built and placed.
+        if record.sched_done is None or record.built_at is None:
+            return
+        self.pipeline.ship(
+            self._image, self._shipped, record, ship_factor=self._spec.ship_factor
+        )
+
+    def _shipped(self, record: InstanceRecord) -> None:
+        record.shipped_at = self.sim.now
+        self._start_execution(self._instances.pop(record.instance_id), record)
+
+    def _cpu_share_penalty(self, record: InstanceRecord) -> float:
+        """Memory-proportional CPU (Lambda semantics).
+
+        Providers scale an instance's CPU share with its provisioned
+        memory — at the platform maximum the instance has all its cores; a
+        right-sized small instance gets a fraction of one. Each packed
+        function needs roughly one core-equivalent
+        (``max_memory / cores`` MB) to run at full speed. The penalty is
+        expressed *relative to the max-memory configuration* the
+        interference model was calibrated on, so it is exactly 1.0 whenever
+        the burst provisions maximum memory (the paper's setup).
+        """
+        mem_per_core = self.profile.max_memory_mb / self.profile.cores_per_instance
+        need_mb = record.n_packed * mem_per_core
+        actual = max(1.0, need_mb / record.provisioned_mb)
+        calibrated = max(1.0, need_mb / self.profile.max_memory_mb)
+        return actual / calibrated
+
+    def _skew_factor(self, n_packed: int) -> float:
+        """Max of ``n_packed`` unit-mean lognormal work draws (input skew)."""
+        cv = self._spec.skew_cv
+        if cv <= 0.0:
+            return 1.0
+        sigma = float(np.sqrt(np.log1p(cv * cv)))
+        draws = self.rng.stream("skew").lognormal(-0.5 * sigma * sigma, sigma, n_packed)
+        return float(draws.max())
+
+    def _start_execution(self, instance: FunctionInstance, record: InstanceRecord) -> None:
+        record.exec_start = self.sim.now
+        duration = (
+            self.interference.execution_seconds(
+                self._spec.app, record.n_packed, self._concurrency_level
+            )
+            * self.rng.lognormal_factor("exec", self.profile.exec_noise_sigma)
+            * self._spec.exec_overhead
+            * self._skew_factor(record.n_packed)
+            * self._cpu_share_penalty(record)
+        )
+        if self.enforce_timeout and duration > self.profile.max_execution_seconds:
+            raise FunctionTimeoutError(
+                f"{self._spec.app.name}: instance {record.instance_id} would run "
+                f"{duration:.0f}s > platform cap "
+                f"{self.profile.max_execution_seconds:.0f}s "
+                f"(packing degree {record.n_packed})"
+            )
+        if self.profile.failure_rate > 0.0:
+            fail_stream = self.rng.stream("failure")
+            if fail_stream.random() < self.profile.failure_rate:
+                # Crash at a uniform point of the execution; the partial run
+                # is billed (providers charge failed attempts), then retried.
+                crash_after = duration * float(fail_stream.random())
+                self.sim.schedule(crash_after, self._exec_failed, instance, record)
+                return
+        self.sim.schedule(duration, self._exec_done, instance, record)
+
+    def _exec_failed(self, instance: FunctionInstance, record: InstanceRecord) -> None:
+        record.exec_end = self.sim.now
+        record.failed = True
+        instance.release()  # the crash destroys the container
+        if record.attempt > self.profile.max_retries:
+            self._lost_functions += record.n_packed
+            return
+        retry = InstanceRecord(
+            instance_id=len(self._records),
+            n_packed=record.n_packed,
+            invoked_at=self.sim.now,
+            provisioned_mb=record.provisioned_mb,
+            attempt=record.attempt + 1,
+        )
+        self._records.append(retry)
+        # A retry is a fresh invocation: full placement + cold pipeline.
+        self.scheduler.request_placement(
+            self.profile.cores_per_instance, retry.provisioned_mb, self._placed, retry
+        )
+        self.pipeline.build(
+            self._image, self._built, retry, build_factor=self._spec.build_factor
+        )
+
+    def _exec_done(self, instance: FunctionInstance, record: InstanceRecord) -> None:
+        record.exec_end = self.sim.now
+        self.store.record_instance(self._spec.app, record.n_packed)
+        io_mb = self._spec.extra_io_mb_per_function
+        if io_mb > 0.0:
+            self.store.usage.transferred_mb += io_mb * record.n_packed
+            self.store.usage.put_requests += record.n_packed
+        if self._pending_functions > 0:
+            self._reuse_warm(instance)
+        else:
+            instance.release()
+
+    def _reuse_warm(self, instance: FunctionInstance) -> None:
+        n_packed = min(self._spec.packing_degree, self._pending_functions)
+        self._pending_functions -= n_packed
+        record = InstanceRecord(
+            instance_id=len(self._records),
+            n_packed=n_packed,
+            invoked_at=self.sim.now,
+            provisioned_mb=instance.provisioned_mb,
+            warm_start=True,
+        )
+        record.sched_done = self.sim.now
+        warm = FunctionInstance(
+            instance_id=record.instance_id,
+            app=instance.app,
+            n_packed=n_packed,
+            server=instance.server,
+            provisioned_mb=instance.provisioned_mb,
+            cores=instance.cores,
+        )
+        self._records.append(record)
+        self.sim.schedule(self._spec.warm_dispatch_s, self._warm_start, warm, record)
+
+    def _warm_start(self, instance: FunctionInstance, record: InstanceRecord) -> None:
+        record.built_at = self.sim.now
+        record.shipped_at = self.sim.now
+        self._start_execution(instance, record)

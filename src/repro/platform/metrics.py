@@ -1,0 +1,172 @@
+"""Per-instance run records and burst-level results.
+
+Timing definitions (all relative to the burst invocation instant ``t=0``):
+
+* *scaling time* — start of the last instance's execution, i.e. the gap
+  between the first and last instance starts **plus** the provisioning delay
+  of the first instance (paper Sec. 1).
+* *total service time* — completion of the last instance.
+* *tail / median service time* — completion of the first 95% / 50% of
+  instances (paper Sec. 3, "Evaluation Metrics").
+
+Expense covers execution GB-seconds, per-request fees, storage operations,
+and (on providers that charge it) networking egress — queueing/scaling delay
+is never billed (paper Sec. 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.stats import percentile
+
+
+@dataclass
+class InstanceRecord:
+    """Lifecycle timestamps of one function instance within a burst."""
+
+    instance_id: int
+    n_packed: int
+    invoked_at: float = 0.0
+    sched_done: Optional[float] = None
+    built_at: Optional[float] = None
+    shipped_at: Optional[float] = None
+    exec_start: Optional[float] = None
+    exec_end: Optional[float] = None
+    provisioned_mb: int = 0
+    warm_start: bool = False
+    attempt: int = 1
+    failed: bool = False  # crashed mid-execution (billed, then retried)
+
+    @property
+    def exec_seconds(self) -> float:
+        if self.exec_start is None or self.exec_end is None:
+            raise ValueError(f"instance {self.instance_id} never executed")
+        return self.exec_end - self.exec_start
+
+    @property
+    def scheduling_delay(self) -> float:
+        assert self.sched_done is not None
+        return self.sched_done - self.invoked_at
+
+    @property
+    def startup_delay(self) -> float:
+        """Build completion relative to invocation (builds start at invoke)."""
+        assert self.built_at is not None
+        return self.built_at - self.invoked_at
+
+    @property
+    def shipping_delay(self) -> float:
+        """Transfer time from ship-ready (built AND placed) to arrival."""
+        assert (
+            self.shipped_at is not None
+            and self.built_at is not None
+            and self.sched_done is not None
+        )
+        return self.shipped_at - max(self.built_at, self.sched_done)
+
+
+@dataclass(frozen=True)
+class ExpenseBreakdown:
+    """Dollar expense of a burst, by billing line item."""
+
+    compute_usd: float
+    requests_usd: float
+    storage_usd: float
+    egress_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.requests_usd + self.storage_usd + self.egress_usd
+
+    def __add__(self, other: "ExpenseBreakdown") -> "ExpenseBreakdown":
+        return ExpenseBreakdown(
+            self.compute_usd + other.compute_usd,
+            self.requests_usd + other.requests_usd,
+            self.storage_usd + other.storage_usd,
+            self.egress_usd + other.egress_usd,
+        )
+
+
+ZERO_EXPENSE = ExpenseBreakdown(0.0, 0.0, 0.0, 0.0)
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one burst execution."""
+
+    platform_name: str
+    app_name: str
+    concurrency: int
+    packing_degree: int
+    records: list[InstanceRecord] = field(default_factory=list)
+    expense: ExpenseBreakdown = ZERO_EXPENSE
+    lost_functions: int = 0  # functions whose every retry attempt crashed
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_instances(self) -> int:
+        return len(self.records)
+
+    @property
+    def successful_records(self) -> list[InstanceRecord]:
+        """Attempts that completed; service metrics are computed over these
+        (failed attempts are still billed — see the billing model)."""
+        return [r for r in self.records if not r.failed]
+
+    @property
+    def n_failed_attempts(self) -> int:
+        return sum(1 for r in self.records if r.failed)
+
+    def _starts(self) -> np.ndarray:
+        return np.asarray([r.exec_start for r in self.records], dtype=float)
+
+    def _ends(self) -> np.ndarray:
+        ok = self.successful_records
+        if not ok:
+            raise ValueError("no instance completed successfully")
+        return np.asarray([r.exec_end for r in ok], dtype=float)
+
+    @property
+    def scaling_time(self) -> float:
+        """First-to-last start gap plus first-instance provisioning delay."""
+        return float(self._starts().max())
+
+    def service_time(self, merit: str = "total") -> float:
+        """Service time under a figure of merit: total, tail, or median."""
+        ends = self._ends()
+        if merit == "total":
+            return float(ends.max())
+        if merit == "tail":
+            return percentile(ends, 0.95)
+        if merit == "median":
+            return percentile(ends, 0.5)
+        raise ValueError(f"unknown figure of merit {merit!r}")
+
+    @property
+    def mean_exec_seconds(self) -> float:
+        return float(np.mean([r.exec_seconds for r in self.records]))
+
+    @property
+    def function_hours(self) -> float:
+        """Sum of instance execution times, in hours (paper Fig. 12)."""
+        return float(sum(r.exec_seconds for r in self.records)) / 3600.0
+
+    def breakdown(self) -> dict[str, float]:
+        """Mean per-instance scheduling / start-up / shipping delays."""
+        return {
+            "scheduling": float(np.mean([r.scheduling_delay for r in self.records])),
+            "startup": float(np.mean([r.startup_delay for r in self.records])),
+            "shipping": float(np.mean([r.shipping_delay for r in self.records])),
+        }
+
+    def component_totals(self) -> dict[str, float]:
+        """Critical-path view: when each stage finished for the last instance."""
+        return {
+            "scheduling": float(max(r.sched_done for r in self.records)),
+            "startup": float(max(r.built_at for r in self.records)),
+            "shipping": float(max(r.shipped_at for r in self.records)),
+        }

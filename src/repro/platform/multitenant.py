@@ -1,0 +1,145 @@
+"""Shared-fleet multi-tenant simulation.
+
+Every burst in the main harness runs on its own pristine datacenter. Real
+platforms multiplex tenants: their bursts contend for the *same* placement
+scheduler, image-builder slots, and shipping uplink. This module runs
+several tenants' bursts on one shared simulation — the substrate for the
+paper's Sec. 5 observation that "function packing may also be indirectly
+beneficial to cloud providers, as function packing improves resource
+utilization": a tenant who packs stops monopolizing the placement loop,
+and *other* tenants scale faster.
+
+    fleet = SharedFleet(AWS_LAMBDA, seed=7)
+    fleet.submit("analytics", BurstSpec(app=SORT, concurrency=3000))
+    fleet.submit("api", BurstSpec(app=XAPIAN, concurrency=500), at_time=5.0)
+    results = fleet.run()   # {"analytics": RunResult, "api": RunResult}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.network import NetworkFabric
+from repro.cluster.registry import FunctionImage, ImageRegistry
+from repro.cluster.server import ServerPool
+from repro.interference.model import InterferenceModel
+from repro.platform.container import ContainerPipeline
+from repro.platform.invoker import BurstInvoker, BurstSpec
+from repro.platform.metrics import RunResult
+from repro.platform.providers import PlatformProfile
+from repro.platform.scheduler import PlacementScheduler
+from repro.platform.storage import ObjectStore
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+@dataclass
+class _Submission:
+    tenant: str
+    spec: BurstSpec
+    at_time: float
+    invoker: Optional[BurstInvoker] = None
+
+
+class SharedFleet:
+    """One datacenter, many tenants, overlapping bursts."""
+
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        seed: int = 0,
+        enforce_timeout: bool = True,
+    ) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.enforce_timeout = enforce_timeout
+        self.sim = Simulator()
+        self._root_rng = RandomStreams(seed)
+        self.pool = ServerPool(
+            profile.fleet_servers, profile.server_cores, profile.server_memory_mb
+        )
+        self.network = NetworkFabric(self.sim, profile.uplink_gbps)
+        if profile.scheduler_shards > 1:
+            from repro.platform.scheduler_decentralized import DecentralizedScheduler
+
+            self.scheduler = DecentralizedScheduler(
+                self.sim,
+                self.pool,
+                profile.sched_base_s,
+                profile.sched_search_s,
+                shards=profile.scheduler_shards,
+                sync_cost_s=profile.sched_sync_s,
+            )
+        else:
+            self.scheduler = PlacementScheduler(
+                self.sim, self.pool, profile.sched_base_s, profile.sched_search_s
+            )
+        self.pipeline = ContainerPipeline(
+            self.sim,
+            self.network,
+            self._root_rng.spawn("pipeline"),
+            build_slots=profile.build_slots,
+            build_rate_mb_s=profile.build_rate_mb_s,
+            build_base_s=profile.build_base_s,
+            ship_overhead_mb=profile.ship_overhead_mb,
+            build_cache_factor=profile.build_cache_factor,
+        )
+        self.registry = ImageRegistry()
+        self._submissions: list[_Submission] = []
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    def _image_for(self, spec: BurstSpec) -> FunctionImage:
+        app = spec.app
+        if app.name not in self.registry:
+            self.registry.register(
+                FunctionImage(
+                    name=app.name,
+                    code_mb=app.code_mb,
+                    runtime_mb=app.runtime_mb,
+                    dependencies_mb=app.dependencies_mb,
+                )
+            )
+        return self.registry.get(app.name)
+
+    def submit(self, tenant: str, spec: BurstSpec, at_time: float = 0.0) -> None:
+        """Queue a tenant's burst to begin at ``at_time``."""
+        if self._ran:
+            raise RuntimeError("fleet already ran; create a new SharedFleet")
+        if at_time < 0:
+            raise ValueError("at_time must be non-negative")
+        if any(s.tenant == tenant for s in self._submissions):
+            raise ValueError(f"tenant {tenant!r} already has a burst queued")
+        self._submissions.append(_Submission(tenant, spec, at_time))
+
+    def run(self) -> dict[str, RunResult]:
+        """Execute all queued bursts on the shared fleet."""
+        if self._ran:
+            raise RuntimeError("fleet already ran; create a new SharedFleet")
+        if not self._submissions:
+            raise ValueError("no bursts submitted")
+        self._ran = True
+        interference = InterferenceModel(
+            cores=self.profile.cores_per_instance,
+            isolation_penalty=self.profile.isolation_penalty,
+            concurrency_leak=self.profile.concurrency_leak,
+        )
+        for submission in self._submissions:
+            invoker = BurstInvoker(
+                self.sim,
+                self.profile,
+                self.scheduler,
+                self.pipeline,
+                ObjectStore(),
+                self._root_rng.spawn(f"tenant/{submission.tenant}"),
+                interference,
+                enforce_timeout=self.enforce_timeout,
+            )
+            submission.invoker = invoker
+            self.sim.schedule_at(
+                submission.at_time, invoker.begin, submission.spec,
+                self._image_for(submission.spec),
+            )
+        self.sim.run()
+        return {s.tenant: s.invoker.collect() for s in self._submissions}

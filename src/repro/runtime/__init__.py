@@ -1,0 +1,5 @@
+"""Local packing runtime: really executes packed functions as threads."""
+
+from repro.runtime.executor import PackedExecutor, PackedInvocationResult
+
+__all__ = ["PackedExecutor", "PackedInvocationResult"]

@@ -1,0 +1,78 @@
+"""Metric helpers: percentiles and summary statistics over run records.
+
+The paper reports three figures of merit over the completion times of a
+burst of concurrent instances:
+
+* *total* service time — completion of the **last** instance,
+* *tail* service time — completion of the first **95%** of instances,
+* *median* service time — completion of the first **50%** of instances,
+
+all measured from the start of the first instance. :func:`percentile`
+implements the "first k% complete" reading (an order statistic over
+completion times), which differs from interpolated percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Time by which ``fraction`` of the values have occurred.
+
+    This is the ceil-rank order statistic: ``percentile(times, 0.95)`` is the
+    completion time of the ``ceil(0.95 * n)``-th instance, matching the
+    paper's "time required till the end of execution of the first 95% of
+    concurrent function instances".
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("percentile of empty sequence")
+    rank = math.ceil(fraction * arr.size)
+    return float(arr[rank - 1])
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a metric series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Summarize a metric series (deterministic given the input)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        median=percentile(arr, 0.5),
+        p95=percentile(arr, 0.95),
+        maximum=float(arr.max()),
+    )
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """(max - min) / mean — used to check "<5% variation" style claims."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("relative_spread of empty sequence")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 0.0
+    return float((arr.max() - arr.min()) / mean)

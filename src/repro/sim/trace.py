@@ -1,0 +1,124 @@
+"""Event tracing for simulation debugging.
+
+A :class:`TraceRecorder` wraps a :class:`~repro.sim.engine.Simulator` and
+records every executed event (timestamp, callback name, sequence) into a
+bounded ring buffer. Useful when a platform run misbehaves: attach a
+recorder, re-run the burst (runs are deterministic), and inspect the event
+stream around the anomaly.
+
+    sim = Simulator()
+    trace = TraceRecorder(sim, capacity=10_000)
+    ... run ...
+    for entry in trace.window(120.0, 130.0):
+        print(entry)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed event."""
+
+    time: float
+    seq: int
+    callback: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] #{self.seq} {self.callback}"
+
+
+def _callback_name(callback: Callable) -> str:
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname:
+        return qualname
+    return repr(callback)
+
+
+class TraceRecorder:
+    """Records executed events from a simulator into a ring buffer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 100_000,
+        predicate: Optional[Callable[[TraceEntry], bool]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.predicate = predicate
+        self.entries: deque[TraceEntry] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._installed = False
+        self._original_step = None
+
+    # ------------------------------------------------------------------ #
+    def install(self) -> "TraceRecorder":
+        """Start recording (wraps the simulator's step method)."""
+        if self._installed:
+            return self
+        original = self.sim.step
+        recorder = self
+
+        def traced_step() -> bool:
+            nxt = recorder.sim.peek()
+            if nxt is None:
+                return original()
+            # Capture the head event's identity before it executes.
+            head = recorder.sim._heap[0]
+            entry = TraceEntry(
+                time=head.time, seq=head.seq, callback=_callback_name(head.callback)
+            )
+            executed = original()
+            if executed:
+                recorder._record(entry)
+            return executed
+
+        self._original_step = original
+        self.sim.step = traced_step  # type: ignore[method-assign]
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed and self._original_step is not None:
+            self.sim.step = self._original_step  # type: ignore[method-assign]
+            self._installed = False
+
+    def __enter__(self) -> "TraceRecorder":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------ #
+    def _record(self, entry: TraceEntry) -> None:
+        if self.predicate is not None and not self.predicate(entry):
+            return
+        if len(self.entries) == self.capacity:
+            self.dropped += 1
+        self.entries.append(entry)
+
+    def window(self, start: float, end: float) -> list[TraceEntry]:
+        """Entries executed in the time window [start, end]."""
+        return [e for e in self.entries if start <= e.time <= end]
+
+    def by_callback(self, substring: str) -> list[TraceEntry]:
+        return [e for e in self.entries if substring in e.callback]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def summary(self) -> dict[str, int]:
+        """Event counts per callback name (a quick profile of a run)."""
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.callback] = counts.get(entry.callback, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))

@@ -1,0 +1,171 @@
+"""``propack-plan`` — plan (and optionally execute) one packed burst.
+
+Examples::
+
+    propack-plan --app video --concurrency 5000
+    propack-plan --app xapian --concurrency 5000 --qos-tail 30
+    propack-plan --app sort --concurrency 2000 --platform funcx --execute
+    propack-plan --app synthetic --base-seconds 60 --mem-mb 512 \\
+                 --pressure 0.1 --concurrency 3000 --objective expense
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines.nopack import run_unpacked
+from repro.core.propack import ProPack
+from repro.funcx import funcx_profile
+from repro.platform.base import ServerlessPlatform
+from repro.platform.providers import PROVIDERS
+from repro.workloads import ALL_APPS
+from repro.workloads.synthetic import make_synthetic
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="propack-plan",
+        description="Plan the optimal packing degree for a concurrent burst.",
+    )
+    parser.add_argument(
+        "--app",
+        required=True,
+        help=f"one of {', '.join(ALL_APPS)} — or 'synthetic' with the "
+        "--base-seconds/--mem-mb/--pressure knobs",
+    )
+    parser.add_argument("--concurrency", type=int, required=True)
+    parser.add_argument(
+        "--platform",
+        default="aws-lambda",
+        help=f"one of {', '.join(PROVIDERS)}, or 'funcx'",
+    )
+    parser.add_argument(
+        "--objective", default="joint", choices=("joint", "service", "expense")
+    )
+    parser.add_argument("--w-s", type=float, default=0.5,
+                        help="service-time weight for the joint objective")
+    parser.add_argument("--qos-tail", type=float, default=None,
+                        help="tail-latency QoS bound in seconds (joint only)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--execute", action="store_true",
+                        help="also run the burst and report realized numbers")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON document")
+    # synthetic app knobs
+    parser.add_argument("--base-seconds", type=float, default=60.0)
+    parser.add_argument("--mem-mb", type=int, default=512)
+    parser.add_argument("--pressure", type=float, default=0.1)
+    return parser
+
+
+def _resolve_platform(name: str, seed: int) -> Optional[ServerlessPlatform]:
+    if name == "funcx":
+        return ServerlessPlatform(funcx_profile(), seed=seed)
+    profile = PROVIDERS.get(name)
+    if profile is None:
+        return None
+    return ServerlessPlatform(profile, seed=seed)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.app == "synthetic":
+        app = make_synthetic(
+            base_seconds=args.base_seconds,
+            mem_mb=args.mem_mb,
+            pressure_per_gb=args.pressure,
+        )
+    elif args.app in ALL_APPS:
+        app = ALL_APPS[args.app]
+    else:
+        print(f"unknown app {args.app!r} (try: {', '.join(ALL_APPS)}, synthetic)",
+              file=sys.stderr)
+        return 2
+
+    platform = _resolve_platform(args.platform, args.seed)
+    if platform is None:
+        print(f"unknown platform {args.platform!r}", file=sys.stderr)
+        return 2
+
+    propack = ProPack(platform)
+    plan, qos = propack.plan(
+        app,
+        args.concurrency,
+        objective=args.objective,
+        w_s=args.w_s,
+        qos_tail_bound_s=args.qos_tail,
+    )
+    profile = propack.interference_profile(app)
+
+    if args.json:
+        import json
+
+        document = {
+            "app": app.name,
+            "platform": platform.profile.name,
+            "concurrency": args.concurrency,
+            "objective": plan.objective,
+            "w_s": plan.w_s,
+            "degree": plan.degree,
+            "n_instances": plan.n_instances,
+            "predicted_service_s": plan.predicted_service_s,
+            "predicted_tail_s": plan.predicted_tail_s,
+            "predicted_expense_usd": plan.predicted_expense_usd,
+            "profiling_overhead_usd": profile.overhead_usd,
+            "qos": (
+                None
+                if qos is None
+                else {
+                    "bound_s": qos.qos_bound_s,
+                    "predicted_tail_s": qos.predicted_tail_s,
+                    "feasible": qos.feasible,
+                }
+            ),
+        }
+        if args.execute:
+            result = platform.run_burst(plan.burst_spec())
+            baseline = run_unpacked(platform, app, args.concurrency)
+            document["realized"] = {
+                "service_s": result.service_time(),
+                "expense_usd": result.expense.total_usd,
+                "baseline_service_s": baseline.service_time(),
+                "baseline_expense_usd": baseline.expense.total_usd,
+            }
+        print(json.dumps(document, indent=2))
+        return 0
+
+    print(f"app:                 {app.name}  (M_func={app.mem_mb} MB, "
+          f"ET(1)~{profile.model.predict(1):.0f}s, alpha={profile.model.alpha:.3f})")
+    print(f"platform:            {platform.profile.name}")
+    print(f"concurrency:         {args.concurrency}")
+    print(f"objective:           {plan.objective} (W_S={plan.w_s:.2f}, "
+          f"W_E={plan.w_e:.2f})")
+    if qos is not None:
+        status = "met" if qos.feasible else "INFEASIBLE"
+        print(f"qos tail bound:      {qos.qos_bound_s:.1f}s -> predicted "
+              f"{qos.predicted_tail_s:.1f}s ({status})")
+    print(f"packing degree:      {plan.degree}  "
+          f"({plan.n_instances} instances)")
+    print(f"predicted service:   {plan.predicted_service_s:.1f}s "
+          f"(tail {plan.predicted_tail_s:.1f}s)")
+    print(f"predicted expense:   ${plan.predicted_expense_usd:.2f} "
+          f"(+ ${profile.overhead_usd:.2f} one-time profiling)")
+
+    if args.execute:
+        result = platform.run_burst(plan.burst_spec())
+        baseline = run_unpacked(platform, app, args.concurrency)
+        print("--- executed ---")
+        print(f"realized service:    {result.service_time():.1f}s "
+              f"(baseline {baseline.service_time():.1f}s, "
+              f"{100 * (1 - result.service_time() / baseline.service_time()):.0f}% better)")
+        print(f"realized expense:    ${result.expense.total_usd:.2f} "
+              f"(baseline ${baseline.expense.total_usd:.2f}, "
+              f"{100 * (1 - result.expense.total_usd / baseline.expense.total_usd):.0f}% better)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Workflow DAG definition and analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.workloads.base import AppSpec
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One workflow stage: a concurrent burst of one application.
+
+    ``depends_on`` names stages whose *complete* output this stage consumes
+    (barrier semantics, like a MapReduce round or a Step Functions map
+    state followed by a join).
+    """
+
+    name: str
+    app: AppSpec
+    concurrency: int
+    depends_on: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stage needs a name")
+        if self.concurrency < 1:
+            raise ValueError(f"{self.name}: concurrency must be >= 1")
+        if self.name in self.depends_on:
+            raise ValueError(f"{self.name}: a stage cannot depend on itself")
+
+
+class WorkflowGraph:
+    """A validated DAG of stages."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise ValueError("a workflow needs at least one stage")
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate stage names")
+        self.stages: dict[str, Stage] = {s.name: s for s in stages}
+        self.graph = nx.DiGraph()
+        self.graph.add_nodes_from(names)
+        for stage in stages:
+            for dep in stage.depends_on:
+                if dep not in self.stages:
+                    raise ValueError(f"{stage.name}: unknown dependency {dep!r}")
+                self.graph.add_edge(dep, stage.name)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            cycle = nx.find_cycle(self.graph)
+            raise ValueError(f"workflow has a cycle: {cycle}")
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def topological_order(self) -> list[Stage]:
+        return [self.stages[name] for name in nx.topological_sort(self.graph)]
+
+    def roots(self) -> list[str]:
+        return [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+
+    def sinks(self) -> list[str]:
+        return [n for n in self.graph.nodes if self.graph.out_degree(n) == 0]
+
+    def critical_path(self, durations: dict[str, float]) -> tuple[list[str], float]:
+        """Longest path through the DAG under per-stage ``durations``.
+
+        Returns (stage names along the path, total length). This is the
+        workflow's makespan when stages start as soon as their dependencies
+        finish.
+        """
+        missing = set(self.stages) - set(durations)
+        if missing:
+            raise ValueError(f"missing durations for stages: {sorted(missing)}")
+        finish: dict[str, float] = {}
+        pred: dict[str, str | None] = {}
+        for name in nx.topological_sort(self.graph):
+            dep_finish = 0.0
+            best_pred = None
+            for dep in self.graph.predecessors(name):
+                if finish[dep] > dep_finish:
+                    dep_finish = finish[dep]
+                    best_pred = dep
+            finish[name] = dep_finish + durations[name]
+            pred[name] = best_pred
+        end = max(finish, key=finish.get)
+        path = [end]
+        while pred[path[-1]] is not None:
+            path.append(pred[path[-1]])
+        return list(reversed(path)), finish[end]

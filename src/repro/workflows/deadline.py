@@ -1,0 +1,126 @@
+"""Deadline-driven workflow planning.
+
+Extends the paper's QoS reasoning (Sec. 2.6) from a single burst to a DAG:
+given a workflow and an end-to-end deadline, choose each stage's packing
+degree so the predicted makespan meets the deadline at minimum predicted
+expense.
+
+Algorithm: start every stage at its *expense-optimal* degree (Eq. 4).
+While the predicted makespan exceeds the deadline, find the stage on the
+current critical path whose move to a faster degree buys the most makespan
+per extra dollar, and apply it. Stops when the deadline (with a safety
+factor) is met or no stage can go faster (infeasible — reported, not
+hidden).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.propack import ProPack
+from repro.workflows.dag import WorkflowGraph
+
+
+@dataclass
+class StageChoice:
+    """One stage's current degree plus its candidate curve."""
+
+    name: str
+    degrees: list[int]
+    service: dict[int, float]
+    expense: dict[int, float]
+    degree: int
+
+    def faster_candidates(self) -> list[int]:
+        current = self.service[self.degree]
+        return [d for d in self.degrees if self.service[d] < current]
+
+
+@dataclass
+class DeadlinePlan:
+    """The planner's decision for one workflow."""
+
+    degrees: dict[str, int]
+    predicted_makespan_s: float
+    predicted_expense_usd: float
+    deadline_s: float
+    feasible: bool
+    critical_path: list[str] = field(default_factory=list)
+
+
+class DeadlinePlanner:
+    """Chooses per-stage packing degrees under a workflow deadline."""
+
+    def __init__(self, propack: ProPack, safety: float = 0.95) -> None:
+        if not 0.0 < safety <= 1.0:
+            raise ValueError("safety must be in (0, 1]")
+        self.propack = propack
+        self.safety = safety
+
+    # ------------------------------------------------------------------ #
+    def _stage_choices(self, workflow: WorkflowGraph) -> dict[str, StageChoice]:
+        choices: dict[str, StageChoice] = {}
+        for stage in workflow.topological_order():
+            optimizer = self.propack.optimizer(stage.app, stage.concurrency)
+            degrees = optimizer.degrees()
+            service = {d: optimizer.service.predict(d) for d in degrees}
+            expense = {d: optimizer.expense.predict(d) for d in degrees}
+            choices[stage.name] = StageChoice(
+                name=stage.name,
+                degrees=degrees,
+                service=service,
+                expense=expense,
+                degree=optimizer.optimal_expense(),
+            )
+        return choices
+
+    def _makespan(
+        self, workflow: WorkflowGraph, choices: dict[str, StageChoice]
+    ) -> tuple[list[str], float]:
+        durations = {name: c.service[c.degree] for name, c in choices.items()}
+        return workflow.critical_path(durations)
+
+    # ------------------------------------------------------------------ #
+    def plan(self, workflow: WorkflowGraph, deadline_s: float) -> DeadlinePlan:
+        """Greedy critical-path tightening toward the deadline."""
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        choices = self._stage_choices(workflow)
+        budget = deadline_s * self.safety
+
+        while True:
+            path, makespan = self._makespan(workflow, choices)
+            if makespan <= budget:
+                feasible = True
+                break
+            # Best move: largest makespan saving per extra dollar, among
+            # faster candidates of critical-path stages.
+            best: Optional[tuple[float, str, int]] = None
+            for name in path:
+                choice = choices[name]
+                current_service = choice.service[choice.degree]
+                current_expense = choice.expense[choice.degree]
+                for candidate in choice.faster_candidates():
+                    saving = current_service - choice.service[candidate]
+                    cost = choice.expense[candidate] - current_expense
+                    ratio = saving / max(cost, 1e-9) if cost > 0 else math.inf
+                    if best is None or ratio > best[0]:
+                        best = (ratio, name, candidate)
+            if best is None:
+                feasible = False  # every critical stage is already fastest
+                break
+            _, name, candidate = best
+            choices[name].degree = candidate
+
+        path, makespan = self._makespan(workflow, choices)
+        expense = sum(c.expense[c.degree] for c in choices.values())
+        return DeadlinePlan(
+            degrees={name: c.degree for name, c in choices.items()},
+            predicted_makespan_s=makespan,
+            predicted_expense_usd=expense,
+            deadline_s=deadline_s,
+            feasible=feasible,
+            critical_path=path,
+        )

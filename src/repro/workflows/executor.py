@@ -1,0 +1,130 @@
+"""Workflow execution with per-stage packing.
+
+Each stage is one concurrent burst; a stage starts as soon as every
+dependency's burst has completed (barrier semantics). With ``propack``
+supplied, every stage's packing degree is planned by ProPack — interference
+profiles are cached per application and the scaling model is shared across
+stages, so a workflow with many stages of the same app profiles once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.propack import ProPack
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.metrics import RunResult
+from repro.workflows.dag import Stage, WorkflowGraph
+
+
+@dataclass
+class StageOutcome:
+    """One executed stage."""
+
+    stage: Stage
+    result: RunResult
+    packing_degree: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class WorkflowResult:
+    """Everything measured from one workflow execution."""
+
+    outcomes: dict[str, StageOutcome] = field(default_factory=dict)
+    profiling_overhead_usd: float = 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        return max(o.end_s for o in self.outcomes.values())
+
+    @property
+    def expense_usd(self) -> float:
+        burst = sum(o.result.expense.total_usd for o in self.outcomes.values())
+        return burst + self.profiling_overhead_usd
+
+    def critical_path(self) -> list[str]:
+        """Stages on the realized longest chain (walk ends backwards)."""
+        end_stage = max(self.outcomes.values(), key=lambda o: o.end_s)
+        path = [end_stage.stage.name]
+        current = end_stage
+        while current.stage.depends_on:
+            blocker = max(
+                (self.outcomes[dep] for dep in current.stage.depends_on),
+                key=lambda o: o.end_s,
+            )
+            path.append(blocker.stage.name)
+            current = blocker
+        return list(reversed(path))
+
+
+class WorkflowRunner:
+    """Executes a :class:`WorkflowGraph` on one platform."""
+
+    def __init__(
+        self,
+        platform: ServerlessPlatform,
+        propack: Optional[ProPack] = None,
+        objective: str = "joint",
+    ) -> None:
+        self.platform = platform
+        self.propack = propack
+        self.objective = objective
+
+    def run(
+        self,
+        workflow: WorkflowGraph,
+        degrees: Optional[dict[str, int]] = None,
+    ) -> WorkflowResult:
+        """Execute the workflow.
+
+        ``degrees`` overrides the per-stage packing degree (e.g. from a
+        :class:`~repro.workflows.deadline.DeadlinePlanner` decision);
+        otherwise stages are planned by ``propack`` (or run unpacked).
+        """
+        result = WorkflowResult()
+        overhead_seen: set[str] = set()
+        for stage in workflow.topological_order():
+            start = max(
+                (result.outcomes[dep].end_s for dep in stage.depends_on),
+                default=0.0,
+            )
+            if degrees is not None and stage.name in degrees:
+                degree = degrees[stage.name]
+                burst = self.platform.run_burst(
+                    BurstSpec(
+                        app=stage.app,
+                        concurrency=stage.concurrency,
+                        packing_degree=degree,
+                    )
+                )
+            elif self.propack is not None:
+                outcome = self.propack.run(
+                    stage.app, stage.concurrency, objective=self.objective
+                )
+                burst = outcome.result
+                degree = outcome.plan.degree
+                # Profiling is per-app; charge it once per application.
+                if stage.app.name not in overhead_seen:
+                    overhead_seen.add(stage.app.name)
+                    result.profiling_overhead_usd += outcome.overhead_usd
+            else:
+                burst = self.platform.run_burst(
+                    BurstSpec(app=stage.app, concurrency=stage.concurrency)
+                )
+                degree = 1
+            result.outcomes[stage.name] = StageOutcome(
+                stage=stage,
+                result=burst,
+                packing_degree=degree,
+                start_s=start,
+                end_s=start + burst.service_time(),
+            )
+        return result

@@ -1,0 +1,50 @@
+"""Benchmark applications.
+
+Each application mirrors one of the paper's evaluation workloads. An app is
+two things:
+
+1. an :class:`~repro.workloads.base.AppSpec` — the resource profile the
+   simulator consumes (per-function compute seconds, memory footprint, I/O
+   volume, image sizes, interference pressure), and
+2. an executable Python kernel (``make_tasks`` / ``run_task``) that performs
+   the real computation, used by the local packing runtime and by the
+   profiling examples. The kernels keep the specs honest: the spec's memory
+   footprint and relative compute intensity are measured from the kernels in
+   tests.
+
+Apps and their paper-matched maximum packing degrees (10 GB instances):
+Video 40, Sort 15, Stateless Cost 30, Smith-Waterman 35, Xapian 64.
+"""
+
+from repro.workloads.base import AppSpec, Task, TaskResult
+from repro.workloads.sortmr import SORT, MapReduceSort
+from repro.workloads.smith_waterman import SMITH_WATERMAN, SmithWaterman
+from repro.workloads.stateless import STATELESS_COST, StatelessCost
+from repro.workloads.synthetic import SyntheticApp, make_synthetic
+from repro.workloads.video import VIDEO, ThousandIslandScanner
+from repro.workloads.xapian import XAPIAN, XapianSearch
+
+BENCHMARK_APPS = {app.name: app for app in (VIDEO, SORT, STATELESS_COST)}
+ALL_APPS = {
+    app.name: app for app in (VIDEO, SORT, STATELESS_COST, SMITH_WATERMAN, XAPIAN)
+}
+
+__all__ = [
+    "AppSpec",
+    "Task",
+    "TaskResult",
+    "VIDEO",
+    "SORT",
+    "STATELESS_COST",
+    "SMITH_WATERMAN",
+    "XAPIAN",
+    "ThousandIslandScanner",
+    "MapReduceSort",
+    "StatelessCost",
+    "SmithWaterman",
+    "XapianSearch",
+    "SyntheticApp",
+    "make_synthetic",
+    "BENCHMARK_APPS",
+    "ALL_APPS",
+]

@@ -1,0 +1,95 @@
+"""Application specification consumed by the simulator and the runtime.
+
+The simulator never executes application code at cloud scale — it consumes
+an :class:`AppSpec` resource profile. The local runtime and the examples
+*do* execute the kernels, through the :class:`Task` protocol implemented by
+each concrete workload.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Resource profile of one serverless application.
+
+    ``pressure_per_gb`` is the application's interference coefficient: the
+    per-co-runner multiplicative execution-time growth per GB of co-runner
+    memory footprint (the mechanistic counterpart of the paper's ``α``;
+    compute-bound apps like Smith-Waterman have larger values, I/O-heavy
+    apps smaller ones).
+    """
+
+    name: str
+    base_seconds: float          # single-function execution time, isolated
+    mem_mb: int                  # per-function peak memory (M_func)
+    io_mb: float                 # per-function S3 traffic (in + out)
+    io_shared_fraction: float    # fraction of I/O shareable by co-located fns
+    pressure_per_gb: float       # interference coefficient (see above)
+    code_mb: float = 8.0
+    runtime_mb: float = 60.0
+    dependencies_mb: float = 80.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base_seconds <= 0:
+            raise ValueError(f"{self.name}: base_seconds must be positive")
+        if self.mem_mb <= 0:
+            raise ValueError(f"{self.name}: mem_mb must be positive")
+        if not 0.0 <= self.io_shared_fraction <= 1.0:
+            raise ValueError(f"{self.name}: io_shared_fraction must be in [0, 1]")
+        if self.pressure_per_gb < 0:
+            raise ValueError(f"{self.name}: pressure_per_gb must be non-negative")
+
+    def max_packing_degree(self, platform_memory_mb: int) -> int:
+        """``P_max = M_platform / M_func`` (paper Sec. 2.1), at least 1."""
+        return max(1, platform_memory_mb // self.mem_mb)
+
+    @property
+    def mem_gb(self) -> float:
+        return self.mem_mb / 1024.0
+
+
+@dataclass(frozen=True)
+class Task:
+    """One serverless function invocation: the app, its input, an id."""
+
+    app_name: str
+    task_id: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Output of one executed task (local runtime only)."""
+
+    task_id: int
+    value: Any
+    elapsed_s: float
+
+
+class ExecutableApp(abc.ABC):
+    """A workload that can actually run: spec + kernel.
+
+    Concrete apps generate their own inputs (``make_tasks``) and execute one
+    task (``run_task``); the local packing runtime threads these through a
+    shared worker.
+    """
+
+    spec: AppSpec
+
+    @abc.abstractmethod
+    def make_tasks(self, n: int, seed: int = 0) -> Sequence[Task]:
+        """Generate ``n`` realistic task inputs."""
+
+    @abc.abstractmethod
+    def run_task(self, task: Task) -> Any:
+        """Execute one task's kernel and return its output."""
+
+    def validate_result(self, task: Task, value: Any) -> bool:
+        """Optional correctness check used by runtime tests."""
+        return value is not None

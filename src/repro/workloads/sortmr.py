@@ -1,0 +1,76 @@
+"""Map Reduce Sort (Sort) — distributed sorting.
+
+Mirrors the paper's Sort benchmark [58]: a mapper splits the input into
+arrays, each sorted by a separate serverless function, with results merged
+to shared storage. The local kernel really sorts: each task receives a
+partition, sorts it, and returns the sorted data plus its boundary keys so
+a reducer can concatenate partitions into a globally sorted sequence (the
+range-partitioned TeraSort pattern).
+
+Spec calibration: 682 MB per function → the paper's maximum packing degree
+of 15; the lowest interference coefficient of the three motivation apps
+(sorting at this scale is memory/I-O bound and co-runners overlap well);
+mostly *private* I/O (each function moves its own partition).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.workloads.base import AppSpec, ExecutableApp, Task
+
+SORT = AppSpec(
+    name="sort",
+    base_seconds=93.0,
+    mem_mb=682,
+    io_mb=200.0,
+    io_shared_fraction=0.95,
+    pressure_per_gb=0.135,
+    description="Hadoop-style MapReduce sort: range-partitioned parallel sorting",
+)
+
+
+class MapReduceSort(ExecutableApp):
+    """Executable miniature of the Sort workload."""
+
+    spec = SORT
+
+    def __init__(self, partition_size: int = 50_000) -> None:
+        self.partition_size = partition_size
+
+    def make_tasks(self, n: int, seed: int = 0) -> Sequence[Task]:
+        """Range-partition a random dataset into ``n`` mapper outputs."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2**32, size=n * self.partition_size, dtype=np.uint64)
+        edges = np.linspace(0, 2**32, n + 1)
+        tasks = []
+        for i in range(n):
+            partition = data[(data >= edges[i]) & (data < edges[i + 1])]
+            tasks.append(Task(self.spec.name, i, partition))
+        return tasks
+
+    def run_task(self, task: Task) -> dict[str, Any]:
+        partition = np.sort(task.payload, kind="stable")
+        return {
+            "sorted": partition,
+            "lo": int(partition[0]) if partition.size else None,
+            "hi": int(partition[-1]) if partition.size else None,
+            "count": int(partition.size),
+        }
+
+    def validate_result(self, task: Task, value: Any) -> bool:
+        arr = value["sorted"]
+        return bool(np.all(arr[:-1] <= arr[1:])) and value["count"] == task.payload.size
+
+    @staticmethod
+    def reduce(results: Sequence[dict[str, Any]]) -> np.ndarray:
+        """Concatenate range-partitioned sorted outputs (the reducer)."""
+        ordered = sorted(
+            (r for r in results if r["count"] > 0), key=lambda r: r["lo"]
+        )
+        merged = np.concatenate([r["sorted"] for r in ordered]) if ordered else np.array([])
+        if merged.size and not np.all(merged[:-1] <= merged[1:]):
+            raise AssertionError("reducer produced an unsorted sequence")
+        return merged

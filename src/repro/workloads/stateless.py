@@ -1,0 +1,87 @@
+"""Stateless Cost — image resizing.
+
+Mirrors the ServerlessBench-derived Stateless Cost benchmark [87]: many
+short, stateless image-resize requests served in parallel (AWS's Serverless
+Image Handler performs similar work). The local kernel is a real separable
+bilinear resampler implemented with vectorized numpy gather/lerp.
+
+Spec calibration: 341 MB per function → the paper's maximum packing degree
+of 30; short base execution ("relatively low execution time"); moderate
+interference and half-shareable I/O (common source assets, private outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.workloads.base import AppSpec, ExecutableApp, Task
+
+STATELESS_COST = AppSpec(
+    name="stateless-cost",
+    base_seconds=40.0,
+    mem_mb=341,
+    io_mb=30.0,
+    io_shared_fraction=0.96,
+    pressure_per_gb=0.12,
+    description="Stateless Cost: parallel stateless image resizing",
+)
+
+
+def bilinear_resize(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Vectorized bilinear resize of an HxWxC (or HxW) image."""
+    if image.ndim == 2:
+        image = image[:, :, None]
+    in_h, in_w, channels = image.shape
+    if in_h < 2 or in_w < 2:
+        raise ValueError("input image must be at least 2x2")
+    # Sample positions in source coordinates (align-corners convention).
+    ys = np.linspace(0.0, in_h - 1.0, out_h)
+    xs = np.linspace(0.0, in_w - 1.0, out_w)
+    y0 = np.clip(np.floor(ys).astype(np.intp), 0, in_h - 2)
+    x0 = np.clip(np.floor(xs).astype(np.intp), 0, in_w - 2)
+    wy = (ys - y0)[:, None, None]
+    wx = (xs - x0)[None, :, None]
+    top = image[y0][:, x0] * (1 - wx) + image[y0][:, x0 + 1] * wx
+    bot = image[y0 + 1][:, x0] * (1 - wx) + image[y0 + 1][:, x0 + 1] * wx
+    out = top * (1 - wy) + bot * wy
+    return out.squeeze()
+
+
+class StatelessCost(ExecutableApp):
+    """Executable miniature of the Stateless Cost workload."""
+
+    spec = STATELESS_COST
+
+    def __init__(self, in_size: int = 128, out_size: int = 64) -> None:
+        self.in_size = in_size
+        self.out_size = out_size
+
+    def make_tasks(self, n: int, seed: int = 0) -> Sequence[Task]:
+        rng = np.random.default_rng(seed)
+        return [
+            Task(
+                self.spec.name,
+                i,
+                rng.random((self.in_size, self.in_size, 3), dtype=np.float32),
+            )
+            for i in range(n)
+        ]
+
+    def run_task(self, task: Task) -> dict[str, Any]:
+        resized = bilinear_resize(task.payload, self.out_size, self.out_size)
+        return {
+            "resized": resized,
+            "shape": resized.shape,
+            "mean": float(resized.mean()),
+        }
+
+    def validate_result(self, task: Task, value: Any) -> bool:
+        expected = (self.out_size, self.out_size, 3)
+        if value["shape"] != expected:
+            return False
+        # Bilinear interpolation preserves the dynamic range.
+        resized = value["resized"]
+        src = task.payload
+        return bool(resized.min() >= src.min() - 1e-6 and resized.max() <= src.max() + 1e-6)

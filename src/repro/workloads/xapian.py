@@ -1,0 +1,126 @@
+"""Xapian — latency-critical search.
+
+Mirrors the paper's Xapian benchmark [32, 36]: a search engine serving
+queries over Wikipedia pages, with a strict QoS bound on tail (95th
+percentile) latency. The local kernel is a real TF-IDF inverted-index
+search over a synthetic corpus: documents are generated from a Zipfian
+vocabulary, indexed once, and each task scores one query against the index.
+
+Spec calibration: short base execution (latency-critical), small memory,
+almost fully shareable I/O (co-located queries hit the same index shards).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.workloads.base import AppSpec, ExecutableApp, Task
+
+XAPIAN = AppSpec(
+    name="xapian",
+    base_seconds=12.0,
+    mem_mb=160,
+    io_mb=10.0,
+    io_shared_fraction=0.97,
+    pressure_per_gb=0.192,
+    description="Xapian: latency-critical search with QoS-bounded tail latency",
+)
+
+
+class InvertedIndex:
+    """BM25 inverted index over a token-id corpus.
+
+    Okapi BM25 is what the real Xapian engine scores with; ``k1``/``b``
+    carry their standard meanings (term-frequency saturation and document
+    length normalization).
+    """
+
+    def __init__(
+        self,
+        documents: list[np.ndarray],
+        vocab_size: int,
+        k1: float = 1.2,
+        b: float = 0.75,
+    ) -> None:
+        self.n_docs = len(documents)
+        self.vocab_size = vocab_size
+        self.k1 = k1
+        self.b = b
+        self.postings: dict[int, list[tuple[int, int]]] = {}
+        self.doc_lengths = np.array([len(d) for d in documents], dtype=float)
+        self.avg_doc_length = float(self.doc_lengths.mean())
+        for doc_id, doc in enumerate(documents):
+            tokens, counts = np.unique(doc, return_counts=True)
+            for token, count in zip(tokens.tolist(), counts.tolist()):
+                self.postings.setdefault(token, []).append((doc_id, count))
+
+    def idf(self, token: int) -> float:
+        """BM25 idf, smoothed so it stays non-negative."""
+        df = len(self.postings.get(token, ()))
+        if df == 0:
+            return 0.0
+        return math.log(1.0 + (self.n_docs - df + 0.5) / (df + 0.5))
+
+    def search(self, query: np.ndarray, top_k: int = 10) -> list[tuple[int, float]]:
+        """BM25-scored top-k documents for a token-id query."""
+        scores = np.zeros(self.n_docs)
+        for token in np.unique(query).tolist():
+            idf = self.idf(token)
+            if idf == 0.0:
+                continue
+            for doc_id, tf in self.postings.get(token, ()):
+                norm = self.k1 * (
+                    1.0
+                    - self.b
+                    + self.b * self.doc_lengths[doc_id] / self.avg_doc_length
+                )
+                scores[doc_id] += idf * (tf * (self.k1 + 1.0)) / (tf + norm)
+        top = np.argsort(-scores)[:top_k]
+        return [(int(d), float(scores[d])) for d in top if scores[d] > 0.0]
+
+
+class XapianSearch(ExecutableApp):
+    """Executable miniature of the Xapian workload."""
+
+    spec = XAPIAN
+
+    def __init__(
+        self,
+        n_docs: int = 400,
+        doc_len: int = 200,
+        vocab_size: int = 2000,
+        corpus_seed: int = 7,
+    ) -> None:
+        rng = np.random.default_rng(corpus_seed)
+        # Zipf-ish vocabulary: rank r has probability ∝ 1/(r+1).
+        ranks = np.arange(vocab_size, dtype=float)
+        probs = 1.0 / (ranks + 1.0)
+        probs /= probs.sum()
+        documents = [
+            rng.choice(vocab_size, size=doc_len, p=probs) for _ in range(n_docs)
+        ]
+        self.vocab_size = vocab_size
+        self._probs = probs
+        self.index = InvertedIndex(documents, vocab_size)
+
+    def make_tasks(self, n: int, seed: int = 0) -> Sequence[Task]:
+        rng = np.random.default_rng(seed)
+        return [
+            Task(
+                self.spec.name,
+                i,
+                rng.choice(self.vocab_size, size=int(rng.integers(2, 6)), p=self._probs),
+            )
+            for i in range(n)
+        ]
+
+    def run_task(self, task: Task) -> dict[str, Any]:
+        hits = self.index.search(task.payload)
+        return {"hits": hits, "n_hits": len(hits)}
+
+    def validate_result(self, task: Task, value: Any) -> bool:
+        scores = [s for _, s in value["hits"]]
+        return scores == sorted(scores, reverse=True)

@@ -1,0 +1,185 @@
+"""Tests for the competing techniques: nopack, Pywren, batching, stagger,
+Oracle."""
+
+import pytest
+
+from repro.baselines.batching import SerialBatcher
+from repro.baselines.nopack import run_unpacked
+from repro.baselines.oracle import Oracle, joint_objective
+from repro.baselines.pywren import PywrenManager
+from repro.baselines.stagger import StaggeredInvoker
+from repro.platform.base import ServerlessPlatform
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, STATELESS_COST
+from repro.workloads.synthetic import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return ServerlessPlatform(AWS_LAMBDA, seed=51)
+
+
+# --------------------------------------------------------------------- #
+# nopack
+# --------------------------------------------------------------------- #
+
+def test_nopack_uses_degree_one(platform):
+    result = run_unpacked(platform, SORT, 20)
+    assert result.packing_degree == 1
+    assert result.n_instances == 20
+
+
+# --------------------------------------------------------------------- #
+# Pywren
+# --------------------------------------------------------------------- #
+
+def test_pywren_reuses_instances(platform):
+    manager = PywrenManager(platform, warm_pool_size=10)
+    result = manager.map(SORT, 30)
+    cold = [r for r in result.records if not r.warm_start]
+    warm = [r for r in result.records if r.warm_start]
+    assert len(cold) == 10
+    assert len(warm) == 20
+
+
+def test_pywren_cuts_startup_not_scheduling(platform):
+    """Pywren's optimizations shrink the cold-start pipeline but cannot
+    touch the scheduler-search bottleneck (the paper's Sec. 4 argument)."""
+    base = run_unpacked(platform, SORT, 300)
+    pywren = PywrenManager(platform, warm_pool_size=1000).map(SORT, 300)
+    assert pywren.breakdown()["startup"] < base.breakdown()["startup"]
+    assert pywren.breakdown()["scheduling"] == pytest.approx(
+        base.breakdown()["scheduling"], rel=0.05
+    )
+    # In-handler staging inflates execution a little; service stays close.
+    assert pywren.service_time() < 1.25 * base.service_time()
+
+
+def test_pywren_fades_at_high_concurrency(platform):
+    """...but the scaling bottleneck eventually dominates (paper Sec. 4)."""
+    base = run_unpacked(platform, SORT, 4000)
+    pywren = PywrenManager(platform, warm_pool_size=1000).map(SORT, 4000)
+    # Still better than doing nothing, but nowhere near ProPack's cut.
+    assert pywren.service_time() > 0.25 * base.service_time()
+
+
+def test_pywren_bills_staging_overhead(platform):
+    base = run_unpacked(platform, SORT, 100)
+    pywren = PywrenManager(platform, warm_pool_size=1000).map(SORT, 100)
+    assert pywren.expense.total_usd > base.expense.total_usd
+
+
+def test_pywren_rejects_bad_pool(platform):
+    with pytest.raises(ValueError):
+        PywrenManager(platform, warm_pool_size=0)
+
+
+# --------------------------------------------------------------------- #
+# Serial batching
+# --------------------------------------------------------------------- #
+
+def test_batching_covers_all_functions(platform):
+    outcome = SerialBatcher(platform, batch_size=30).run(SORT, 100)
+    assert len(outcome.batch_results) == 4
+    total = sum(r.n_instances for r in outcome.batch_results)
+    assert total == 100
+
+
+def test_batching_serializes_turnaround(platform):
+    burst = run_unpacked(platform, STATELESS_COST, 200)
+    batched = SerialBatcher(platform, batch_size=50).run(STATELESS_COST, 200)
+    assert batched.service_time > burst.service_time()
+
+
+def test_batching_expense_close_to_baseline(platform):
+    burst = run_unpacked(platform, STATELESS_COST, 200)
+    batched = SerialBatcher(platform, batch_size=50).run(STATELESS_COST, 200)
+    assert batched.expense_usd == pytest.approx(burst.expense.total_usd, rel=0.05)
+
+
+def test_batching_rejects_bad_size(platform):
+    with pytest.raises(ValueError):
+        SerialBatcher(platform, batch_size=0)
+
+
+# --------------------------------------------------------------------- #
+# Staggering
+# --------------------------------------------------------------------- #
+
+def test_stagger_scaling_dominated_by_inserted_delay(platform):
+    outcome = StaggeredInvoker(platform, delay_s=0.5).run(SORT, 2000)
+    assert outcome.scaling_time >= 0.5 * 1999
+
+
+def test_stagger_worse_than_burst_at_scale(platform):
+    """The paper's observation: severe service degradation."""
+    burst = run_unpacked(platform, SORT, 2000)
+    staggered = StaggeredInvoker(platform, delay_s=0.5).run(SORT, 2000)
+    assert staggered.service_time > burst.service_time()
+
+
+def test_stagger_expense_scales_linearly(platform):
+    outcome = StaggeredInvoker(platform, delay_s=0.5, window=50).run(SORT, 500)
+    assert outcome.expense_usd == pytest.approx(
+        outcome.window_result.expense.total_usd * 10, rel=0.01
+    )
+
+
+def test_stagger_rejects_bad_params(platform):
+    with pytest.raises(ValueError):
+        StaggeredInvoker(platform, delay_s=0.0)
+    with pytest.raises(ValueError):
+        StaggeredInvoker(platform, window=0)
+
+
+# --------------------------------------------------------------------- #
+# Oracle
+# --------------------------------------------------------------------- #
+
+def test_oracle_sweep_covers_feasible_degrees(platform):
+    sweep = Oracle(platform).sweep(SORT, 200)
+    assert set(sweep.results) == set(range(1, 16))
+    assert sweep.infeasible == []
+
+
+def test_oracle_best_degrees_ordered_by_objective(platform):
+    sweep = Oracle(platform).sweep(SORT, 2000)
+    service = sweep.best_degree("service")
+    joint = sweep.best_degree("joint")
+    expense = sweep.best_degree("expense")
+    assert service <= joint <= expense
+
+
+def test_oracle_marks_timeouts_infeasible():
+    app = make_synthetic(base_seconds=500.0, mem_mb=1024, pressure_per_gb=0.35)
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=3)
+    sweep = Oracle(platform).sweep(app, 50)
+    assert sweep.infeasible  # high degrees blow the 900 s cap
+    assert sweep.results  # low degrees fine
+
+
+def test_oracle_unknown_objective(platform):
+    sweep = Oracle(platform).sweep(SORT, 100, degrees=[1, 2])
+    with pytest.raises(ValueError):
+        sweep.best_degree("latency")
+
+
+def test_oracle_rejects_oversized_degree(platform):
+    with pytest.raises(ValueError):
+        Oracle(platform).sweep(SORT, 100, degrees=[99])
+
+
+def test_joint_objective_regret_math():
+    sweep = Oracle(ServerlessPlatform(AWS_LAMBDA, seed=4)).sweep(
+        SORT, 500, degrees=[1, 5, 10]
+    )
+    combined = joint_objective(sweep.results, w_s=0.5)
+    assert set(combined) == {1, 5, 10}
+    assert min(combined.values()) >= 0.0
+
+
+def test_oracle_empty_sweep_raises():
+    from repro.baselines.oracle import OracleResult
+
+    with pytest.raises(ValueError):
+        OracleResult("x", 1).best_degree()

@@ -1,0 +1,151 @@
+"""Tests for the datacenter substrate: servers, network, image registry."""
+
+import pytest
+
+from repro.cluster.network import NetworkFabric
+from repro.cluster.registry import FunctionImage, ImageRegistry
+from repro.cluster.server import Server, ServerPool
+from repro.sim.engine import Simulator
+
+
+# --------------------------------------------------------------------- #
+# Server / ServerPool
+# --------------------------------------------------------------------- #
+
+def test_server_allocation_and_release():
+    server = Server(0, cores=8, memory_mb=1024)
+    assert server.can_host(4, 512)
+    server.allocate(4, 512)
+    assert server.instances == 1 and server.busy
+    server.release(4, 512)
+    assert server.instances == 0 and not server.busy
+    assert server.used_cores == 0 and server.used_memory_mb == 0
+
+
+def test_server_rejects_overallocation():
+    server = Server(0, cores=2, memory_mb=100)
+    with pytest.raises(ValueError):
+        server.allocate(3, 50)
+
+
+def test_server_release_without_instance_fails():
+    with pytest.raises(ValueError):
+        Server(0, cores=2, memory_mb=100).release(1, 10)
+
+
+def test_pool_round_robin_spreads_load():
+    pool = ServerPool(4, cores_per_server=2, memory_mb_per_server=100)
+    placed = {pool.place(1, 10).server_id for _ in range(4)}
+    assert placed == {0, 1, 2, 3}
+
+
+def test_pool_busy_and_instance_counters():
+    pool = ServerPool(2, cores_per_server=4, memory_mb_per_server=100)
+    pool.place(1, 10)
+    pool.place(1, 10)
+    assert pool.total_instances == 2
+    assert 1 <= pool.busy_servers <= 2
+
+
+def test_pool_exhaustion_raises():
+    pool = ServerPool(1, cores_per_server=1, memory_mb_per_server=10)
+    pool.place(1, 10)
+    with pytest.raises(RuntimeError, match="fleet exhausted"):
+        pool.place(1, 10)
+
+
+def test_pool_first_fit_skips_full_servers():
+    pool = ServerPool(2, cores_per_server=1, memory_mb_per_server=10)
+    first = pool.place(1, 10)
+    second = pool.place(1, 10)
+    assert first.server_id != second.server_id
+
+
+def test_pool_requires_servers():
+    with pytest.raises(ValueError):
+        ServerPool(0, 1, 1)
+
+
+# --------------------------------------------------------------------- #
+# NetworkFabric
+# --------------------------------------------------------------------- #
+
+def test_network_transfer_time_from_bandwidth():
+    sim = Simulator()
+    net = NetworkFabric(sim, uplink_gbps=1.0)  # 125 MB/s
+    done = []
+    net.ship(125.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(1.0)]
+
+
+def test_network_sharing_between_transfers():
+    sim = Simulator()
+    net = NetworkFabric(sim, uplink_gbps=1.0)
+    done = []
+    net.ship(125.0, lambda: done.append(sim.now))
+    net.ship(125.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(2.0), pytest.approx(2.0)]
+
+
+def test_network_accounts_bytes():
+    sim = Simulator()
+    net = NetworkFabric(sim, uplink_gbps=1.0)
+    net.ship(10.0, lambda: None)
+    net.ship(20.0, lambda: None)
+    assert net.bytes_shipped_mb == pytest.approx(30.0)
+
+
+def test_network_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        NetworkFabric(Simulator(), uplink_gbps=0.0)
+    net = NetworkFabric(Simulator(), uplink_gbps=1.0)
+    with pytest.raises(ValueError):
+        net.ship(-1.0, lambda: None)
+
+
+def test_network_in_flight_counter():
+    sim = Simulator()
+    net = NetworkFabric(sim, uplink_gbps=1.0)
+    net.ship(125.0, lambda: None)
+    assert net.in_flight == 1
+    sim.run()
+    assert net.in_flight == 0
+
+
+# --------------------------------------------------------------------- #
+# ImageRegistry
+# --------------------------------------------------------------------- #
+
+def test_image_size_accounting():
+    image = FunctionImage("app", code_mb=10, runtime_mb=50, dependencies_mb=40)
+    assert image.total_mb == 100
+    assert image.install_mb == 90  # code isn't "installed"
+
+
+def test_image_rejects_negative_sizes():
+    with pytest.raises(ValueError):
+        FunctionImage("bad", code_mb=-1, runtime_mb=0, dependencies_mb=0)
+
+
+def test_registry_roundtrip():
+    registry = ImageRegistry()
+    image = FunctionImage("app", 1, 2, 3)
+    registry.register(image)
+    assert "app" in registry
+    assert registry.get("app") is image
+    assert len(registry) == 1
+
+
+def test_registry_upsert_replaces():
+    registry = ImageRegistry()
+    registry.register(FunctionImage("app", 1, 2, 3))
+    registry.register(FunctionImage("app", 9, 9, 9))
+    assert registry.get("app").code_mb == 9
+    assert len(registry) == 1
+
+
+def test_registry_missing_key_raises():
+    with pytest.raises(KeyError, match="nope"):
+        ImageRegistry().get("nope")

@@ -1,0 +1,165 @@
+"""Tests for the analytical model fits (Eq. 1, Eq. 2, model families)."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import (
+    ExecutionTimeModel,
+    ScalingTimeModel,
+    fit_model_family,
+)
+
+
+# --------------------------------------------------------------------- #
+# ExecutionTimeModel (Eq. 1)
+# --------------------------------------------------------------------- #
+
+def test_exec_fit_recovers_exact_exponential():
+    degrees = list(range(1, 16))
+    times = [80.0 * np.exp(0.07 * d) for d in degrees]
+    model = ExecutionTimeModel.fit(degrees, times, mem_gb=0.5)
+    assert model.coeff_a == pytest.approx(80.0, rel=1e-6)
+    assert model.coeff_b == pytest.approx(0.07, rel=1e-6)
+
+
+def test_exec_alpha_definition():
+    model = ExecutionTimeModel(coeff_a=100.0, coeff_b=0.06, mem_gb=0.5)
+    assert model.alpha == pytest.approx(0.12)  # B = M * alpha
+
+
+def test_exec_predict_matches_formula():
+    model = ExecutionTimeModel(coeff_a=50.0, coeff_b=0.1, mem_gb=1.0)
+    assert model.predict(3) == pytest.approx(50.0 * np.exp(0.3))
+
+
+def test_exec_predict_many_vectorized():
+    model = ExecutionTimeModel(coeff_a=50.0, coeff_b=0.1, mem_gb=1.0)
+    many = model.predict_many([1, 2, 3])
+    assert many == pytest.approx([model.predict(d) for d in (1, 2, 3)])
+
+
+def test_exec_fit_tolerates_noise():
+    rng = np.random.default_rng(0)
+    degrees = list(range(1, 31))
+    times = [60.0 * np.exp(0.05 * d) * rng.lognormal(0, 0.01) for d in degrees]
+    model = ExecutionTimeModel.fit(degrees, times, mem_gb=0.25)
+    assert model.coeff_b == pytest.approx(0.05, rel=0.05)
+
+
+def test_exec_fit_requires_two_samples():
+    with pytest.raises(ValueError):
+        ExecutionTimeModel.fit([1], [10.0], mem_gb=1.0)
+
+
+def test_exec_fit_rejects_nonpositive_times():
+    with pytest.raises(ValueError):
+        ExecutionTimeModel.fit([1, 2], [1.0, 0.0], mem_gb=1.0)
+
+
+def test_exec_predict_rejects_degree_below_one():
+    model = ExecutionTimeModel(coeff_a=1.0, coeff_b=0.1, mem_gb=1.0)
+    with pytest.raises(ValueError):
+        model.predict(0)
+    with pytest.raises(ValueError):
+        model.predict_many([0, 1])
+
+
+def test_max_degree_within_latency_bound():
+    model = ExecutionTimeModel(coeff_a=100.0, coeff_b=0.1, mem_gb=1.0)
+    cap = model.max_degree_within(900.0)
+    assert model.predict(cap) <= 900.0
+    assert model.predict(cap + 1) > 900.0
+
+
+def test_max_degree_bound_below_base_returns_one():
+    model = ExecutionTimeModel(coeff_a=100.0, coeff_b=0.1, mem_gb=1.0)
+    assert model.max_degree_within(50.0) == 1
+
+
+def test_max_degree_flat_model_unbounded():
+    model = ExecutionTimeModel(coeff_a=10.0, coeff_b=0.0, mem_gb=1.0)
+    assert model.max_degree_within(900.0) > 10**6
+
+
+def test_max_degree_rejects_bad_bound():
+    model = ExecutionTimeModel(coeff_a=1.0, coeff_b=0.1, mem_gb=1.0)
+    with pytest.raises(ValueError):
+        model.max_degree_within(0.0)
+
+
+# --------------------------------------------------------------------- #
+# ScalingTimeModel (Eq. 2)
+# --------------------------------------------------------------------- #
+
+def test_scaling_fit_recovers_polynomial():
+    c = [100, 500, 1000, 2000, 4000]
+    s = [8e-5 * x**2 + 0.01 * x - 2.0 for x in c]
+    model = ScalingTimeModel.fit(c, s)
+    assert model.beta1 == pytest.approx(8e-5, rel=1e-6)
+    assert model.beta2 == pytest.approx(0.01, rel=1e-4)
+    assert model.beta3 == pytest.approx(2.0, rel=1e-3)
+
+
+def test_scaling_predict_floors_at_zero():
+    model = ScalingTimeModel(beta1=1e-5, beta2=0.0, beta3=100.0)
+    assert model.predict(10) == 0.0
+
+
+def test_scaling_predict_many():
+    model = ScalingTimeModel(beta1=1e-5, beta2=0.01, beta3=0.0)
+    out = model.predict_many([100, 200])
+    assert out[0] == pytest.approx(model.predict(100))
+    assert out[1] == pytest.approx(model.predict(200))
+
+
+def test_scaling_fit_needs_three_points():
+    with pytest.raises(ValueError):
+        ScalingTimeModel.fit([1, 2], [1.0, 2.0])
+
+
+def test_scaling_rejects_negative_concurrency():
+    model = ScalingTimeModel(beta1=1.0, beta2=1.0, beta3=0.0)
+    with pytest.raises(ValueError):
+        model.predict(-1)
+
+
+# --------------------------------------------------------------------- #
+# Model-family selection (paper Sec. 2.2)
+# --------------------------------------------------------------------- #
+
+def test_exponential_wins_on_exponential_data():
+    x = np.arange(1, 20)
+    y = 50.0 * np.exp(0.08 * x)
+    fits = fit_model_family(x, y)
+    assert fits[0].family in ("exponential", "cubic")
+    exp_fit = next(f for f in fits if f.family == "exponential")
+    assert exp_fit.sse < 1e-6 * float(np.sum(y**2))
+
+
+def test_quadratic_wins_on_quadratic_data():
+    x = np.linspace(100, 4000, 10)
+    y = 8e-5 * x**2 + 0.01 * x - 2
+    fits = fit_model_family(x, y, families=("linear", "quadratic", "logarithmic"))
+    assert fits[0].family == "quadratic"
+
+
+def test_linear_beats_log_on_linear_data():
+    x = np.linspace(1, 50, 20)
+    y = 3.0 * x + 1.0
+    fits = fit_model_family(x, y, families=("linear", "logarithmic"))
+    assert fits[0].family == "linear"
+
+
+def test_family_fit_predict_roundtrip():
+    x = np.arange(1, 10, dtype=float)
+    y = 2.0 * x + 5.0
+    fits = fit_model_family(x, y, families=("linear",))
+    assert fits[0].predict(x) == pytest.approx(y)
+
+
+def test_unfittable_families_are_skipped():
+    # Two points cannot fit a 4-parameter sinusoid; it must be dropped
+    # rather than crash.
+    fits = fit_model_family([1.0, 2.0], [1.0, 2.0], families=("sinusoidal", "linear"))
+    assert all(np.isfinite(f.sse) for f in fits)
+    assert any(f.family == "linear" for f in fits)

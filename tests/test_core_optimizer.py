@@ -1,0 +1,199 @@
+"""Tests for the packing-degree optimizer (Eqs. 3-7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.core.optimizer import (
+    ExpenseModel,
+    PackingOptimizer,
+    ServiceTimeModel,
+    instance_layout,
+)
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT
+from repro.workloads.synthetic import make_synthetic
+
+EXEC = ExecutionTimeModel(coeff_a=90.0, coeff_b=0.09, mem_gb=SORT.mem_gb)
+SCALING = ScalingTimeModel(beta1=8e-5, beta2=0.01, beta3=5.0)
+
+
+def make_optimizer(concurrency=2000, exec_model=EXEC, app=SORT):
+    return PackingOptimizer(
+        exec_model=exec_model,
+        scaling_model=SCALING,
+        app=app,
+        profile=AWS_LAMBDA,
+        concurrency=concurrency,
+    )
+
+
+# --------------------------------------------------------------------- #
+# instance_layout
+# --------------------------------------------------------------------- #
+
+def test_layout_exact_division():
+    assert instance_layout(10, 5) == [(2, 5)]
+
+
+def test_layout_with_remainder():
+    assert instance_layout(10, 3) == [(3, 3), (1, 1)]
+
+
+def test_layout_degree_one():
+    assert instance_layout(7, 1) == [(7, 1)]
+
+
+def test_layout_total_functions_conserved():
+    for c in (1, 7, 100, 999):
+        for d in (1, 2, 5, 13):
+            if d > c:
+                continue
+            assert sum(n * p for n, p in instance_layout(c, d)) == c
+
+
+# --------------------------------------------------------------------- #
+# ServiceTimeModel
+# --------------------------------------------------------------------- #
+
+def test_service_prediction_is_scaling_plus_exec():
+    service = ServiceTimeModel(EXEC, SCALING, concurrency=2000)
+    expected = SCALING.predict(math.ceil(2000 / 4)) + EXEC.predict(4)
+    assert service.predict(4) == pytest.approx(expected)
+
+
+def test_service_merits_ordering():
+    service = ServiceTimeModel(EXEC, SCALING, concurrency=2000)
+    total = service.predict(2, "total")
+    tail = service.predict(2, "tail")
+    median = service.predict(2, "median")
+    assert median <= tail <= total
+
+
+def test_service_unknown_merit():
+    with pytest.raises(ValueError):
+        ServiceTimeModel(EXEC, SCALING, 100).predict(1, "p50")
+
+
+def test_service_curve_matches_pointwise():
+    service = ServiceTimeModel(EXEC, SCALING, concurrency=500)
+    degs = [1, 2, 3]
+    assert service.curve(degs) == pytest.approx([service.predict(d) for d in degs])
+
+
+# --------------------------------------------------------------------- #
+# ExpenseModel
+# --------------------------------------------------------------------- #
+
+def test_expense_counts_all_line_items():
+    expense = ExpenseModel(EXEC, AWS_LAMBDA, SORT, concurrency=100)
+    value = expense.predict(1)
+    compute = 100 * EXEC.predict(1) * 10.0 * AWS_LAMBDA.gb_second_usd
+    assert value > compute  # requests + storage on top
+
+
+def test_expense_decreases_with_moderate_packing():
+    expense = ExpenseModel(EXEC, AWS_LAMBDA, SORT, concurrency=1000)
+    assert expense.predict(5) < expense.predict(1)
+
+
+def test_expense_eventually_rises_again():
+    """Eq. 4: the exponential beats 1/P at high degree → interior minimum."""
+    exec_model = ExecutionTimeModel(coeff_a=90.0, coeff_b=0.12, mem_gb=1.0)
+    expense = ExpenseModel(exec_model, AWS_LAMBDA, SORT, concurrency=1000)
+    curve = expense.curve(range(1, 16))
+    best = int(np.argmin(curve)) + 1
+    assert 1 < best < 15
+
+
+def test_expense_provisioned_memory_matters():
+    small = ExpenseModel(EXEC, AWS_LAMBDA, SORT, 100, provisioned_mb=1024)
+    large = ExpenseModel(EXEC, AWS_LAMBDA, SORT, 100, provisioned_mb=10240)
+    assert small.predict(1) < large.predict(1)
+
+
+# --------------------------------------------------------------------- #
+# PackingOptimizer
+# --------------------------------------------------------------------- #
+
+def test_max_degree_respects_memory_cap():
+    opt = make_optimizer()
+    assert opt.max_degree() <= SORT.max_packing_degree(AWS_LAMBDA.max_memory_mb)
+
+
+def test_max_degree_respects_latency_cap():
+    # Strong interference: predicted ET crosses the 900 s cap early.
+    exec_model = ExecutionTimeModel(coeff_a=300.0, coeff_b=0.4, mem_gb=1.0)
+    opt = make_optimizer(exec_model=exec_model)
+    cap = opt.max_degree()
+    assert exec_model.predict(cap) <= AWS_LAMBDA.max_execution_seconds
+    assert cap < SORT.max_packing_degree(AWS_LAMBDA.max_memory_mb)
+
+
+def test_max_degree_never_exceeds_concurrency():
+    opt = make_optimizer(concurrency=3)
+    assert opt.max_degree() <= 3
+
+
+def test_optimal_service_balances_terms():
+    opt = make_optimizer(concurrency=2000)
+    best = opt.optimal_service()
+    curve = opt.service.curve(opt.degrees())
+    assert curve[best - 1] == min(curve)
+    assert 1 < best < opt.max_degree()  # interior optimum in this regime
+
+
+def test_optimal_expense_differs_from_service():
+    """The paper's central observation: the two optima differ."""
+    opt = make_optimizer(concurrency=2000)
+    assert opt.optimal_expense() > opt.optimal_service()
+
+
+def test_joint_falls_between_extremes():
+    opt = make_optimizer(concurrency=2000)
+    joint = opt.optimal_joint(w_s=0.5)
+    assert opt.optimal_service() <= joint <= opt.optimal_expense()
+
+
+def test_joint_weights_shift_the_choice():
+    opt = make_optimizer(concurrency=2000)
+    service_heavy = opt.optimal_joint(w_s=0.95)
+    expense_heavy = opt.optimal_joint(w_s=0.05)
+    assert service_heavy <= expense_heavy
+
+
+def test_joint_extreme_weights_match_single_objectives():
+    opt = make_optimizer(concurrency=2000)
+    assert opt.optimal_joint(w_s=1.0) == opt.optimal_service()
+    assert opt.optimal_joint(w_s=0.0) == opt.optimal_expense()
+
+
+def test_regrets_are_zero_at_respective_optima():
+    opt = make_optimizer(concurrency=2000)
+    delta_s, delta_e = opt.regrets()
+    assert min(delta_s) == 0.0
+    assert min(delta_e) == 0.0
+    assert all(d >= 0 for d in delta_s)
+    assert all(d >= 0 for d in delta_e)
+
+
+def test_weights_must_sum_to_one():
+    opt = make_optimizer()
+    with pytest.raises(ValueError):
+        opt.optimal_joint(w_s=0.5, w_e=0.6)
+    with pytest.raises(ValueError):
+        opt.optimal_joint(w_s=1.5, w_e=-0.5)
+
+
+def test_optimizer_rejects_bad_concurrency():
+    with pytest.raises(ValueError):
+        make_optimizer(concurrency=0)
+
+
+def test_degree_grows_with_concurrency():
+    """Paper Fig. 8: higher concurrency → higher optimal packing degree."""
+    degrees = [make_optimizer(concurrency=c).optimal_joint() for c in (500, 2000, 5000)]
+    assert degrees == sorted(degrees)
+    assert degrees[-1] > degrees[0]

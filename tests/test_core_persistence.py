@@ -1,0 +1,86 @@
+"""Tests for fitted-model persistence."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import load_models, save_models
+from repro.core.propack import ProPack
+from repro.platform.base import ServerlessPlatform
+from repro.platform.providers import AWS_LAMBDA, GOOGLE_CLOUD_FUNCTIONS
+from repro.workloads import SORT, VIDEO
+
+
+@pytest.fixture()
+def fitted(tmp_path):
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=191)
+    propack = ProPack(platform)
+    propack.interference_profile(SORT)
+    propack.interference_profile(VIDEO)
+    propack.scaling_profile()
+    path = tmp_path / "models.json"
+    save_models(propack, path)
+    return propack, path
+
+
+def test_roundtrip_preserves_models(fitted):
+    original, path = fitted
+    fresh = ProPack(ServerlessPlatform(AWS_LAMBDA, seed=999))
+    load_models(fresh, path)
+    for app in (SORT, VIDEO):
+        a = original.exec_model(app)
+        b = fresh.exec_model(app)
+        assert a.coeff_a == b.coeff_a and a.coeff_b == b.coeff_b
+    assert original.scaling_model().beta1 == fresh.scaling_model().beta1
+
+
+def test_loaded_models_plan_without_profiling(fitted):
+    original, path = fitted
+    fresh_platform = ServerlessPlatform(AWS_LAMBDA, seed=999)
+    fresh = ProPack(fresh_platform)
+    load_models(fresh, path)
+    plan, _ = fresh.plan(SORT, 2000)
+    expected, _ = original.plan(SORT, 2000)
+    assert plan.degree == expected.degree
+    # No profiling overhead was incurred by the fresh instance's plan: the
+    # loaded profile carries the *original* overhead accounting.
+    assert fresh.interference_profile(SORT).overhead_usd == pytest.approx(
+        original.interference_profile(SORT).overhead_usd
+    )
+
+
+def test_wrong_platform_rejected(fitted):
+    _, path = fitted
+    gcf = ProPack(ServerlessPlatform(GOOGLE_CLOUD_FUNCTIONS, seed=1))
+    with pytest.raises(ValueError, match="re-profile"):
+        load_models(gcf, path)
+
+
+def test_wrong_version_rejected(fitted, tmp_path):
+    _, path = fitted
+    document = json.loads(path.read_text())
+    document["format_version"] = 99
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(document))
+    fresh = ProPack(ServerlessPlatform(AWS_LAMBDA, seed=1))
+    with pytest.raises(ValueError, match="version"):
+        load_models(fresh, bad)
+
+
+def test_save_without_scaling_profile(tmp_path):
+    propack = ProPack(ServerlessPlatform(AWS_LAMBDA, seed=5))
+    propack.interference_profile(SORT)
+    path = tmp_path / "partial.json"
+    save_models(propack, path)
+    fresh = ProPack(ServerlessPlatform(AWS_LAMBDA, seed=6))
+    load_models(fresh, path)
+    assert fresh._scaling_profile is None
+    assert "sort" in fresh._interference_cache
+
+
+def test_document_is_human_readable(fitted):
+    _, path = fitted
+    document = json.loads(path.read_text())
+    assert document["platform"] == "aws-lambda"
+    assert set(document["interference"]) == {"sort", "video"}
+    assert "beta1" in document["scaling"]["model"]

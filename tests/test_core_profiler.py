@@ -1,0 +1,116 @@
+"""Tests for interference and scaling profilers."""
+
+import pytest
+
+from repro.core.profiler import (
+    DEFAULT_SCALING_SAMPLES,
+    InterferenceProfiler,
+    ScalingProfiler,
+    sample_degrees,
+)
+from repro.platform.base import ServerlessPlatform
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, STATELESS_COST, VIDEO
+from repro.workloads.synthetic import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return ServerlessPlatform(AWS_LAMBDA, seed=31)
+
+
+def test_sample_degrees_skips_alternates():
+    assert sample_degrees(7) == [1, 3, 5, 7]
+    assert sample_degrees(8) == [1, 3, 5, 7, 8]
+    assert sample_degrees(1) == [1]
+
+
+def test_sample_counts_match_paper():
+    """Paper Sec. 2.1: 20, 8, 15 sample points for Video, Sort, Stateless."""
+    assert len(sample_degrees(VIDEO.max_packing_degree(10240))) == 21
+    assert len(sample_degrees(SORT.max_packing_degree(10240))) == 8
+    assert len(sample_degrees(STATELESS_COST.max_packing_degree(10240))) == 16
+
+
+def test_sample_degrees_rejects_bad_input():
+    with pytest.raises(ValueError):
+        sample_degrees(0)
+
+
+def test_interference_profile_recovers_pressure(platform):
+    profile = InterferenceProfiler(platform).profile(SORT)
+    assert profile.model.alpha == pytest.approx(SORT.pressure_per_gb, rel=0.05)
+    assert profile.model.coeff_a == pytest.approx(SORT.base_seconds, rel=0.1)
+
+
+def test_interference_profile_monotonic_observations(platform):
+    profile = InterferenceProfiler(platform).profile(STATELESS_COST)
+    times = profile.exec_times
+    # Small noise allowed; the trend must be strongly increasing.
+    assert times[-1] > times[0] * 1.5
+
+
+def test_interference_profile_accounts_overhead(platform):
+    profile = InterferenceProfiler(platform).profile(SORT)
+    assert profile.overhead_usd > 0.0
+    assert profile.overhead_gb_seconds > 0.0
+    assert profile.overhead_wall_s > 0.0
+
+
+def test_interference_overhead_is_small_vs_one_burst(platform):
+    """Paper: exploration overhead is ~1% — tiny next to one real burst."""
+    from repro.platform.invoker import BurstSpec
+
+    profile = InterferenceProfiler(platform).profile(SORT)
+    burst = platform.run_burst(BurstSpec(app=SORT, concurrency=5000))
+    assert profile.overhead_usd < 0.05 * burst.expense.total_usd
+
+
+def test_interference_custom_degrees(platform):
+    profile = InterferenceProfiler(platform).profile(SORT, degrees=[1, 5, 10, 15])
+    assert profile.degrees == [1, 5, 10, 15]
+
+
+def test_interference_rejects_oversized_degree(platform):
+    with pytest.raises(ValueError, match="max packing degree"):
+        InterferenceProfiler(platform).profile(SORT, degrees=[1, 16])
+
+
+def test_interference_skips_timeout_degrees():
+    app = make_synthetic(base_seconds=400.0, mem_mb=1024, pressure_per_gb=0.4)
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=2)
+    profile = InterferenceProfiler(platform).profile(app)
+    # Degrees whose execution exceeded the platform cap are not fitted.
+    assert max(profile.degrees) < app.max_packing_degree(10240)
+    assert len(profile.degrees) >= 2
+
+
+def test_interference_repetitions_average(platform):
+    one = InterferenceProfiler(platform, repetitions=1).profile(SORT)
+    three = InterferenceProfiler(platform, repetitions=3).profile(SORT)
+    assert three.overhead_usd > one.overhead_usd
+    assert three.model.alpha == pytest.approx(one.model.alpha, rel=0.05)
+
+
+def test_interference_rejects_bad_repetitions(platform):
+    with pytest.raises(ValueError):
+        InterferenceProfiler(platform, repetitions=0)
+
+
+def test_scaling_profile_fits_observed(platform):
+    profile = ScalingProfiler(platform).profile()
+    assert profile.concurrencies == list(DEFAULT_SCALING_SAMPLES)
+    for c, observed in profile.observed().items():
+        assert profile.model.predict(c) == pytest.approx(observed, rel=0.25, abs=3.0)
+
+
+def test_scaling_profile_extrapolates_to_high_concurrency(platform):
+    profile = ScalingProfiler(platform).profile()
+    measured = platform.measure_scaling_time(5000)
+    assert profile.model.predict(5000) == pytest.approx(measured, rel=0.1)
+
+
+def test_scaling_profile_custom_grid(platform):
+    profile = ScalingProfiler(platform).profile(concurrencies=(100, 500, 1000))
+    assert profile.concurrencies == [100, 500, 1000]
+    assert profile.overhead_wall_s > 0.0

@@ -1,0 +1,137 @@
+"""Tests for the ProPack facade and the packing planner."""
+
+import pytest
+
+from repro.core.planner import build_plan
+from repro.core.propack import ProPack
+from repro.platform.base import ServerlessPlatform
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, VIDEO, XAPIAN
+
+
+@pytest.fixture(scope="module")
+def propack():
+    return ProPack(ServerlessPlatform(AWS_LAMBDA, seed=41))
+
+
+# --------------------------------------------------------------------- #
+# Caching / amortization
+# --------------------------------------------------------------------- #
+
+def test_interference_profile_is_cached(propack):
+    first = propack.interference_profile(SORT)
+    second = propack.interference_profile(SORT)
+    assert first is second
+
+
+def test_scaling_profile_is_shared_across_apps(propack):
+    propack.interference_profile(SORT)
+    a = propack.scaling_profile()
+    propack.interference_profile(VIDEO)
+    assert propack.scaling_profile() is a
+
+
+# --------------------------------------------------------------------- #
+# Planning
+# --------------------------------------------------------------------- #
+
+def test_plan_objectives_are_ordered(propack):
+    service, _ = propack.plan(SORT, 2000, objective="service")
+    joint, _ = propack.plan(SORT, 2000, objective="joint")
+    expense, _ = propack.plan(SORT, 2000, objective="expense")
+    assert service.degree <= joint.degree <= expense.degree
+
+
+def test_plan_degree_grows_with_concurrency(propack):
+    degrees = [propack.plan(SORT, c)[0].degree for c in (1000, 2000, 5000)]
+    assert degrees == sorted(degrees)
+
+
+def test_plan_carries_predictions(propack):
+    plan, _ = propack.plan(SORT, 2000)
+    assert plan.predicted_service_s > 0
+    assert plan.predicted_expense_usd > 0
+    assert plan.predicted_tail_s <= plan.predicted_service_s
+    assert plan.n_instances == -(-2000 // plan.degree)
+
+
+def test_plan_unknown_objective_rejected(propack):
+    with pytest.raises(ValueError):
+        propack.plan(SORT, 100, objective="latency")
+
+
+def test_plan_respects_memory_cap(propack):
+    plan, _ = propack.plan(SORT, 5000)
+    assert plan.degree <= SORT.max_packing_degree(AWS_LAMBDA.max_memory_mb)
+
+
+def test_qos_planning_requires_joint(propack):
+    with pytest.raises(ValueError):
+        propack.plan(XAPIAN, 1000, objective="service", qos_tail_bound_s=30.0)
+
+
+def test_qos_planning_returns_decision(propack):
+    plan, decision = propack.plan(XAPIAN, 2000, qos_tail_bound_s=60.0)
+    assert decision is not None
+    assert decision.feasible
+    assert plan.w_s == decision.w_s
+
+
+def test_burst_spec_roundtrip(propack):
+    plan, _ = propack.plan(SORT, 500)
+    spec = plan.burst_spec()
+    assert spec.concurrency == 500
+    assert spec.packing_degree == plan.degree
+    assert spec.provisioned_mb == AWS_LAMBDA.max_memory_mb
+
+
+# --------------------------------------------------------------------- #
+# End-to-end run
+# --------------------------------------------------------------------- #
+
+def test_run_beats_baseline_at_high_concurrency(propack):
+    from repro.baselines.nopack import run_unpacked
+
+    outcome = propack.run(SORT, 5000)
+    baseline = run_unpacked(propack.platform, SORT, 5000)
+    assert outcome.result.service_time() < 0.5 * baseline.service_time()
+    assert outcome.total_expense_usd < 0.6 * baseline.expense.total_usd
+
+
+def test_run_includes_overhead_in_expense(propack):
+    outcome = propack.run(SORT, 1000)
+    assert outcome.overhead_usd > 0
+    assert outcome.total_expense_usd == pytest.approx(
+        outcome.result.expense.total_usd + outcome.overhead_usd
+    )
+
+
+def test_run_prediction_close_to_observation(propack):
+    outcome = propack.run(SORT, 2000)
+    assert outcome.plan.predicted_service_s == pytest.approx(
+        outcome.result.service_time(), rel=0.1
+    )
+
+
+def test_validate_models_passes_paper_threshold(propack):
+    gof = propack.validate_models(SORT, 2000)
+    assert gof["service"].accepted
+    assert gof["expense"].accepted
+    assert gof["expense"].statistic < 0.055  # paper's reported max
+
+
+# --------------------------------------------------------------------- #
+# Planner internals
+# --------------------------------------------------------------------- #
+
+def test_build_plan_single_objective_weights(propack):
+    optimizer = propack.optimizer(SORT, 1000)
+    service_plan = build_plan(optimizer, objective="service")
+    expense_plan = build_plan(optimizer, objective="expense")
+    assert service_plan.w_s == 1.0 and service_plan.w_e == 0.0
+    assert expense_plan.w_s == 0.0 and expense_plan.w_e == 1.0
+
+
+def test_build_plan_rejects_unknown_objective(propack):
+    with pytest.raises(ValueError):
+        build_plan(propack.optimizer(SORT, 100), objective="nope")

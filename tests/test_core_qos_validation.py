@@ -1,0 +1,133 @@
+"""Tests for the QoS weight search (Eqs. 8-9) and χ² validation (Sec. 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.core.optimizer import PackingOptimizer
+from repro.core.qos import QoSWeightSearch
+from repro.core.validation import (
+    GoodnessOfFit,
+    chi_square_statistic,
+    validate_fit,
+)
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import XAPIAN
+
+
+def make_optimizer(concurrency=5000):
+    exec_model = ExecutionTimeModel(
+        coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+    )
+    scaling = ScalingTimeModel(beta1=8e-5, beta2=0.01, beta3=5.0)
+    return PackingOptimizer(
+        exec_model=exec_model,
+        scaling_model=scaling,
+        app=XAPIAN,
+        profile=AWS_LAMBDA,
+        concurrency=concurrency,
+    )
+
+
+# --------------------------------------------------------------------- #
+# QoS weight search
+# --------------------------------------------------------------------- #
+
+def test_loose_bound_keeps_expense_weight():
+    search = QoSWeightSearch(make_optimizer())
+    decision = search.search(qos_bound_s=10_000.0)
+    assert decision.feasible
+    assert decision.w_s == 0.0  # any weight meets a huge bound; pick cheapest
+
+
+def test_tight_bound_raises_service_weight():
+    search = QoSWeightSearch(make_optimizer())
+    loose = search.search(qos_bound_s=10_000.0)
+    _, best_tail = search.tail_at_weight(1.0)
+    tight = search.search(qos_bound_s=best_tail * 1.3)
+    assert tight.feasible
+    assert tight.w_s > loose.w_s
+    assert tight.predicted_tail_s <= tight.qos_bound_s
+
+
+def test_impossible_bound_falls_back_infeasible():
+    search = QoSWeightSearch(make_optimizer())
+    decision = search.search(qos_bound_s=0.001)
+    assert not decision.feasible
+    # Fallback is the lowest-tail configuration available.
+    _, best_tail = search.tail_at_weight(1.0)
+    assert decision.predicted_tail_s == pytest.approx(best_tail, rel=0.01)
+
+
+def test_weights_always_sum_to_one():
+    search = QoSWeightSearch(make_optimizer())
+    decision = search.search(qos_bound_s=500.0)
+    assert decision.w_s + decision.w_e == pytest.approx(1.0)
+
+
+def test_safety_margin_tightens_effective_bound():
+    tight = QoSWeightSearch(make_optimizer(), safety_margin=0.5)
+    loose = QoSWeightSearch(make_optimizer(), safety_margin=0.0)
+    bound = 40.0
+    assert tight.search(bound).w_s >= loose.search(bound).w_s
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        QoSWeightSearch(make_optimizer(), step=0.0)
+    with pytest.raises(ValueError):
+        QoSWeightSearch(make_optimizer(), safety_margin=1.0)
+    with pytest.raises(ValueError):
+        QoSWeightSearch(make_optimizer()).search(0.0)
+
+
+def test_qos_degree_between_service_and_expense_optima():
+    """Fig. 20a: QoS-joint degree lies between the two extremes."""
+    opt = make_optimizer()
+    search = QoSWeightSearch(opt)
+    _, best_tail = search.tail_at_weight(1.0)
+    decision = search.search(best_tail * 1.5)
+    service_deg = opt.optimal_joint(w_s=1.0, merit="tail")
+    expense_deg = opt.optimal_joint(w_s=0.0, merit="tail")
+    assert service_deg <= decision.degree <= expense_deg
+
+
+# --------------------------------------------------------------------- #
+# χ² validation
+# --------------------------------------------------------------------- #
+
+def test_chi_square_zero_for_perfect_fit():
+    assert chi_square_statistic([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+
+def test_chi_square_formula():
+    # (10-8)^2/8 + (5-4)^2/4 = 0.5 + 0.25
+    assert chi_square_statistic([10.0, 5.0], [8.0, 4.0]) == pytest.approx(0.75)
+
+
+def test_chi_square_input_validation():
+    with pytest.raises(ValueError):
+        chi_square_statistic([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        chi_square_statistic([], [])
+    with pytest.raises(ValueError):
+        chi_square_statistic([1.0], [0.0])
+
+
+def test_critical_value_matches_paper():
+    """dof=14, confidence 99.5% → 4.075 (paper Sec. 2.4)."""
+    gof = GoodnessOfFit(statistic=0.0, dof=14, confidence=0.995)
+    assert gof.critical_value == pytest.approx(4.075, abs=0.001)
+
+
+def test_acceptance_threshold():
+    assert GoodnessOfFit(3.81, 14, 0.995).accepted      # paper's max passes
+    assert not GoodnessOfFit(4.2, 14, 0.995).accepted
+
+
+def test_validate_fit_roundtrip():
+    observed = np.array([100.0, 110.0, 121.0])
+    expected = observed * 1.01
+    gof = validate_fit(observed, expected)
+    assert gof.dof == 14
+    assert gof.accepted

@@ -1,0 +1,74 @@
+"""Tests for memory-proportional CPU (Lambda semantics)."""
+
+import pytest
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, VIDEO
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return ServerlessPlatform(AWS_LAMBDA, seed=141)
+
+
+def test_max_memory_is_the_calibration_point(platform):
+    """At maximum memory the penalty is exactly 1 for every packing degree
+    (existing calibrations are untouched)."""
+    for degree in (1, 6, 15):
+        full = platform.run_burst(
+            BurstSpec(app=SORT, concurrency=30, packing_degree=degree),
+            repetition=degree,
+        )
+        explicit = platform.run_burst(
+            BurstSpec(
+                app=SORT,
+                concurrency=30,
+                packing_degree=degree,
+                provisioned_mb=AWS_LAMBDA.max_memory_mb,
+            ),
+            repetition=degree,
+        )
+        assert full.mean_exec_seconds == pytest.approx(explicit.mean_exec_seconds)
+
+
+def test_right_sized_function_runs_slower(platform):
+    """A 256 MB Video function gets ~1/6.7 of a core: much slower."""
+    full = platform.run_burst(BurstSpec(app=VIDEO, concurrency=20), repetition=0)
+    sized = platform.run_burst(
+        BurstSpec(app=VIDEO, concurrency=20, provisioned_mb=VIDEO.mem_mb),
+        repetition=0,
+    )
+    mem_per_core = AWS_LAMBDA.max_memory_mb / AWS_LAMBDA.cores_per_instance
+    expected_penalty = mem_per_core / VIDEO.mem_mb
+    assert sized.mean_exec_seconds == pytest.approx(
+        full.mean_exec_seconds * expected_penalty, rel=0.02
+    )
+
+
+def test_penalty_kicks_in_only_below_core_equivalent(platform):
+    """Provisioning at or above one core-equivalent per function is free."""
+    mem_per_core = AWS_LAMBDA.max_memory_mb // AWS_LAMBDA.cores_per_instance
+    at_core = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=20, provisioned_mb=mem_per_core + 64),
+        repetition=1,
+    )
+    full = platform.run_burst(BurstSpec(app=SORT, concurrency=20), repetition=1)
+    assert at_core.mean_exec_seconds == pytest.approx(
+        full.mean_exec_seconds, rel=0.01
+    )
+
+
+def test_rightsized_gb_seconds_comparable_to_packed(platform):
+    """GB-seconds are nearly invariant for CPU-bound work: right-sizing
+    trades time for memory at roughly constant cost."""
+    full = platform.run_burst(BurstSpec(app=VIDEO, concurrency=50), repetition=2)
+    sized = platform.run_burst(
+        BurstSpec(app=VIDEO, concurrency=50, provisioned_mb=VIDEO.mem_mb),
+        repetition=2,
+    )
+    # Right-sized costs far less than the 10 GB baseline but the same
+    # order as packed instances; it is nowhere near free.
+    assert sized.expense.compute_usd < full.expense.compute_usd
+    assert sized.expense.compute_usd > 0.1 * full.expense.compute_usd

@@ -1,0 +1,74 @@
+"""Smoke tests: every shipped example must run end to end.
+
+These are the ultimate integration tests — they execute the exact scripts
+a new user would, asserting only that each completes and prints its
+headline output.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "service time improvement" in out
+    assert "accepted" in out
+
+
+def test_sort_pipeline(capsys):
+    out = run_example("sort_pipeline.py", capsys)
+    assert "globally sorted and verified" in out
+    assert "Oracle" in out
+
+
+def test_bioinformatics(capsys):
+    out = run_example("bioinformatics_smith_waterman.py", capsys)
+    assert "best alignment" in out
+    assert "chosen degree" in out
+
+
+def test_qos_latency_search(capsys):
+    out = run_example("qos_latency_search.py", capsys)
+    assert "QoS search settled" in out
+    assert "bound held" in out
+
+
+def test_multicloud_cost_planner(capsys):
+    out = run_example("multicloud_cost_planner.py", capsys)
+    assert "fastest packed platform" in out
+    assert "cheapest packed platform" in out
+
+
+def test_video_workflow(capsys):
+    out = run_example("video_workflow.py", capsys)
+    assert "workflow makespan improvement" in out
+    assert "critical path" in out
+
+
+def test_streaming_service(capsys):
+    out = run_example("streaming_service.py", capsys)
+    assert "p95 sojourn" in out
+    assert "VIOLATED" not in out
+
+
+def test_adaptive_operations(capsys):
+    out = run_example("adaptive_operations.py", capsys)
+    assert "re-profiles triggered: 1" in out
+    assert "lowers the optimal degree" in out

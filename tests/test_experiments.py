@@ -1,0 +1,153 @@
+"""Tests for the experiment harness: tables, config, runner, CLI plumbing.
+
+Figure *content* assertions live in benchmarks/ (they are the shape checks
+of the reproduction); here we test the harness machinery itself plus two
+cheap figures end to end.
+"""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES, fig4, validation_chi2
+from repro.experiments.runner import ExperimentContext, improvement
+from repro.experiments.tables import FigureResult, render_all
+
+
+# --------------------------------------------------------------------- #
+# FigureResult
+# --------------------------------------------------------------------- #
+
+def test_add_enforces_schema():
+    fig = FigureResult("X", "t", ["a", "b"])
+    fig.add(a=1, b=2)
+    with pytest.raises(ValueError):
+        fig.add(a=1)
+    with pytest.raises(ValueError):
+        fig.add(a=1, b=2, c=3)
+
+
+def test_column_and_select():
+    fig = FigureResult("X", "t", ["app", "v"])
+    fig.add(app="a", v=1)
+    fig.add(app="b", v=2)
+    fig.add(app="a", v=3)
+    assert fig.column("v") == [1, 2, 3]
+    assert [r["v"] for r in fig.select(app="a")] == [1, 3]
+    with pytest.raises(KeyError):
+        fig.column("nope")
+
+
+def test_text_and_markdown_render():
+    fig = FigureResult("X", "title", ["a"])
+    fig.add(a=1.23456)
+    fig.notes.append("a note")
+    text = fig.to_text()
+    assert "X: title" in text and "1.23" in text and "a note" in text
+    md = fig.to_markdown()
+    assert md.startswith("### X: title")
+    assert "| 1.23 |" in md
+
+
+def test_render_all_concatenates():
+    figs = [FigureResult("A", "t", ["x"]), FigureResult("B", "t", ["x"])]
+    out = render_all(figs)
+    assert "A: t" in out and "B: t" in out
+
+
+def test_tiny_floats_use_scientific():
+    fig = FigureResult("X", "t", ["v"])
+    fig.add(v=0.00001)
+    assert "e-05" in fig.to_text()
+
+
+# --------------------------------------------------------------------- #
+# Config / runner
+# --------------------------------------------------------------------- #
+
+def test_quick_config_is_smaller():
+    quick = ExperimentConfig.quick()
+    full = ExperimentConfig.full()
+    assert max(quick.concurrencies) < max(full.concurrencies)
+    assert quick.high_concurrency < full.high_concurrency
+
+
+def test_improvement_metric():
+    assert improvement(100.0, 50.0) == pytest.approx(50.0)
+    assert improvement(100.0, 120.0) == pytest.approx(-20.0)
+    with pytest.raises(ValueError):
+        improvement(0.0, 1.0)
+
+
+def test_context_caches_platforms_and_propack():
+    ctx = ExperimentContext()
+    assert ctx.platform() is ctx.platform()
+    assert ctx.propack() is ctx.propack()
+    assert ctx.funcx() is ctx.funcx()
+
+
+def test_registry_covers_every_paper_artifact():
+    expected = {
+        "fig1", "fig2", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8",
+        "validation", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+        "ablation_models", "ablation_alternatives", "ablation_mitigation",
+        "ablation_skew", "ablation_amortization", "ablation_rightsizing",
+        "streaming", "multitenant", "decentralization",
+    }
+    assert set(ALL_FIGURES) == expected
+
+
+# --------------------------------------------------------------------- #
+# Two cheap figures end to end
+# --------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(config=ExperimentConfig.quick())
+
+
+def test_fig4_fits_within_small_error(ctx):
+    fig = fig4(ctx)
+    assert max(fig.column("error_pct")) < 5.0
+    assert {r["app"] for r in fig.rows} == {"video", "sort", "stateless-cost"}
+
+
+def test_validation_figure_accepts_all(ctx):
+    fig = validation_chi2(ctx)
+    assert all(fig.column("accepted"))
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+def test_parser_accepts_known_args():
+    args = build_parser().parse_args(["fig4", "--quick", "--markdown"])
+    assert args.figures == ["fig4"] and args.quick and args.markdown
+
+
+def test_cli_rejects_unknown_figure(capsys):
+    assert main(["figXX", "--quick"]) == 2
+
+
+def test_cli_runs_single_figure(capsys):
+    assert main(["fig4", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "F4" in out
+
+
+def test_cli_writes_output_file(tmp_path):
+    out_file = tmp_path / "results.md"
+    assert main(["fig4", "--quick", "--markdown", "--out", str(out_file)]) == 0
+    assert "### F4" in out_file.read_text()
+
+
+def test_cli_list_figures(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out and "multitenant" in out
+
+
+def test_cli_no_figures_is_an_error(capsys):
+    assert main([]) == 2

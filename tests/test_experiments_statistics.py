@@ -1,0 +1,73 @@
+"""Tests for the statistical reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.statistics import MeanCI, mean_ci, welch_test
+
+
+def test_mean_ci_basic():
+    ci = mean_ci([10.0, 12.0, 11.0, 13.0])
+    assert ci.low < ci.mean < ci.high
+    assert ci.n == 4
+    assert ci.mean == pytest.approx(11.5)
+
+
+def test_mean_ci_single_sample_degenerate():
+    ci = mean_ci([5.0])
+    assert ci.low == ci.mean == ci.high == 5.0
+
+
+def test_mean_ci_widens_with_confidence():
+    values = [10.0, 12.0, 11.0, 13.0, 9.0]
+    assert mean_ci(values, 0.99).half_width > mean_ci(values, 0.90).half_width
+
+
+def test_mean_ci_narrows_with_samples():
+    rng = np.random.default_rng(1)
+    small = mean_ci(rng.normal(10, 1, 5))
+    large = mean_ci(rng.normal(10, 1, 100))
+    assert large.half_width < small.half_width
+
+
+def test_mean_ci_covers_true_mean():
+    """~95% of CIs over repeated draws must contain the true mean."""
+    rng = np.random.default_rng(7)
+    hits = 0
+    trials = 300
+    for _ in range(trials):
+        ci = mean_ci(rng.normal(50.0, 5.0, 10), confidence=0.95)
+        hits += ci.low <= 50.0 <= ci.high
+    assert hits / trials > 0.90
+
+
+def test_mean_ci_validation():
+    with pytest.raises(ValueError):
+        mean_ci([])
+    with pytest.raises(ValueError):
+        mean_ci([1.0], confidence=1.5)
+
+
+def test_mean_ci_str():
+    assert "±" in str(mean_ci([1.0, 2.0, 3.0]))
+
+
+def test_welch_distinguishes_distinct_means():
+    rng = np.random.default_rng(3)
+    a = rng.normal(100.0, 2.0, 12)
+    b = rng.normal(80.0, 2.0, 12)
+    result = welch_test(a, b)
+    assert result.significant
+    assert result.p_value < 0.001
+
+
+def test_welch_accepts_identical_means():
+    rng = np.random.default_rng(4)
+    a = rng.normal(100.0, 5.0, 12)
+    b = rng.normal(100.0, 5.0, 12)
+    assert not welch_test(a, b).significant
+
+
+def test_welch_needs_two_samples():
+    with pytest.raises(ValueError):
+        welch_test([1.0], [2.0, 3.0])

@@ -1,0 +1,109 @@
+"""Tests for adaptive re-profiling and overhead-amortization campaigns."""
+
+import pytest
+
+from repro.extensions.adaptive import AdaptiveProPack
+from repro.extensions.campaigns import run_campaign
+from repro.platform.base import ServerlessPlatform
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, STATELESS_COST
+
+
+# --------------------------------------------------------------------- #
+# AdaptiveProPack
+# --------------------------------------------------------------------- #
+
+def test_stable_platform_never_reprofiles():
+    adaptive = AdaptiveProPack(ServerlessPlatform(AWS_LAMBDA, seed=101))
+    for _ in range(4):
+        adaptive.run(SORT, 1500)
+    assert adaptive.reprofile_count == 0
+    assert all(o.relative_error < 0.15 for o in adaptive.history)
+
+
+def test_drift_triggers_reprofiling():
+    """A provider-side improvement (much cheaper scheduling) makes the old
+    scaling model wrong — the adaptor must notice and re-profile."""
+    adaptive = AdaptiveProPack(
+        ServerlessPlatform(AWS_LAMBDA, seed=102), error_threshold=0.15, patience=2
+    )
+    adaptive.run(SORT, 2000)  # fit models on the original platform
+    improved = AWS_LAMBDA.with_overrides(sched_search_s=1.6e-5)  # 10x better
+    adaptive.switch_platform(ServerlessPlatform(improved, seed=102))
+    for _ in range(3):
+        adaptive.run(SORT, 2000)
+    assert adaptive.reprofile_count >= 1
+
+
+def test_reprofiled_models_recover_accuracy():
+    adaptive = AdaptiveProPack(
+        ServerlessPlatform(AWS_LAMBDA, seed=103), error_threshold=0.15, patience=1
+    )
+    adaptive.run(SORT, 2000)
+    improved = AWS_LAMBDA.with_overrides(sched_search_s=1.6e-5)
+    adaptive.switch_platform(ServerlessPlatform(improved, seed=103))
+    for _ in range(3):
+        adaptive.run(SORT, 2000)
+    # After re-profiling, predictions track reality again.
+    assert adaptive.last_error < 0.15
+
+
+def test_provider_mitigation_lowers_packing_degree():
+    """Paper Sec. 5: effective provider-side mitigation → lower P_opt."""
+    adaptive = AdaptiveProPack(
+        ServerlessPlatform(AWS_LAMBDA, seed=104), patience=1
+    )
+    before = adaptive.run(SORT, 3000).plan.degree
+    improved = AWS_LAMBDA.with_overrides(sched_search_s=1.6e-5)
+    adaptive.switch_platform(ServerlessPlatform(improved, seed=104))
+    adaptive.run(SORT, 3000)          # detects drift, schedules re-profile
+    after = adaptive.run(SORT, 3000).plan.degree
+    assert after < before
+
+
+def test_adaptive_parameter_validation():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=1)
+    with pytest.raises(ValueError):
+        AdaptiveProPack(platform, error_threshold=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveProPack(platform, patience=0)
+
+
+# --------------------------------------------------------------------- #
+# Campaigns
+# --------------------------------------------------------------------- #
+
+def test_campaign_overhead_paid_once():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=105)
+    report = run_campaign(platform, STATELESS_COST, 1000, runs=4)
+    assert report.runs == 4
+    assert report.overhead_usd > 0
+    assert len(report.per_run_packed_usd) == 4
+
+
+def test_campaign_improvement_grows_with_runs():
+    """Amortization: the overhead-inclusive improvement rises toward the
+    per-run improvement as runs accumulate."""
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=106)
+    report = run_campaign(platform, STATELESS_COST, 1000, runs=5)
+    curve = [pct for _, pct in report.amortization_curve()]
+    assert curve[-1] > curve[0]
+    assert curve == sorted(curve)
+
+
+def test_campaign_overhead_share_shrinks():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=107)
+    short = run_campaign(platform, STATELESS_COST, 1000, runs=1)
+    long = run_campaign(
+        ServerlessPlatform(AWS_LAMBDA, seed=107), STATELESS_COST, 1000, runs=5
+    )
+    assert long.overhead_share_final_pct < short.overhead_share_final_pct
+
+
+def test_campaign_validation():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=1)
+    with pytest.raises(ValueError):
+        run_campaign(platform, STATELESS_COST, 100, runs=0)
+    report = run_campaign(platform, STATELESS_COST, 200, runs=2)
+    with pytest.raises(ValueError):
+        report.cumulative_improvement_pct(3)

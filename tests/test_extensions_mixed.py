@@ -1,0 +1,158 @@
+"""Tests for mixed-application packing."""
+
+import math
+
+import pytest
+
+from repro.extensions.mixed import MixedGroup, MixedInterferenceModel, MixedPacker
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SMITH_WATERMAN, SORT, STATELESS_COST, VIDEO
+
+
+def group_of(*pairs):
+    return MixedGroup(tuple(pairs))
+
+
+# --------------------------------------------------------------------- #
+# MixedGroup
+# --------------------------------------------------------------------- #
+
+def test_group_size_and_memory():
+    group = group_of((SORT, 2), (VIDEO, 3))
+    assert group.size == 5
+    assert group.memory_mb == 2 * SORT.mem_mb + 3 * VIDEO.mem_mb
+
+
+def test_group_validation():
+    with pytest.raises(ValueError):
+        MixedGroup(())
+    with pytest.raises(ValueError):
+        group_of((SORT, 0))
+
+
+def test_homogeneous_flag():
+    assert group_of((SORT, 4)).is_homogeneous()
+    assert not group_of((SORT, 1), (VIDEO, 1)).is_homogeneous()
+
+
+# --------------------------------------------------------------------- #
+# MixedInterferenceModel
+# --------------------------------------------------------------------- #
+
+def test_reduces_to_paper_model_for_homogeneous_group():
+    """A same-app group of size p must give exactly exp(pressure·mem·(p−1))."""
+    model = MixedInterferenceModel()
+    p = 7
+    et = model.instance_execution_seconds(group_of((SORT, p)))
+    expected = SORT.base_seconds * math.exp(
+        SORT.pressure_per_gb * SORT.mem_gb * (p - 1)
+    )
+    assert et == pytest.approx(expected)
+
+
+def test_solo_function_has_no_interference():
+    model = MixedInterferenceModel()
+    assert model.instance_execution_seconds(group_of((VIDEO, 1))) == pytest.approx(
+        VIDEO.base_seconds
+    )
+
+
+def test_heavy_corunner_slows_light_member():
+    model = MixedInterferenceModel()
+    solo = model.member_execution_seconds(group_of((STATELESS_COST, 1)), STATELESS_COST)
+    with_sw = model.member_execution_seconds(
+        group_of((STATELESS_COST, 1), (SMITH_WATERMAN, 3)), STATELESS_COST
+    )
+    assert with_sw > solo
+
+
+def test_makespan_is_max_member():
+    model = MixedInterferenceModel()
+    group = group_of((STATELESS_COST, 2), (SMITH_WATERMAN, 2))
+    members = [model.member_execution_seconds(group, app) for app in group.apps]
+    assert model.instance_execution_seconds(group) == pytest.approx(max(members))
+
+
+def test_non_member_query_rejected():
+    model = MixedInterferenceModel()
+    with pytest.raises(ValueError):
+        model.member_execution_seconds(group_of((SORT, 1)), VIDEO)
+
+
+def test_isolation_penalty_scales_interference():
+    strict = MixedInterferenceModel(isolation_penalty=1.0)
+    loose = MixedInterferenceModel(isolation_penalty=2.0)
+    group = group_of((SORT, 5))
+    assert loose.instance_execution_seconds(group) > strict.instance_execution_seconds(
+        group
+    )
+
+
+# --------------------------------------------------------------------- #
+# MixedPacker
+# --------------------------------------------------------------------- #
+
+@pytest.fixture()
+def packer():
+    return MixedPacker(AWS_LAMBDA)
+
+
+def test_segregated_plan_matches_layout(packer):
+    plan = packer.pack_segregated({SORT: 10, VIDEO: 8}, {SORT: 4, VIDEO: 8})
+    assert plan.segregated
+    assert plan.functions_packed() == {"sort": 10, "video": 8}
+    # 10/4 → 2 full + 1 remainder; 8/8 → 1.
+    assert plan.n_instances == 4
+
+
+def test_mixed_plan_packs_everything(packer):
+    demand = {SORT: 20, VIDEO: 30, STATELESS_COST: 25}
+    plan = packer.pack_mixed(demand)
+    assert plan.functions_packed() == {
+        "sort": 20, "video": 30, "stateless-cost": 25
+    }
+
+
+def test_mixed_plan_respects_memory_cap(packer):
+    plan = packer.pack_mixed({SORT: 40, VIDEO: 40})
+    for group in plan.groups:
+        assert group.memory_mb <= AWS_LAMBDA.max_memory_mb
+
+
+def test_mixed_plan_respects_execution_cap(packer):
+    plan = packer.pack_mixed({SMITH_WATERMAN: 60})
+    cap = AWS_LAMBDA.max_execution_seconds
+    for group in plan.groups:
+        assert packer.model.instance_execution_seconds(group) <= cap
+
+
+def test_mixing_uses_fewer_instances_than_naive_segregation(packer):
+    """Mixing lets low-pressure functions ride along with heavy ones."""
+    demand = {SMITH_WATERMAN: 12, STATELESS_COST: 12}
+    mixed = packer.pack_mixed(demand)
+    # Naive segregation at conservative same-app degrees (what a heavy app
+    # forces when planned alone).
+    segregated = packer.pack_segregated(demand, {SMITH_WATERMAN: 6, STATELESS_COST: 6})
+    assert mixed.n_instances <= segregated.n_instances
+
+
+def test_mixed_plan_predictions_positive(packer):
+    from repro.core.models import ScalingTimeModel
+
+    scaling = ScalingTimeModel(beta1=8e-5, beta2=0.01, beta3=0.0)
+    plan = packer.pack_mixed({SORT: 10, VIDEO: 10})
+    assert plan.predicted_service_time(packer.model, scaling) > 0
+    assert plan.predicted_expense_usd(packer.model, AWS_LAMBDA) > 0
+
+
+def test_demand_validation(packer):
+    with pytest.raises(ValueError):
+        packer.pack_mixed({SORT: -1})
+    with pytest.raises(ValueError):
+        packer.pack_segregated({SORT: 5}, {SORT: 0})
+
+
+def test_empty_demand_gives_empty_plan(packer):
+    plan = packer.pack_mixed({})
+    assert plan.n_instances == 0
+    assert plan.functions_packed() == {}

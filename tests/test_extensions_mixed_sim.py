@@ -1,0 +1,82 @@
+"""Tests for the simulated execution of mixed packing plans."""
+
+import pytest
+
+from repro.core.models import ScalingTimeModel
+from repro.core.profiler import ScalingProfiler
+from repro.extensions.mixed import MixedPacker
+from repro.extensions.mixed_sim import MixedBurstSimulator, _group_image
+from repro.extensions.mixed import MixedGroup
+from repro.platform.base import ServerlessPlatform
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SMITH_WATERMAN, SORT, STATELESS_COST, VIDEO
+
+
+@pytest.fixture(scope="module")
+def packer():
+    return MixedPacker(AWS_LAMBDA)
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return MixedBurstSimulator(AWS_LAMBDA, seed=121)
+
+
+def test_group_image_union():
+    group = MixedGroup(((SORT, 2), (VIDEO, 3)))
+    image = _group_image(group)
+    assert image.name == "sort+video"
+    # Union carries both apps' code over one shared runtime.
+    assert image.code_mb == SORT.code_mb + VIDEO.code_mb
+    assert image.runtime_mb == max(SORT.runtime_mb, VIDEO.runtime_mb)
+
+
+def test_mixed_sim_runs_every_group(packer, simulator):
+    plan = packer.pack_mixed({SORT: 30, STATELESS_COST: 50})
+    result = simulator.run(plan)
+    assert result.run.n_instances == plan.n_instances
+    assert sum(r.n_packed for r in result.run.records) == 80
+
+
+def test_mixed_sim_rejects_empty_plan(packer, simulator):
+    with pytest.raises(ValueError):
+        simulator.run(packer.pack_mixed({}))
+
+
+def test_mixed_sim_matches_analytic_service_prediction(packer, simulator):
+    """The planner's analytic service-time prediction must track the DES."""
+    plan = packer.pack_mixed({SORT: 100, VIDEO: 200, STATELESS_COST: 150})
+    # Fit the scaling model from the real platform, as ProPack would.
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=121)
+    scaling = ScalingProfiler(platform).profile().model
+    predicted = plan.predicted_service_time(packer.model, scaling)
+    result = simulator.run(plan)
+    assert result.service_time == pytest.approx(predicted, rel=0.15)
+
+
+def test_mixed_sim_expense_scales_with_instances(packer, simulator):
+    small = simulator.run(packer.pack_mixed({SORT: 20}))
+    large = simulator.run(packer.pack_mixed({SORT: 200}))
+    assert large.expense_usd > 5 * small.expense_usd
+
+
+def test_mixed_vs_segregated_in_simulation(packer, simulator):
+    """Riding light functions along with heavy ones: the mixed plan uses
+    fewer instances, so it scales faster in the DES too."""
+    demand = {SMITH_WATERMAN: 120, STATELESS_COST: 240}
+    mixed = packer.pack_mixed(demand)
+    segregated = packer.pack_segregated(
+        demand, {SMITH_WATERMAN: 4, STATELESS_COST: 8}
+    )
+    mixed_run = simulator.run(mixed, repetition=1)
+    seg_run = simulator.run(segregated, repetition=1)
+    assert mixed.n_instances < segregated.n_instances
+    assert mixed_run.scaling_time < seg_run.scaling_time
+
+
+def test_mixed_sim_deterministic(packer):
+    plan = packer.pack_mixed({SORT: 40, VIDEO: 40})
+    a = MixedBurstSimulator(AWS_LAMBDA, seed=5).run(plan)
+    b = MixedBurstSimulator(AWS_LAMBDA, seed=5).run(plan)
+    assert a.service_time == b.service_time
+    assert a.expense_usd == b.expense_usd

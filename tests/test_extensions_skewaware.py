@@ -1,0 +1,137 @@
+"""Tests for the skew-aware planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import ExecutionTimeModel
+from repro.core.propack import ProPack
+from repro.extensions.skewaware import (
+    SkewAwareExecutionModel,
+    SkewAwareOptimizer,
+    lognormal_sigma,
+    quantile_factor,
+    straggler_factor,
+)
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT
+
+
+# --------------------------------------------------------------------- #
+# Order-statistic math
+# --------------------------------------------------------------------- #
+
+def test_straggler_factor_base_cases():
+    assert straggler_factor(1, 0.5) == 1.0
+    assert straggler_factor(10, 0.0) == 1.0
+    with pytest.raises(ValueError):
+        straggler_factor(0, 0.5)
+
+
+def test_straggler_factor_grows_with_n_and_cv():
+    assert straggler_factor(10, 0.5) > straggler_factor(2, 0.5) > 1.0
+    assert straggler_factor(10, 0.8) > straggler_factor(10, 0.3)
+
+
+def test_straggler_factor_matches_monte_carlo():
+    rng = np.random.default_rng(0)
+    cv = 0.5
+    sigma = lognormal_sigma(cv)
+    for n in (2, 5, 10, 40):
+        draws = rng.lognormal(-0.5 * sigma**2, sigma, size=(20000, n))
+        empirical = float(draws.max(axis=1).mean())
+        assert straggler_factor(n, cv) == pytest.approx(empirical, rel=0.05)
+
+
+def test_quantile_factor_ordering():
+    assert quantile_factor(1000, 0.5, 0.5) < quantile_factor(1000, 0.95, 0.5)
+    assert quantile_factor(1000, 0.95, 0.5) < straggler_factor(1000, 0.5)
+    assert quantile_factor(100, 0.95, 0.0) == 1.0
+    with pytest.raises(ValueError):
+        quantile_factor(10, 0.0, 0.5)
+
+
+def test_lognormal_sigma_validation():
+    with pytest.raises(ValueError):
+        lognormal_sigma(-0.1)
+    assert lognormal_sigma(0.0) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Skew-aware execution model
+# --------------------------------------------------------------------- #
+
+BASE = ExecutionTimeModel(coeff_a=90.0, coeff_b=0.09, mem_gb=SORT.mem_gb)
+
+
+def test_skew_model_inflates_packed_degrees_only():
+    model = SkewAwareExecutionModel(base=BASE, cv=0.5)
+    assert model.predict(1) == pytest.approx(BASE.predict(1))
+    assert model.predict(10) > BASE.predict(10)
+
+
+def test_skew_model_latency_cap_tighter():
+    naive_cap = BASE.max_degree_within(400.0)
+    skew_cap = SkewAwareExecutionModel(base=BASE, cv=0.8).max_degree_within(400.0)
+    assert skew_cap < naive_cap
+
+
+# --------------------------------------------------------------------- #
+# Skew-aware planning end to end
+# --------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def fitted():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=151)
+    propack = ProPack(platform)
+    return platform, propack
+
+
+def _skew_optimizer(propack, concurrency, cv):
+    return SkewAwareOptimizer(
+        exec_model=propack.exec_model(SORT),
+        scaling_model=propack.scaling_model(),
+        app=SORT,
+        profile=AWS_LAMBDA,
+        concurrency=concurrency,
+        cv=cv,
+    )
+
+
+def test_skew_aware_picks_lower_degree(fitted):
+    _, propack = fitted
+    naive = propack.optimizer(SORT, 2000).optimal_service()
+    skewed = _skew_optimizer(propack, 2000, cv=0.8).optimal_service()
+    assert skewed < naive
+
+
+def test_zero_cv_reduces_to_naive(fitted):
+    _, propack = fitted
+    naive = propack.optimizer(SORT, 2000)
+    skewed = _skew_optimizer(propack, 2000, cv=0.0)
+    assert skewed.optimal_service() == naive.optimal_service()
+    assert skewed.optimal_expense() == naive.optimal_expense()
+    assert skewed.optimal_joint() == naive.optimal_joint()
+
+
+def test_skew_aware_beats_naive_plan_in_simulation(fitted):
+    """The realized service time under heavy skew must improve when the
+    planner accounts for stragglers (the fix for ablation A4's finding)."""
+    platform, propack = fitted
+    c, cv = 2000, 0.8
+    naive_degree = propack.optimizer(SORT, c).optimal_joint()
+    skew_degree = _skew_optimizer(propack, c, cv).optimal_joint()
+    assert skew_degree < naive_degree
+
+    # Timeout enforcement off: a heavy straggler in a naively packed
+    # instance can cross the platform cap — the regime under study.
+    lenient = ServerlessPlatform(AWS_LAMBDA, seed=151, enforce_timeout=False)
+
+    def realized(degree):
+        return lenient.run_burst(
+            BurstSpec(app=SORT, concurrency=c, packing_degree=degree, skew_cv=cv),
+            repetition=9,
+        ).service_time()
+
+    assert realized(skew_degree) < realized(naive_degree)

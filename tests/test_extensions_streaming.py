@@ -1,0 +1,137 @@
+"""Tests for the streaming (sustained-arrival) packing extension."""
+
+import pytest
+
+from repro.core.models import ExecutionTimeModel
+from repro.extensions.streaming import (
+    StreamingDispatcher,
+    StreamingPlanner,
+    StreamingPolicy,
+)
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import XAPIAN
+
+EXEC = ExecutionTimeModel(
+    coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+)
+
+
+@pytest.fixture()
+def dispatcher():
+    return StreamingDispatcher(AWS_LAMBDA, XAPIAN, EXEC, seed=161)
+
+
+# --------------------------------------------------------------------- #
+# Policy and dispatcher mechanics
+# --------------------------------------------------------------------- #
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        StreamingPolicy(degree=0, batch_timeout_s=1.0)
+    with pytest.raises(ValueError):
+        StreamingPolicy(degree=1, batch_timeout_s=-1.0)
+
+
+def test_dispatcher_input_validation(dispatcher):
+    policy = StreamingPolicy(degree=2, batch_timeout_s=1.0)
+    with pytest.raises(ValueError):
+        dispatcher.run(policy, arrival_rate_per_s=0.0, n_requests=10)
+    with pytest.raises(ValueError):
+        dispatcher.run(policy, arrival_rate_per_s=1.0, n_requests=0)
+
+
+def test_every_request_is_served(dispatcher):
+    policy = StreamingPolicy(degree=4, batch_timeout_s=2.0)
+    result = dispatcher.run(policy, arrival_rate_per_s=5.0, n_requests=200)
+    assert len(result.sojourn_times) == 200
+    assert sum(result.batch_sizes) == 200
+
+
+def test_batches_never_exceed_degree(dispatcher):
+    policy = StreamingPolicy(degree=4, batch_timeout_s=2.0)
+    result = dispatcher.run(policy, arrival_rate_per_s=10.0, n_requests=300)
+    assert max(result.batch_sizes) <= 4
+    # Heavy traffic fills most batches.
+    assert result.mean_batch_size > 2.5
+
+
+def test_timeout_flushes_partial_batches(dispatcher):
+    """At a trickle arrival rate, the timeout dispatches undersized batches."""
+    policy = StreamingPolicy(degree=8, batch_timeout_s=0.5)
+    result = dispatcher.run(policy, arrival_rate_per_s=0.2, n_requests=40)
+    assert result.mean_batch_size < 2.0
+
+
+def test_degree_one_has_no_batching_delay(dispatcher):
+    policy = StreamingPolicy(degree=1, batch_timeout_s=0.0)
+    result = dispatcher.run(policy, arrival_rate_per_s=2.0, n_requests=100)
+    # Sojourn = start latency + ET(1) (±noise); no queueing for a batch.
+    floor = EXEC.predict(1)
+    assert result.mean_sojourn_s < floor * 1.2 + dispatcher.cold_start_s
+
+
+def test_warm_reuse_avoids_cold_starts(dispatcher):
+    policy = StreamingPolicy(degree=2, batch_timeout_s=1.0)
+    result = dispatcher.run(policy, arrival_rate_per_s=5.0, n_requests=200)
+    assert result.cold_starts < 5  # first batch cold, then warm reuse
+
+
+def test_packing_cuts_cost_per_request(dispatcher):
+    solo = dispatcher.run(
+        StreamingPolicy(degree=1, batch_timeout_s=0.0), 5.0, 200
+    )
+    packed = dispatcher.run(
+        StreamingPolicy(degree=8, batch_timeout_s=3.0), 5.0, 200, repetition=1
+    )
+    assert packed.cost_per_request_usd(AWS_LAMBDA) < 0.5 * solo.cost_per_request_usd(
+        AWS_LAMBDA
+    )
+
+
+def test_packing_adds_batching_latency(dispatcher):
+    solo = dispatcher.run(
+        StreamingPolicy(degree=1, batch_timeout_s=0.0), 2.0, 150
+    )
+    packed = dispatcher.run(
+        StreamingPolicy(degree=10, batch_timeout_s=10.0), 2.0, 150, repetition=1
+    )
+    assert packed.mean_sojourn_s > solo.mean_sojourn_s
+
+
+# --------------------------------------------------------------------- #
+# Planner
+# --------------------------------------------------------------------- #
+
+def test_planner_loose_bound_packs_deep():
+    planner = StreamingPlanner(AWS_LAMBDA, XAPIAN, EXEC)
+    policy = planner.plan(arrival_rate_per_s=10.0, qos_sojourn_s=500.0)
+    assert policy.degree > 10
+
+
+def test_planner_tight_bound_packs_shallow():
+    planner = StreamingPlanner(AWS_LAMBDA, XAPIAN, EXEC)
+    loose = planner.plan(arrival_rate_per_s=10.0, qos_sojourn_s=500.0)
+    tight = planner.plan(arrival_rate_per_s=10.0, qos_sojourn_s=16.0)
+    assert tight.degree < loose.degree
+
+
+def test_planner_impossible_bound_falls_back_to_solo():
+    planner = StreamingPlanner(AWS_LAMBDA, XAPIAN, EXEC)
+    policy = planner.plan(arrival_rate_per_s=1.0, qos_sojourn_s=0.5)
+    assert policy.degree == 1
+
+
+def test_planner_bound_validation():
+    planner = StreamingPlanner(AWS_LAMBDA, XAPIAN, EXEC)
+    with pytest.raises(ValueError):
+        planner.plan(arrival_rate_per_s=1.0, qos_sojourn_s=0.0)
+
+
+def test_planned_policy_meets_qos_in_simulation(dispatcher):
+    """The analytic plan must hold up in the discrete-event simulation."""
+    planner = StreamingPlanner(AWS_LAMBDA, XAPIAN, EXEC)
+    rate, bound = 8.0, 25.0
+    policy = planner.plan(arrival_rate_per_s=rate, qos_sojourn_s=bound)
+    assert policy.degree > 1  # the bound leaves room to pack
+    result = dispatcher.run(policy, arrival_rate_per_s=rate, n_requests=400)
+    assert result.p95_sojourn_s <= bound

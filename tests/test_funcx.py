@@ -1,0 +1,78 @@
+"""Tests for the FuncX on-prem substrate (paper Fig. 18)."""
+
+import pytest
+
+from repro.funcx import FuncXEndpoint, PodSpec, funcx_profile
+from repro.funcx.pods import ClusterSpec
+from repro.platform.base import ServerlessPlatform
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT
+
+
+@pytest.fixture(scope="module")
+def endpoint():
+    return FuncXEndpoint(seed=61)
+
+
+@pytest.fixture(scope="module")
+def aws():
+    return ServerlessPlatform(AWS_LAMBDA, seed=61)
+
+
+def test_pod_spec_validation():
+    with pytest.raises(ValueError):
+        PodSpec(workers_per_pod=0)
+    with pytest.raises(ValueError):
+        PodSpec(cache_hit_install_fraction=0.0)
+
+
+def test_cluster_spec_defaults_match_paper():
+    cluster = ClusterSpec()
+    assert cluster.nodes == 100
+    assert cluster.total_cores == 1000
+
+
+def test_profile_shape():
+    profile = funcx_profile()
+    assert profile.name == "funcx"
+    assert profile.isolation_penalty > 1.0          # pods isolate worse
+    assert profile.build_base_s < AWS_LAMBDA.build_base_s  # pods start faster
+    assert profile.build_cache_factor < 1.0         # k8s image caching
+    assert profile.per_request_usd == 0.0           # on-prem: no request fee
+
+
+def test_funcx_scales_faster_than_lambda(endpoint, aws):
+    """Paper Fig. 18: ~15% faster scaling at C=5000."""
+    fx = endpoint.measure_scaling_time(5000)
+    lam = aws.measure_scaling_time(5000)
+    assert fx < lam
+    assert 0.7 < fx / lam < 0.95
+
+
+def test_funcx_packed_execution_slower_than_lambda(endpoint, aws):
+    """Firecracker isolates better: packed instances run faster on Lambda."""
+    from repro.platform.invoker import BurstSpec
+
+    fx = endpoint.map(SORT, 500, packing_degree=8)
+    lam = aws.run_burst(BurstSpec(app=SORT, concurrency=500, packing_degree=8))
+    assert fx.mean_exec_seconds > lam.mean_exec_seconds
+
+
+def test_funcx_map_runs_all_functions(endpoint):
+    result = endpoint.map(SORT, 30, packing_degree=4)
+    assert sum(r.n_packed for r in result.records) == 30
+
+
+def test_funcx_no_lambda_timeout(endpoint):
+    assert endpoint.profile.max_execution_seconds > 900.0
+
+
+def test_funcx_propack_integration(endpoint):
+    """ProPack mitigates FuncX's (smaller) bottleneck too."""
+    from repro.baselines.nopack import run_unpacked
+    from repro.core.propack import ProPack
+
+    propack = ProPack(endpoint.platform)
+    outcome = propack.run(SORT, 4000)
+    baseline = run_unpacked(endpoint.platform, SORT, 4000)
+    assert outcome.result.service_time() < baseline.service_time()

@@ -1,0 +1,115 @@
+"""End-to-end integration tests tying the whole stack together.
+
+Each test exercises the full pipeline (profile → fit → optimize → execute →
+bill) and asserts a paper-level claim, at reduced scale so the suite stays
+fast.
+"""
+
+import pytest
+
+from repro import (
+    AWS_LAMBDA,
+    GOOGLE_CLOUD_FUNCTIONS,
+    BurstSpec,
+    Oracle,
+    ProPack,
+    PywrenManager,
+    ServerlessPlatform,
+    run_unpacked,
+)
+from repro.workloads import SORT, STATELESS_COST, VIDEO, XAPIAN
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return ServerlessPlatform(AWS_LAMBDA, seed=71)
+
+
+@pytest.fixture(scope="module")
+def propack(platform):
+    return ProPack(platform)
+
+
+def test_public_api_surface():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_headline_claim_service_and_expense(propack, platform):
+    """At high concurrency ProPack cuts service time and expense by large
+    factors over no packing (paper: 85% / 66% at C=5000)."""
+    c = 4000
+    outcome = propack.run(SORT, c)
+    baseline = run_unpacked(platform, SORT, c)
+    service_cut = 1 - outcome.result.service_time() / baseline.service_time()
+    expense_cut = 1 - outcome.total_expense_usd / baseline.expense.total_usd
+    assert service_cut > 0.60
+    assert expense_cut > 0.50
+
+
+def test_improvement_grows_with_concurrency(propack, platform):
+    cuts = []
+    for c in (1000, 2000, 4000):
+        outcome = propack.run(SORT, c)
+        baseline = run_unpacked(platform, SORT, c)
+        cuts.append(1 - outcome.result.service_time() / baseline.service_time())
+    assert cuts == sorted(cuts)
+
+
+def test_propack_tracks_oracle(propack, platform):
+    """ProPack's model-picked degree performs within a few percent of the
+    brute-force Oracle's measured optimum."""
+    c = 2000
+    sweep = Oracle(platform).sweep(SORT, c)
+    oracle_best = sweep.best_result("joint")
+    outcome = propack.run(SORT, c)
+    assert outcome.result.service_time() <= 1.10 * oracle_best.service_time()
+    assert outcome.result.expense.total_usd <= 1.15 * oracle_best.expense.total_usd
+
+
+def test_propack_beats_pywren(propack, platform):
+    c = 3000
+    pywren = PywrenManager(platform).map(SORT, c)
+    outcome = propack.run(SORT, c)
+    assert outcome.result.service_time() < pywren.service_time()
+    assert outcome.total_expense_usd < pywren.expense.total_usd
+
+
+def test_qos_bound_respected_in_realized_tail(propack):
+    """The QoS-aware plan meets the bound in the *measured* tail too."""
+    bound = 100.0
+    outcome = propack.run(XAPIAN, 2000, qos_tail_bound_s=bound)
+    assert outcome.qos_decision.feasible
+    assert outcome.result.service_time("tail") <= bound
+
+
+def test_gcf_expense_improvement_larger_than_aws():
+    """Fig. 21: packing saves more on platforms with egress fees."""
+    c = 1000
+    cuts = {}
+    for profile in (AWS_LAMBDA, GOOGLE_CLOUD_FUNCTIONS):
+        platform = ServerlessPlatform(profile, seed=13)
+        propack = ProPack(platform)
+        outcome = propack.run(VIDEO, c)
+        baseline = run_unpacked(platform, VIDEO, c)
+        cuts[profile.name] = 1 - outcome.total_expense_usd / baseline.expense.total_usd
+    assert cuts["google-cloud-functions"] > cuts["aws-lambda"]
+
+
+def test_all_functions_complete_under_packing(platform):
+    """No function is lost regardless of packing layout."""
+    for degree in (1, 3, 7, 15):
+        result = platform.run_burst(
+            BurstSpec(app=SORT, concurrency=100, packing_degree=degree)
+        )
+        assert sum(r.n_packed for r in result.records) == 100
+
+
+def test_mixed_apps_share_scaling_model(propack):
+    """The scaling model is fit once and reused across applications."""
+    propack.run(SORT, 1000)
+    scaling_a = propack.scaling_profile()
+    propack.run(STATELESS_COST, 1000)
+    assert propack.scaling_profile() is scaling_a

@@ -1,0 +1,79 @@
+"""Tests for the co-runner interference model."""
+
+import math
+
+import pytest
+
+from repro.interference.model import InterferenceModel
+from repro.workloads import SMITH_WATERMAN, SORT
+from repro.workloads.synthetic import make_synthetic
+
+
+def test_degree_one_has_no_slowdown():
+    model = InterferenceModel(cores=6)
+    assert model.slowdown(SORT, 1) == pytest.approx(1.0)
+
+
+def test_slowdown_is_exponential_in_degree():
+    model = InterferenceModel(cores=6)
+    s2 = model.slowdown(SORT, 2)
+    s3 = model.slowdown(SORT, 3)
+    s4 = model.slowdown(SORT, 4)
+    # Constant multiplicative factor per added co-runner.
+    assert s3 / s2 == pytest.approx(s4 / s3)
+    assert s2 > 1.0
+
+
+def test_slowdown_rate_matches_spec():
+    model = InterferenceModel(cores=6)
+    rate = SORT.pressure_per_gb * SORT.mem_gb
+    assert model.slowdown(SORT, 5) == pytest.approx(math.exp(rate * 4))
+
+
+def test_compute_bound_app_interferes_more():
+    model = InterferenceModel(cores=6)
+    sw_rate = SMITH_WATERMAN.pressure_per_gb * SMITH_WATERMAN.mem_gb
+    sort_rate = SORT.pressure_per_gb * SORT.mem_gb
+    assert sw_rate > sort_rate  # Smith-Waterman packs worse (paper Fig. 17)
+
+
+def test_isolation_penalty_amplifies():
+    weak = InterferenceModel(cores=6, isolation_penalty=2.0)
+    strong = InterferenceModel(cores=6, isolation_penalty=1.0)
+    assert weak.slowdown(SORT, 5) > strong.slowdown(SORT, 5)
+
+
+def test_execution_time_scales_base_seconds():
+    model = InterferenceModel(cores=6)
+    et = model.execution_seconds(SORT, 1)
+    assert et == pytest.approx(SORT.base_seconds)
+
+
+def test_perfect_isolation_ignores_concurrency():
+    model = InterferenceModel(cores=6, concurrency_leak=0.0)
+    assert model.execution_seconds(SORT, 3, concurrency_level=1) == pytest.approx(
+        model.execution_seconds(SORT, 3, concurrency_level=5000)
+    )
+
+
+def test_concurrency_leak_slows_execution():
+    leaky = InterferenceModel(cores=6, concurrency_leak=0.1)
+    lone = leaky.execution_seconds(SORT, 1, concurrency_level=1)
+    crowded = leaky.execution_seconds(SORT, 1, concurrency_level=5000)
+    assert crowded > lone
+    assert crowded == pytest.approx(lone * 1.5)
+
+
+def test_cpu_sharing_variant_adds_kink():
+    plain = InterferenceModel(cores=6, cpu_sharing=False)
+    kinked = InterferenceModel(cores=6, cpu_sharing=True)
+    app = make_synthetic(pressure_per_gb=0.1, mem_mb=512)
+    # Below the core count the variants agree...
+    assert kinked.slowdown(app, 4) == pytest.approx(plain.slowdown(app, 4))
+    # ...above it, time slicing appears.
+    assert kinked.slowdown(app, 12) == pytest.approx(plain.slowdown(app, 12) * 2.0)
+
+
+def test_invalid_degree_rejected():
+    with pytest.raises(ValueError):
+        InterferenceModel(cores=6).slowdown(SORT, 0)

@@ -1,0 +1,117 @@
+"""Tests for the shared-fleet multi-tenant simulation."""
+
+import pytest
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.multitenant import SharedFleet
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, STATELESS_COST, XAPIAN
+
+
+def make_fleet(seed=181):
+    return SharedFleet(AWS_LAMBDA, seed=seed)
+
+
+def test_single_tenant_matches_isolated_platform():
+    """One tenant on a shared fleet behaves like the isolated substrate."""
+    fleet = make_fleet()
+    fleet.submit("solo", BurstSpec(app=SORT, concurrency=500))
+    shared = fleet.run()["solo"]
+    isolated = ServerlessPlatform(AWS_LAMBDA, seed=181).run_burst(
+        BurstSpec(app=SORT, concurrency=500)
+    )
+    assert shared.scaling_time == pytest.approx(isolated.scaling_time, rel=0.05)
+    assert shared.service_time() == pytest.approx(isolated.service_time(), rel=0.05)
+
+
+def test_all_tenants_complete():
+    fleet = make_fleet()
+    fleet.submit("a", BurstSpec(app=SORT, concurrency=300))
+    fleet.submit("b", BurstSpec(app=STATELESS_COST, concurrency=200), at_time=2.0)
+    results = fleet.run()
+    assert sum(r.n_packed for r in results["a"].records) == 300
+    assert sum(r.n_packed for r in results["b"].records) == 200
+
+
+def test_contention_slows_the_other_tenant():
+    """A big concurrent tenant inflates a small tenant's scaling time."""
+    alone = make_fleet(seed=7)
+    alone.submit("small", BurstSpec(app=XAPIAN, concurrency=300))
+    baseline = alone.run()["small"].scaling_time
+
+    crowded = make_fleet(seed=7)
+    crowded.submit("big", BurstSpec(app=SORT, concurrency=3000))
+    crowded.submit("small", BurstSpec(app=XAPIAN, concurrency=300))
+    contended = crowded.run()["small"].scaling_time
+    assert contended > 2.0 * baseline
+
+
+def test_neighbor_packing_helps_other_tenants():
+    """The paper's provider-side benefit (Sec. 5): when the big tenant
+    packs, it stops monopolizing the placement loop and the small
+    tenant's burst scales much faster."""
+    def small_scaling(big_degree):
+        fleet = make_fleet(seed=11)
+        fleet.submit(
+            "big", BurstSpec(app=SORT, concurrency=3000, packing_degree=big_degree)
+        )
+        fleet.submit("small", BurstSpec(app=XAPIAN, concurrency=300))
+        return fleet.run()["small"].scaling_time
+
+    assert small_scaling(8) < 0.5 * small_scaling(1)
+
+
+def test_offset_burst_metrics_are_normalized():
+    """A burst submitted at t=50 reports the same-scale metrics as t=0."""
+    offset = make_fleet(seed=13)
+    offset.submit("late", BurstSpec(app=SORT, concurrency=400), at_time=50.0)
+    late = offset.run()["late"]
+    immediate = make_fleet(seed=13)
+    immediate.submit("late", BurstSpec(app=SORT, concurrency=400))
+    now = immediate.run()["late"]
+    assert late.scaling_time == pytest.approx(now.scaling_time, rel=0.05)
+    assert late.records[0].invoked_at == 0.0
+
+
+def test_submission_validation():
+    fleet = make_fleet()
+    fleet.submit("a", BurstSpec(app=SORT, concurrency=10))
+    with pytest.raises(ValueError, match="already has a burst"):
+        fleet.submit("a", BurstSpec(app=SORT, concurrency=10))
+    with pytest.raises(ValueError, match="non-negative"):
+        fleet.submit("b", BurstSpec(app=SORT, concurrency=10), at_time=-1.0)
+
+
+def test_fleet_is_single_use():
+    fleet = make_fleet()
+    fleet.submit("a", BurstSpec(app=SORT, concurrency=10))
+    fleet.run()
+    with pytest.raises(RuntimeError, match="already ran"):
+        fleet.run()
+    with pytest.raises(RuntimeError, match="already ran"):
+        fleet.submit("b", BurstSpec(app=SORT, concurrency=10))
+
+
+def test_empty_fleet_rejected():
+    with pytest.raises(ValueError, match="no bursts"):
+        make_fleet().run()
+
+
+def test_shared_fleet_supports_decentralized_scheduler():
+    from repro.platform.scheduler_decentralized import DecentralizedScheduler
+
+    profile = AWS_LAMBDA.with_overrides(name="aws-s4", scheduler_shards=4)
+    fleet = SharedFleet(profile, seed=19)
+    assert isinstance(fleet.scheduler, DecentralizedScheduler)
+    fleet.submit("a", BurstSpec(app=SORT, concurrency=400))
+    results = fleet.run()
+    assert sum(r.n_packed for r in results["a"].records) == 400
+
+
+def test_expenses_accounted_per_tenant():
+    fleet = make_fleet(seed=17)
+    fleet.submit("a", BurstSpec(app=SORT, concurrency=100))
+    fleet.submit("b", BurstSpec(app=SORT, concurrency=200))
+    results = fleet.run()
+    assert results["b"].expense.total_usd > 1.5 * results["a"].expense.total_usd

@@ -1,0 +1,190 @@
+"""Tests for the burst invoker: packing layout, waves, warm reuse, timeouts."""
+
+import pytest
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec, FunctionTimeoutError
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, STATELESS_COST
+from repro.workloads.synthetic import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return ServerlessPlatform(AWS_LAMBDA, seed=5)
+
+
+# --------------------------------------------------------------------- #
+# BurstSpec validation
+# --------------------------------------------------------------------- #
+
+def test_spec_rejects_bad_concurrency():
+    with pytest.raises(ValueError):
+        BurstSpec(app=SORT, concurrency=0)
+
+
+def test_spec_rejects_bad_degree():
+    with pytest.raises(ValueError):
+        BurstSpec(app=SORT, concurrency=10, packing_degree=0)
+
+
+def test_spec_rejects_degree_above_concurrency():
+    with pytest.raises(ValueError):
+        BurstSpec(app=SORT, concurrency=5, packing_degree=6)
+
+
+def test_spec_rejects_bad_wave():
+    with pytest.raises(ValueError):
+        BurstSpec(app=SORT, concurrency=10, wave_size=0)
+
+
+def test_spec_rejects_exec_overhead_below_one():
+    with pytest.raises(ValueError):
+        BurstSpec(app=SORT, concurrency=10, exec_overhead=0.9)
+
+
+def test_spec_instance_count_ceils():
+    assert BurstSpec(app=SORT, concurrency=10, packing_degree=3).n_instances == 4
+    assert BurstSpec(app=SORT, concurrency=9, packing_degree=3).n_instances == 3
+
+
+# --------------------------------------------------------------------- #
+# Burst execution
+# --------------------------------------------------------------------- #
+
+def test_every_function_is_executed(platform):
+    result = platform.run_burst(BurstSpec(app=SORT, concurrency=10, packing_degree=3))
+    assert result.n_instances == 4
+    assert sum(r.n_packed for r in result.records) == 10
+
+
+def test_last_instance_partially_packed(platform):
+    result = platform.run_burst(BurstSpec(app=SORT, concurrency=10, packing_degree=3))
+    packed = sorted(r.n_packed for r in result.records)
+    assert packed == [1, 3, 3, 3]
+
+
+def test_records_have_full_lifecycle(platform):
+    result = platform.run_burst(BurstSpec(app=SORT, concurrency=5))
+    for r in result.records:
+        assert r.sched_done is not None
+        assert r.built_at is not None
+        assert r.shipped_at is not None
+        assert 0 <= r.sched_done
+        assert r.shipped_at >= max(r.built_at, r.sched_done)
+        assert r.exec_start == r.shipped_at
+        assert r.exec_end > r.exec_start
+
+
+def test_provisioned_memory_defaults_to_platform_max(platform):
+    result = platform.run_burst(BurstSpec(app=SORT, concurrency=2))
+    assert all(r.provisioned_mb == AWS_LAMBDA.max_memory_mb for r in result.records)
+
+
+def test_provisioned_memory_override(platform):
+    result = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=2, provisioned_mb=2048)
+    )
+    assert all(r.provisioned_mb == 2048 for r in result.records)
+
+
+def test_overprovisioning_rejected(platform):
+    with pytest.raises(ValueError, match="exceeds the platform maximum"):
+        platform.run_burst(BurstSpec(app=SORT, concurrency=2, provisioned_mb=20480))
+
+
+def test_packing_increases_exec_time(platform):
+    solo = platform.run_burst(BurstSpec(app=SORT, concurrency=1, packing_degree=1))
+    packed = platform.run_burst(BurstSpec(app=SORT, concurrency=10, packing_degree=10))
+    assert packed.mean_exec_seconds > solo.mean_exec_seconds
+
+
+def test_timeout_enforced():
+    # A synthetic app whose packed execution exceeds the platform cap.
+    app = make_synthetic(base_seconds=800.0, mem_mb=1024, pressure_per_gb=0.5)
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=1)
+    with pytest.raises(FunctionTimeoutError):
+        platform.run_burst(BurstSpec(app=app, concurrency=8, packing_degree=8))
+
+
+def test_timeout_can_be_disabled():
+    app = make_synthetic(base_seconds=800.0, mem_mb=1024, pressure_per_gb=0.5)
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=1, enforce_timeout=False)
+    result = platform.run_burst(BurstSpec(app=app, concurrency=8, packing_degree=8))
+    assert result.mean_exec_seconds > AWS_LAMBDA.max_execution_seconds
+
+
+# --------------------------------------------------------------------- #
+# Waves and warm reuse (the Pywren path)
+# --------------------------------------------------------------------- #
+
+def test_wave_size_limits_cold_instances(platform):
+    result = platform.run_burst(
+        BurstSpec(app=STATELESS_COST, concurrency=20, wave_size=5)
+    )
+    cold = [r for r in result.records if not r.warm_start]
+    warm = [r for r in result.records if r.warm_start]
+    assert len(cold) == 5
+    assert len(warm) == 15
+    assert sum(r.n_packed for r in result.records) == 20
+
+
+def test_warm_records_skip_pipeline(platform):
+    result = platform.run_burst(
+        BurstSpec(app=STATELESS_COST, concurrency=10, wave_size=2)
+    )
+    spec_warm_latency = BurstSpec(app=STATELESS_COST, concurrency=1).warm_dispatch_s
+    for r in result.records:
+        if r.warm_start:
+            # Warm dispatch pays only the small dispatch latency, no pipeline.
+            assert r.startup_delay == pytest.approx(spec_warm_latency)
+            assert r.shipping_delay == pytest.approx(0.0)
+
+
+def test_waves_serialize_service_time(platform):
+    burst = platform.run_burst(BurstSpec(app=STATELESS_COST, concurrency=20))
+    waved = platform.run_burst(
+        BurstSpec(app=STATELESS_COST, concurrency=20, wave_size=2)
+    )
+    # 10 sequential waves must take much longer end-to-end.
+    assert waved.service_time() > 3 * burst.service_time()
+
+
+def test_exec_overhead_inflates_billing(platform):
+    plain = platform.run_burst(BurstSpec(app=SORT, concurrency=5), repetition=77)
+    inflated = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=5, exec_overhead=1.5), repetition=77
+    )
+    assert inflated.mean_exec_seconds == pytest.approx(
+        1.5 * plain.mean_exec_seconds, rel=1e-6
+    )
+    assert inflated.expense.compute_usd == pytest.approx(
+        1.5 * plain.expense.compute_usd, rel=1e-6
+    )
+
+
+def test_extra_io_accounted(platform):
+    plain = platform.run_burst(BurstSpec(app=SORT, concurrency=5), repetition=78)
+    extra = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=5, extra_io_mb_per_function=50.0),
+        repetition=78,
+    )
+    assert extra.expense.storage_usd > plain.expense.storage_usd
+
+
+def test_deterministic_given_seed_and_repetition():
+    a = ServerlessPlatform(AWS_LAMBDA, seed=9).run_burst(
+        BurstSpec(app=SORT, concurrency=20), repetition=0
+    )
+    b = ServerlessPlatform(AWS_LAMBDA, seed=9).run_burst(
+        BurstSpec(app=SORT, concurrency=20), repetition=0
+    )
+    assert a.service_time() == b.service_time()
+    assert a.expense.total_usd == b.expense.total_usd
+
+
+def test_repetitions_differ():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=9)
+    a = platform.run_burst(BurstSpec(app=SORT, concurrency=20), repetition=0)
+    b = platform.run_burst(BurstSpec(app=SORT, concurrency=20), repetition=1)
+    assert a.service_time() != b.service_time()

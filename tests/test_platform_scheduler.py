@@ -1,0 +1,80 @@
+"""Tests for the placement scheduler's search-cost growth."""
+
+import pytest
+
+from repro.cluster.server import ServerPool
+from repro.platform.scheduler import PlacementScheduler
+from repro.sim.engine import Simulator
+
+
+def make_scheduler(base=0.0, search=1.0, servers=100):
+    sim = Simulator()
+    pool = ServerPool(servers, cores_per_server=64, memory_mb_per_server=10**6)
+    return sim, PlacementScheduler(sim, pool, base_cost_s=base, search_cost_s=search)
+
+
+def test_first_placement_costs_base_only():
+    sim, sched = make_scheduler(base=2.0, search=1.0)
+    done = []
+    sched.request_placement(1, 10, lambda server: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_search_cost_grows_with_placements():
+    sim, sched = make_scheduler(base=0.0, search=1.0)
+    done = []
+    for _ in range(4):
+        sched.request_placement(1, 10, lambda server: done.append(sim.now))
+    sim.run()
+    # Costs 0, 1, 2, 3 → cumulative completion at 0, 1, 3, 6.
+    assert done == [pytest.approx(t) for t in (0.0, 1.0, 3.0, 6.0)]
+
+
+def test_cumulative_delay_is_quadratic():
+    sim, sched = make_scheduler(base=0.0, search=0.001, servers=512)
+    last = []
+    n = 200
+    for _ in range(n):
+        sched.request_placement(1, 10, lambda server: last.append(sim.now))
+    sim.run()
+    expected = 0.001 * (n - 1) * n / 2
+    assert last[-1] == pytest.approx(expected)
+
+
+def test_requests_served_in_order():
+    sim, sched = make_scheduler(base=1.0, search=0.0)
+    order = []
+    for i in range(5):
+        sched.request_placement(1, 10, lambda server, i=i: order.append(i))
+    sim.run()
+    assert order == list(range(5))
+
+
+def test_callback_receives_server():
+    sim, sched = make_scheduler()
+    got = []
+    sched.request_placement(2, 64, lambda server: got.append(server))
+    sim.run()
+    assert got[0].used_cores == 2
+    assert got[0].used_memory_mb == 64
+
+
+def test_placements_made_counter():
+    sim, sched = make_scheduler()
+    for _ in range(3):
+        sched.request_placement(1, 10, lambda server: None)
+    sim.run()
+    assert sched.placements_made == 3
+
+
+def test_late_request_after_idle():
+    sim, sched = make_scheduler(base=1.0, search=0.5)
+    done = []
+    sched.request_placement(1, 10, lambda server: done.append(sim.now))
+    sim.run()
+    # A later burst still pays search proportional to total placements.
+    sched.request_placement(1, 10, lambda server: done.append(sim.now))
+    sim.run()
+    assert done[0] == pytest.approx(1.0)
+    assert done[1] == pytest.approx(1.0 + 1.0 + 0.5)  # base + search*1

@@ -1,0 +1,92 @@
+"""Property-based tests on burst execution invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, STATELESS_COST
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return ServerlessPlatform(AWS_LAMBDA, seed=131)
+
+
+@given(
+    concurrency=st.integers(min_value=1, max_value=300),
+    degree=st.integers(min_value=1, max_value=15),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_function_runs_exactly_once(concurrency, degree):
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=131)
+    degree = min(degree, concurrency)
+    result = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=concurrency, packing_degree=degree),
+        repetition=0,
+    )
+    assert sum(r.n_packed for r in result.records) == concurrency
+    assert result.n_instances == -(-concurrency // degree)
+
+
+@given(
+    concurrency=st.integers(min_value=2, max_value=200),
+    degree=st.integers(min_value=1, max_value=10),
+    wave=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=30, deadline=None)
+def test_wave_dispatch_conserves_functions(concurrency, degree, wave):
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=132)
+    degree = min(degree, concurrency)
+    result = platform.run_burst(
+        BurstSpec(
+            app=STATELESS_COST,
+            concurrency=concurrency,
+            packing_degree=degree,
+            wave_size=wave,
+        ),
+        repetition=0,
+    )
+    assert sum(r.n_packed for r in result.records) == concurrency
+    cold = [r for r in result.records if not r.warm_start]
+    assert len(cold) == min(wave, -(-concurrency // degree))
+
+
+@given(
+    concurrency=st.integers(min_value=1, max_value=200),
+    degree=st.integers(min_value=1, max_value=15),
+)
+@settings(max_examples=30, deadline=None)
+def test_lifecycle_timestamps_are_ordered(concurrency, degree):
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=133)
+    degree = min(degree, concurrency)
+    result = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=concurrency, packing_degree=degree),
+        repetition=0,
+    )
+    for r in result.records:
+        assert r.invoked_at <= r.sched_done
+        assert r.invoked_at <= r.built_at
+        assert r.shipped_at >= max(r.sched_done, r.built_at)
+        assert r.exec_start == r.shipped_at
+        assert r.exec_end > r.exec_start
+    assert result.service_time("median") <= result.service_time("tail")
+    assert result.service_time("tail") <= result.service_time("total")
+
+
+@given(degree=st.integers(min_value=1, max_value=15))
+@settings(max_examples=15, deadline=None)
+def test_expense_positive_and_composed(degree):
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=134)
+    result = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=60, packing_degree=degree), repetition=0
+    )
+    e = result.expense
+    assert e.compute_usd > 0
+    assert e.requests_usd > 0
+    assert e.storage_usd > 0
+    assert e.total_usd == pytest.approx(
+        e.compute_usd + e.requests_usd + e.storage_usd + e.egress_usd
+    )

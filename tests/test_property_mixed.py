@@ -1,0 +1,68 @@
+"""Property-based tests on the mixed-packing planner's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.mixed import MixedPacker
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SMITH_WATERMAN, SORT, STATELESS_COST, VIDEO, XAPIAN
+
+APPS = (SORT, VIDEO, STATELESS_COST, SMITH_WATERMAN, XAPIAN)
+
+demands = st.fixed_dictionaries(
+    {},
+    optional={app: st.integers(min_value=0, max_value=60) for app in APPS},
+)
+
+
+@given(demand=demands)
+@settings(max_examples=50, deadline=None)
+def test_mixed_packer_invariants(demand):
+    packer = MixedPacker(AWS_LAMBDA)
+    plan = packer.pack_mixed(demand)
+    # Conservation: every demanded function is packed exactly once.
+    expected = {app.name: count for app, count in demand.items() if count > 0}
+    assert plan.functions_packed() == expected
+    # Feasibility: every group fits memory and the execution cap.
+    for group in plan.groups:
+        assert group.memory_mb <= AWS_LAMBDA.max_memory_mb
+        et = packer.model.instance_execution_seconds(group)
+        assert et <= AWS_LAMBDA.max_execution_seconds
+    # Group sizes are positive.
+    assert all(group.size >= 1 for group in plan.groups)
+
+
+@given(
+    counts=st.tuples(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_mixed_never_needs_more_instances_than_singletons(counts):
+    """The packer must never be worse than one-function-per-instance."""
+    packer = MixedPacker(AWS_LAMBDA)
+    demand = {SMITH_WATERMAN: counts[0], STATELESS_COST: counts[1]}
+    plan = packer.pack_mixed(demand)
+    assert plan.n_instances <= sum(counts)
+
+
+@given(
+    degree_a=st.integers(min_value=1, max_value=15),
+    degree_b=st.integers(min_value=1, max_value=30),
+    count_a=st.integers(min_value=1, max_value=50),
+    count_b=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_segregated_layout_math(degree_a, degree_b, count_a, count_b):
+    packer = MixedPacker(AWS_LAMBDA)
+    plan = packer.pack_segregated(
+        {SORT: count_a, STATELESS_COST: count_b},
+        {SORT: degree_a, STATELESS_COST: degree_b},
+    )
+    assert plan.functions_packed() == {
+        "sort": count_a, "stateless-cost": count_b
+    }
+    expected_instances = -(-count_a // degree_a) + -(-count_b // degree_b)
+    assert plan.n_instances == expected_instances
+    assert all(group.is_homogeneous() for group in plan.groups)

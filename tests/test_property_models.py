@@ -1,0 +1,110 @@
+"""Property-based tests on the analytical models and optimizer invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.core.optimizer import PackingOptimizer, instance_layout
+from repro.core.validation import chi_square_statistic
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads.synthetic import make_synthetic
+
+
+@given(
+    a=st.floats(min_value=1.0, max_value=500.0),
+    b=st.floats(min_value=0.001, max_value=0.3),
+)
+@settings(max_examples=100, deadline=None)
+def test_exec_fit_recovers_exact_parameters(a, b):
+    """Log-linear LSQ must exactly recover a noiseless exponential."""
+    degrees = list(range(1, 21))
+    times = [a * np.exp(b * d) for d in degrees]
+    model = ExecutionTimeModel.fit(degrees, times, mem_gb=1.0)
+    assert abs(model.coeff_a - a) / a < 1e-6
+    assert abs(model.coeff_b - b) < 1e-9
+
+
+@given(
+    b1=st.floats(min_value=1e-6, max_value=1e-3),
+    b2=st.floats(min_value=0.0, max_value=0.5),
+    b3=st.floats(min_value=-10.0, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_scaling_fit_recovers_exact_parameters(b1, b2, b3):
+    cs = [50, 100, 400, 1000, 2500, 5000]
+    scaling = [b1 * c**2 + b2 * c - b3 for c in cs]
+    model = ScalingTimeModel.fit(cs, scaling)
+    assert abs(model.beta1 - b1) < 1e-9 + 1e-4 * abs(b1)
+    assert abs(model.beta2 - b2) < 1e-6
+    assert abs(model.beta3 - b3) < 1e-4
+
+
+@given(
+    concurrency=st.integers(min_value=1, max_value=10_000),
+    degree=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_instance_layout_conserves_functions(concurrency, degree):
+    assume(degree <= concurrency)
+    layout = instance_layout(concurrency, degree)
+    assert sum(count * packed for count, packed in layout) == concurrency
+    assert all(1 <= packed <= degree for _, packed in layout)
+    assert sum(count for count, _ in layout) == -(-concurrency // degree)
+
+
+@given(
+    pressure=st.floats(min_value=0.01, max_value=0.4),
+    mem_mb=st.integers(min_value=128, max_value=4096),
+    base=st.floats(min_value=5.0, max_value=200.0),
+    concurrency=st.integers(min_value=10, max_value=6000),
+    w_s=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_optimizer_invariants(pressure, mem_mb, base, concurrency, w_s):
+    """Joint optimum is bracketed by the single-objective optima; all
+    chosen degrees are feasible."""
+    app = make_synthetic(
+        base_seconds=base, mem_mb=mem_mb, pressure_per_gb=pressure
+    )
+    exec_model = ExecutionTimeModel(
+        coeff_a=base, coeff_b=pressure * mem_mb / 1024.0, mem_gb=mem_mb / 1024.0
+    )
+    scaling = ScalingTimeModel(beta1=8e-5, beta2=0.005, beta3=2.0)
+    opt = PackingOptimizer(
+        exec_model=exec_model,
+        scaling_model=scaling,
+        app=app,
+        profile=AWS_LAMBDA,
+        concurrency=concurrency,
+    )
+    max_degree = opt.max_degree()
+    s = opt.optimal_service()
+    e = opt.optimal_expense()
+    j = opt.optimal_joint(w_s=w_s)
+    for d in (s, e, j):
+        assert 1 <= d <= max_degree
+    assert min(s, e) <= j <= max(s, e)
+
+
+@given(
+    st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=30)
+)
+@settings(max_examples=100, deadline=None)
+def test_chi_square_nonnegative_and_zero_iff_equal(values):
+    assert chi_square_statistic(values, values) == 0.0
+    shifted = [v * 1.1 for v in values]
+    assert chi_square_statistic(shifted, values) > 0.0
+
+
+@given(
+    degree=st.integers(min_value=1, max_value=60),
+    bound=st.floats(min_value=10.0, max_value=5000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_max_degree_within_is_maximal(degree, bound):
+    model = ExecutionTimeModel(coeff_a=8.0, coeff_b=0.05, mem_gb=1.0)
+    cap = model.max_degree_within(bound)
+    assert model.predict(cap) <= bound or cap == 1
+    if cap > 1:
+        assert model.predict(cap + 1) > bound

@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) on the simulation substrate."""
+
+import heapq
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import FifoResource, ProcessorSharingResource
+from repro.sim.stats import percentile
+
+works = st.lists(
+    st.floats(min_value=0.01, max_value=50.0, allow_nan=False), min_size=1, max_size=40
+)
+
+
+@given(works)
+@settings(max_examples=60, deadline=None)
+def test_ps_conserves_work(work_list):
+    """With all jobs submitted at t=0, the last completion equals
+    total work / capacity (processor sharing never idles)."""
+    sim = Simulator()
+    capacity = 2.5
+    ps = ProcessorSharingResource(sim, capacity=capacity)
+    ends = []
+    for w in work_list:
+        ps.submit(w, lambda: ends.append(sim.now))
+    sim.run()
+    assert len(ends) == len(work_list)
+    expected = sum(work_list) / capacity
+    assert abs(max(ends) - expected) < 1e-6 * max(1.0, expected)
+
+
+@given(works)
+@settings(max_examples=60, deadline=None)
+def test_ps_completion_order_is_size_order(work_list):
+    """Jobs submitted together finish in (work, arrival) order under PS."""
+    sim = Simulator()
+    ps = ProcessorSharingResource(sim, capacity=1.0)
+    order = []
+    for i, w in enumerate(work_list):
+        ps.submit(w, lambda i=i: order.append(i))
+    sim.run()
+    expected = [i for _, i in sorted((w, i) for i, w in enumerate(work_list))]
+    assert order == expected
+
+
+@given(works, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_fifo_makespan_bounds(work_list, servers):
+    """FIFO-k makespan is within [total/k, total/k + max] (list scheduling)."""
+    sim = Simulator()
+    fifo = FifoResource(sim, servers=servers)
+    ends = []
+    for w in work_list:
+        fifo.submit(w, lambda: ends.append(sim.now))
+    sim.run()
+    total = sum(work_list)
+    assert len(ends) == len(work_list)
+    assert max(ends) >= total / servers - 1e-9
+    assert max(ends) <= total / servers + max(work_list) + 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1,
+             max_size=200),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_percentile_properties(values, fraction):
+    p = percentile(values, fraction)
+    arr = sorted(values)
+    assert arr[0] <= p <= arr[-1]
+    assert p in values
+    # At least `fraction` of the values are <= p.
+    assert sum(v <= p for v in values) >= fraction * len(values) - 1e-9
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                          st.integers(min_value=0, max_value=10**6)),
+                min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_simulator_never_goes_backwards(events):
+    sim = Simulator()
+    seen = []
+    for delay, _ in events:
+        sim.schedule(delay, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)

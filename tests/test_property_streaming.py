@@ -1,0 +1,58 @@
+"""Property-based tests on the streaming dispatcher's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import ExecutionTimeModel
+from repro.extensions.streaming import (
+    StreamingDispatcher,
+    StreamingPlanner,
+    StreamingPolicy,
+)
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import XAPIAN
+
+EXEC = ExecutionTimeModel(
+    coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+)
+
+
+@given(
+    degree=st.integers(min_value=1, max_value=20),
+    timeout=st.floats(min_value=0.0, max_value=30.0),
+    rate=st.floats(min_value=0.1, max_value=50.0),
+    n=st.integers(min_value=1, max_value=150),
+)
+@settings(max_examples=40, deadline=None)
+def test_streaming_conservation_and_bounds(degree, timeout, rate, n):
+    dispatcher = StreamingDispatcher(AWS_LAMBDA, XAPIAN, EXEC, seed=171)
+    policy = StreamingPolicy(degree=degree, batch_timeout_s=timeout)
+    result = dispatcher.run(policy, rate, n)
+    # Every request served exactly once.
+    assert len(result.sojourn_times) == n
+    assert sum(result.batch_sizes) == n
+    # No batch exceeds the policy degree; no empty batches.
+    assert all(1 <= b <= degree for b in result.batch_sizes)
+    # Sojourn is at least the (noise-adjusted) solo execution time.
+    assert min(result.sojourn_times) > EXEC.predict(1) * 0.9
+    # Billing is positive and bounded by worst-case instance time.
+    assert result.billed_gb_seconds > 0
+
+
+@given(
+    rate=st.floats(min_value=0.2, max_value=64.0),
+    qos=st.floats(min_value=14.0, max_value=200.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_planner_policies_always_respect_structure(rate, qos):
+    planner = StreamingPlanner(AWS_LAMBDA, XAPIAN, EXEC)
+    policy = planner.plan(arrival_rate_per_s=rate, qos_sojourn_s=qos)
+    assert policy.degree >= 1
+    assert policy.batch_timeout_s >= 0.0
+    # The structural guarantee: timeout + inflated ET fits the budget.
+    if policy.degree > 1:
+        assert (
+            policy.batch_timeout_s + EXEC.predict(policy.degree) * 1.05
+            <= qos * 0.88 + 1e-6
+        )

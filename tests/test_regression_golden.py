@@ -1,0 +1,84 @@
+"""Golden-band regression tests.
+
+These pin the headline reproduction metrics inside loose bands so that
+future calibration or refactoring changes that silently break the
+paper-shape guarantees fail loudly here (rather than only in the slower
+benchmark suite). Bands are deliberately wide — they encode "the paper's
+story still holds", not exact values.
+"""
+
+import pytest
+
+from repro import (
+    AWS_LAMBDA,
+    BurstSpec,
+    ProPack,
+    PywrenManager,
+    ServerlessPlatform,
+    run_unpacked,
+)
+from repro.workloads import SORT, STATELESS_COST, VIDEO
+
+SEED = 2023
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return ServerlessPlatform(AWS_LAMBDA, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def propack(platform):
+    return ProPack(platform)
+
+
+def test_golden_scaling_share_at_5000(platform):
+    run = run_unpacked(platform, SORT, 5000)
+    share = run.scaling_time / run.service_time()
+    assert 0.85 < share < 0.99  # paper: >80%
+
+
+def test_golden_service_improvement_at_5000(platform, propack):
+    base = run_unpacked(platform, VIDEO, 5000)
+    out = propack.run(VIDEO, 5000)
+    cut = 1 - out.result.service_time() / base.service_time()
+    assert 0.80 < cut < 0.97  # paper: 85% average
+
+
+def test_golden_expense_improvement_at_5000(platform, propack):
+    base = run_unpacked(platform, VIDEO, 5000)
+    out = propack.run(VIDEO, 5000)
+    cut = 1 - out.total_expense_usd / base.expense.total_usd
+    assert 0.55 < cut < 0.95  # paper: 66% average
+
+
+def test_golden_fig12_absolutes(platform, propack):
+    """Fig. 12's striking absolute agreement at C=2000."""
+    base = run_unpacked(platform, SORT, 2000)
+    out = propack.run(SORT, 2000)
+    assert base.function_hours > 45.0          # paper: "more than 50 hours"
+    assert out.result.function_hours < 16.0    # paper: "less than 14 hours"
+    assert base.expense.total_usd > 25.0       # paper: "more than $25"
+    assert out.total_expense_usd < 14.0        # paper: "less than $12"
+
+
+def test_golden_pywren_gap(platform, propack):
+    pywren = PywrenManager(platform).map(SORT, 4000)
+    out = propack.run(SORT, 4000)
+    service_cut = 1 - out.result.service_time() / pywren.service_time()
+    expense_cut = 1 - out.total_expense_usd / pywren.expense.total_usd
+    assert 0.35 < service_cut < 0.90  # paper: 52% average
+    assert 0.60 < expense_cut < 0.95  # paper: 78% average
+
+
+def test_golden_chi_square(propack):
+    gof = propack.validate_models(SORT, 2000)
+    assert gof["service"].statistic < 4.075
+    assert gof["expense"].statistic < 0.055
+
+
+def test_golden_packing_degrees_reasonable(propack):
+    """Joint degrees stay in the paper's reported neighbourhoods."""
+    assert 4 <= propack.plan(SORT, 2000)[0].degree <= 12      # paper: 12
+    assert 6 <= propack.plan(VIDEO, 5000)[0].degree <= 20
+    assert 8 <= propack.plan(STATELESS_COST, 1000)[0].degree <= 18  # paper: ~10

@@ -1,0 +1,104 @@
+"""Tests for the thread-based local packing executor."""
+
+import pytest
+
+from repro.runtime.executor import PackedExecutor
+from repro.workloads import MapReduceSort, StatelessCost
+from repro.workloads.base import Task
+from repro.workloads.synthetic import SyntheticApp
+
+
+@pytest.fixture(scope="module")
+def sort_app():
+    return MapReduceSort(partition_size=200)
+
+
+def test_all_tasks_complete(sort_app):
+    executor = PackedExecutor(sort_app)
+    tasks = sort_app.make_tasks(6, seed=1)
+    outcome = executor.run(tasks, packing_degree=2)
+    assert outcome.ok
+    assert len(outcome.results) == 6
+    assert outcome.n_workers == 3
+
+
+def test_results_are_correct(sort_app):
+    executor = PackedExecutor(sort_app)
+    tasks = sort_app.make_tasks(4, seed=2)
+    outcome = executor.run(tasks, packing_degree=4)
+    for task in tasks:
+        result = outcome.result_for(task.task_id)
+        assert sort_app.validate_result(task, result.value)
+
+
+def test_partial_last_worker(sort_app):
+    executor = PackedExecutor(sort_app)
+    tasks = sort_app.make_tasks(5, seed=3)
+    outcome = executor.run(tasks, packing_degree=3)
+    assert outcome.n_workers == 2
+    assert len(outcome.results) == 5
+
+
+def test_degree_one_is_sequential(sort_app):
+    executor = PackedExecutor(sort_app)
+    tasks = sort_app.make_tasks(3, seed=4)
+    outcome = executor.run(tasks, packing_degree=1)
+    assert outcome.n_workers == 3
+
+
+def test_missing_result_raises(sort_app):
+    executor = PackedExecutor(sort_app)
+    outcome = executor.run(sort_app.make_tasks(2, seed=5), packing_degree=2)
+    with pytest.raises(KeyError):
+        outcome.result_for(999)
+
+
+def test_errors_are_collected_not_raised():
+    class FailingApp(SyntheticApp):
+        def run_task(self, task):
+            if task.task_id == 1:
+                raise RuntimeError("boom")
+            return super().run_task(task)
+
+    app = FailingApp(working_set=16, sweeps=1)
+    executor = PackedExecutor(app)
+    outcome = executor.run(app.make_tasks(3, seed=0), packing_degree=3)
+    assert not outcome.ok
+    assert len(outcome.errors) == 1
+    assert outcome.errors[0][0] == 1
+    assert len(outcome.results) == 2  # others still completed
+
+
+def test_invalid_parameters():
+    app = SyntheticApp(working_set=16, sweeps=1)
+    with pytest.raises(ValueError):
+        PackedExecutor(app, max_workers=0)
+    with pytest.raises(ValueError):
+        PackedExecutor(app).run(app.make_tasks(2, seed=0), packing_degree=0)
+
+
+def test_measure_packing_curve(sort_app):
+    executor = PackedExecutor(sort_app)
+    curve = executor.measure_packing_curve([1, 2, 4], tasks_per_degree=1)
+    assert set(curve) == {1, 2, 4}
+    assert all(v > 0 for v in curve.values())
+
+
+def test_measure_packing_curve_propagates_failures():
+    class AlwaysFails(SyntheticApp):
+        def run_task(self, task):
+            raise RuntimeError("nope")
+
+    executor = PackedExecutor(AlwaysFails(working_set=16, sweeps=1))
+    with pytest.raises(RuntimeError, match="profiling run failed"):
+        executor.measure_packing_curve([1])
+
+
+def test_stateless_app_through_executor():
+    app = StatelessCost(in_size=16, out_size=8)
+    executor = PackedExecutor(app)
+    tasks = app.make_tasks(4, seed=1)
+    outcome = executor.run(tasks, packing_degree=2)
+    assert outcome.ok
+    for task in tasks:
+        assert app.validate_result(task, outcome.result_for(task.task_id).value)

@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+def test_initial_clock_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    hits = []
+    sim.schedule(2.0, hits.append, "late")
+    sim.schedule(1.0, hits.append, "early")
+    sim.schedule(1.5, hits.append, "middle")
+    sim.run()
+    assert hits == ["early", "middle", "late"]
+
+
+def test_ties_break_in_fifo_order():
+    sim = Simulator()
+    hits = []
+    for i in range(10):
+        sim.schedule(1.0, hits.append, i)
+    sim.run()
+    assert hits == list(range(10))
+
+
+def test_clock_advances_to_last_event():
+    sim = Simulator()
+    sim.schedule(3.5, lambda: None)
+    sim.run()
+    assert sim.now == 3.5
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    hits = []
+    sim.schedule_at(4.0, hits.append, "x")
+    sim.run()
+    assert hits == ["x"] and sim.now == 4.0
+
+
+def test_schedule_during_event_execution():
+    sim = Simulator()
+    hits = []
+
+    def chain(n):
+        hits.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert hits == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1.0, hits.append, "a")
+    sim.schedule(5.0, hits.append, "b")
+    sim.run(until=2.0)
+    assert hits == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert hits == ["a", "b"]
+
+
+def test_event_at_exactly_until_executes():
+    sim = Simulator()
+    hits = []
+    sim.schedule(2.0, hits.append, "edge")
+    sim.run(until=2.0)
+    assert hits == ["edge"]
+
+
+def test_cancelled_event_is_skipped():
+    sim = Simulator()
+    hits = []
+    event = sim.schedule(1.0, hits.append, "cancel-me")
+    sim.schedule(2.0, hits.append, "keep")
+    event.cancel()
+    sim.run()
+    assert hits == ["keep"]
+
+
+def test_peek_skips_cancelled_events():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_returns_none():
+    assert Simulator().peek() is None
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    hits = []
+    for i in range(5):
+        sim.schedule(float(i), hits.append, i)
+    sim.run(max_events=2)
+    assert hits == [0, 1]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    error = {}
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            error["raised"] = exc
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert "raised" in error
+
+
+def test_event_ordering_dataclass():
+    early = Event(1.0, 0, lambda: None)
+    late = Event(2.0, 1, lambda: None)
+    assert early < late

@@ -1,0 +1,62 @@
+"""Tests for deterministic per-subsystem RNG streams."""
+
+import numpy as np
+
+from repro.sim.randomness import RandomStreams
+
+
+def test_same_seed_same_draws():
+    a = RandomStreams(42).stream("exec").random(10)
+    b = RandomStreams(42).stream("exec").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("exec").random(10)
+    b = RandomStreams(2).stream("exec").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_labels_are_independent_streams():
+    streams = RandomStreams(7)
+    a = streams.stream("build").random(10)
+    b = streams.stream("exec").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached_and_stateful():
+    streams = RandomStreams(7)
+    first = streams.stream("x").random(5)
+    second = streams.stream("x").random(5)
+    assert not np.array_equal(first, second)  # continues, doesn't restart
+
+
+def test_lognormal_factor_zero_sigma_is_exactly_one():
+    assert RandomStreams(3).lognormal_factor("exec", 0.0) == 1.0
+
+
+def test_lognormal_factor_is_positive():
+    streams = RandomStreams(3)
+    for _ in range(100):
+        assert streams.lognormal_factor("exec", 0.5) > 0.0
+
+
+def test_lognormal_factor_median_near_one():
+    streams = RandomStreams(11)
+    draws = [streams.lognormal_factor("exec", 0.1) for _ in range(2000)]
+    assert 0.98 < float(np.median(draws)) < 1.02
+
+
+def test_spawn_derives_independent_family():
+    parent = RandomStreams(5)
+    child_a = parent.spawn("rep1")
+    child_b = parent.spawn("rep2")
+    assert not np.array_equal(
+        child_a.stream("exec").random(5), child_b.stream("exec").random(5)
+    )
+
+
+def test_spawn_is_deterministic():
+    a = RandomStreams(5).spawn("rep1").stream("e").random(5)
+    b = RandomStreams(5).spawn("rep1").stream("e").random(5)
+    assert np.array_equal(a, b)

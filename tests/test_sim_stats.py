@@ -1,0 +1,65 @@
+"""Tests for percentile and summary-statistics helpers."""
+
+import pytest
+
+from repro.sim.stats import percentile, relative_spread, summarize
+
+
+def test_percentile_is_order_statistic():
+    values = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+    assert percentile(values, 0.5) == 50.0    # ceil(0.5*10)=5th value
+    assert percentile(values, 0.95) == 100.0  # ceil(0.95*10)=10th value
+    assert percentile(values, 1.0) == 100.0
+
+
+def test_percentile_unsorted_input():
+    assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+def test_percentile_matches_paper_semantics():
+    """'First 95% of instances complete' = 95th order statistic."""
+    values = list(range(1, 101))
+    assert percentile(values, 0.95) == 95
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 0.5) == 7.0
+
+
+def test_percentile_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        percentile([1.0], 0.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_percentile_rejects_empty():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+
+
+def test_summarize_basic_fields():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.minimum == 1.0
+    assert stats.maximum == 4.0
+    assert stats.median == 2.0
+
+
+def test_summarize_rejects_empty():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_relative_spread_constant_series_is_zero():
+    assert relative_spread([5.0, 5.0, 5.0]) == 0.0
+
+
+def test_relative_spread_value():
+    assert relative_spread([90.0, 100.0, 110.0]) == pytest.approx(0.2)
+
+
+def test_relative_spread_rejects_empty():
+    with pytest.raises(ValueError):
+        relative_spread([])

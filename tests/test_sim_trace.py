@@ -1,0 +1,104 @@
+"""Tests for the simulation trace recorder."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceEntry, TraceRecorder
+
+
+def named_callback():
+    pass
+
+
+def test_records_executed_events():
+    sim = Simulator()
+    sim.schedule(1.0, named_callback)
+    sim.schedule(2.0, named_callback)
+    with TraceRecorder(sim) as trace:
+        sim.run()
+    assert len(trace) == 2
+    assert [e.time for e in trace.entries] == [1.0, 2.0]
+    assert all("named_callback" in e.callback for e in trace.entries)
+
+
+def test_uninstall_stops_recording():
+    sim = Simulator()
+    trace = TraceRecorder(sim).install()
+    sim.schedule(1.0, named_callback)
+    sim.run()
+    trace.uninstall()
+    sim.schedule(1.0, named_callback)
+    sim.run()
+    assert len(trace) == 1
+
+
+def test_window_filters_by_time():
+    sim = Simulator()
+    for t in (1.0, 5.0, 9.0):
+        sim.schedule(t, named_callback)
+    with TraceRecorder(sim) as trace:
+        sim.run()
+    assert [e.time for e in trace.window(2.0, 8.0)] == [5.0]
+
+
+def test_by_callback_filters_by_name():
+    sim = Simulator()
+    sim.schedule(1.0, named_callback)
+    sim.schedule(2.0, lambda: None)
+    with TraceRecorder(sim) as trace:
+        sim.run()
+    assert len(trace.by_callback("named_callback")) == 1
+
+
+def test_ring_buffer_drops_oldest():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), named_callback)
+    with TraceRecorder(sim, capacity=4) as trace:
+        sim.run()
+    assert len(trace) == 4
+    assert trace.dropped == 6
+    assert [e.time for e in trace.entries] == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_predicate_filters_entries():
+    sim = Simulator()
+    for i in range(6):
+        sim.schedule(float(i), named_callback)
+    trace = TraceRecorder(sim, predicate=lambda e: e.time >= 3.0).install()
+    sim.run()
+    assert [e.time for e in trace.entries] == [3.0, 4.0, 5.0]
+
+
+def test_summary_counts():
+    sim = Simulator()
+    for _ in range(3):
+        sim.schedule(1.0, named_callback)
+    with TraceRecorder(sim) as trace:
+        sim.run()
+    summary = trace.summary()
+    assert sum(summary.values()) == 3
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TraceRecorder(Simulator(), capacity=0)
+
+
+def test_traces_platform_components():
+    """The recorder sees real platform components' events (run_burst builds
+    its own simulator internally, so drive one component directly)."""
+    from repro.cluster.network import NetworkFabric
+
+    sim = Simulator()
+    trace = TraceRecorder(sim).install()
+    net = NetworkFabric(sim, uplink_gbps=1.0)
+    net.ship(10.0, named_callback)
+    sim.run()
+    assert len(trace) >= 1
+    assert trace.entries[-1].time > 0
+
+
+def test_entry_str_readable():
+    entry = TraceEntry(time=1.5, seq=3, callback="X.cb")
+    assert "1.5" in str(entry) and "X.cb" in str(entry)

@@ -1,0 +1,79 @@
+"""Tests for heterogeneous per-function work (input skew)."""
+
+import numpy as np
+import pytest
+
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return ServerlessPlatform(AWS_LAMBDA, seed=91)
+
+
+def test_zero_skew_is_default_and_neutral(platform):
+    a = platform.run_burst(BurstSpec(app=SORT, concurrency=50), repetition=5)
+    b = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=50, skew_cv=0.0), repetition=5
+    )
+    assert a.service_time() == b.service_time()
+
+
+def test_negative_skew_rejected():
+    with pytest.raises(ValueError):
+        BurstSpec(app=SORT, concurrency=10, skew_cv=-0.1)
+
+
+def test_skew_preserves_mean_at_degree_one(platform):
+    """Unit-mean draws: unpacked mean execution time is roughly unchanged."""
+    plain = platform.run_burst(BurstSpec(app=SORT, concurrency=400), repetition=1)
+    skewed = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=400, skew_cv=0.3), repetition=1
+    )
+    assert skewed.mean_exec_seconds == pytest.approx(
+        plain.mean_exec_seconds, rel=0.05
+    )
+
+
+def test_skew_widens_execution_spread(platform):
+    plain = platform.run_burst(BurstSpec(app=SORT, concurrency=300), repetition=2)
+    skewed = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=300, skew_cv=0.5), repetition=2
+    )
+    def spread(result):
+        execs = [r.exec_seconds for r in result.records]
+        return float(np.std(execs) / np.mean(execs))
+
+    assert spread(skewed) > 5 * spread(plain)
+
+
+def test_packed_instances_run_at_slowest_function(platform):
+    """Straggler effect: packed execution inflates beyond the homogeneous
+    prediction because the instance waits for its slowest function."""
+    plain = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=300, packing_degree=10), repetition=3
+    )
+    skewed = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=300, packing_degree=10, skew_cv=0.5),
+        repetition=3,
+    )
+    assert skewed.mean_exec_seconds > 1.3 * plain.mean_exec_seconds
+
+
+def test_straggler_penalty_grows_with_degree(platform):
+    """E[max of n] grows with n: higher packing suffers more from skew."""
+    def inflation(degree):
+        plain = platform.run_burst(
+            BurstSpec(app=SORT, concurrency=300, packing_degree=degree),
+            repetition=4,
+        )
+        skewed = platform.run_burst(
+            BurstSpec(app=SORT, concurrency=300, packing_degree=degree, skew_cv=0.5),
+            repetition=4,
+        )
+        return skewed.mean_exec_seconds / plain.mean_exec_seconds
+
+    assert inflation(10) > inflation(2) > 1.0

@@ -1,0 +1,83 @@
+"""Tests for the propack-plan CLI."""
+
+import pytest
+
+from repro.tools.plan_cli import main
+
+
+def test_plan_known_app(capsys):
+    assert main(["--app", "sort", "--concurrency", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "packing degree:" in out
+    assert "predicted service:" in out
+    assert "sort" in out
+
+
+def test_plan_unknown_app(capsys):
+    assert main(["--app", "nope", "--concurrency", "100"]) == 2
+    assert "unknown app" in capsys.readouterr().err
+
+
+def test_plan_unknown_platform(capsys):
+    assert main(["--app", "sort", "--concurrency", "100",
+                 "--platform", "ibm"]) == 2
+    assert "unknown platform" in capsys.readouterr().err
+
+
+def test_plan_synthetic_app(capsys):
+    assert main([
+        "--app", "synthetic", "--concurrency", "1000",
+        "--base-seconds", "30", "--mem-mb", "1024", "--pressure", "0.15",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "M_func=1024 MB" in out
+
+
+def test_plan_with_qos(capsys):
+    assert main(["--app", "xapian", "--concurrency", "2000",
+                 "--qos-tail", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "qos tail bound" in out
+    assert "met" in out
+
+
+def test_plan_funcx_platform(capsys):
+    assert main(["--app", "sort", "--concurrency", "500",
+                 "--platform", "funcx"]) == 0
+    assert "funcx" in capsys.readouterr().out
+
+
+def test_plan_objective_expense(capsys):
+    assert main(["--app", "video", "--concurrency", "1000",
+                 "--objective", "expense"]) == 0
+    out = capsys.readouterr().out
+    assert "W_S=0.00" in out
+
+
+def test_plan_execute(capsys):
+    assert main(["--app", "sort", "--concurrency", "800", "--execute"]) == 0
+    out = capsys.readouterr().out
+    assert "realized service:" in out
+    assert "baseline" in out
+
+
+def test_plan_json_output(capsys):
+    import json
+
+    assert main(["--app", "sort", "--concurrency", "800", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["app"] == "sort"
+    assert document["degree"] >= 1
+    assert document["predicted_expense_usd"] > 0
+    assert document["qos"] is None
+
+
+def test_plan_json_with_execute_and_qos(capsys):
+    import json
+
+    assert main(["--app", "xapian", "--concurrency", "1000",
+                 "--qos-tail", "60", "--json", "--execute"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["qos"]["feasible"] is True
+    assert document["realized"]["service_s"] > 0
+    assert document["realized"]["baseline_expense_usd"] > document["realized"]["expense_usd"]

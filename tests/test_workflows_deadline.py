@@ -1,0 +1,95 @@
+"""Tests for deadline-driven workflow planning."""
+
+import pytest
+
+from repro.core.propack import ProPack
+from repro.platform.base import ServerlessPlatform
+from repro.platform.providers import AWS_LAMBDA
+from repro.workflows import Stage, WorkflowGraph, WorkflowRunner
+from repro.workflows.deadline import DeadlinePlanner
+from repro.workloads import SORT, STATELESS_COST, VIDEO
+
+
+@pytest.fixture(scope="module")
+def setup():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=211)
+    propack = ProPack(platform)
+    workflow = WorkflowGraph([
+        Stage("split", STATELESS_COST, 1000),
+        Stage("encode", VIDEO, 3000, depends_on=("split",)),
+        Stage("index", STATELESS_COST, 1500, depends_on=("split",)),
+        Stage("merge", SORT, 1000, depends_on=("encode", "index")),
+    ])
+    return platform, propack, workflow
+
+
+def test_loose_deadline_keeps_expense_optimal_degrees(setup):
+    _, propack, workflow = setup
+    planner = DeadlinePlanner(propack)
+    plan = planner.plan(workflow, deadline_s=100_000.0)
+    assert plan.feasible
+    for stage in workflow.topological_order():
+        expense_opt = propack.optimizer(
+            stage.app, stage.concurrency
+        ).optimal_expense()
+        assert plan.degrees[stage.name] == expense_opt
+
+
+def test_tight_deadline_trades_expense_for_speed(setup):
+    _, propack, workflow = setup
+    planner = DeadlinePlanner(propack)
+    loose = planner.plan(workflow, deadline_s=100_000.0)
+    tight = planner.plan(workflow, deadline_s=loose.predicted_makespan_s * 0.7)
+    assert tight.feasible
+    assert tight.predicted_makespan_s < loose.predicted_makespan_s
+    assert tight.predicted_expense_usd > loose.predicted_expense_usd
+
+
+def test_tighter_deadlines_cost_monotonically_more(setup):
+    _, propack, workflow = setup
+    planner = DeadlinePlanner(propack)
+    loose = planner.plan(workflow, deadline_s=100_000.0)
+    base = loose.predicted_makespan_s
+    expenses = [
+        planner.plan(workflow, deadline_s=base * f).predicted_expense_usd
+        for f in (1.0, 0.8, 0.6)
+    ]
+    assert expenses == sorted(expenses)
+
+
+def test_impossible_deadline_reported_infeasible(setup):
+    _, propack, workflow = setup
+    plan = DeadlinePlanner(propack).plan(workflow, deadline_s=1.0)
+    assert not plan.feasible
+    assert plan.predicted_makespan_s > 1.0  # honest: best effort reported
+
+
+def test_plan_only_touches_critical_path_stages(setup):
+    """Off-critical stages keep their cheap degrees: the planner pays for
+    speed only where the makespan demands it."""
+    _, propack, workflow = setup
+    planner = DeadlinePlanner(propack)
+    loose = planner.plan(workflow, deadline_s=100_000.0)
+    tight = planner.plan(workflow, deadline_s=loose.predicted_makespan_s * 0.8)
+    changed = [n for n in tight.degrees if tight.degrees[n] != loose.degrees[n]]
+    assert changed  # something had to speed up
+    assert set(changed) <= set(loose.critical_path) | set(tight.critical_path)
+
+
+def test_realized_makespan_meets_deadline(setup):
+    platform, propack, workflow = setup
+    planner = DeadlinePlanner(propack)
+    loose = planner.plan(workflow, deadline_s=100_000.0)
+    deadline = loose.predicted_makespan_s * 0.75
+    plan = planner.plan(workflow, deadline)
+    assert plan.feasible
+    result = WorkflowRunner(platform).run(workflow, degrees=plan.degrees)
+    assert result.makespan_s <= deadline
+
+
+def test_deadline_validation(setup):
+    _, propack, workflow = setup
+    with pytest.raises(ValueError):
+        DeadlinePlanner(propack).plan(workflow, deadline_s=0.0)
+    with pytest.raises(ValueError):
+        DeadlinePlanner(propack, safety=0.0)

@@ -1,0 +1,160 @@
+"""Tests for the production-grade kernel variants: Gotoh affine gaps,
+BM25 scoring, and the MLP classifier head."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import SmithWaterman, ThousandIslandScanner, XapianSearch
+from repro.workloads.smith_waterman import gotoh_affine_score, sw_score_matrix
+from repro.workloads.video import TinyMLP
+
+
+# --------------------------------------------------------------------- #
+# Gotoh affine-gap alignment
+# --------------------------------------------------------------------- #
+
+def seq(s: bytes) -> np.ndarray:
+    return np.frombuffer(s, dtype=np.uint8)
+
+
+def test_gotoh_identical_sequences_full_match():
+    s = seq(b"MKTWYENQ")
+    assert gotoh_affine_score(s, s, match=3) == 3 * len(s)
+
+
+def test_gotoh_equals_linear_when_affine_collapses():
+    """With gap_open == gap_extend the affine model IS the linear model."""
+    q = seq(b"HEAGAWGHEE")
+    r = seq(b"PAWHEAE")
+    linear = int(sw_score_matrix(q, r, match=3, mismatch=-2, gap=-3).max())
+    affine = gotoh_affine_score(q, r, match=3, mismatch=-2, gap_open=-3, gap_extend=-3)
+    assert affine == linear
+
+
+def test_gotoh_prefers_one_long_gap_over_many_short():
+    """Affine scoring's point: one opened gap extended cheaply can beat
+    repeated opens, so a sequence with a single long insertion scores
+    better under affine than under an equivalent linear penalty."""
+    q = seq(b"ACDEFGHIKL")
+    r = seq(b"ACDEF" + b"WWWW" + b"GHIKL")  # one 4-residue insertion
+    affine = gotoh_affine_score(q, r, gap_open=-5, gap_extend=-1)
+    linear = int(sw_score_matrix(q, r, gap=-5).max())
+    assert affine > linear
+
+
+def test_gotoh_score_nonnegative_on_random_pairs():
+    rng = np.random.default_rng(3)
+    alphabet = seq(b"ACDEFGHIKLMNPQRSTVWY")
+    for _ in range(5):
+        q = rng.choice(alphabet, size=25)
+        r = rng.choice(alphabet, size=40)
+        assert gotoh_affine_score(q, r) >= 0
+
+
+def test_gotoh_rejects_empty():
+    with pytest.raises(ValueError):
+        gotoh_affine_score(seq(b""), seq(b"A"))
+
+
+def test_sw_app_affine_mode():
+    app = SmithWaterman(query_len=20, reference_len=60, affine_gaps=True)
+    task = app.make_tasks(1, seed=2)[0]
+    value = app.run_task(task)
+    assert "affine_score" in value
+    assert value["affine_score"] >= 0
+
+
+# --------------------------------------------------------------------- #
+# BM25 index
+# --------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def engine():
+    return XapianSearch(n_docs=60, doc_len=80, vocab_size=400)
+
+
+def test_bm25_idf_monotone_in_rarity(engine):
+    """Rarer terms get higher idf under BM25."""
+    by_df = sorted(engine.index.postings, key=lambda t: len(engine.index.postings[t]))
+    rare, common = by_df[0], by_df[-1]
+    assert engine.index.idf(rare) > engine.index.idf(common)
+
+
+def test_bm25_idf_nonnegative(engine):
+    assert all(engine.index.idf(t) >= 0.0 for t in engine.index.postings)
+
+
+def test_bm25_tf_saturation():
+    """BM25's k1 saturation: doubling tf must less-than-double the score."""
+    docs = [
+        np.array([1, 1, 2, 3], dtype=np.int64),
+        np.array([1, 1, 1, 1, 1, 1, 2, 3], dtype=np.int64),
+        np.array([4, 5, 6, 7], dtype=np.int64),
+    ]
+    from repro.workloads.xapian import InvertedIndex
+
+    index = InvertedIndex(docs, vocab_size=10)
+    hits = dict(index.search(np.array([1]), top_k=3))
+    # Doc 1 has 3x the tf of doc 0 for token 1 (and is longer); its score
+    # advantage must be well below 3x.
+    assert hits[1] < 2.0 * hits[0]
+
+
+def test_bm25_length_normalization():
+    """Same tf in a shorter document scores higher (b > 0)."""
+    docs = [
+        np.array([1, 2], dtype=np.int64),              # short, one hit of 1
+        np.array([1, 3, 4, 5, 6, 7, 8, 9], dtype=np.int64),  # long, one hit
+    ]
+    from repro.workloads.xapian import InvertedIndex
+
+    index = InvertedIndex(docs, vocab_size=16)
+    hits = dict(index.search(np.array([1]), top_k=2))
+    assert hits[0] > hits[1]
+
+
+def test_bm25_search_still_ranked(engine):
+    for task in engine.make_tasks(4, seed=8):
+        value = engine.run_task(task)
+        scores = [s for _, s in value["hits"]]
+        assert scores == sorted(scores, reverse=True)
+
+
+# --------------------------------------------------------------------- #
+# TinyMLP classifier
+# --------------------------------------------------------------------- #
+
+def test_mlp_outputs_probability_distribution():
+    mlp = TinyMLP(in_features=16)
+    probs = mlp.forward(np.random.default_rng(0).random(16).astype(np.float32))
+    assert probs.shape == (8,)
+    assert probs.sum() == pytest.approx(1.0)
+    assert np.all(probs >= 0)
+
+
+def test_mlp_is_deterministic():
+    a = TinyMLP(in_features=16)
+    b = TinyMLP(in_features=16)
+    x = np.ones(16, dtype=np.float32)
+    assert np.allclose(a.forward(x), b.forward(x))
+
+
+def test_mlp_distinguishes_inputs():
+    mlp = TinyMLP(in_features=16)
+    rng = np.random.default_rng(1)
+    labels = {int(np.argmax(mlp.forward(rng.random(16).astype(np.float32))))
+              for _ in range(40)}
+    assert len(labels) > 1  # a constant classifier would be useless
+
+
+def test_video_app_uses_classifier():
+    app = ThousandIslandScanner(frames_per_chunk=2, frame_size=16)
+    task = app.make_tasks(1, seed=4)[0]
+    value = app.run_task(task)
+    assert app.validate_result(task, value)
+    assert 0.0 < value["confidence"] <= 1.0
+
+
+def test_video_rejects_bad_frame_size():
+    with pytest.raises(ValueError):
+        ThousandIslandScanner(frame_size=10)
