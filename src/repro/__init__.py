@@ -28,9 +28,17 @@ Quickstart::
     print(outcome.plan.degree, outcome.service_time_s, outcome.total_expense_usd)
 """
 
-from repro.baselines import Oracle, PywrenManager, SerialBatcher, StaggeredInvoker, run_unpacked
+from repro.baselines import (
+    Oracle,
+    PywrenManager,
+    SerialBatcher,
+    StaggeredInvoker,
+    compare_failure_awareness,
+    run_unpacked,
+)
 from repro.core import (
     ExecutionTimeModel,
+    FailurePenalty,
     GoodnessOfFit,
     InterferenceProfiler,
     PackingOptimizer,
@@ -43,10 +51,20 @@ from repro.core import (
 )
 from repro.extensions import (
     AdaptiveProPack,
+    FailureAdaptiveProPack,
     MixedGroup,
     MixedInterferenceModel,
     MixedPacker,
     run_campaign,
+)
+from repro.faults import (
+    ExponentialBackoffRetry,
+    FaultScenario,
+    FixedDelayRetry,
+    HedgePolicy,
+    ImmediateRetry,
+    RetryBudget,
+    RetryPolicy,
 )
 from repro.funcx import FuncXEndpoint
 from repro.platform import (
@@ -104,6 +122,17 @@ __all__ = [
     "SerialBatcher",
     "StaggeredInvoker",
     "Oracle",
+    "compare_failure_awareness",
+    # faults + resilience
+    "FaultScenario",
+    "RetryPolicy",
+    "ImmediateRetry",
+    "FixedDelayRetry",
+    "ExponentialBackoffRetry",
+    "RetryBudget",
+    "HedgePolicy",
+    "FailurePenalty",
+    "FailureAdaptiveProPack",
     # funcx + runtime
     "FuncXEndpoint",
     "PackedExecutor",

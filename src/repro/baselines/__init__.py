@@ -11,9 +11,12 @@
   alternative the paper reports as unsuitable (Sec. 4).
 * :mod:`~repro.baselines.oracle` — exhaustive brute-force search for the
   true optimal packing degree (the paper's Oracle).
+* :mod:`~repro.baselines.failureblind` — the seed's failure-blind planner
+  vs. the failure-aware planner on a flaky platform.
 """
 
 from repro.baselines.batching import SerialBatcher
+from repro.baselines.failureblind import FailureComparison, compare_failure_awareness
 from repro.baselines.nopack import run_unpacked
 from repro.baselines.oracle import Oracle, OracleResult
 from repro.baselines.pywren import PywrenManager
@@ -26,4 +29,6 @@ __all__ = [
     "StaggeredInvoker",
     "Oracle",
     "OracleResult",
+    "FailureComparison",
+    "compare_failure_awareness",
 ]

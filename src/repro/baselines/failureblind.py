@@ -1,0 +1,65 @@
+"""Failure-blind vs. failure-aware packing comparison.
+
+The seed planner prices a burst as if every attempt succeeds — the
+*failure-blind* baseline. Under a real failure rate its chosen degree packs
+too aggressively: each crash loses ``P×`` work and the retry re-pays the
+full cold pipeline. This module runs both planners on the same flaky
+platform so experiments (and the fault-sweep figure) can quantify the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.propack import ProPack, ProPackOutcome
+from repro.core.reliability import FailurePenalty
+from repro.platform.base import ServerlessPlatform
+from repro.workloads.base import AppSpec
+
+
+@dataclass(frozen=True)
+class FailureComparison:
+    """Blind and aware outcomes of the same workload on one platform."""
+
+    blind: ProPackOutcome
+    aware: ProPackOutcome
+
+    @property
+    def degree_reduction(self) -> int:
+        """How many packing steps the aware planner backed off."""
+        return self.blind.plan.degree - self.aware.plan.degree
+
+    @property
+    def service_improvement(self) -> float:
+        """Fractional service-time gain of failure-aware packing."""
+        blind_s = self.blind.result.service_time()
+        return 1.0 - self.aware.result.service_time() / blind_s
+
+    @property
+    def waste_reduction(self) -> float:
+        """Wasted billed GB-seconds avoided by the aware planner."""
+        return (
+            self.blind.result.fault_stats.wasted_billed_gb_seconds
+            - self.aware.result.fault_stats.wasted_billed_gb_seconds
+        )
+
+
+def compare_failure_awareness(
+    platform: ServerlessPlatform,
+    app: AppSpec,
+    concurrency: int,
+    objective: str = "joint",
+    failure: Optional[FailurePenalty] = None,
+) -> FailureComparison:
+    """Run the failure-blind and failure-aware planners back to back.
+
+    Both share one :class:`ProPack` (hence one set of fitted models and one
+    profiling charge); only the planning differs.
+    """
+    propack = ProPack(platform)
+    blind = propack.run(app, concurrency, objective=objective)
+    aware = propack.run(
+        app, concurrency, objective=objective, failure_aware=True, failure=failure
+    )
+    return FailureComparison(blind=blind, aware=aware)

@@ -8,7 +8,7 @@ size drives container start-up (download + install) and shipping times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ scheduling delay the paper measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

@@ -23,6 +23,7 @@ from repro.core.planner import PackingPlan
 from repro.core.profiler import InterferenceProfile, InterferenceProfiler, ScalingProfiler
 from repro.core.propack import ProPack, ProPackOutcome
 from repro.core.qos import QoSWeightSearch
+from repro.core.reliability import FailurePenalty
 from repro.core.validation import GoodnessOfFit, chi_square_statistic
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "ProPack",
     "ProPackOutcome",
     "QoSWeightSearch",
+    "FailurePenalty",
     "GoodnessOfFit",
     "chi_square_statistic",
     "save_models",

@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.core.reliability import FailurePenalty
 from repro.platform.providers import PlatformProfile
 from repro.workloads.base import AppSpec
 
@@ -44,11 +45,20 @@ def instance_layout(concurrency: int, degree: int) -> list[tuple[int, int]]:
 
 @dataclass(frozen=True)
 class ServiceTimeModel:
-    """Predicted service time as a function of the packing degree."""
+    """Predicted service time as a function of the packing degree.
+
+    With a :class:`~repro.core.reliability.FailurePenalty`, the prediction
+    adds the expected serialized retry cost of the burst's unluckiest
+    group: each retry on the critical path re-pays the full ``ET(P)`` (a
+    packed crash loses ``P`` functions' worth of work) plus the cold
+    re-invocation overhead — which is exactly why high packing degrees
+    become unattractive under failures.
+    """
 
     exec_model: ExecutionTimeModel
     scaling_model: ScalingTimeModel
     concurrency: int
+    failure: Optional[FailurePenalty] = None
 
     def n_instances(self, degree: int) -> int:
         return math.ceil(self.concurrency / degree)
@@ -70,9 +80,12 @@ class ServiceTimeModel:
             quantile = 0.5
         else:
             raise ValueError(f"unknown figure of merit {merit!r}")
-        return self.scaling_model.predict(
-            math.ceil(quantile * c_eff)
-        ) + self.exec_model.predict(degree)
+        et = self.exec_model.predict(degree)
+        service = self.scaling_model.predict(math.ceil(quantile * c_eff)) + et
+        if self.failure is not None:
+            tail_retries = self.failure.expected_tail_retries(c_eff)
+            service += tail_retries * (et + self.failure.retry_overhead_s)
+        return service
 
     def curve(self, degrees: Sequence[int], merit: str = "total") -> np.ndarray:
         return np.asarray([self.predict(d, merit) for d in degrees])
@@ -80,13 +93,21 @@ class ServiceTimeModel:
 
 @dataclass(frozen=True)
 class ExpenseModel:
-    """Predicted burst expense as a function of the packing degree."""
+    """Predicted burst expense as a function of the packing degree.
+
+    With a :class:`~repro.core.reliability.FailurePenalty`, the prediction
+    mirrors the simulator's billing of failed work: crashed attempts bill
+    half an ``ET`` in expectation, every attempt pays the request fee, and
+    every attempt re-fetches its inputs — so on providers with a per-GB
+    networking fee, retries re-pay the egress too.
+    """
 
     exec_model: ExecutionTimeModel
     profile: PlatformProfile
     app: AppSpec
     concurrency: int
     provisioned_mb: Optional[int] = None
+    failure: Optional[FailurePenalty] = None
 
     def _billed_gb(self) -> float:
         requested = self.provisioned_mb or self.profile.max_memory_mb
@@ -96,20 +117,28 @@ class ExpenseModel:
     def predict(self, degree: int) -> float:
         """Predicted dollars for the burst at ``degree``."""
         billed_gb = self._billed_gb()
+        if self.failure is None:
+            compute_mult = attempts = 1.0
+            put_prob = 1.0
+        else:
+            compute_mult = self.failure.expected_billed_multiplier()
+            attempts = self.failure.expected_attempts()
+            put_prob = self.failure.success_probability
         compute = 0.0
         requests = 0.0
         storage = 0.0
         transferred_mb = 0.0
         for count, packed in instance_layout(self.concurrency, degree):
             et = self.exec_model.predict(packed)
-            compute += count * et * billed_gb * self.profile.gb_second_usd
-            requests += count * self.profile.per_request_usd
+            compute += count * et * compute_mult * billed_gb * self.profile.gb_second_usd
+            requests += count * attempts * self.profile.per_request_usd
             storage += count * packed * (
-                self.profile.storage_put_usd + self.profile.storage_get_usd
+                put_prob * self.profile.storage_put_usd
+                + attempts * self.profile.storage_get_usd
             )
             shared = self.app.io_mb * self.app.io_shared_fraction
             private = self.app.io_mb * (1.0 - self.app.io_shared_fraction)
-            transferred_mb += count * (shared + private * packed)
+            transferred_mb += count * attempts * (shared + private * packed)
         egress = (transferred_mb / 1024.0) * self.profile.egress_usd_per_gb
         return compute + requests + storage + egress
 
@@ -128,12 +157,13 @@ class PackingOptimizer:
     concurrency: int
     provisioned_mb: Optional[int] = None
     latency_safety: float = 0.98
+    failure: Optional[FailurePenalty] = None
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         self.service = ServiceTimeModel(
-            self.exec_model, self.scaling_model, self.concurrency
+            self.exec_model, self.scaling_model, self.concurrency, self.failure
         )
         self.expense = ExpenseModel(
             self.exec_model,
@@ -141,6 +171,7 @@ class PackingOptimizer:
             self.app,
             self.concurrency,
             self.provisioned_mb,
+            self.failure,
         )
 
     # ------------------------------------------------------------------ #

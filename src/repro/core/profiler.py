@@ -17,7 +17,7 @@ which the evaluation *includes* in ProPack's costs, as the paper does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

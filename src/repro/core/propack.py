@@ -22,6 +22,7 @@ from typing import Optional
 from repro.core.models import ExecutionTimeModel, ScalingTimeModel
 from repro.core.optimizer import PackingOptimizer
 from repro.core.planner import PackingPlan, build_plan
+from repro.core.reliability import FailurePenalty
 from repro.core.profiler import (
     InterferenceProfile,
     InterferenceProfiler,
@@ -99,11 +100,16 @@ class ProPack:
         return self.scaling_profile().model
 
     # ------------------------------------------------------------------ #
+    def failure_penalty(self) -> FailurePenalty:
+        """The platform's failure environment as an expected-value penalty."""
+        return FailurePenalty.from_profile(self.platform.profile)
+
     def optimizer(
         self,
         app: AppSpec,
         concurrency: int,
         provisioned_mb: Optional[int] = None,
+        failure: Optional[FailurePenalty] = None,
     ) -> PackingOptimizer:
         return PackingOptimizer(
             exec_model=self.exec_model(app),
@@ -112,6 +118,7 @@ class ProPack:
             profile=self.platform.profile,
             concurrency=concurrency,
             provisioned_mb=provisioned_mb,
+            failure=failure,
         )
 
     def plan(
@@ -123,12 +130,19 @@ class ProPack:
         merit: str = "total",
         qos_tail_bound_s: Optional[float] = None,
         skew_cv: float = 0.0,
+        failure_aware: bool = False,
+        failure: Optional[FailurePenalty] = None,
     ) -> tuple[PackingPlan, Optional[QoSDecision]]:
         """Choose the packing degree (Eqs. 3/4/7, plus Eqs. 8-9 under QoS).
 
         ``skew_cv`` > 0 switches to the straggler-corrected skew-aware
-        optimizer (see :mod:`repro.extensions.skewaware`).
+        optimizer (see :mod:`repro.extensions.skewaware`). ``failure_aware``
+        (or an explicit ``failure`` penalty) folds expected retry costs
+        into both model curves, so the planner backs off the packing degree
+        when crashes of packed instances would be expensive.
         """
+        if failure is None and failure_aware:
+            failure = self.failure_penalty()
         if skew_cv > 0.0:
             from repro.extensions.skewaware import SkewAwareOptimizer
 
@@ -141,7 +155,7 @@ class ProPack:
                 cv=skew_cv,
             )
         else:
-            optimizer = self.optimizer(app, concurrency)
+            optimizer = self.optimizer(app, concurrency, failure=failure)
         qos_decision: Optional[QoSDecision] = None
         if qos_tail_bound_s is not None:
             if objective != "joint":
@@ -162,6 +176,8 @@ class ProPack:
         merit: str = "total",
         qos_tail_bound_s: Optional[float] = None,
         skew_cv: float = 0.0,
+        failure_aware: bool = False,
+        failure: Optional[FailurePenalty] = None,
     ) -> ProPackOutcome:
         """Profile → plan → execute one burst; returns the full outcome."""
         plan, qos_decision = self.plan(
@@ -172,6 +188,8 @@ class ProPack:
             merit=merit,
             qos_tail_bound_s=qos_tail_bound_s,
             skew_cv=skew_cv,
+            failure_aware=failure_aware,
+            failure=failure,
         )
         spec = plan.burst_spec()
         if skew_cv > 0.0:

@@ -1,0 +1,112 @@
+"""Expected-value failure math for the planner.
+
+Packing multiplies the blast radius of a crash: one failed instance loses
+``P`` functions' worth of work and the retry re-pays the full cold pipeline
+plus ``ET(P)`` seconds of execution. :class:`FailurePenalty` turns a
+per-attempt crash probability ``q`` and a retry cap ``r`` into the expected
+quantities the failure-aware service/expense models need.
+
+With attempts capped at ``r + 1`` per function group:
+
+* expected attempts      ``E[A] = (1 − q^{r+1}) / (1 − q)``
+* expected failures      ``E[F] = q · (1 − q^{r+1}) / (1 − q)``
+* success probability    ``p_ok = 1 − q^{r+1}``
+* expected billed-time multiplier per group
+  ``p_ok + E[F] / 2`` (a crash lands uniformly over the execution, so a
+  failed attempt bills half an ``ET`` in expectation — and providers do
+  bill failed attempts)
+* expected *maximum* attempts over ``N`` independent groups
+  ``E[max] = 1 + Σ_{k=1..r} (1 − (1 − q^k)^N)``
+  (the burst's completion waits for its unluckiest group, so the service
+  model uses the max, not the mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.providers import PlatformProfile
+
+
+@dataclass(frozen=True)
+class FailurePenalty:
+    """Expected retry cost of a failure environment.
+
+    ``retry_overhead_s`` is the non-execution cost a retry re-pays (the
+    placement + cold-pipeline latency of a fresh invocation) plus any
+    backoff delay the retry policy inserts.
+    """
+
+    failure_rate: float
+    max_retries: int
+    retry_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_overhead_s < 0.0:
+            raise ValueError("retry_overhead_s must be non-negative")
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: PlatformProfile,
+        failure_rate: float | None = None,
+        extra_backoff_s: float = 0.0,
+    ) -> "FailurePenalty":
+        """Penalty for a platform profile's reliability coefficients.
+
+        The retry overhead approximates the fixed (concurrency-independent)
+        part of a single fresh invocation's cold pipeline: scheduling base
+        cost plus the microVM boot.
+        """
+        rate = profile.failure_rate if failure_rate is None else failure_rate
+        overhead = profile.sched_base_s + profile.build_base_s + extra_backoff_s
+        return cls(
+            failure_rate=rate,
+            max_retries=profile.max_retries,
+            retry_overhead_s=overhead,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def success_probability(self) -> float:
+        return 1.0 - self.failure_rate ** (self.max_retries + 1)
+
+    def expected_attempts(self) -> float:
+        q = self.failure_rate
+        if q == 0.0:
+            return 1.0
+        return (1.0 - q ** (self.max_retries + 1)) / (1.0 - q)
+
+    def expected_failures(self) -> float:
+        return self.failure_rate * self.expected_attempts()
+
+    def expected_billed_multiplier(self) -> float:
+        """Billed execution seconds per group, as a multiple of one ET."""
+        return self.success_probability + 0.5 * self.expected_failures()
+
+    def expected_max_attempts(self, n_groups: int) -> float:
+        """Expected attempts of the unluckiest of ``n_groups`` groups."""
+        if n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        q = self.failure_rate
+        if q == 0.0:
+            return 1.0
+        total = 1.0
+        for k in range(1, self.max_retries + 1):
+            total += 1.0 - (1.0 - q**k) ** n_groups
+        return total
+
+    def expected_tail_retries(self, n_groups: int) -> float:
+        """Retries the burst's critical path is expected to serialize."""
+        return self.expected_max_attempts(n_groups) - 1.0
+
+    def expected_work_loss_ratio(self) -> float:
+        """Fraction of billed execution seconds that produce no result."""
+        billed = self.expected_billed_multiplier()
+        if billed <= 0.0:
+            return 0.0
+        return 0.5 * self.expected_failures() / billed

@@ -8,7 +8,7 @@ shape assertions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -25,6 +25,8 @@ class ExperimentConfig:
     oracle_stride: int = 1  # sweep every degree (paper: exhaustive)
     xapian_qos_s: float = 30.0
     repetitions: int = 3    # the paper repeats runs for significance
+    failure_rates: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3)
+    fault_concurrency: int = 2000
 
     @classmethod
     def full(cls) -> "ExperimentConfig":
@@ -40,4 +42,6 @@ class ExperimentConfig:
             oracle_stride=2,
             xapian_qos_s=25.0,
             repetitions=1,
+            failure_rates=(0.0, 0.1, 0.3),
+            fault_concurrency=1000,
         )

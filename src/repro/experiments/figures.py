@@ -16,14 +16,12 @@ from repro.baselines.oracle import Oracle
 from repro.baselines.pywren import PywrenManager
 from repro.baselines.stagger import StaggeredInvoker
 from repro.core.models import fit_model_family
-from repro.core.qos import QoSWeightSearch
 from repro.experiments.runner import ExperimentContext, improvement
 from repro.experiments.tables import FigureResult
 from repro.platform.invoker import BurstSpec
 from repro.platform.providers import AWS_LAMBDA
 from repro.sim.stats import relative_spread
 from repro.workloads import (
-    BENCHMARK_APPS,
     SMITH_WATERMAN,
     SORT,
     STATELESS_COST,
@@ -991,6 +989,57 @@ def decentralization_matrix(ctx: ExperimentContext) -> FigureResult:
     return result
 
 
+def fault_sweep(ctx: ExperimentContext) -> FigureResult:
+    """Failure-blind vs failure-aware packing across crash rates.
+
+    Sweeps the per-attempt failure rate and compares the seed's
+    failure-blind planner against the failure-aware planner (expected
+    retry costs folded into the model curves) on the same flaky platform:
+    chosen degree, realized service time, expense, and the work-loss
+    ratio (wasted billed GB-seconds / total billed GB-seconds).
+    """
+    from repro.baselines.failureblind import compare_failure_awareness
+    from repro.platform.base import ServerlessPlatform
+
+    result = FigureResult(
+        "FAULTS",
+        "Failure-aware packing vs the failure-blind planner",
+        [
+            "failure_rate", "planner", "degree", "service_s", "expense_usd",
+            "failed_attempts", "lost_functions", "work_loss_pct",
+        ],
+    )
+    c = ctx.config.fault_concurrency
+    for rate in ctx.config.failure_rates:
+        profile = AWS_LAMBDA.with_overrides(
+            name=f"aws-lambda-q{rate}", failure_rate=rate
+        )
+        platform = ServerlessPlatform(profile, seed=ctx.config.seed)
+        comparison = compare_failure_awareness(platform, SORT, c)
+        for planner, outcome in (
+            ("blind", comparison.blind), ("aware", comparison.aware)
+        ):
+            run = outcome.result
+            result.add(
+                failure_rate=rate,
+                planner=planner,
+                degree=outcome.plan.degree,
+                service_s=run.service_time(),
+                expense_usd=outcome.total_expense_usd,
+                failed_attempts=run.n_failed_attempts,
+                lost_functions=run.lost_functions,
+                work_loss_pct=100.0 * run.fault_stats.work_loss_ratio,
+            )
+    high = max(ctx.config.failure_rates)
+    blind_deg = [r["degree"] for r in result.select(failure_rate=high, planner="blind")]
+    aware_deg = [r["degree"] for r in result.select(failure_rate=high, planner="aware")]
+    result.notes.append(
+        f"at q={high}: blind packs P={blind_deg[0]}, aware backs off to "
+        f"P={aware_deg[0]} (each crash of a packed instance loses P× work)"
+    )
+    return result
+
+
 #: Registry used by the CLI and the benchmark suite.
 ALL_FIGURES = {
     "fig1": fig1,
@@ -1024,4 +1073,5 @@ ALL_FIGURES = {
     "streaming": streaming_policies,
     "multitenant": multitenant_benefit,
     "decentralization": decentralization_matrix,
+    "faults": fault_sweep,
 }

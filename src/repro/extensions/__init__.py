@@ -12,10 +12,13 @@ discussion sections:
   overhead over repeated runs (paper Sec. 2.2: "in practice, this overhead
   will be much lower due to amortization over thousands of applications
   and runs").
+* :mod:`~repro.extensions.failsafe` — online packing-degree degradation
+  when the observed failure rate of recent bursts crosses a threshold.
 """
 
 from repro.extensions.adaptive import AdaptiveProPack
 from repro.extensions.campaigns import CampaignReport, run_campaign
+from repro.extensions.failsafe import ControllerDecision, FailureAdaptiveProPack
 from repro.extensions.mixed import MixedGroup, MixedInterferenceModel, MixedPacker
 from repro.extensions.mixed_sim import MixedBurstSimulator
 from repro.extensions.skewaware import (
@@ -33,6 +36,8 @@ __all__ = [
     "AdaptiveProPack",
     "CampaignReport",
     "run_campaign",
+    "ControllerDecision",
+    "FailureAdaptiveProPack",
     "MixedGroup",
     "MixedInterferenceModel",
     "MixedPacker",

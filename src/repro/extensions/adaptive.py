@@ -12,7 +12,7 @@ re-profiles on the next run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.propack import ProPack, ProPackOutcome

@@ -1,0 +1,129 @@
+"""Online failure-adaptive packing control.
+
+The failure-aware planner (:mod:`repro.core.reliability`) prices retries
+*a priori* from the profile's failure rate — but the observed rate drifts
+(deploy storms, AZ incidents, noisy neighbours). The
+:class:`FailureAdaptiveProPack` controller closes the loop from telemetry:
+it watches the observed per-attempt failure rate of recent bursts and,
+when the windowed rate crosses a threshold, degrades the packing degree
+geometrically (each degradation step halves the blast radius of the next
+crash). When the observed rate falls back under the threshold the degree
+recovers one step per healthy burst.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.propack import ProPack, ProPackOutcome
+from repro.core.reliability import FailurePenalty
+from repro.platform.base import ServerlessPlatform
+from repro.workloads.base import AppSpec
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One burst's control action, for post-hoc inspection."""
+
+    planned_degree: int
+    executed_degree: int
+    windowed_failure_rate: float
+    degrade_steps: int
+
+
+class FailureAdaptiveProPack:
+    """ProPack with an observed-failure-rate feedback controller."""
+
+    def __init__(
+        self,
+        platform: ServerlessPlatform,
+        threshold: float = 0.1,
+        window: int = 5,
+        degrade_factor: float = 0.5,
+        max_degrade_steps: int = 4,
+        failure_aware: bool = True,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < degrade_factor < 1.0:
+            raise ValueError("degrade_factor must be in (0, 1)")
+        if max_degrade_steps < 1:
+            raise ValueError("max_degrade_steps must be >= 1")
+        self.platform = platform
+        self.propack = ProPack(platform)
+        self.threshold = threshold
+        self.degrade_factor = degrade_factor
+        self.max_degrade_steps = max_degrade_steps
+        self.failure_aware = failure_aware
+        self._rates: deque[float] = deque(maxlen=window)
+        self._degrade_steps = 0
+        self.decisions: list[ControllerDecision] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def windowed_failure_rate(self) -> float:
+        if not self._rates:
+            return 0.0
+        return sum(self._rates) / len(self._rates)
+
+    @property
+    def degrade_steps(self) -> int:
+        return self._degrade_steps
+
+    def effective_degree(self, planned: int) -> int:
+        """The planned degree after the current degradation steps."""
+        return max(1, int(planned * self.degrade_factor**self._degrade_steps))
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        app: AppSpec,
+        concurrency: int,
+        objective: str = "joint",
+        failure: Optional[FailurePenalty] = None,
+    ) -> ProPackOutcome:
+        """Plan, apply the controller's degradation, execute, observe."""
+        plan, qos_decision = self.propack.plan(
+            app,
+            concurrency,
+            objective=objective,
+            failure_aware=self.failure_aware,
+            failure=failure,
+        )
+        degree = self.effective_degree(plan.degree)
+        if degree != plan.degree:
+            plan = replace(
+                plan,
+                degree=degree,
+                predicted_service_s=self.propack.optimizer(
+                    app, concurrency, failure=failure
+                ).service.predict(degree),
+            )
+        result = self.platform.run_burst(plan.burst_spec())
+        self._observe(result.observed_failure_rate)
+        self.decisions.append(
+            ControllerDecision(
+                planned_degree=plan.degree if degree == plan.degree else degree,
+                executed_degree=degree,
+                windowed_failure_rate=self.windowed_failure_rate,
+                degrade_steps=self._degrade_steps,
+            )
+        )
+        return ProPackOutcome(
+            plan=plan,
+            result=result,
+            interference_profile=self.propack.interference_profile(app),
+            scaling_profile=self.propack.scaling_profile(),
+            qos_decision=qos_decision,
+        )
+
+    def _observe(self, rate: float) -> None:
+        self._rates.append(rate)
+        if self.windowed_failure_rate > self.threshold:
+            self._degrade_steps = min(self.max_degrade_steps, self._degrade_steps + 1)
+        elif self._degrade_steps > 0:
+            self._degrade_steps -= 1

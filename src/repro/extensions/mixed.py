@@ -23,8 +23,8 @@ same scaling model ProPack already fits.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.core.models import ScalingTimeModel
 from repro.platform.providers import PlatformProfile

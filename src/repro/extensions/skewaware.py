@@ -28,7 +28,7 @@ import numpy as np
 from scipy import stats
 
 from repro.core.models import ExecutionTimeModel, ScalingTimeModel
-from repro.core.optimizer import PackingOptimizer, instance_layout
+from repro.core.optimizer import PackingOptimizer
 from repro.platform.providers import PlatformProfile
 from repro.workloads.base import AppSpec
 

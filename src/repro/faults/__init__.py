@@ -1,0 +1,49 @@
+"""Fault injection and resilience for the platform simulation.
+
+* :mod:`~repro.faults.scenario` — declarative fault environments
+  (correlated crash bursts, throttling, stragglers, persistent faults,
+  billed timeouts) with presets.
+* :mod:`~repro.faults.injector` — deterministic per-burst fault draws on
+  dedicated RNG streams.
+* :mod:`~repro.faults.retry` — pluggable retry policies (immediate, fixed
+  delay, exponential backoff with decorrelated jitter, burst-wide retry
+  budgets) and straggler hedging.
+* :mod:`~repro.faults.throttle` — token-bucket admission control.
+"""
+
+from repro.faults.injector import CrashDecision, FaultInjector
+from repro.faults.retry import (
+    ExponentialBackoffRetry,
+    FixedDelayRetry,
+    HedgePolicy,
+    ImmediateRetry,
+    RetryBudget,
+    RetryPolicy,
+)
+from repro.faults.scenario import (
+    CALM,
+    FLAKY,
+    SCENARIOS,
+    STORMY,
+    THROTTLED,
+    FaultScenario,
+)
+from repro.faults.throttle import TokenBucket
+
+__all__ = [
+    "FaultScenario",
+    "FaultInjector",
+    "CrashDecision",
+    "RetryPolicy",
+    "ImmediateRetry",
+    "FixedDelayRetry",
+    "ExponentialBackoffRetry",
+    "RetryBudget",
+    "HedgePolicy",
+    "TokenBucket",
+    "CALM",
+    "FLAKY",
+    "STORMY",
+    "THROTTLED",
+    "SCENARIOS",
+]

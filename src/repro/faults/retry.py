@@ -1,0 +1,167 @@
+"""Pluggable retry policies and speculative (hedged) re-execution.
+
+The seed hard-coded Lambda's "retry immediately, up to ``max_retries``
+times" loop inside the invoker. Real deployments choose among retry
+disciplines with very different cost/latency trades, especially when a
+crash of a packed instance re-pays ``P×`` work:
+
+* :class:`ImmediateRetry` — the platform default (what Lambda's async
+  invoke does); reproduces the seed's behaviour exactly.
+* :class:`FixedDelayRetry` — a constant pause before each retry.
+* :class:`ExponentialBackoffRetry` — exponential backoff with
+  *decorrelated jitter* (``sleep = min(cap, uniform(base, 3·prev))``), the
+  discipline AWS recommends for contended retries.
+* :class:`RetryBudget` — wraps any policy and caps the *total* number of
+  retries spent across a whole burst, so a correlated failure storm cannot
+  multiply costs unboundedly.
+
+:class:`HedgePolicy` configures straggler hedging: when an attempt runs
+past ``trigger_factor ×`` the modeled execution time, a speculative
+duplicate is launched; the first copy to finish wins and the loser is
+cancelled (its elapsed time is still billed — the provider does not refund
+abandoned work).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+class RetryPolicy(abc.ABC):
+    """Decides whether (and when) a failed attempt is retried."""
+
+    @abc.abstractmethod
+    def next_delay(
+        self,
+        failed_attempt: int,
+        prev_delay: float,
+        rng: np.random.Generator,
+    ) -> Optional[float]:
+        """Delay in seconds before the next attempt, or ``None`` to give up.
+
+        ``failed_attempt`` is the 1-based index of the attempt that just
+        failed; ``prev_delay`` is the delay that preceded it (0.0 for the
+        first attempt), which decorrelated jitter feeds back on.
+        """
+
+    def fresh(self) -> "RetryPolicy":
+        """A per-burst copy; stateless policies return themselves."""
+        return self
+
+
+@dataclass(frozen=True)
+class ImmediateRetry(RetryPolicy):
+    """Retry instantly, up to ``max_retries`` times (Lambda async default)."""
+
+    max_retries: int = 2
+
+    def next_delay(
+        self, failed_attempt: int, prev_delay: float, rng: np.random.Generator
+    ) -> Optional[float]:
+        return 0.0 if failed_attempt <= self.max_retries else None
+
+
+@dataclass(frozen=True)
+class FixedDelayRetry(RetryPolicy):
+    """A constant pause before every retry."""
+
+    delay_s: float = 1.0
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0.0:
+            raise ValueError("delay_s must be non-negative")
+
+    def next_delay(
+        self, failed_attempt: int, prev_delay: float, rng: np.random.Generator
+    ) -> Optional[float]:
+        return self.delay_s if failed_attempt <= self.max_retries else None
+
+
+@dataclass(frozen=True)
+class ExponentialBackoffRetry(RetryPolicy):
+    """Exponential backoff with decorrelated jitter.
+
+    The k-th retry waits ``min(cap_s, uniform(base_s, 3·prev))`` where
+    ``prev`` is the previous wait (``base_s`` initially) — the decorrelated
+    jitter scheme, which de-synchronizes retry herds after a correlated
+    failure burst far better than full or equal jitter.
+    """
+
+    base_s: float = 0.2
+    cap_s: float = 20.0
+    max_retries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0.0:
+            raise ValueError("base_s must be positive")
+        if self.cap_s < self.base_s:
+            raise ValueError("cap_s must be >= base_s")
+
+    def next_delay(
+        self, failed_attempt: int, prev_delay: float, rng: np.random.Generator
+    ) -> Optional[float]:
+        if failed_attempt > self.max_retries:
+            return None
+        prev = max(prev_delay, self.base_s)
+        return float(min(self.cap_s, rng.uniform(self.base_s, 3.0 * prev)))
+
+
+class RetryBudget(RetryPolicy):
+    """Caps total retries across a burst, on top of an inner policy.
+
+    A packed instance crash re-pays ``P×`` work per retry, so a burst-wide
+    budget bounds the worst-case retry spend of a failure storm: once
+    ``budget`` retries have been granted, every further failure is final.
+    """
+
+    def __init__(self, inner: RetryPolicy, budget: int) -> None:
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.inner = inner
+        self.budget = budget
+        self._spent = 0
+
+    @property
+    def spent(self) -> int:
+        return self._spent
+
+    def next_delay(
+        self, failed_attempt: int, prev_delay: float, rng: np.random.Generator
+    ) -> Optional[float]:
+        if self._spent >= self.budget:
+            return None
+        delay = self.inner.next_delay(failed_attempt, prev_delay, rng)
+        if delay is not None:
+            self._spent += 1
+        return delay
+
+    def fresh(self) -> "RetryBudget":
+        return RetryBudget(self.inner.fresh(), self.budget)
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Speculative re-execution for straggler attempts.
+
+    When an attempt's elapsed time passes ``trigger_factor ×`` the modeled
+    (noise-free) execution time, one duplicate is launched through the full
+    cold pipeline. The first copy to complete wins; the loser is cancelled
+    and billed for its elapsed time only.
+    """
+
+    trigger_factor: float = 2.0
+    max_hedges_per_group: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trigger_factor <= 1.0:
+            raise ValueError("trigger_factor must exceed 1.0")
+        if self.max_hedges_per_group < 1:
+            raise ValueError("max_hedges_per_group must be >= 1")
+
+    def trigger_seconds(self, reference_seconds: float) -> float:
+        return self.trigger_factor * reference_seconds

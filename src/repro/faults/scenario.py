@@ -1,0 +1,135 @@
+"""Fault scenarios: deterministic, seed-reproducible failure environments.
+
+The seed models only i.i.d. per-attempt crashes with a fixed retry count.
+Real platforms misbehave in richer ways — the overheads characterized in
+*The High Cost of Keeping Warm* and the billing-for-failed-work semantics
+in *Demystifying Serverless Costs on Public Platforms*:
+
+* **correlated crash bursts** — a rack/AZ event takes out a fraction of the
+  in-flight instances at once, so packed bursts lose ``P×`` work per victim;
+* **throttling** — a token-bucket admission limit rejects invocations above
+  a concurrency quota (HTTP 429) with their own retry semantics;
+* **stragglers** — a small fraction of instances draw a lognormal slowdown
+  far beyond execution noise;
+* **transient vs. persistent faults** — a transient crash succeeds on
+  retry; a persistent one (poisoned input, corrupt layer) crashes every
+  attempt of the same function group;
+* **billed timeouts** — an attempt that hits ``max_execution_seconds`` is
+  billed for the full cap (Lambda semantics), then retried.
+
+A :class:`FaultScenario` is a frozen description of all of these. It is
+*pure configuration*: the randomness lives in dedicated
+:class:`~repro.sim.randomness.RandomStreams` labels, so the same seed and
+scenario always produce the identical fault schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """Declarative description of one fault environment."""
+
+    name: str = "custom"
+
+    # --- independent crashes (overrides the profile's failure_rate) ---
+    crash_rate: Optional[float] = None     # per-attempt crash probability
+    persistent_fraction: float = 0.0       # fraction of crashes that poison
+                                           # the function group (every retry
+                                           # of that group crashes too)
+
+    # --- correlated crash bursts ---
+    correlated_bursts: int = 0             # number of burst events
+    correlated_fraction: float = 0.0       # kill probability per in-flight
+                                           # instance at each event
+    correlated_window_s: float = 60.0      # events drawn uniform in [0, w]
+
+    # --- token-bucket throttling (429-style admission control) ---
+    throttle_capacity: Optional[int] = None  # burst tokens; None = off
+    throttle_refill_per_s: float = 0.0       # sustained admissions per second
+    throttle_max_retries: int = 8            # 429 retries before giving up
+    throttle_backoff_s: float = 0.5          # base backoff between 429 retries
+
+    # --- stragglers ---
+    straggler_rate: float = 0.0            # probability an attempt straggles
+    straggler_mu: float = 1.2              # lognormal log-mean of the extra
+    straggler_sigma: float = 0.4           # slowdown factor (median e^mu)
+
+    # --- timeouts ---
+    retry_timeouts: bool = True            # timed-out attempts are retried
+                                           # (billed the full cap either way)
+
+    def __post_init__(self) -> None:
+        if self.crash_rate is not None and not 0.0 <= self.crash_rate < 1.0:
+            raise ValueError("crash_rate must be in [0, 1)")
+        if not 0.0 <= self.persistent_fraction <= 1.0:
+            raise ValueError("persistent_fraction must be in [0, 1]")
+        if self.correlated_bursts < 0:
+            raise ValueError("correlated_bursts must be non-negative")
+        if not 0.0 <= self.correlated_fraction <= 1.0:
+            raise ValueError("correlated_fraction must be in [0, 1]")
+        if self.correlated_window_s <= 0.0:
+            raise ValueError("correlated_window_s must be positive")
+        if self.throttle_capacity is not None and self.throttle_capacity < 1:
+            raise ValueError("throttle_capacity must be >= 1")
+        if self.throttle_capacity is not None and self.throttle_refill_per_s <= 0.0:
+            raise ValueError("throttling needs a positive refill rate")
+        if self.throttle_max_retries < 0:
+            raise ValueError("throttle_max_retries must be non-negative")
+        if self.throttle_backoff_s < 0.0:
+            raise ValueError("throttle_backoff_s must be non-negative")
+        if not 0.0 <= self.straggler_rate <= 1.0:
+            raise ValueError("straggler_rate must be in [0, 1]")
+        if self.straggler_sigma < 0.0:
+            raise ValueError("straggler_sigma must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def throttled(self) -> bool:
+        return self.throttle_capacity is not None
+
+    def effective_crash_rate(self, profile_rate: float) -> float:
+        """The i.i.d. crash rate: the scenario's, else the profile's."""
+        return profile_rate if self.crash_rate is None else self.crash_rate
+
+    def describe(self) -> str:
+        """One line per active fault model (for experiment logs)."""
+        parts = [self.name]
+        for f in fields(self):
+            if f.name == "name":
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{f.name}={value}")
+        return " ".join(parts)
+
+
+#: No injected faults beyond the profile's own failure_rate.
+CALM = FaultScenario(name="calm")
+
+#: Elevated independent crashes with a small poisoned tail.
+FLAKY = FaultScenario(name="flaky", crash_rate=0.15, persistent_fraction=0.02)
+
+#: A correlated infrastructure event mid-burst plus stragglers.
+STORMY = FaultScenario(
+    name="stormy",
+    crash_rate=0.05,
+    correlated_bursts=2,
+    correlated_fraction=0.3,
+    correlated_window_s=40.0,
+    straggler_rate=0.03,
+)
+
+#: Account-level concurrency quota: admission throttling dominates.
+THROTTLED = FaultScenario(
+    name="throttled",
+    throttle_capacity=500,
+    throttle_refill_per_s=100.0,
+)
+
+SCENARIOS: dict[str, FaultScenario] = {
+    s.name: s for s in (CALM, FLAKY, STORMY, THROTTLED)
+}

@@ -1,0 +1,52 @@
+"""Token-bucket admission control (429-style invocation throttling).
+
+Providers cap the rate at which an account can launch new instances; above
+the quota the control plane rejects invocations with HTTP 429 and the
+client retries with backoff. The bucket is pure arithmetic — tokens refill
+continuously as a function of elapsed simulation time — so it adds no
+events of its own and stays bit-deterministic.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A continuous-refill token bucket keyed to an external clock."""
+
+    def __init__(self, capacity: int, refill_per_s: float) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if refill_per_s <= 0.0:
+            raise ValueError("refill rate must be positive")
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self._tokens = float(capacity)
+        self._last = 0.0
+        self.admitted = 0
+        self.rejected = 0
+
+    def _refill(self, now: float) -> None:
+        if now < self._last:
+            raise ValueError("token bucket clock moved backwards")
+        self._tokens = min(
+            float(self.capacity),
+            self._tokens + (now - self._last) * self.refill_per_s,
+        )
+        self._last = now
+
+    def try_acquire(self, now: float) -> bool:
+        """Admit one invocation at time ``now`` if a token is available."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def seconds_until_token(self, now: float) -> float:
+        """Time from ``now`` until one token will be available."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.refill_per_s

@@ -6,22 +6,37 @@ Also supports the *wave* dispatch pattern used by the Pywren baseline:
 at most ``wave_size`` instances are provisioned cold; when an instance
 finishes and logical functions remain, it is reused warm (execution only,
 no build/ship), matching Pywren's instance-reuse optimization.
+
+Reliability: every attempt group (an original packed instance plus its
+retries and hedges) is tracked as one *retry chain*. Failed attempts are
+re-invoked through a pluggable :class:`~repro.faults.retry.RetryPolicy`
+(default: immediate retries up to the profile's ``max_retries``, Lambda's
+async semantics). An optional :class:`~repro.faults.scenario.FaultScenario`
+injects correlated crash bursts, 429-style admission throttling, lognormal
+stragglers, persistent (poisoned) faults, and billed timeouts; an optional
+:class:`~repro.faults.retry.HedgePolicy` speculatively duplicates
+straggling attempts. All fault draws come from dedicated RNG streams, so a
+seed + scenario pair reproduces the identical fault schedule.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.cluster.registry import FunctionImage
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import HedgePolicy, ImmediateRetry, RetryPolicy
+from repro.faults.scenario import FaultScenario
+from repro.faults.throttle import TokenBucket
 from repro.interference.model import InterferenceModel
 from repro.platform.billing import BillingModel
 from repro.platform.container import ContainerPipeline
 from repro.platform.instance import FunctionInstance
-from repro.platform.metrics import InstanceRecord, RunResult
+from repro.platform.metrics import FaultStats, InstanceRecord, RunResult
 from repro.platform.providers import PlatformProfile
 from repro.platform.scheduler import PlacementScheduler
 from repro.platform.storage import ObjectStore
@@ -31,7 +46,22 @@ from repro.workloads.base import AppSpec
 
 
 class FunctionTimeoutError(RuntimeError):
-    """An instance exceeded the platform's maximum execution time."""
+    """An instance exceeded the platform's maximum execution time.
+
+    The aborting attempt is billed for the full execution cap (Lambda
+    semantics): its record carries ``exec_end = exec_start + cap`` and the
+    exception reports the dollars charged for the doomed attempt.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        record: Optional[InstanceRecord] = None,
+        billed_usd: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.record = record
+        self.billed_usd = billed_usd
 
 
 @dataclass(frozen=True)
@@ -47,6 +77,10 @@ class BurstSpec:
     (used by the Pywren baseline), and ``exec_overhead`` multiplies
     execution wall time (e.g. Pywren's S3 (de)serialization inside the
     handler — it is billed, because it runs inside the function).
+
+    ``scenario`` injects a fault environment, ``retry_policy`` overrides
+    the platform's immediate-retry default, and ``hedge`` enables
+    speculative re-execution of straggling attempts.
     """
 
     app: AppSpec
@@ -63,6 +97,9 @@ class BurstSpec:
     # instance finishes with its slowest function, so skew stretches packed
     # execution times beyond the homogeneous model's prediction.
     skew_cv: float = 0.0
+    scenario: Optional[FaultScenario] = None
+    retry_policy: Optional[RetryPolicy] = None
+    hedge: Optional[HedgePolicy] = None
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
@@ -86,6 +123,21 @@ class BurstSpec:
     @property
     def n_instances(self) -> int:
         return math.ceil(self.concurrency / self.packing_degree)
+
+
+@dataclass
+class _RetryChain:
+    """One packed function group across all its attempts (retries, hedges)."""
+
+    chain_id: int
+    n_packed: int
+    poisoned: bool = False      # a persistent fault dooms every attempt
+    satisfied: bool = False     # some attempt completed successfully
+    lost: bool = False          # retries exhausted; functions counted lost
+    prev_delay: float = 0.0     # decorrelated-jitter feedback state
+    hedges_launched: int = 0
+    throttle_attempts: int = 0  # consecutive 429s for the pending admission
+    active: set = field(default_factory=set)  # record ids in flight
 
 
 class BurstInvoker:
@@ -113,6 +165,12 @@ class BurstInvoker:
         self._records: list[InstanceRecord] = []
         self._pending_functions = 0
         self._lost_functions = 0
+        self._stats = FaultStats()
+        self._chains: dict[int, _RetryChain] = {}
+        self._record_chain: dict[int, _RetryChain] = {}
+        self._inflight: dict[int, tuple] = {}  # record id -> (event, instance, record)
+        self._injector: Optional[FaultInjector] = None
+        self._bucket: Optional[TokenBucket] = None
 
     # ------------------------------------------------------------------ #
     def begin(self, spec: BurstSpec, image: FunctionImage) -> None:
@@ -129,31 +187,38 @@ class BurstInvoker:
         self._concurrency_level = cold
         self._invoked_at = self.sim.now
 
+        policy = spec.retry_policy or ImmediateRetry(self.profile.max_retries)
+        self._retry_policy = policy.fresh()
+        if spec.scenario is not None:
+            self._injector = FaultInjector(
+                spec.scenario, self.rng, self.profile.failure_rate
+            )
+            if spec.scenario.throttled:
+                self._bucket = TokenBucket(
+                    spec.scenario.throttle_capacity,
+                    spec.scenario.throttle_refill_per_s,
+                )
+
         provisioned = spec.provisioned_mb or self.profile.max_memory_mb
         if provisioned > self.profile.max_memory_mb:
             raise ValueError(
                 f"provisioned memory {provisioned} MB exceeds the platform "
                 f"maximum {self.profile.max_memory_mb} MB"
             )
+        self._provisioned = provisioned
         remaining = spec.concurrency
         self._instances: dict[int, FunctionInstance] = {}
         for i in range(cold):
             n_packed = min(spec.packing_degree, remaining)
             remaining -= n_packed
-            record = InstanceRecord(
-                instance_id=i, n_packed=n_packed, invoked_at=self.sim.now,
-                provisioned_mb=provisioned,
-            )
-            self._records.append(record)
-            # Placement search and container build proceed in parallel: the
-            # image server does not need the placement target to build.
-            self.scheduler.request_placement(
-                self.profile.cores_per_instance, provisioned, self._placed, record
-            )
-            self.pipeline.build(
-                self._image, self._built, record, build_factor=spec.build_factor
-            )
+            chain = _RetryChain(chain_id=i, n_packed=n_packed)
+            self._chains[i] = chain
+            self._admit(chain, attempt=1, retry_delay=0.0)
         self._pending_functions = remaining
+
+        if self._injector is not None:
+            for t in self._injector.correlated_event_times():
+                self.sim.schedule(t, self._correlated_event)
 
     def collect(self) -> RunResult:
         """Assemble the result after the simulation has drained.
@@ -174,6 +239,7 @@ class BurstInvoker:
             self._invoked_at = 0.0
         billing = BillingModel(self.profile)
         expense = billing.burst_expense(self._records, self.store.usage)
+        self._finalize_stats(billing)
         return RunResult(
             platform_name=self.profile.name,
             app_name=self._spec.app.name,
@@ -182,7 +248,17 @@ class BurstInvoker:
             records=self._records,
             expense=expense,
             lost_functions=self._lost_functions,
+            fault_stats=self._stats,
         )
+
+    def _finalize_stats(self, billing: BillingModel) -> None:
+        for r in self._records:
+            if r.exec_start is None or r.exec_end is None:
+                continue
+            gbs = r.exec_seconds * billing.billed_memory_mb(r.provisioned_mb) / 1024.0
+            self._stats.total_billed_gb_seconds += gbs
+            if r.failed or r.timed_out or r.cancelled:
+                self._stats.wasted_billed_gb_seconds += gbs
 
     def run(self, spec: BurstSpec, image: FunctionImage) -> RunResult:
         """Simulate the burst to completion and return its result."""
@@ -191,6 +267,56 @@ class BurstInvoker:
         return self.collect()
 
     # ------------------------------------------------------------------ #
+    # Admission (throttle gate) and the cold pipeline
+    # ------------------------------------------------------------------ #
+    def _admit(
+        self,
+        chain: _RetryChain,
+        attempt: int,
+        retry_delay: float,
+        hedged: bool = False,
+    ) -> None:
+        """Admit one attempt of ``chain``, or bounce it off the throttle."""
+        if chain.satisfied:
+            return
+        if self._bucket is not None and not self._bucket.try_acquire(self.sim.now):
+            scenario = self._spec.scenario
+            self._stats.throttled_attempts += 1
+            chain.throttle_attempts += 1
+            if chain.throttle_attempts > scenario.throttle_max_retries:
+                self._stats.throttle_rejections_final += 1
+                chain.lost = True
+                self._lost_functions += chain.n_packed
+                return
+            wait = (
+                self._bucket.seconds_until_token(self.sim.now)
+                + scenario.throttle_backoff_s * chain.throttle_attempts
+            )
+            self.sim.schedule(wait, self._admit, chain, attempt, retry_delay, hedged)
+            return
+        record = InstanceRecord(
+            instance_id=len(self._records),
+            n_packed=chain.n_packed,
+            invoked_at=self.sim.now,
+            provisioned_mb=self._provisioned,
+            attempt=attempt,
+            hedged=hedged,
+            throttled_attempts=chain.throttle_attempts,
+            retry_delay_s=retry_delay,
+        )
+        chain.throttle_attempts = 0
+        chain.active.add(record.instance_id)
+        self._record_chain[record.instance_id] = chain
+        self._records.append(record)
+        # Placement search and container build proceed in parallel: the
+        # image server does not need the placement target to build.
+        self.scheduler.request_placement(
+            self.profile.cores_per_instance, self._provisioned, self._placed, record
+        )
+        self.pipeline.build(
+            self._image, self._built, record, build_factor=self._spec.build_factor
+        )
+
     def _placed(self, server, record: InstanceRecord) -> None:
         record.sched_done = self.sim.now
         self._instances[record.instance_id] = FunctionInstance(
@@ -219,6 +345,9 @@ class BurstInvoker:
         record.shipped_at = self.sim.now
         self._start_execution(self._instances.pop(record.instance_id), record)
 
+    # ------------------------------------------------------------------ #
+    # Execution, faults, and completion
+    # ------------------------------------------------------------------ #
     def _cpu_share_penalty(self, record: InstanceRecord) -> float:
         """Memory-proportional CPU (Lambda semantics).
 
@@ -246,7 +375,19 @@ class BurstInvoker:
         draws = self.rng.stream("skew").lognormal(-0.5 * sigma * sigma, sigma, n_packed)
         return float(draws.max())
 
+    def _chain_for(self, record: InstanceRecord) -> _RetryChain:
+        return self._record_chain[record.instance_id]
+
     def _start_execution(self, instance: FunctionInstance, record: InstanceRecord) -> None:
+        chain = self._chain_for(record)
+        if chain.satisfied:
+            # A hedge twin already delivered this group's result while this
+            # copy was still in the cold pipeline; abandon before executing.
+            record.cancelled = True
+            record.exec_start = record.exec_end = self.sim.now
+            chain.active.discard(record.instance_id)
+            instance.release()
+            return
         record.exec_start = self.sim.now
         duration = (
             self.interference.execution_seconds(
@@ -257,48 +398,179 @@ class BurstInvoker:
             * self._skew_factor(record.n_packed)
             * self._cpu_share_penalty(record)
         )
-        if self.enforce_timeout and duration > self.profile.max_execution_seconds:
+        if self._injector is not None:
+            duration *= self._injector.straggler_factor()
+        cap = self.profile.max_execution_seconds
+        if self.enforce_timeout and duration > cap:
+            if self._injector is not None:
+                self._schedule_timeout(instance, record, chain)
+                return
+            # Lambda bills a timed-out attempt for the full execution cap;
+            # record the charge before aborting the run.
+            record.exec_end = record.exec_start + cap
+            record.timed_out = True
+            instance.release()
+            billing = BillingModel(self.profile)
+            billed = billing.instance_compute_usd(record) + self.profile.per_request_usd
             raise FunctionTimeoutError(
                 f"{self._spec.app.name}: instance {record.instance_id} would run "
                 f"{duration:.0f}s > platform cap "
-                f"{self.profile.max_execution_seconds:.0f}s "
-                f"(packing degree {record.n_packed})"
+                f"{cap:.0f}s "
+                f"(packing degree {record.n_packed})",
+                record=record,
+                billed_usd=billed,
             )
-        if self.profile.failure_rate > 0.0:
+        if self._injector is not None:
+            decision = self._injector.crash_decision(poisoned=chain.poisoned)
+            if decision is not None:
+                if decision.persistent:
+                    chain.poisoned = True
+                record.persistent_fault = chain.poisoned
+                crash_after = duration * decision.at_fraction
+                event = self.sim.schedule(crash_after, self._exec_failed, instance, record)
+                self._inflight[record.instance_id] = (event, instance, record)
+                return
+        elif self.profile.failure_rate > 0.0:
             fail_stream = self.rng.stream("failure")
             if fail_stream.random() < self.profile.failure_rate:
                 # Crash at a uniform point of the execution; the partial run
                 # is billed (providers charge failed attempts), then retried.
                 crash_after = duration * float(fail_stream.random())
-                self.sim.schedule(crash_after, self._exec_failed, instance, record)
+                event = self.sim.schedule(crash_after, self._exec_failed, instance, record)
+                self._inflight[record.instance_id] = (event, instance, record)
                 return
-        self.sim.schedule(duration, self._exec_done, instance, record)
+        event = self.sim.schedule(duration, self._exec_done, instance, record)
+        self._inflight[record.instance_id] = (event, instance, record)
+        self._maybe_schedule_hedge(chain, record, duration)
+
+    def _maybe_schedule_hedge(
+        self, chain: _RetryChain, record: InstanceRecord, duration: float
+    ) -> None:
+        hedge = self._spec.hedge
+        if (
+            hedge is None
+            or record.hedged
+            or record.warm_start
+            or chain.hedges_launched >= hedge.max_hedges_per_group
+        ):
+            return
+        # The hedge trigger compares against the *modeled* (noise-free)
+        # execution time, the quantity a real controller would know.
+        reference = (
+            self.interference.execution_seconds(
+                self._spec.app, record.n_packed, self._concurrency_level
+            )
+            * self._spec.exec_overhead
+            * self._cpu_share_penalty(record)
+        )
+        threshold = hedge.trigger_seconds(reference)
+        if duration <= threshold:
+            return
+        chain.hedges_launched += 1
+        self.sim.schedule(threshold, self._launch_hedge, chain, record)
+
+    def _launch_hedge(self, chain: _RetryChain, primary: InstanceRecord) -> None:
+        if chain.satisfied or chain.lost:
+            return
+        if primary.instance_id not in self._inflight:
+            return  # the primary already crashed; the retry path owns recovery
+        self._stats.hedged_attempts += 1
+        self._admit(chain, attempt=primary.attempt, retry_delay=0.0, hedged=True)
+
+    def _schedule_timeout(
+        self, instance: FunctionInstance, record: InstanceRecord, chain: _RetryChain
+    ) -> None:
+        """The attempt runs to the cap, is billed in full, then handled."""
+        cap = self.profile.max_execution_seconds
+        event = self.sim.schedule(cap, self._exec_timed_out, instance, record)
+        self._inflight[record.instance_id] = (event, instance, record)
+
+    def _exec_timed_out(self, instance: FunctionInstance, record: InstanceRecord) -> None:
+        self._inflight.pop(record.instance_id, None)
+        record.exec_end = self.sim.now
+        record.timed_out = True
+        self._stats.timed_out_attempts += 1
+        instance.release()
+        chain = self._chain_for(record)
+        chain.active.discard(record.instance_id)
+        self.store.record_failed_attempt(self._spec.app, record.n_packed)
+        if self._spec.scenario is not None and not self._spec.scenario.retry_timeouts:
+            if not chain.active and not chain.satisfied and not chain.lost:
+                chain.lost = True
+                self._lost_functions += chain.n_packed
+            return
+        self._retry_or_lose(chain, record)
+
+    def _correlated_event(self) -> None:
+        """One correlated infrastructure event: a slice of in-flight
+        instances crash together (rack/AZ blast radius)."""
+        victims = sorted(self._inflight)
+        if not victims:
+            return
+        kills = self._injector.correlated_kills(len(victims))
+        for rid, kill in zip(victims, kills):
+            if not kill:
+                continue
+            entry = self._inflight.get(rid)
+            if entry is None:
+                continue
+            event, instance, record = entry
+            if record.timed_out or record.failed:
+                continue
+            event.cancel()
+            record.correlated = True
+            self._exec_failed(instance, record)
 
     def _exec_failed(self, instance: FunctionInstance, record: InstanceRecord) -> None:
+        self._inflight.pop(record.instance_id, None)
         record.exec_end = self.sim.now
         record.failed = True
         instance.release()  # the crash destroys the container
-        if record.attempt > self.profile.max_retries:
-            self._lost_functions += record.n_packed
+        self._stats.crashed_attempts += 1
+        if record.correlated:
+            self._stats.correlated_crashes += 1
+        # The attempt fetched its inputs before dying; a retry re-pays the
+        # transfer (and the egress fee, on providers that charge one).
+        self.store.record_failed_attempt(self._spec.app, record.n_packed)
+        chain = self._chain_for(record)
+        chain.active.discard(record.instance_id)
+        self._retry_or_lose(chain, record)
+
+    def _retry_or_lose(self, chain: _RetryChain, record: InstanceRecord) -> None:
+        if chain.satisfied or chain.lost:
             return
-        retry = InstanceRecord(
-            instance_id=len(self._records),
-            n_packed=record.n_packed,
-            invoked_at=self.sim.now,
-            provisioned_mb=record.provisioned_mb,
-            attempt=record.attempt + 1,
+        if chain.active:
+            return  # a hedge twin of this group is still in flight
+        delay = self._retry_policy.next_delay(
+            record.attempt, chain.prev_delay, self.rng.stream("retry")
         )
-        self._records.append(retry)
+        if delay is None:
+            chain.lost = True
+            self._lost_functions += chain.n_packed
+            return
+        chain.prev_delay = delay
+        self._stats.retries_scheduled += 1
+        self._stats.retry_delay_s_total += delay
         # A retry is a fresh invocation: full placement + cold pipeline.
-        self.scheduler.request_placement(
-            self.profile.cores_per_instance, retry.provisioned_mb, self._placed, retry
-        )
-        self.pipeline.build(
-            self._image, self._built, retry, build_factor=self._spec.build_factor
-        )
+        if delay <= 0.0:
+            self._admit(chain, attempt=record.attempt + 1, retry_delay=0.0)
+        else:
+            self.sim.schedule(delay, self._admit, chain, record.attempt + 1, delay)
 
     def _exec_done(self, instance: FunctionInstance, record: InstanceRecord) -> None:
+        self._inflight.pop(record.instance_id, None)
         record.exec_end = self.sim.now
+        chain = self._chain_for(record)
+        chain.active.discard(record.instance_id)
+        if chain.satisfied:
+            # Lost a hedge race after executing fully; billed, no result.
+            record.cancelled = True
+            instance.release()
+            return
+        chain.satisfied = True
+        if record.hedged:
+            self._stats.hedge_wins += 1
+        self._cancel_twins(chain, record)
         self.store.record_instance(self._spec.app, record.n_packed)
         io_mb = self._spec.extra_io_mb_per_function
         if io_mb > 0.0:
@@ -307,6 +579,20 @@ class BurstInvoker:
         if self._pending_functions > 0:
             self._reuse_warm(instance)
         else:
+            instance.release()
+
+    def _cancel_twins(self, chain: _RetryChain, winner: InstanceRecord) -> None:
+        """Abandon the losing copies of a hedged group (billed for elapsed
+        time; copies still in the cold pipeline cancel at execution start)."""
+        for rid in sorted(chain.active):
+            entry = self._inflight.pop(rid, None)
+            if entry is None:
+                continue  # still in the pipeline; cancels in _start_execution
+            event, instance, record = entry
+            event.cancel()
+            record.cancelled = True
+            record.exec_end = self.sim.now
+            chain.active.discard(rid)
             instance.release()
 
     def _reuse_warm(self, instance: FunctionInstance) -> None:
@@ -320,6 +606,10 @@ class BurstInvoker:
             warm_start=True,
         )
         record.sched_done = self.sim.now
+        chain = _RetryChain(chain_id=len(self._chains), n_packed=n_packed)
+        self._chains[chain.chain_id] = chain
+        chain.active.add(record.instance_id)
+        self._record_chain[record.instance_id] = chain
         warm = FunctionInstance(
             instance_id=record.instance_id,
             app=instance.app,

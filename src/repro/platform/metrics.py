@@ -40,6 +40,14 @@ class InstanceRecord:
     warm_start: bool = False
     attempt: int = 1
     failed: bool = False  # crashed mid-execution (billed, then retried)
+    timed_out: bool = False      # hit the execution cap (billed in full)
+    correlated: bool = False     # killed by a correlated crash event
+    persistent_fault: bool = False  # its function group is poisoned
+    hedged: bool = False         # speculative duplicate of a straggler
+    cancelled: bool = False      # abandoned (lost a hedge race); billed
+                                 # for elapsed time only
+    throttled_attempts: int = 0  # 429 rejections before this admission
+    retry_delay_s: float = 0.0   # backoff that preceded this attempt
 
     @property
     def exec_seconds(self) -> float:
@@ -95,6 +103,53 @@ ZERO_EXPENSE = ExpenseBreakdown(0.0, 0.0, 0.0, 0.0)
 
 
 @dataclass
+class FaultStats:
+    """Per-phase reliability accounting for one burst.
+
+    ``wasted_billed_gb_seconds`` is the GB-seconds billed for attempts that
+    produced no result (crashes, timeouts, cancelled hedge losers) — the
+    dollar-denominated blast radius of packing under failures.
+    """
+
+    crashed_attempts: int = 0
+    correlated_crashes: int = 0
+    timed_out_attempts: int = 0
+    throttled_attempts: int = 0
+    throttle_rejections_final: int = 0  # groups dropped after 429 retries
+    hedged_attempts: int = 0
+    hedge_wins: int = 0
+    retries_scheduled: int = 0
+    retry_delay_s_total: float = 0.0
+    wasted_billed_gb_seconds: float = 0.0
+    total_billed_gb_seconds: float = 0.0
+
+    @property
+    def work_loss_ratio(self) -> float:
+        """Fraction of billed GB-seconds that produced no result."""
+        if self.total_billed_gb_seconds <= 0.0:
+            return 0.0
+        return self.wasted_billed_gb_seconds / self.total_billed_gb_seconds
+
+    @property
+    def failed_attempts(self) -> int:
+        return self.crashed_attempts + self.timed_out_attempts
+
+    def signature(self) -> tuple:
+        """A hashable summary used by the determinism tests."""
+        return (
+            self.crashed_attempts,
+            self.correlated_crashes,
+            self.timed_out_attempts,
+            self.throttled_attempts,
+            self.hedged_attempts,
+            self.hedge_wins,
+            self.retries_scheduled,
+            round(self.retry_delay_s_total, 9),
+            round(self.wasted_billed_gb_seconds, 9),
+        )
+
+
+@dataclass
 class RunResult:
     """Everything measured from one burst execution."""
 
@@ -105,6 +160,7 @@ class RunResult:
     records: list[InstanceRecord] = field(default_factory=list)
     expense: ExpenseBreakdown = ZERO_EXPENSE
     lost_functions: int = 0  # functions whose every retry attempt crashed
+    fault_stats: FaultStats = field(default_factory=FaultStats)
 
     # ------------------------------------------------------------------ #
     @property
@@ -115,11 +171,22 @@ class RunResult:
     def successful_records(self) -> list[InstanceRecord]:
         """Attempts that completed; service metrics are computed over these
         (failed attempts are still billed — see the billing model)."""
-        return [r for r in self.records if not r.failed]
+        return [
+            r for r in self.records
+            if not (r.failed or r.timed_out or r.cancelled)
+        ]
 
     @property
     def n_failed_attempts(self) -> int:
-        return sum(1 for r in self.records if r.failed)
+        return sum(1 for r in self.records if r.failed or r.timed_out)
+
+    @property
+    def observed_failure_rate(self) -> float:
+        """Failed attempts per executed attempt (drives adaptive packing)."""
+        executed = [r for r in self.records if r.exec_start is not None]
+        if not executed:
+            return 0.0
+        return self.n_failed_attempts / len(executed)
 
     def _starts(self) -> np.ndarray:
         return np.asarray([r.exec_start for r in self.records], dtype=float)

@@ -17,7 +17,7 @@ and *other* tenants scale faster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cluster.network import NetworkFabric

@@ -59,3 +59,20 @@ class ObjectStore:
         usage = self.instance_io(app, n_packed)
         self.usage += usage
         return usage
+
+    def record_failed_attempt(self, app: AppSpec, n_packed: int) -> StorageUsage:
+        """Storage activity of an attempt that crashed mid-execution.
+
+        The attempt fetched its inputs before dying (GETs plus the full
+        transfer volume) but never wrote results, so a retry re-pays the
+        transfer — on providers with a networking fee, flaky bursts cost
+        strictly more per retry (paper Fig. 21's egress mechanism).
+        """
+        io = self.instance_io(app, n_packed)
+        usage = StorageUsage(
+            put_requests=0,
+            get_requests=io.get_requests,
+            transferred_mb=io.transferred_mb,
+        )
+        self.usage += usage
+        return usage

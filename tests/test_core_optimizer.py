@@ -14,7 +14,6 @@ from repro.core.optimizer import (
 )
 from repro.platform.providers import AWS_LAMBDA
 from repro.workloads import SORT
-from repro.workloads.synthetic import make_synthetic
 
 EXEC = ExecutionTimeModel(coeff_a=90.0, coeff_b=0.09, mem_gb=SORT.mem_gb)
 SCALING = ScalingTimeModel(beta1=8e-5, beta2=0.01, beta3=5.0)

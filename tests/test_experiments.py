@@ -93,7 +93,7 @@ def test_registry_covers_every_paper_artifact():
         "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
         "ablation_models", "ablation_alternatives", "ablation_mitigation",
         "ablation_skew", "ablation_amortization", "ablation_rightsizing",
-        "streaming", "multitenant", "decentralization",
+        "streaming", "multitenant", "decentralization", "faults",
     }
     assert set(ALL_FIGURES) == expected
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.statistics import MeanCI, mean_ci, welch_test
+from repro.experiments.statistics import mean_ci, welch_test
 
 
 def test_mean_ci_basic():

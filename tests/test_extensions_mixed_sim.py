@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.models import ScalingTimeModel
 from repro.core.profiler import ScalingProfiler
 from repro.extensions.mixed import MixedPacker
 from repro.extensions.mixed_sim import MixedBurstSimulator, _group_image

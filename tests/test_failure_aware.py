@@ -1,0 +1,247 @@
+"""Failure-aware planning: expected-value math, the planner's degree
+back-off under failures, the adaptive controller, and provider-specific
+retry billing (egress re-pay).
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import compare_failure_awareness
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.core.optimizer import ExpenseModel, ServiceTimeModel
+from repro.core.propack import ProPack
+from repro.core.reliability import FailurePenalty
+from repro.extensions import FailureAdaptiveProPack
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.providers import (
+    AWS_LAMBDA,
+    AZURE_FUNCTIONS,
+    GOOGLE_CLOUD_FUNCTIONS,
+)
+from repro.workloads import SORT
+
+
+# --------------------------------------------------------------------- #
+# FailurePenalty closed forms
+# --------------------------------------------------------------------- #
+
+def test_zero_failure_rate_is_free():
+    p = FailurePenalty(failure_rate=0.0, max_retries=3)
+    assert p.success_probability == 1.0
+    assert p.expected_attempts() == 1.0
+    assert p.expected_failures() == 0.0
+    assert p.expected_billed_multiplier() == pytest.approx(1.0)
+    assert p.expected_tail_retries(1000) == 0.0
+    assert p.expected_work_loss_ratio() == 0.0
+
+
+def test_expected_attempts_geometric_series():
+    q, r = 0.2, 2
+    p = FailurePenalty(failure_rate=q, max_retries=r)
+    # E[A] = sum_{k=0..r} q^k  (one attempt plus one per prior failure)
+    assert p.expected_attempts() == pytest.approx(1 + q + q**2)
+    assert p.expected_failures() == pytest.approx(q * (1 + q + q**2))
+    assert p.success_probability == pytest.approx(1 - q**3)
+
+
+def test_billed_multiplier_charges_half_per_failure():
+    p = FailurePenalty(failure_rate=0.3, max_retries=4)
+    expected = p.success_probability + 0.5 * p.expected_failures()
+    assert p.expected_billed_multiplier() == pytest.approx(expected)
+
+
+def test_expected_max_attempts_grows_with_group_count():
+    p = FailurePenalty(failure_rate=0.1, max_retries=3)
+    small = p.expected_max_attempts(10)
+    large = p.expected_max_attempts(10_000)
+    assert 1.0 < small < large <= p.max_retries + 1
+    # Closed form: E[max] = 1 + sum_k (1 - (1 - q^k)^N)
+    manual = 1.0 + sum(1.0 - (1.0 - 0.1**k) ** 10 for k in range(1, 4))
+    assert p.expected_max_attempts(10) == pytest.approx(manual)
+
+
+def test_work_loss_ratio_bounds():
+    p = FailurePenalty(failure_rate=0.25, max_retries=2)
+    assert 0.0 < p.expected_work_loss_ratio() < 1.0
+
+
+def test_penalty_validates():
+    with pytest.raises(ValueError):
+        FailurePenalty(failure_rate=1.0, max_retries=1)
+    with pytest.raises(ValueError):
+        FailurePenalty(failure_rate=0.1, max_retries=-1)
+    with pytest.raises(ValueError):
+        FailurePenalty(failure_rate=0.1, max_retries=1, retry_overhead_s=-1.0)
+
+
+def test_from_profile_uses_reliability_coefficients():
+    profile = AWS_LAMBDA.with_overrides(name="x", failure_rate=0.15)
+    p = FailurePenalty.from_profile(profile)
+    assert p.failure_rate == 0.15
+    assert p.max_retries == profile.max_retries
+    assert p.retry_overhead_s == pytest.approx(
+        profile.sched_base_s + profile.build_base_s
+    )
+
+
+# --------------------------------------------------------------------- #
+# Analytical planner back-off (acceptance criterion)
+# --------------------------------------------------------------------- #
+
+EXEC = ExecutionTimeModel(coeff_a=80.0, coeff_b=0.05, mem_gb=0.5)
+SCALING = ScalingTimeModel(beta1=4e-5, beta2=0.02, beta3=2.0)
+
+
+def optimal_service_degree(failure, concurrency=3000, max_degree=14):
+    model = ServiceTimeModel(EXEC, SCALING, concurrency, failure)
+    degrees = range(1, max_degree + 1)
+    return min(degrees, key=lambda d: model.predict(d))
+
+
+def test_failure_aware_service_model_prefers_lower_degree():
+    blind = optimal_service_degree(None)
+    aware = optimal_service_degree(
+        FailurePenalty(failure_rate=0.3, max_retries=2, retry_overhead_s=5.0)
+    )
+    assert aware < blind  # strictly lower packing under heavy failures
+
+
+def test_back_off_grows_with_failure_rate():
+    degrees = [
+        optimal_service_degree(
+            FailurePenalty(failure_rate=q, max_retries=2, retry_overhead_s=5.0)
+        )
+        for q in (0.0, 0.1, 0.2, 0.3)
+    ]
+    assert degrees == sorted(degrees, reverse=True)
+    assert degrees[-1] < degrees[0]
+
+
+def test_failure_raises_predicted_service_and_expense():
+    penalty = FailurePenalty(failure_rate=0.2, max_retries=2, retry_overhead_s=5.0)
+    blind_s = ServiceTimeModel(EXEC, SCALING, 3000)
+    aware_s = ServiceTimeModel(EXEC, SCALING, 3000, penalty)
+    blind_e = ExpenseModel(EXEC, AWS_LAMBDA, SORT, 3000)
+    aware_e = ExpenseModel(EXEC, AWS_LAMBDA, SORT, 3000, failure=penalty)
+    for degree in (1, 4, 8):
+        assert aware_s.predict(degree) > blind_s.predict(degree)
+        assert aware_e.predict(degree) > blind_e.predict(degree)
+
+
+def test_expected_retries_scale_expense_components():
+    penalty = FailurePenalty(failure_rate=0.2, max_retries=2)
+    blind = ExpenseModel(EXEC, GOOGLE_CLOUD_FUNCTIONS, SORT, 1000)
+    aware = ExpenseModel(EXEC, GOOGLE_CLOUD_FUNCTIONS, SORT, 1000, failure=penalty)
+    # The inflation stays below the expected-attempts multiplier (PUTs are
+    # not re-paid) but is strictly positive on an egress-charging provider.
+    ratio = aware.predict(4) / blind.predict(4)
+    assert 1.0 < ratio < penalty.expected_attempts()
+
+
+# --------------------------------------------------------------------- #
+# End-to-end planner integration
+# --------------------------------------------------------------------- #
+
+def test_planner_backs_off_on_flaky_platform():
+    profile = AWS_LAMBDA.with_overrides(name="flaky", failure_rate=0.3)
+    platform = ServerlessPlatform(profile, seed=42)
+    comparison = compare_failure_awareness(platform, SORT, concurrency=2000)
+    assert comparison.degree_reduction >= 1  # strictly lower degree
+    assert comparison.aware.plan.degree < comparison.blind.plan.degree
+
+
+def test_failure_aware_plan_is_noop_on_reliable_platform():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=42)
+    propack = ProPack(platform)
+    blind, _ = propack.plan(SORT, 2000)
+    aware, _ = propack.plan(SORT, 2000, failure_aware=True)
+    assert aware.degree == blind.degree
+
+
+def test_explicit_penalty_overrides_profile():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=42)
+    propack = ProPack(platform)
+    blind, _ = propack.plan(SORT, 2000, objective="service")
+    harsh = FailurePenalty(failure_rate=0.35, max_retries=2, retry_overhead_s=10.0)
+    aware, _ = propack.plan(SORT, 2000, objective="service", failure=harsh)
+    assert aware.degree < blind.degree
+
+
+# --------------------------------------------------------------------- #
+# Adaptive controller
+# --------------------------------------------------------------------- #
+
+def test_controller_degrades_under_sustained_failures():
+    profile = AWS_LAMBDA.with_overrides(name="storm", failure_rate=0.3)
+    platform = ServerlessPlatform(profile, seed=42)
+    controller = FailureAdaptiveProPack(platform, threshold=0.1, window=2)
+    degrees = [controller.run(SORT, 1000).plan.degree for _ in range(4)]
+    assert controller.degrade_steps >= 2
+    assert degrees[-1] < degrees[0]
+    assert degrees == sorted(degrees, reverse=True)
+    assert degrees[-1] <= math.ceil(degrees[0] * 0.5)
+
+
+def test_controller_recovers_when_calm():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=42)
+    controller = FailureAdaptiveProPack(platform, threshold=0.1, window=2)
+    controller._degrade_steps = 2  # pretend a storm just passed
+    first = controller.run(SORT, 1000).plan.degree
+    for _ in range(3):
+        last = controller.run(SORT, 1000).plan.degree
+    assert controller.degrade_steps == 0
+    assert last > first
+
+
+def test_controller_validates():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=1)
+    with pytest.raises(ValueError):
+        FailureAdaptiveProPack(platform, threshold=0.0)
+    with pytest.raises(ValueError):
+        FailureAdaptiveProPack(platform, degrade_factor=1.0)
+
+
+# --------------------------------------------------------------------- #
+# Retries re-pay egress (provider billing satellite)
+# --------------------------------------------------------------------- #
+
+def flaky_delta(provider, seed=33, concurrency=300):
+    """Expense deltas (flaky − clean) for one provider, same seed."""
+    spec = BurstSpec(app=SORT, concurrency=concurrency, packing_degree=4)
+    clean = ServerlessPlatform(provider, seed=seed).run_burst(spec, repetition=0)
+    flaky_profile = provider.with_overrides(
+        name=f"{provider.name}-flaky", failure_rate=0.2
+    )
+    flaky = ServerlessPlatform(flaky_profile, seed=seed).run_burst(spec, repetition=0)
+    assert flaky.n_failed_attempts > 0
+    return flaky.expense, clean.expense
+
+
+@pytest.mark.parametrize("provider", [GOOGLE_CLOUD_FUNCTIONS, AZURE_FUNCTIONS])
+def test_retries_repay_egress_on_charging_providers(provider):
+    flaky, clean = flaky_delta(provider)
+    # Failed attempts fetched their inputs before dying; the retry fetches
+    # them again, and every transferred GB is billed.
+    assert flaky.egress_usd > clean.egress_usd
+    assert flaky.storage_usd > clean.storage_usd  # GETs re-paid too
+
+
+def test_aws_charges_no_egress_for_retries():
+    flaky, clean = flaky_delta(AWS_LAMBDA)
+    assert clean.egress_usd == 0.0
+    assert flaky.egress_usd == 0.0  # same-region traffic is free on Lambda
+    assert flaky.storage_usd > clean.storage_usd
+
+
+def test_flaky_burst_premium_is_larger_on_egress_charging_providers():
+    """The same failure storm costs strictly more on GCF/Azure than on AWS
+    once compute-price differences are normalized away: the egress line
+    item re-pays per-GB transfer on every retried attempt."""
+    for provider in (GOOGLE_CLOUD_FUNCTIONS, AZURE_FUNCTIONS):
+        flaky, clean = flaky_delta(provider)
+        egress_premium = flaky.egress_usd - clean.egress_usd
+        assert egress_premium > 0.0
+    aws_flaky, aws_clean = flaky_delta(AWS_LAMBDA)
+    assert aws_flaky.egress_usd - aws_clean.egress_usd == 0.0

@@ -10,8 +10,15 @@ from repro.workloads import SORT, STATELESS_COST
 FLAKY = AWS_LAMBDA.with_overrides(name="flaky-lambda", failure_rate=0.2)
 
 
-@pytest.fixture(scope="module")
+@pytest.fixture()
 def flaky_platform():
+    """A fresh seeded platform per test.
+
+    Platform RNG state advances with every burst (`_run_counter`), so a
+    shared module-scoped platform would make assertions depend on test
+    execution order. Constructing per test keeps each test's draws pinned
+    to the seed alone.
+    """
     return ServerlessPlatform(FLAKY, seed=81)
 
 
@@ -45,7 +52,7 @@ def test_failed_attempts_are_billed(flaky_platform):
     clean = ServerlessPlatform(AWS_LAMBDA, seed=81).run_burst(
         BurstSpec(app=SORT, concurrency=200), repetition=0
     )
-    flaky = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=200))
+    flaky = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=200), repetition=0)
     assert flaky.expense.total_usd > clean.expense.total_usd
 
 
@@ -53,7 +60,7 @@ def test_failures_inflate_tail_service_time(flaky_platform):
     clean = ServerlessPlatform(AWS_LAMBDA, seed=81).run_burst(
         BurstSpec(app=SORT, concurrency=300), repetition=0
     )
-    flaky = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=300))
+    flaky = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=300), repetition=0)
     assert flaky.service_time("total") > clean.service_time("total")
 
 
@@ -74,7 +81,6 @@ def test_service_metrics_exclude_failed_attempts(flaky_platform):
     assert failed_ends  # crashes happened
     # No failed attempt's end time is treated as a service completion.
     total = result.service_time("total")
-    assert all(e <= total for e in failed_ends) or True  # sanity: no crash
     ok = result.successful_records
     assert max(r.exec_end for r in ok) == total
 
@@ -101,3 +107,12 @@ def test_all_attempts_failing_drains_cleanly():
     assert not result.successful_records
     with pytest.raises(ValueError, match="no instance completed"):
         result.service_time()
+
+
+def test_fault_stats_track_default_path_crashes(flaky_platform):
+    result = flaky_platform.run_burst(BurstSpec(app=SORT, concurrency=200))
+    stats = result.fault_stats
+    assert stats.crashed_attempts == result.n_failed_attempts
+    assert stats.retries_scheduled > 0
+    assert stats.wasted_billed_gb_seconds > 0.0
+    assert 0.0 < stats.work_loss_ratio < 1.0

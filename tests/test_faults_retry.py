@@ -1,0 +1,165 @@
+"""Unit tests for retry policies, the retry budget, hedging, and the
+token bucket — the pluggable resilience primitives of :mod:`repro.faults`."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ExponentialBackoffRetry,
+    FixedDelayRetry,
+    HedgePolicy,
+    ImmediateRetry,
+    RetryBudget,
+)
+from repro.faults.throttle import TokenBucket
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+# --------------------------------------------------------------------- #
+# Policies
+# --------------------------------------------------------------------- #
+
+def test_immediate_retry_matches_legacy_loop(rng):
+    policy = ImmediateRetry(max_retries=2)
+    assert policy.next_delay(1, 0.0, rng) == 0.0
+    assert policy.next_delay(2, 0.0, rng) == 0.0
+    assert policy.next_delay(3, 0.0, rng) is None  # budget exhausted
+
+
+def test_fixed_delay(rng):
+    policy = FixedDelayRetry(delay_s=1.5, max_retries=3)
+    assert policy.next_delay(1, 0.0, rng) == 1.5
+    assert policy.next_delay(3, 0.0, rng) == 1.5
+    assert policy.next_delay(4, 0.0, rng) is None
+
+
+def test_fixed_delay_validates():
+    with pytest.raises(ValueError):
+        FixedDelayRetry(delay_s=-1.0, max_retries=1)
+
+
+def test_exponential_backoff_decorrelated_jitter_bounds(rng):
+    policy = ExponentialBackoffRetry(base_s=0.2, cap_s=20.0, max_retries=100)
+    prev = 0.0
+    for attempt in range(1, 50):
+        delay = policy.next_delay(attempt, prev, rng)
+        # Decorrelated jitter: uniform in [base, 3 * max(prev, base)], capped.
+        upper = min(20.0, 3.0 * max(prev, 0.2))
+        assert 0.2 <= delay <= upper
+        prev = delay
+
+
+def test_exponential_backoff_caps(rng):
+    policy = ExponentialBackoffRetry(base_s=5.0, cap_s=8.0, max_retries=100)
+    delays = [policy.next_delay(i, 8.0, rng) for i in range(1, 30)]
+    assert max(delays) <= 8.0
+    assert policy.next_delay(101, 0.0, rng) is None
+
+
+def test_exponential_backoff_validates():
+    with pytest.raises(ValueError):
+        ExponentialBackoffRetry(base_s=0.0)
+    with pytest.raises(ValueError):
+        ExponentialBackoffRetry(base_s=2.0, cap_s=1.0)
+
+
+def test_policies_are_stateless_across_fresh(rng):
+    policy = FixedDelayRetry(delay_s=1.0, max_retries=2)
+    assert policy.fresh() is policy  # immutable policies share the instance
+
+
+# --------------------------------------------------------------------- #
+# Retry budget
+# --------------------------------------------------------------------- #
+
+def test_budget_caps_total_retries(rng):
+    budget = RetryBudget(ImmediateRetry(max_retries=10), budget=3)
+    # Three grants across *different* groups, then a global stop.
+    assert budget.next_delay(1, 0.0, rng) == 0.0
+    assert budget.next_delay(1, 0.0, rng) == 0.0
+    assert budget.next_delay(1, 0.0, rng) == 0.0
+    assert budget.spent == 3
+    assert budget.next_delay(1, 0.0, rng) is None
+
+
+def test_budget_defers_to_inner_policy(rng):
+    budget = RetryBudget(ImmediateRetry(max_retries=1), budget=100)
+    assert budget.next_delay(1, 0.0, rng) == 0.0
+    assert budget.next_delay(2, 0.0, rng) is None  # inner gave up first
+    assert budget.spent == 1  # a refusal costs nothing
+
+
+def test_budget_fresh_resets_spend(rng):
+    budget = RetryBudget(ImmediateRetry(max_retries=10), budget=1)
+    assert budget.next_delay(1, 0.0, rng) == 0.0
+    assert budget.next_delay(1, 0.0, rng) is None
+    clone = budget.fresh()
+    assert clone is not budget
+    assert clone.spent == 0
+    assert clone.next_delay(1, 0.0, rng) == 0.0
+
+
+def test_budget_validates():
+    with pytest.raises(ValueError):
+        RetryBudget(ImmediateRetry(1), budget=-1)
+
+
+# --------------------------------------------------------------------- #
+# Hedging
+# --------------------------------------------------------------------- #
+
+def test_hedge_trigger_scales_reference():
+    hedge = HedgePolicy(trigger_factor=2.0, max_hedges_per_group=1)
+    assert hedge.trigger_seconds(10.0) == pytest.approx(20.0)
+
+
+def test_hedge_validates():
+    with pytest.raises(ValueError):
+        HedgePolicy(trigger_factor=0.5)
+    with pytest.raises(ValueError):
+        HedgePolicy(max_hedges_per_group=-1)
+
+
+# --------------------------------------------------------------------- #
+# Token bucket
+# --------------------------------------------------------------------- #
+
+def test_bucket_burst_then_starve():
+    bucket = TokenBucket(capacity=3, refill_per_s=1.0)
+    assert all(bucket.try_acquire(0.0) for _ in range(3))
+    assert not bucket.try_acquire(0.0)
+    assert bucket.admitted == 3 and bucket.rejected == 1
+
+
+def test_bucket_refills_continuously():
+    bucket = TokenBucket(capacity=2, refill_per_s=2.0)
+    assert bucket.try_acquire(0.0) and bucket.try_acquire(0.0)
+    assert not bucket.try_acquire(0.1)   # only 0.2 tokens back
+    assert bucket.try_acquire(0.5)       # 1.0 token accumulated
+    assert bucket.seconds_until_token(0.5) == pytest.approx(0.5)
+
+
+def test_bucket_never_exceeds_capacity():
+    bucket = TokenBucket(capacity=2, refill_per_s=10.0)
+    assert bucket.try_acquire(0.0) and bucket.try_acquire(0.0)
+    # A long idle stretch refills to capacity, not beyond.
+    assert bucket.try_acquire(100.0) and bucket.try_acquire(100.0)
+    assert not bucket.try_acquire(100.0)
+
+
+def test_bucket_rejects_clock_reversal():
+    bucket = TokenBucket(capacity=1, refill_per_s=1.0)
+    bucket.try_acquire(5.0)
+    with pytest.raises(ValueError):
+        bucket.try_acquire(4.0)
+
+
+def test_bucket_validates():
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=0, refill_per_s=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=1, refill_per_s=0.0)

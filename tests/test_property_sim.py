@@ -1,8 +1,6 @@
 """Property-based tests (hypothesis) on the simulation substrate."""
 
-import heapq
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

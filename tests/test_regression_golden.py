@@ -11,7 +11,6 @@ import pytest
 
 from repro import (
     AWS_LAMBDA,
-    BurstSpec,
     ProPack,
     PywrenManager,
     ServerlessPlatform,

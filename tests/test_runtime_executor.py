@@ -4,7 +4,6 @@ import pytest
 
 from repro.runtime.executor import PackedExecutor
 from repro.workloads import MapReduceSort, StatelessCost
-from repro.workloads.base import Task
 from repro.workloads.synthetic import SyntheticApp
 
 

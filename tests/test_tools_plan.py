@@ -1,6 +1,5 @@
 """Tests for the propack-plan CLI."""
 
-import pytest
 
 from repro.tools.plan_cli import main
 

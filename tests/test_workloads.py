@@ -10,14 +10,12 @@ from repro.workloads import (
     SORT,
     STATELESS_COST,
     VIDEO,
-    XAPIAN,
     MapReduceSort,
     SmithWaterman,
     StatelessCost,
     ThousandIslandScanner,
     XapianSearch,
 )
-from repro.workloads.base import AppSpec
 from repro.workloads.smith_waterman import sw_score_matrix, sw_traceback
 from repro.workloads.stateless import bilinear_resize
 from repro.workloads.synthetic import SyntheticApp, make_synthetic
