@@ -1,0 +1,28 @@
+"""Benchmark for the long-horizon serving subsystem (SV1)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import serving_day
+
+
+def test_sv1_hybrid_beats_no_keepalive(benchmark, ctx):
+    fig = run_once(benchmark, serving_day, ctx)
+    by = {(r["keepalive"], r["mode"]): r for r in fig.rows}
+    none_static = by[("no-keep-alive", "static")]
+    hybrid_static = by[("hybrid-histogram", "static")]
+    # The acceptance claim: the hybrid histogram slashes cold starts at
+    # equal-or-lower total cost than never keeping instances warm.
+    assert hybrid_static["cold_start_pct"] < 0.5 * none_static["cold_start_pct"]
+    assert (
+        hybrid_static["usd_per_1k_requests"]
+        <= none_static["usd_per_1k_requests"]
+    )
+    # No keep-alive means every dispatch is cold and nothing sits idle.
+    assert none_static["cold_start_pct"] == 100.0
+    assert none_static["idle_gb_s"] == 0.0
+    # Warm pools shorten sojourns (no repeated cold-start latency).
+    assert hybrid_static["p99_s"] < none_static["p99_s"]
+    # The replanner actually replans over the day.
+    assert any(r["policy_changes"] > 0 for r in fig.rows if r["mode"] == "replan")
+    # Same request count everywhere: the arrival schedule is shared.
+    assert len({r["requests"] for r in fig.rows}) == 1

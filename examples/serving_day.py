@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""A simulated day of sustained service (extension beyond the paper).
+
+The paper's evaluation is one-shot bursts; this example drives the same
+packing stack through a *diurnal day* of continuous traffic (compressed to
+40 simulated minutes so it runs in seconds). It crosses two levers the
+``repro.serving`` package adds:
+
+* **keep-alive policy** — evict idle instances immediately (every dispatch
+  is a cold start) vs the Azure-style hybrid histogram that learns how
+  long reuses take to come back,
+* **planning mode** — one static ``(degree, timeout)`` policy planned for
+  the average rate vs an online replanner that re-fits the arrival rate
+  and re-runs the planner as the day ramps up and down.
+
+    python examples/serving_day.py
+"""
+
+from repro import AWS_LAMBDA, ProPack, ServerlessPlatform
+from repro.extensions.streaming import StreamingPlanner
+from repro.serving import (
+    DiurnalProcess,
+    HybridHistogram,
+    NoKeepAlive,
+    OnlineReplanner,
+    ServingSimulator,
+    WarmPool,
+)
+from repro.workloads import XAPIAN
+
+HORIZON_S = 2400.0      # one compressed "day"
+BASE_RATE = 1.5         # requests/s averaged over the day
+QOS_S = 30.0            # per-request sojourn SLO
+
+
+def main() -> None:
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=53)
+    exec_model = ProPack(platform).exec_model(XAPIAN)
+    process = DiurnalProcess(BASE_RATE, amplitude=0.7, period_s=HORIZON_S)
+    static_policy = StreamingPlanner(AWS_LAMBDA, XAPIAN, exec_model).plan(
+        arrival_rate_per_s=BASE_RATE, qos_sojourn_s=QOS_S
+    )
+
+    print(f"== A diurnal day of {XAPIAN.name} "
+          f"(avg {BASE_RATE}/s, p99 SLO {QOS_S:.0f}s) ==\n")
+    print(f"static plan at the average rate: degree={static_policy.degree}, "
+          f"timeout={static_policy.batch_timeout_s:.1f}s\n")
+    print(f"{'keep-alive':<17} {'mode':<7} {'cold%':>6} {'$/1k req':>9} "
+          f"{'p99(s)':>7} {'SLO viol%':>9} {'replans':>7}")
+    for make_policy in (NoKeepAlive, HybridHistogram):
+        for mode in ("static", "replan"):
+            controller = (
+                OnlineReplanner(AWS_LAMBDA, XAPIAN, exec_model, QOS_S)
+                if mode == "replan"
+                else None
+            )
+            simulator = ServingSimulator(
+                AWS_LAMBDA, XAPIAN, exec_model,
+                pool=WarmPool(make_policy()),
+                controller=controller,
+                seed=53,
+            )
+            run = simulator.run(process, static_policy, HORIZON_S)
+            print(f"{run.policy_name:<17} {mode:<7} "
+                  f"{100 * run.cold_start_fraction:>6.1f} "
+                  f"{1000 * run.cost_per_request_usd():>9.4f} "
+                  f"{run.p99_sojourn_s:>7.1f} "
+                  f"{100 * run.slo_violation_fraction:>9.1f} "
+                  f"{run.policy_changes:>7}")
+
+    print("\nKeeping instances warm turns almost every dispatch into a warm"
+          "\nstart: the idle keep-alive charge is cheaper than re-billing the"
+          "\ninitialization on every cold dispatch, so the hybrid histogram"
+          "\nwins on BOTH cold-start fraction and cost per request.")
+
+
+if __name__ == "__main__":
+    main()

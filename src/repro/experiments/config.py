@@ -27,6 +27,13 @@ class ExperimentConfig:
     repetitions: int = 3    # the paper repeats runs for significance
     failure_rates: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3)
     fault_concurrency: int = 2000
+    # Long-horizon serving sweep (repro.serving): one diurnal "day" of
+    # sustained traffic; quick mode compresses the day so the benchmark
+    # suite stays fast while exercising the same trough→peak→trough sweep.
+    serving_horizon_s: float = 86400.0
+    serving_base_rate_per_s: float = 1.0
+    serving_amplitude: float = 0.7
+    serving_qos_s: float = 30.0
 
     @classmethod
     def full(cls) -> "ExperimentConfig":
@@ -44,4 +51,6 @@ class ExperimentConfig:
             repetitions=1,
             failure_rates=(0.0, 0.1, 0.3),
             fault_concurrency=1000,
+            serving_horizon_s=2400.0,
+            serving_base_rate_per_s=1.5,
         )

@@ -1040,6 +1040,109 @@ def fault_sweep(ctx: ExperimentContext) -> FigureResult:
     return result
 
 
+def serving_day(ctx: ExperimentContext) -> FigureResult:
+    """SV1 (ours) — a simulated diurnal day of sustained service.
+
+    Crosses keep-alive policy {none, fixed TTL, hybrid histogram} with
+    planning mode {static policy planned at the base rate, online
+    replanner} over one diurnal day of Xapian traffic. Reports cost per
+    1k requests, cold-start fraction, p99 sojourn, and SLO violations —
+    the acceptance claim is that the hybrid histogram beats no-keep-alive
+    on cold-start fraction at equal-or-lower total cost.
+    """
+    from repro.extensions.streaming import StreamingPlanner
+    from repro.serving import (
+        DiurnalProcess,
+        FixedTTL,
+        HybridHistogram,
+        NoKeepAlive,
+        OnlineReplanner,
+        ServingConfig,
+        ServingSimulator,
+        WarmPool,
+    )
+    from repro.workloads import XAPIAN
+
+    cfg = ctx.config
+    result = FigureResult(
+        "SV1",
+        (
+            f"Diurnal serving day for {XAPIAN.name} "
+            f"(horizon={cfg.serving_horizon_s:g}s, base rate="
+            f"{cfg.serving_base_rate_per_s:g}/s, QoS p99 <= "
+            f"{cfg.serving_qos_s:g}s)"
+        ),
+        [
+            "keepalive", "mode", "requests", "usd_per_1k_requests",
+            "cold_start_pct", "idle_gb_s", "p50_s", "p99_s",
+            "slo_violation_pct", "policy_changes", "final_degree",
+        ],
+    )
+    pp = ctx.propack()
+    exec_model = pp.exec_model(XAPIAN)
+    scaling_model = pp.scaling_model()
+    serving_cfg = ServingConfig(qos_sojourn_s=cfg.serving_qos_s)
+    process = DiurnalProcess(
+        base_rate_per_s=cfg.serving_base_rate_per_s,
+        amplitude=cfg.serving_amplitude,
+        period_s=cfg.serving_horizon_s,
+    )
+    static_policy = StreamingPlanner(AWS_LAMBDA, XAPIAN, exec_model).plan(
+        arrival_rate_per_s=cfg.serving_base_rate_per_s,
+        qos_sojourn_s=cfg.serving_qos_s,
+    )
+    policies = (NoKeepAlive, lambda: FixedTTL(60.0), HybridHistogram)
+    for make_policy in policies:
+        for mode in ("static", "replan"):
+            controller = (
+                OnlineReplanner(
+                    AWS_LAMBDA,
+                    XAPIAN,
+                    exec_model,
+                    qos_sojourn_s=cfg.serving_qos_s,
+                    scaling_model=scaling_model,
+                )
+                if mode == "replan"
+                else None
+            )
+            simulator = ServingSimulator(
+                AWS_LAMBDA,
+                XAPIAN,
+                exec_model,
+                pool=WarmPool(make_policy()),
+                config=serving_cfg,
+                controller=controller,
+                seed=cfg.seed,
+            )
+            run = simulator.run(process, static_policy, cfg.serving_horizon_s)
+            result.add(
+                keepalive=run.policy_name,
+                mode=mode,
+                requests=run.n_requests,
+                usd_per_1k_requests=run.cost_per_request_usd() * 1000,
+                cold_start_pct=100.0 * run.cold_start_fraction,
+                idle_gb_s=run.idle_gb_seconds,
+                p50_s=run.p50_sojourn_s,
+                p99_s=run.p99_sojourn_s,
+                slo_violation_pct=100.0 * run.slo_violation_fraction,
+                policy_changes=run.policy_changes,
+                final_degree=run.final_degree,
+            )
+    none_static = result.select(keepalive="no-keep-alive", mode="static")[0]
+    hybrid_static = [
+        r for r in result.rows
+        if r["mode"] == "static" and r["keepalive"].startswith("hybrid")
+    ][0]
+    result.notes.append(
+        "hybrid histogram vs no-keep-alive (static): cold starts "
+        f"{hybrid_static['cold_start_pct']:.1f}% vs "
+        f"{none_static['cold_start_pct']:.1f}% at "
+        f"${hybrid_static['usd_per_1k_requests']:.4f} vs "
+        f"${none_static['usd_per_1k_requests']:.4f} per 1k requests"
+    )
+    return result
+
+
 #: Registry used by the CLI and the benchmark suite.
 ALL_FIGURES = {
     "fig1": fig1,
@@ -1074,4 +1177,5 @@ ALL_FIGURES = {
     "multitenant": multitenant_benefit,
     "decentralization": decentralization_matrix,
     "faults": fault_sweep,
+    "serving": serving_day,
 }

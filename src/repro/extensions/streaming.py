@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.models import ExecutionTimeModel
 from repro.platform.providers import PlatformProfile
+from repro.serving.arrivals import ArrivalProcess, PoissonProcess
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.workloads.base import AppSpec
@@ -104,15 +105,31 @@ class StreamingDispatcher:
         arrival_rate_per_s: float,
         n_requests: int,
         repetition: int = 0,
+        process: Optional[ArrivalProcess] = None,
     ) -> StreamingResult:
+        """Simulate ``n_requests`` arrivals under ``policy``.
+
+        By default arrivals are homogeneous Poisson at
+        ``arrival_rate_per_s`` (via :class:`repro.serving.arrivals.
+        PoissonProcess`, byte-identical to the generator this class
+        historically inlined). Pass any other
+        :class:`~repro.serving.arrivals.ArrivalProcess` to drive the same
+        dispatcher with diurnal, bursty, or trace-shaped traffic; the
+        stream is then time-bounded at ``n_requests / rate`` and
+        ``n_requests`` only sizes the horizon.
+        """
         if arrival_rate_per_s <= 0:
             raise ValueError("arrival rate must be positive")
         if n_requests < 1:
             raise ValueError("need at least one request")
         rng = RandomStreams(self.seed).spawn(f"stream/r{repetition}")
-        arrivals = np.cumsum(
-            rng.stream("arrivals").exponential(1.0 / arrival_rate_per_s, n_requests)
-        )
+        if process is None:
+            arrivals = PoissonProcess(arrival_rate_per_s).sample_n(rng, n_requests)
+        else:
+            arrivals = process.sample(rng, n_requests / arrival_rate_per_s)
+        if len(arrivals) == 0:
+            raise ValueError("arrival process produced no arrivals in the horizon")
+        n_requests = len(arrivals)
         sim = Simulator()
         result = StreamingResult(policy=policy, n_requests=n_requests)
         waiting: list[float] = []  # arrival times of queued requests

@@ -36,6 +36,35 @@ class BillingModel:
         billed_gb = self.billed_memory_mb(record.provisioned_mb) / 1024.0
         return record.exec_seconds * billed_gb * self.profile.gb_second_usd
 
+    def keepalive_usd(self, idle_gb_seconds: float) -> float:
+        """Warm-idle charge at the provisioned-concurrency-style rate.
+
+        Only keep-alive policies accrue idle GB-seconds; a service running
+        pure cold starts passes 0 here and is never billed for warmth.
+        """
+        if idle_gb_seconds < 0.0:
+            raise ValueError("idle GB-seconds must be non-negative")
+        return idle_gb_seconds * self.profile.keepalive_gb_second_usd
+
+    def serving_expense(
+        self,
+        exec_gb_seconds: float,
+        n_dispatches: int,
+        idle_gb_seconds: float = 0.0,
+    ) -> ExpenseBreakdown:
+        """Expense of a sustained serving run (see :mod:`repro.serving`).
+
+        ``exec_gb_seconds`` covers billed execution including any billed
+        cold-start initialization; each dispatch pays one request fee.
+        """
+        return ExpenseBreakdown(
+            compute_usd=float(exec_gb_seconds * self.profile.gb_second_usd),
+            requests_usd=float(n_dispatches * self.profile.per_request_usd),
+            storage_usd=0.0,
+            egress_usd=0.0,
+            keepalive_usd=self.keepalive_usd(idle_gb_seconds),
+        )
+
     def burst_expense(
         self,
         records: list[InstanceRecord],

@@ -79,16 +79,29 @@ class InstanceRecord:
 
 @dataclass(frozen=True)
 class ExpenseBreakdown:
-    """Dollar expense of a burst, by billing line item."""
+    """Dollar expense of a burst or serving run, by billing line item.
+
+    ``keepalive_usd`` is the provisioned-concurrency-style charge for
+    warm-idle instance time (see :mod:`repro.serving.warmpool`); it is zero
+    for one-shot bursts and for serving runs without a keep-alive policy —
+    pure cold starts never bill it.
+    """
 
     compute_usd: float
     requests_usd: float
     storage_usd: float
     egress_usd: float
+    keepalive_usd: float = 0.0
 
     @property
     def total_usd(self) -> float:
-        return self.compute_usd + self.requests_usd + self.storage_usd + self.egress_usd
+        return (
+            self.compute_usd
+            + self.requests_usd
+            + self.storage_usd
+            + self.egress_usd
+            + self.keepalive_usd
+        )
 
     def __add__(self, other: "ExpenseBreakdown") -> "ExpenseBreakdown":
         return ExpenseBreakdown(
@@ -96,6 +109,7 @@ class ExpenseBreakdown:
             self.requests_usd + other.requests_usd,
             self.storage_usd + other.storage_usd,
             self.egress_usd + other.egress_usd,
+            self.keepalive_usd + other.keepalive_usd,
         )
 
 

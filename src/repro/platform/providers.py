@@ -61,6 +61,11 @@ class PlatformProfile:
 
     # --- billing ---
     gb_second_usd: float = 1.66667e-5     # AWS Lambda x86 rate
+    # Warm-idle (provisioned-concurrency-style) rate: what a keep-alive
+    # policy pays per GB-second of instance time spent idle in the warm
+    # pool. Roughly 4x cheaper than on-demand execution on AWS; never
+    # billed when instances are released cold (no keep-alive).
+    keepalive_gb_second_usd: float = 4.1667e-6
     per_request_usd: float = 2.0e-7
     storage_put_usd: float = 5.0e-6       # S3 PUT
     storage_get_usd: float = 4.0e-7       # S3 GET
@@ -92,6 +97,7 @@ GOOGLE_CLOUD_FUNCTIONS = PlatformProfile(
     build_base_s=0.35,
     uplink_gbps=80.0,
     gb_second_usd=2.5e-5,
+    keepalive_gb_second_usd=6.25e-6,
     per_request_usd=4.0e-7,
     egress_usd_per_gb=0.12,
 )
@@ -105,6 +111,7 @@ AZURE_FUNCTIONS = PlatformProfile(
     build_base_s=0.4,
     uplink_gbps=80.0,
     gb_second_usd=1.6e-5,
+    keepalive_gb_second_usd=4.0e-6,
     per_request_usd=2.0e-7,
     egress_usd_per_gb=0.087,
 )

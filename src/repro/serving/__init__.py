@@ -1,0 +1,58 @@
+"""Long-horizon serving: arrival processes, warm pools, SLOs, replanning.
+
+This package turns the one-shot burst substrate into a *service*: seeded
+arrival processes generate hours of traffic, a warm pool with pluggable
+keep-alive/eviction policies absorbs it, constant-memory quantile
+estimators track latency SLOs over millions of requests, and an online
+replanner adapts the packing degree and pool size as the load drifts.
+See ``docs/SERVING.md``.
+"""
+
+from repro.serving.arrivals import (
+    ArrivalProcess,
+    AzureTraceProcess,
+    DiurnalProcess,
+    InhomogeneousPoissonProcess,
+    MarkovModulatedProcess,
+    PoissonProcess,
+    SuperposedProcess,
+)
+from repro.serving.controller import OnlineReplanner, ReplanDecision
+from repro.serving.quantiles import P2Quantile, QuantileDigest, WindowedSLOTracker
+from repro.serving.service import ServingConfig, ServingResult, ServingSimulator
+from repro.serving.warmpool import (
+    FixedTTL,
+    GreedyLRUCap,
+    HybridHistogram,
+    KeepAlivePolicy,
+    NoKeepAlive,
+    PoolStats,
+    WarmPool,
+    pool_size_for,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "AzureTraceProcess",
+    "DiurnalProcess",
+    "InhomogeneousPoissonProcess",
+    "MarkovModulatedProcess",
+    "PoissonProcess",
+    "SuperposedProcess",
+    "OnlineReplanner",
+    "ReplanDecision",
+    "P2Quantile",
+    "QuantileDigest",
+    "WindowedSLOTracker",
+    "ServingConfig",
+    "ServingResult",
+    "ServingSimulator",
+    "FixedTTL",
+    "GreedyLRUCap",
+    "HybridHistogram",
+    "KeepAlivePolicy",
+    "NoKeepAlive",
+    "PoolStats",
+    "WarmPool",
+    "pool_size_for",
+]

@@ -1,0 +1,266 @@
+"""Long-horizon serving simulator: arrivals × batching × warm pool × SLOs.
+
+Where :class:`~repro.extensions.streaming.StreamingDispatcher` answers "what
+does one ``(degree, timeout)`` policy cost on a short homogeneous stream",
+:class:`ServingSimulator` drives the platform through *hours* of service:
+
+* requests arrive from any :class:`~repro.serving.arrivals.ArrivalProcess`,
+* a batch-and-pack dispatcher groups them under the current policy (which
+  an :class:`~repro.serving.controller.OnlineReplanner` may change
+  mid-service),
+* dispatches draw instances from a :class:`~repro.serving.warmpool.WarmPool`
+  — warm hits pay a millisecond dispatch, cold starts pay the sandbox
+  latency *and* billed initialization (the index/model load runs inside the
+  handler, so providers charge it),
+* sojourn times feed constant-memory P² quantile estimators and a windowed
+  SLO tracker, so a million-request day needs no sample retention,
+* billing threads warm-idle time through
+  :meth:`~repro.platform.billing.BillingModel.serving_expense` at the
+  provisioned-concurrency rate.
+
+Determinism: one integer seed fixes the arrival schedule, every execution
+noise draw, and therefore every reported number, bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.models import ExecutionTimeModel
+from repro.platform.billing import BillingModel
+from repro.platform.metrics import ExpenseBreakdown
+from repro.platform.providers import PlatformProfile
+from repro.serving.arrivals import ArrivalProcess
+from repro.serving.controller import OnlineReplanner
+from repro.serving.quantiles import QuantileDigest, WindowedSLOTracker
+from repro.serving.warmpool import WarmPool
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.workloads.base import AppSpec
+
+if TYPE_CHECKING:  # annotation-only: a runtime import would be circular
+    from repro.extensions.streaming import StreamingPolicy
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Latency and accounting constants of the serving loop."""
+
+    cold_start_s: float = 2.5        # sandbox + init latency on a cold dispatch
+    warm_dispatch_s: float = 0.02    # dispatch latency onto a warm instance
+    cold_init_billed_s: float = 2.0  # initialization billed as execution
+                                     # (index/model load inside the handler)
+    qos_sojourn_s: float = 30.0      # per-request SLO bound
+    slo_window_s: float = 600.0
+    slo_bucket_s: float = 60.0
+    replan_interval_s: float = 60.0  # controller tick (ignored w/o controller)
+
+    def __post_init__(self) -> None:
+        if self.cold_start_s < 0 or self.warm_dispatch_s < 0:
+            raise ValueError("dispatch latencies must be non-negative")
+        if self.cold_init_billed_s < 0:
+            raise ValueError("billed init must be non-negative")
+        if self.qos_sojourn_s <= 0:
+            raise ValueError("QoS bound must be positive")
+        if self.replan_interval_s <= 0:
+            raise ValueError("replan interval must be positive")
+
+
+@dataclass
+class ServingResult:
+    """Everything measured from one serving run."""
+
+    policy_name: str
+    mode: str                    # "static" or "replan"
+    n_requests: int = 0
+    n_dispatches: int = 0
+    cold_dispatches: int = 0
+    warm_dispatches: int = 0
+    exec_gb_seconds: float = 0.0
+    idle_gb_seconds: float = 0.0
+    evictions: int = 0
+    replans: int = 0
+    policy_changes: int = 0
+    final_degree: int = 1
+    expense: ExpenseBreakdown = field(
+        default_factory=lambda: ExpenseBreakdown(0.0, 0.0, 0.0, 0.0)
+    )
+    digest: QuantileDigest = field(default_factory=QuantileDigest)
+    slo: Optional[WindowedSLOTracker] = None
+
+    @property
+    def cold_start_fraction(self) -> float:
+        if self.n_dispatches == 0:
+            return 0.0
+        return self.cold_dispatches / self.n_dispatches
+
+    @property
+    def p50_sojourn_s(self) -> float:
+        return self.digest.quantile(0.5)
+
+    @property
+    def p95_sojourn_s(self) -> float:
+        return self.digest.quantile(0.95)
+
+    @property
+    def p99_sojourn_s(self) -> float:
+        return self.digest.quantile(0.99)
+
+    @property
+    def slo_violation_fraction(self) -> float:
+        return self.slo.violation_fraction if self.slo is not None else 0.0
+
+    def cost_per_request_usd(self) -> float:
+        if self.n_requests == 0:
+            return 0.0
+        return self.expense.total_usd / self.n_requests
+
+    def signature(self) -> tuple:
+        """Hashable summary pinned by the determinism tests."""
+        return (
+            self.n_requests,
+            self.n_dispatches,
+            self.cold_dispatches,
+            round(self.expense.total_usd, 12),
+            round(self.p99_sojourn_s, 12),
+            round(self.idle_gb_seconds, 9),
+        )
+
+
+class ServingSimulator:
+    """Simulates sustained service for one app on one platform profile."""
+
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        app: AppSpec,
+        exec_model: ExecutionTimeModel,
+        pool: WarmPool,
+        config: ServingConfig = ServingConfig(),
+        controller: Optional[OnlineReplanner] = None,
+        seed: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.app = app
+        self.exec_model = exec_model
+        self.pool = pool
+        self.config = config
+        self.controller = controller
+        self.seed = seed
+        self._billed_gb = (
+            BillingModel(profile).billed_memory_mb(profile.max_memory_mb) / 1024.0
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        process: ArrivalProcess,
+        policy: StreamingPolicy,
+        horizon_s: float,
+        repetition: int = 0,
+    ) -> ServingResult:
+        """Serve every arrival in ``[0, horizon_s)`` to completion."""
+        if horizon_s <= 0.0:
+            raise ValueError("horizon must be positive")
+        rng = RandomStreams(self.seed).spawn(f"serving/r{repetition}")
+        arrivals = process.sample(rng, horizon_s)
+        cfg = self.config
+        result = ServingResult(
+            policy_name=getattr(self.pool.policy, "name", "custom"),
+            mode="replan" if self.controller is not None else "static",
+            n_requests=len(arrivals),
+            slo=WindowedSLOTracker(cfg.qos_sojourn_s, cfg.slo_window_s, cfg.slo_bucket_s),
+        )
+        if len(arrivals) == 0:
+            result.expense = BillingModel(self.profile).serving_expense(0.0, 0, 0.0)
+            return result
+
+        sim = Simulator()
+        waiting: list[float] = []
+        state = {"timer": None, "policy": policy}
+
+        def dispatch() -> None:
+            if not waiting:
+                return
+            live = state["policy"]
+            batch = waiting[: live.degree]
+            del waiting[: len(batch)]
+            if state["timer"] is not None:
+                state["timer"].cancel()
+                state["timer"] = None
+            warm = self.pool.acquire(sim.now)
+            start_latency = cfg.warm_dispatch_s if warm else cfg.cold_start_s
+            exec_time = self.exec_model.predict(len(batch)) * rng.lognormal_factor(
+                "exec", self.profile.exec_noise_sigma
+            )
+            billed_s = exec_time + (0.0 if warm else cfg.cold_init_billed_s)
+            finish = sim.now + start_latency + exec_time
+            result.n_dispatches += 1
+            if warm:
+                result.warm_dispatches += 1
+            else:
+                result.cold_dispatches += 1
+            result.exec_gb_seconds += billed_s * self._billed_gb
+            for arrived in batch:
+                sojourn = finish - arrived
+                result.digest.add(sojourn)
+                result.slo.record(finish, sojourn)
+            sim.schedule_at(finish, self.pool.release, finish)
+            if waiting:
+                arm_timer()
+
+        def arm_timer() -> None:
+            if state["timer"] is not None:
+                return
+            deadline = waiting[0] + state["policy"].batch_timeout_s
+            state["timer"] = sim.schedule(max(0.0, deadline - sim.now), timer_fired)
+
+        def timer_fired() -> None:
+            state["timer"] = None
+            dispatch()
+
+        def on_arrival(t: float) -> None:
+            if self.controller is not None:
+                self.controller.record_arrival(t)
+            waiting.append(t)
+            if len(waiting) >= state["policy"].degree:
+                dispatch()
+            else:
+                arm_timer()
+
+        def replan_tick() -> None:
+            decision = self.controller.replan(sim.now)
+            if decision.changed:
+                state["policy"] = decision.policy
+                self.pool.set_capacity(decision.pool_target)
+                result.policy_changes += 1
+                # A shallower degree may make the current backlog dispatchable.
+                while len(waiting) >= state["policy"].degree:
+                    dispatch()
+
+        for t in arrivals:
+            sim.schedule_at(float(t), on_arrival, float(t))
+        if self.controller is not None:
+            ticks = int(math.floor(horizon_s / cfg.replan_interval_s))
+            for k in range(1, ticks + 1):
+                sim.schedule_at(k * cfg.replan_interval_s, replan_tick)
+
+        sim.run()
+        # Flush the tail still waiting when arrivals stop, then drain the
+        # release events those dispatches scheduled.
+        while waiting:
+            dispatch()
+        sim.run()
+        end_time = max(sim.now, horizon_s)
+        self.pool.drain(end_time)
+
+        result.replans = self.controller.replans if self.controller else 0
+        result.final_degree = state["policy"].degree
+        result.evictions = self.pool.stats.evictions
+        result.idle_gb_seconds = self.pool.stats.idle_seconds * self._billed_gb
+        result.expense = BillingModel(self.profile).serving_expense(
+            result.exec_gb_seconds, result.n_dispatches, result.idle_gb_seconds
+        )
+        return result

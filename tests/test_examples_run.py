@@ -71,3 +71,9 @@ def test_adaptive_operations(capsys):
     out = run_example("adaptive_operations.py", capsys)
     assert "re-profiles triggered: 1" in out
     assert "lowers the optimal degree" in out
+
+
+def test_serving_day(capsys):
+    out = run_example("serving_day.py", capsys)
+    assert "hybrid-histogram" in out
+    assert "wins on BOTH cold-start fraction and cost per request" in out

@@ -94,6 +94,7 @@ def test_registry_covers_every_paper_artifact():
         "ablation_models", "ablation_alternatives", "ablation_mitigation",
         "ablation_skew", "ablation_amortization", "ablation_rightsizing",
         "streaming", "multitenant", "decentralization", "faults",
+        "serving",
     }
     assert set(ALL_FIGURES) == expected
 

@@ -188,3 +188,47 @@ def test_repetitions_differ():
     a = platform.run_burst(BurstSpec(app=SORT, concurrency=20), repetition=0)
     b = platform.run_burst(BurstSpec(app=SORT, concurrency=20), repetition=1)
     assert a.service_time() != b.service_time()
+
+
+def test_warm_records_are_flagged_and_skip_build_and_ship(platform):
+    """The _reuse_warm/_warm_start path: no pipeline, only dispatch latency."""
+    result = platform.run_burst(
+        BurstSpec(app=STATELESS_COST, concurrency=12, wave_size=3)
+    )
+    warm = [r for r in result.records if r.warm_start]
+    assert warm, "wave dispatch must produce warm reuses"
+    for r in warm:
+        assert r.warm_start is True
+        # Build and ship collapse to the same instant: the container is
+        # already on the worker, so the record never enters the pipeline.
+        assert r.built_at == r.shipped_at
+        assert r.scheduling_delay == pytest.approx(0.0)
+        assert r.shipping_delay == pytest.approx(0.0)
+        # Execution starts one warm dispatch after invocation.
+        assert r.exec_start - r.invoked_at == pytest.approx(
+            BurstSpec(app=STATELESS_COST, concurrency=1).warm_dispatch_s
+        )
+
+
+def test_warm_reuse_bills_execution_only(platform):
+    """A warm instance is billed for its execution seconds, nothing more."""
+    from repro.platform.billing import BillingModel
+
+    result = platform.run_burst(
+        BurstSpec(app=STATELESS_COST, concurrency=12, wave_size=3)
+    )
+    billing = BillingModel(AWS_LAMBDA)
+    warm = [r for r in result.records if r.warm_start]
+    for r in warm:
+        billed_gb = billing.billed_memory_mb(r.provisioned_mb) / 1024.0
+        assert billing.instance_compute_usd(r) == pytest.approx(
+            r.exec_seconds * billed_gb * AWS_LAMBDA.gb_second_usd
+        )
+    # The burst's compute line is exactly the per-record execution charges:
+    # warm reuse adds no hidden init or pipeline billing.
+    expected = sum(billing.instance_compute_usd(r) for r in result.records)
+    assert result.expense.compute_usd == pytest.approx(expected)
+    # Per-request fees accrue per instance, warm or cold alike.
+    assert result.expense.requests_usd == pytest.approx(
+        len(result.records) * AWS_LAMBDA.per_request_usd
+    )

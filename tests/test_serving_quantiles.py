@@ -1,0 +1,139 @@
+"""Tests for the P² streaming quantiles and the windowed SLO tracker."""
+
+import numpy as np
+import pytest
+
+from repro.serving.quantiles import P2Quantile, QuantileDigest, WindowedSLOTracker
+
+
+# --------------------------------------------------------------------- #
+# P² estimator
+# --------------------------------------------------------------------- #
+
+def test_rejects_bad_quantile():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_value_requires_observations():
+    with pytest.raises(ValueError):
+        P2Quantile(0.5).value
+
+
+def test_small_counts_are_exact_order_statistics():
+    est = P2Quantile(0.5)
+    est.add(30.0)
+    assert est.value == 30.0
+    est.add(10.0)
+    assert est.value == 10.0  # ceil(0.5*2) = 1st of sorted
+    est.add(20.0)
+    assert est.value == 20.0
+
+
+def test_five_observations_exact():
+    est = P2Quantile(0.95)
+    for x in (5.0, 1.0, 4.0, 2.0, 3.0):
+        est.add(x)
+    assert est.value == 5.0  # ceil(0.95*5) = 5th of sorted
+
+
+@pytest.mark.parametrize(
+    ("p", "sampler"),
+    [
+        (0.5, lambda g, n: g.random(n)),                 # uniform
+        (0.95, lambda g, n: g.exponential(1.0, n)),      # heavy-ish tail
+        (0.99, lambda g, n: 10.0 + g.standard_normal(n)),  # shifted normal
+    ],
+    ids=["uniform-p50", "exponential-p95", "normal-p99"],
+)
+def test_p2_within_two_percent_of_exact_on_a_million_samples(p, sampler):
+    gen = np.random.default_rng(2023)
+    samples = sampler(gen, 1_000_000)
+    est = P2Quantile(p)
+    for x in samples.tolist():
+        est.add(x)
+    exact = float(np.quantile(samples, p))
+    assert est.value == pytest.approx(exact, rel=0.02)
+    assert est.count == 1_000_000
+
+
+def test_constant_stream_converges_to_the_constant():
+    est = P2Quantile(0.99)
+    for _ in range(1000):
+        est.add(7.0)
+    assert est.value == pytest.approx(7.0)
+
+
+def test_markers_stay_ordered_under_adversarial_input():
+    est = P2Quantile(0.95)
+    # Alternating extremes stress the parabolic adjustment.
+    for i in range(10_000):
+        est.add(float(i % 7) * (-1.0 if i % 2 else 1.0))
+    assert est._q == sorted(est._q)
+
+
+# --------------------------------------------------------------------- #
+# Digest
+# --------------------------------------------------------------------- #
+
+def test_digest_tracks_default_quantiles():
+    digest = QuantileDigest()
+    gen = np.random.default_rng(5)
+    xs = gen.exponential(1.0, 50_000)
+    for x in xs.tolist():
+        digest.add(x)
+    assert digest.count == 50_000
+    for p in QuantileDigest.DEFAULT_QUANTILES:
+        assert digest.quantile(p) == pytest.approx(float(np.quantile(xs, p)), rel=0.05)
+    assert set(digest.summary()) == {"p50", "p95", "p99"}
+
+
+# --------------------------------------------------------------------- #
+# Windowed SLO tracker
+# --------------------------------------------------------------------- #
+
+def test_slo_validation():
+    with pytest.raises(ValueError):
+        WindowedSLOTracker(0.0)
+    with pytest.raises(ValueError):
+        WindowedSLOTracker(1.0, window_s=10.0, bucket_s=60.0)
+    with pytest.raises(ValueError):
+        WindowedSLOTracker(1.0).record(-1.0, 0.5)
+
+
+def test_empty_tracker_reports_zero():
+    tracker = WindowedSLOTracker(1.0)
+    assert tracker.violation_fraction == 0.0
+    assert tracker.worst_window() == (0.0, 0.0)
+    assert tracker.bucket_series() == []
+
+
+def test_violation_fraction_counts_breaches():
+    tracker = WindowedSLOTracker(10.0, window_s=120.0, bucket_s=60.0)
+    for t, sojourn in ((5.0, 2.0), (65.0, 12.0), (70.0, 9.0), (130.0, 30.0)):
+        tracker.record(t, sojourn)
+    assert tracker.total == 4
+    assert tracker.violation_fraction == pytest.approx(0.5)
+
+
+def test_worst_window_localizes_the_bad_hour():
+    tracker = WindowedSLOTracker(1.0, window_s=120.0, bucket_s=60.0)
+    for minute in range(10):
+        t = minute * 60.0 + 1.0
+        # Minutes 6-7 are the incident: everything breaches there.
+        tracker.record(t, 5.0 if minute in (6, 7) else 0.5)
+        tracker.record(t + 1.0, 5.0 if minute in (6, 7) else 0.5)
+    start, fraction = tracker.worst_window()
+    assert start == 6 * 60.0
+    assert fraction == 1.0
+
+
+def test_bucket_series_reports_mean_sojourn():
+    tracker = WindowedSLOTracker(10.0, window_s=60.0, bucket_s=60.0)
+    tracker.record(10.0, 2.0)
+    tracker.record(20.0, 4.0)
+    ((start, count, violations, mean),) = tracker.bucket_series()
+    assert (start, count, violations) == (0.0, 2, 0)
+    assert mean == pytest.approx(3.0)

@@ -1,0 +1,119 @@
+"""End-to-end tests for the long-horizon serving simulator."""
+
+import pytest
+
+from repro.core.models import ExecutionTimeModel
+from repro.extensions.streaming import StreamingPolicy
+from repro.platform.providers import AWS_LAMBDA
+from repro.serving import (
+    DiurnalProcess,
+    FixedTTL,
+    NoKeepAlive,
+    OnlineReplanner,
+    PoissonProcess,
+    ServingConfig,
+    ServingSimulator,
+    WarmPool,
+)
+from repro.workloads import XAPIAN
+
+EXEC = ExecutionTimeModel(
+    coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+)
+POLICY = StreamingPolicy(degree=6, batch_timeout_s=4.0)
+
+
+def make_simulator(pool_policy=None, controller=None, seed=11):
+    return ServingSimulator(
+        AWS_LAMBDA,
+        XAPIAN,
+        EXEC,
+        pool=WarmPool(pool_policy if pool_policy is not None else FixedTTL(60.0)),
+        controller=controller,
+        seed=seed,
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ServingConfig(cold_start_s=-1.0)
+    with pytest.raises(ValueError):
+        ServingConfig(qos_sojourn_s=0.0)
+    with pytest.raises(ValueError):
+        ServingConfig(replan_interval_s=0.0)
+
+
+def test_rejects_bad_horizon():
+    with pytest.raises(ValueError):
+        make_simulator().run(PoissonProcess(1.0), POLICY, 0.0)
+
+
+def test_every_request_is_served_once():
+    result = make_simulator().run(PoissonProcess(2.0), POLICY, 600.0)
+    assert result.n_requests > 0
+    assert result.digest.count == result.n_requests
+    assert result.slo.total == result.n_requests
+    assert result.cold_dispatches + result.warm_dispatches == result.n_dispatches
+
+
+def test_same_seed_is_bit_identical():
+    process = DiurnalProcess(1.0, amplitude=0.7, period_s=1200.0)
+    a = make_simulator(seed=5).run(process, POLICY, 1200.0)
+    b = make_simulator(seed=5).run(process, POLICY, 1200.0)
+    assert a.signature() == b.signature()
+    assert a.expense.total_usd == b.expense.total_usd
+
+
+def test_different_seeds_differ():
+    process = DiurnalProcess(1.0, amplitude=0.7, period_s=1200.0)
+    a = make_simulator(seed=5).run(process, POLICY, 1200.0)
+    b = make_simulator(seed=6).run(process, POLICY, 1200.0)
+    assert a.signature() != b.signature()
+
+
+def test_no_keepalive_is_all_cold_and_unbilled_for_idle():
+    result = make_simulator(pool_policy=NoKeepAlive()).run(
+        PoissonProcess(2.0), POLICY, 600.0
+    )
+    assert result.cold_dispatches == result.n_dispatches
+    assert result.idle_gb_seconds == 0.0
+    assert result.expense.keepalive_usd == 0.0
+    assert result.cold_start_fraction == 1.0
+
+
+def test_keepalive_trades_idle_cost_for_warm_starts():
+    cold = make_simulator(pool_policy=NoKeepAlive()).run(
+        PoissonProcess(2.0), POLICY, 600.0
+    )
+    warm = make_simulator(pool_policy=FixedTTL(60.0)).run(
+        PoissonProcess(2.0), POLICY, 600.0
+    )
+    assert warm.warm_dispatches > 0
+    assert warm.expense.keepalive_usd > 0.0
+    assert warm.cold_start_fraction < cold.cold_start_fraction
+    # Warm dispatches skip the cold-start latency *and* the billed init.
+    assert warm.p99_sojourn_s < cold.p99_sojourn_s
+    assert warm.expense.compute_usd < cold.expense.compute_usd
+
+
+def test_replan_mode_adapts_the_policy():
+    process = DiurnalProcess(1.5, amplitude=0.8, period_s=1800.0)
+    controller = OnlineReplanner(
+        AWS_LAMBDA, XAPIAN, EXEC, qos_sojourn_s=30.0,
+        window_s=300.0, cooldown_s=120.0,
+    )
+    result = make_simulator(controller=controller).run(process, POLICY, 1800.0)
+    assert result.mode == "replan"
+    assert result.replans == controller.replans > 0
+    assert result.policy_changes == controller.changes > 0
+    assert result.final_degree == controller.policy.degree
+
+
+def test_cost_per_request_and_fractions_are_consistent():
+    result = make_simulator().run(PoissonProcess(2.0), POLICY, 600.0)
+    assert result.cost_per_request_usd() == pytest.approx(
+        result.expense.total_usd / result.n_requests
+    )
+    assert 0.0 <= result.cold_start_fraction <= 1.0
+    assert 0.0 <= result.slo_violation_fraction <= 1.0
+    assert result.p50_sojourn_s <= result.p99_sojourn_s

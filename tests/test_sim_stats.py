@@ -63,3 +63,35 @@ def test_relative_spread_value():
 def test_relative_spread_rejects_empty():
     with pytest.raises(ValueError):
         relative_spread([])
+
+
+# --------------------------------------------------------------------- #
+# Percentile edge cases
+# --------------------------------------------------------------------- #
+
+def test_percentile_single_element_any_fraction():
+    # With one value, every fraction's ceil-rank is 1: always that value.
+    for fraction in (0.01, 0.5, 0.95, 1.0):
+        assert percentile([42.0], fraction) == 42.0
+
+
+def test_percentile_fraction_one_is_the_maximum():
+    assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
+    assert percentile(list(range(1000)), 1.0) == 999
+
+
+def test_percentile_with_ties():
+    # Ties collapse ranks onto the same value; no interpolation happens.
+    values = [1.0, 2.0, 2.0, 2.0, 3.0]
+    assert percentile(values, 0.4) == 2.0   # ceil(0.4*5)=2nd
+    assert percentile(values, 0.8) == 2.0   # ceil(0.8*5)=4th
+    assert percentile(values, 1.0) == 3.0
+
+
+def test_percentile_all_tied():
+    assert percentile([7.0] * 10, 0.5) == 7.0
+    assert percentile([7.0] * 10, 1.0) == 7.0
+
+
+def test_percentile_tiny_fraction_is_first_order_statistic():
+    assert percentile([10.0, 20.0, 30.0], 1e-9) == 10.0

@@ -102,3 +102,43 @@ def test_traces_platform_components():
 def test_entry_str_readable():
     entry = TraceEntry(time=1.5, seq=3, callback="X.cb")
     assert "1.5" in str(entry) and "X.cb" in str(entry)
+
+
+# --------------------------------------------------------------------- #
+# Window edge cases
+# --------------------------------------------------------------------- #
+
+def test_window_on_empty_buffer():
+    trace = TraceRecorder(Simulator())
+    assert trace.window(0.0, 100.0) == []
+
+
+def test_window_inverted_bounds_is_empty():
+    sim = Simulator()
+    for i in range(3):
+        sim.schedule(float(i), named_callback)
+    with TraceRecorder(sim) as trace:
+        sim.run()
+    assert trace.window(2.0, 1.0) == []
+
+
+def test_window_bounds_are_inclusive():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), named_callback)
+    with TraceRecorder(sim) as trace:
+        sim.run()
+    assert [e.time for e in trace.window(1.0, 3.0)] == [1.0, 2.0, 3.0]
+
+
+def test_capacity_eviction_keeps_the_newest_and_counts_drops():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), named_callback)
+    trace = TraceRecorder(sim, capacity=4).install()
+    sim.run()
+    assert len(trace) == 4
+    assert trace.dropped == 6
+    # The ring buffer holds the newest events; the old ones left the window.
+    assert [e.time for e in trace.entries] == [6.0, 7.0, 8.0, 9.0]
+    assert trace.window(0.0, 5.0) == []
