@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Surviving a flash crowd on a faulty platform (extension beyond the paper).
+
+A Markov-modulated flash crowd (bursts at ~10x the diurnal base rate) hits
+a platform that is simultaneously misbehaving: elevated crashes with a
+persistent tail that poisons whole fault domains, a throttled control
+plane, and the odd straggler. The same traffic and the same fault seed are
+served twice:
+
+* **unprotected** — the plain serving loop admits everything and retries
+  every crash, so during bursts the backlog (and every sojourn behind it)
+  grows without bound while poisoned domains burn billed-but-wasted work;
+* **protected** — admission control sheds the excess at the door (lowest
+  priority first), per-fault-domain circuit breakers quarantine
+  crash-looping domains, and a brownout controller packs deeper, then
+  sheds low-priority traffic when the windowed SLO breaches.
+
+The punchline is the overload economics: protection completes fewer
+requests but each one is on time and cheaper — strictly higher windowed
+P99 attainment at lower cost per *completed* request.
+
+    python examples/overload_flashcrowd.py
+"""
+
+import numpy as np
+
+from repro import ProPack, ServerlessPlatform
+from repro.extensions.streaming import StreamingPlanner
+from repro.faults.retry import ExponentialBackoffRetry
+from repro.faults.scenario import FaultScenario
+from repro.platform.providers import GOOGLE_CLOUD_FUNCTIONS
+from repro.resilience import (
+    BrownoutController,
+    CircuitBreakerBank,
+    ConcurrencyLimitAdmission,
+    ResiliencePolicy,
+)
+from repro.serving import (
+    DiurnalProcess,
+    FixedTTL,
+    MarkovModulatedProcess,
+    OnlineReplanner,
+    ServingConfig,
+    ServingSimulator,
+    SuperposedProcess,
+    WarmPool,
+)
+from repro.workloads import XAPIAN
+
+HORIZON_S = 2400.0   # one compressed "day" with flash crowds
+BASE_RATE = 1.0      # diurnal base, requests/s
+FLASH_RATE = 10.0    # burst rate while the flash is on
+QOS_S = 90.0         # per-request p99 sojourn SLO
+SEED = 2023
+
+
+def main() -> None:
+    platform = ServerlessPlatform(GOOGLE_CLOUD_FUNCTIONS, seed=SEED)
+    exec_model = ProPack(platform).exec_model(XAPIAN)
+    process = SuperposedProcess([
+        DiurnalProcess(BASE_RATE, amplitude=0.7, period_s=HORIZON_S),
+        MarkovModulatedProcess(
+            FLASH_RATE, 0.0, mean_on_s=240.0, mean_off_s=600.0, start_on=False
+        ),
+    ])
+    scenario = FaultScenario(
+        name="flash-crowd",
+        crash_rate=0.08,
+        persistent_fraction=0.05,
+        poison_heal_s=900.0,
+        throttle_capacity=30,
+        throttle_refill_per_s=1.0,
+        straggler_rate=0.005,
+    )
+    policy = StreamingPlanner(GOOGLE_CLOUD_FUNCTIONS, XAPIAN, exec_model).plan(
+        arrival_rate_per_s=BASE_RATE, qos_sojourn_s=QOS_S
+    )
+    serving_cfg = ServingConfig(qos_sojourn_s=QOS_S)
+
+    def protection() -> ResiliencePolicy:
+        return ResiliencePolicy(
+            admission=ConcurrencyLimitAdmission(limit=8 * policy.degree),
+            breakers=CircuitBreakerBank(
+                n_domains=serving_cfg.fault_domains,
+                rng=np.random.default_rng(SEED),
+                failure_threshold=3,
+                recovery_s=60.0,
+            ),
+            brownout=BrownoutController(
+                violation_threshold=0.02,
+                backlog_threshold=serving_cfg.backlog_threshold,
+                degree_boost=1.25,
+            ),
+        )
+
+    print(f"== Flash crowd for {XAPIAN.name} on {GOOGLE_CLOUD_FUNCTIONS.name} "
+          f"(base {BASE_RATE:g}/s, flash {FLASH_RATE:g}/s, "
+          f"p99 SLO {QOS_S:.0f}s) ==")
+    print(f"fault scenario: {scenario.describe()}\n")
+    print(f"{'mode':<12} {'arrivals':>8} {'done':>6} {'shed':>5} {'failed':>6} "
+          f"{'attain%':>7} {'$/1k done':>9} {'wasted GBs':>10} {'brk':>4} "
+          f"{'brownout':>8}")
+    for mode in ("unprotected", "protected"):
+        simulator = ServingSimulator(
+            GOOGLE_CLOUD_FUNCTIONS,
+            XAPIAN,
+            exec_model,
+            pool=WarmPool(FixedTTL(120.0)),
+            config=serving_cfg,
+            controller=OnlineReplanner(
+                GOOGLE_CLOUD_FUNCTIONS, XAPIAN, exec_model, qos_sojourn_s=QOS_S
+            ),
+            resilience=protection() if mode == "protected" else None,
+            scenario=scenario,
+            retry_policy=ExponentialBackoffRetry(max_retries=3),
+            seed=SEED,
+        )
+        run = simulator.run(process, policy, HORIZON_S)
+        assert run.conserved()
+        rep = run.resilience
+        print(f"{mode:<12} {run.n_requests:>8} {run.n_completed:>6} "
+              f"{run.n_shed:>5} {run.n_failed:>6} "
+              f"{100 * run.windowed_p99_attainment():>7.1f} "
+              f"{1000 * run.cost_per_completed_request_usd():>9.4f} "
+              f"{rep.wasted_gb_seconds:>10.0f} {rep.breaker_transitions:>4} "
+              f"{rep.brownout_max_level:>8}")
+
+    print("\nUnder overload, saying no is the kindest answer: shedding the"
+          "\nexcess keeps every admitted request inside its SLO window, the"
+          "\nbreakers stop billing crash-loops, and the survivors end up both"
+          "\non time and cheaper per completed request.")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,15 @@ class ExperimentConfig:
     serving_base_rate_per_s: float = 1.0
     serving_amplitude: float = 0.7
     serving_qos_s: float = 30.0
+    # Overload-resilience sweep (repro.resilience): a flash crowd (MMPP
+    # burst superposed on a diurnal base) under a faulty platform, served
+    # unprotected vs. behind admission control / breakers / brownout.
+    overload_horizon_s: float = 14400.0
+    overload_base_rate_per_s: float = 1.0
+    overload_flash_rate_per_s: float = 12.0
+    overload_flash_mean_on_s: float = 300.0
+    overload_flash_mean_off_s: float = 1500.0
+    overload_qos_s: float = 90.0
 
     @classmethod
     def full(cls) -> "ExperimentConfig":
@@ -53,4 +62,8 @@ class ExperimentConfig:
             fault_concurrency=1000,
             serving_horizon_s=2400.0,
             serving_base_rate_per_s=1.5,
+            overload_horizon_s=2400.0,
+            overload_flash_rate_per_s=10.0,
+            overload_flash_mean_on_s=240.0,
+            overload_flash_mean_off_s=600.0,
         )

@@ -11,7 +11,13 @@ interference-vs-instance-count trade-off.
 with a ``(degree, timeout)`` policy: an instance launches when ``degree``
 requests have accumulated or the oldest waiting request has waited
 ``batch_timeout_s``. Warm instances are reused from a pool, so sustained
-traffic mostly avoids the cold-start pipeline.
+traffic mostly avoids the cold-start pipeline. A
+:class:`~repro.faults.scenario.FaultScenario` can be injected into the
+dispatch path: crashed attempts are billed up to the crash point and
+re-executed under a :class:`~repro.faults.retry.RetryPolicy` (re-paying
+payload egress), 429 throttling backs dispatches off, and stragglers
+stretch individual attempts — all on dedicated random streams, so the
+fault-free path stays byte-identical to the original dispatcher.
 
 :class:`StreamingPlanner` picks the ``(degree, timeout)`` pair minimizing
 cost per request subject to a latency QoS on the per-request sojourn time,
@@ -28,6 +34,10 @@ from typing import Optional
 import numpy as np
 
 from repro.core.models import ExecutionTimeModel
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import ImmediateRetry, RetryPolicy
+from repro.faults.scenario import FaultScenario
+from repro.faults.throttle import TokenBucket
 from repro.platform.providers import PlatformProfile
 from repro.serving.arrivals import ArrivalProcess, PoissonProcess
 from repro.sim.engine import Simulator
@@ -59,6 +69,17 @@ class StreamingResult:
     batch_sizes: list[int] = field(default_factory=list)
     billed_gb_seconds: float = 0.0
     cold_starts: int = 0
+    crashes: int = 0
+    retries: int = 0
+    failed_requests: int = 0      # crashed out of retries / throttled out
+    throttled_attempts: int = 0   # 429 rejections at dispatch
+    dropped_batches: int = 0      # batches that exhausted the 429 budget
+    wasted_gb_seconds: float = 0.0
+    retry_egress_gb: float = 0.0
+
+    @property
+    def completed_requests(self) -> int:
+        return self.n_requests - self.failed_requests
 
     @property
     def mean_sojourn_s(self) -> float:
@@ -75,7 +96,8 @@ class StreamingResult:
     def cost_per_request_usd(self, profile: PlatformProfile) -> float:
         compute = self.billed_gb_seconds * profile.gb_second_usd
         requests = len(self.batch_sizes) * profile.per_request_usd
-        return (compute + requests) / self.n_requests
+        egress = self.retry_egress_gb * profile.egress_usd_per_gb
+        return (compute + requests + egress) / self.n_requests
 
 
 class StreamingDispatcher:
@@ -106,6 +128,8 @@ class StreamingDispatcher:
         n_requests: int,
         repetition: int = 0,
         process: Optional[ArrivalProcess] = None,
+        scenario: Optional[FaultScenario] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> StreamingResult:
         """Simulate ``n_requests`` arrivals under ``policy``.
 
@@ -117,6 +141,12 @@ class StreamingDispatcher:
         dispatcher with diurnal, bursty, or trace-shaped traffic; the
         stream is then time-bounded at ``n_requests / rate`` and
         ``n_requests`` only sizes the horizon.
+
+        ``scenario`` injects faults into the dispatch path (crashes,
+        throttling, stragglers); ``retry_policy`` governs re-execution of
+        crashed attempts (defaults to :class:`~repro.faults.retry.
+        ImmediateRetry` when a scenario is given). Without a scenario the
+        simulation is byte-identical to the fault-free dispatcher.
         """
         if arrival_rate_per_s <= 0:
             raise ValueError("arrival rate must be positive")
@@ -130,11 +160,87 @@ class StreamingDispatcher:
         if len(arrivals) == 0:
             raise ValueError("arrival process produced no arrivals in the horizon")
         n_requests = len(arrivals)
+        injector = (
+            FaultInjector(scenario, rng, self.profile.failure_rate)
+            if scenario is not None
+            else None
+        )
+        bucket = (
+            TokenBucket(scenario.throttle_capacity, scenario.throttle_refill_per_s)
+            if scenario is not None and scenario.throttled
+            else None
+        )
+        if retry_policy is None and scenario is not None:
+            retry_policy = ImmediateRetry()
         sim = Simulator()
         result = StreamingResult(policy=policy, n_requests=n_requests)
         waiting: list[float] = []  # arrival times of queued requests
         warm_until = -math.inf
-        state = {"warm_until": warm_until, "timer": None}
+        billed_gb = self.profile.max_memory_mb / 1024.0
+        state = {"warm_until": warm_until, "timer": None, "bucket_clock": 0.0}
+
+        def attempt_exec(batch_size: int) -> float:
+            factor = rng.lognormal_factor("exec", self.profile.exec_noise_sigma)
+            if injector is not None:
+                factor *= injector.straggler_factor()
+            return self.exec_model.predict(batch_size) * factor
+
+        def run_with_faults(batch: list[float]) -> None:
+            # Arithmetic retry loop: the batch's whole fault story (429
+            # backoffs, crashes, retries) advances a local clock instead
+            # of scheduling events, mirroring the fault-free dispatcher's
+            # inline ``finish`` computation.
+            launch_at = sim.now
+            retry = retry_policy.fresh()
+            attempt, prev_delay, throttle_tries = 1, 0.0, 0
+            poisoned = False
+            while True:
+                if bucket is not None:
+                    # The bucket clock must be monotone even though batch
+                    # clocks interleave (a retry reaches into the future).
+                    t = max(launch_at, state["bucket_clock"])
+                    state["bucket_clock"] = t
+                    if not bucket.try_acquire(t):
+                        result.throttled_attempts += 1
+                        throttle_tries += 1
+                        if throttle_tries > scenario.throttle_max_retries:
+                            result.dropped_batches += 1
+                            result.failed_requests += len(batch)
+                            return
+                        launch_at = t + (
+                            scenario.throttle_backoff_s * throttle_tries
+                            + bucket.seconds_until_token(t)
+                        )
+                        continue
+                warm = launch_at <= state["warm_until"]
+                start_latency = self.warm_dispatch_s if warm else self.cold_start_s
+                if not warm:
+                    result.cold_starts += 1
+                exec_time = attempt_exec(len(batch))
+                result.batch_sizes.append(len(batch))
+                crash = injector.crash_decision(poisoned=poisoned)
+                if crash is None:
+                    finish = launch_at + start_latency + exec_time
+                    state["warm_until"] = finish + self.warm_pool_ttl_s
+                    for arrived in batch:
+                        result.sojourn_times.append(finish - arrived)
+                    result.billed_gb_seconds += exec_time * billed_gb
+                    return
+                result.crashes += 1
+                poisoned = poisoned or crash.persistent
+                wasted = crash.at_fraction * exec_time * billed_gb
+                result.billed_gb_seconds += wasted
+                result.wasted_gb_seconds += wasted
+                crash_at = launch_at + start_latency + crash.at_fraction * exec_time
+                delay = retry.next_delay(attempt, prev_delay, rng.stream("retry"))
+                if delay is None:
+                    result.failed_requests += len(batch)
+                    return
+                attempt += 1
+                prev_delay = delay
+                result.retries += 1
+                result.retry_egress_gb += len(batch) * self.app.io_mb / 1024.0
+                launch_at = crash_at + delay
 
         def dispatch() -> None:
             if not waiting:
@@ -144,6 +250,11 @@ class StreamingDispatcher:
             if state["timer"] is not None:
                 state["timer"].cancel()
                 state["timer"] = None
+            if injector is not None:
+                run_with_faults(batch)
+                if waiting:
+                    arm_timer()
+                return
             start_latency = (
                 self.warm_dispatch_s
                 if sim.now <= state["warm_until"]

@@ -53,6 +53,10 @@ class FaultScenario:
     throttle_max_retries: int = 8            # 429 retries before giving up
     throttle_backoff_s: float = 0.5          # base backoff between 429 retries
 
+    # --- persistent-fault healing ---
+    poison_heal_s: Optional[float] = None  # a poisoned fault domain recovers
+                                           # after this long (None = never)
+
     # --- stragglers ---
     straggler_rate: float = 0.0            # probability an attempt straggles
     straggler_mu: float = 1.2              # lognormal log-mean of the extra
@@ -81,6 +85,8 @@ class FaultScenario:
             raise ValueError("throttle_max_retries must be non-negative")
         if self.throttle_backoff_s < 0.0:
             raise ValueError("throttle_backoff_s must be non-negative")
+        if self.poison_heal_s is not None and self.poison_heal_s <= 0.0:
+            raise ValueError("poison_heal_s must be positive (or None)")
         if not 0.0 <= self.straggler_rate <= 1.0:
             raise ValueError("straggler_rate must be in [0, 1]")
         if self.straggler_sigma < 0.0:

@@ -34,6 +34,11 @@ class TokenBucket:
         )
         self._last = now
 
+    def available(self, now: float) -> float:
+        """Tokens available at ``now`` without consuming any."""
+        self._refill(now)
+        return self._tokens
+
     def try_acquire(self, now: float) -> bool:
         """Admit one invocation at time ``now`` if a token is available."""
         self._refill(now)

@@ -51,17 +51,24 @@ class BillingModel:
         exec_gb_seconds: float,
         n_dispatches: int,
         idle_gb_seconds: float = 0.0,
+        egress_gb: float = 0.0,
     ) -> ExpenseBreakdown:
         """Expense of a sustained serving run (see :mod:`repro.serving`).
 
         ``exec_gb_seconds`` covers billed execution including any billed
-        cold-start initialization; each dispatch pays one request fee.
+        cold-start initialization and any partially executed (crashed or
+        timed-out) attempts — providers charge for failed work; each
+        dispatch pays one request fee. ``egress_gb`` is the re-shipped
+        payload traffic of fault retries, billed only on providers with a
+        networking fee.
         """
+        if egress_gb < 0.0:
+            raise ValueError("egress GB must be non-negative")
         return ExpenseBreakdown(
             compute_usd=float(exec_gb_seconds * self.profile.gb_second_usd),
             requests_usd=float(n_dispatches * self.profile.per_request_usd),
             storage_usd=0.0,
-            egress_usd=0.0,
+            egress_usd=float(egress_gb * self.profile.egress_usd_per_gb),
             keepalive_usd=self.keepalive_usd(idle_gb_seconds),
         )
 

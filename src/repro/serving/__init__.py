@@ -19,7 +19,13 @@ from repro.serving.arrivals import (
 )
 from repro.serving.controller import OnlineReplanner, ReplanDecision
 from repro.serving.quantiles import P2Quantile, QuantileDigest, WindowedSLOTracker
-from repro.serving.service import ServingConfig, ServingResult, ServingSimulator
+from repro.serving.service import (
+    BacklogStats,
+    ResilienceReport,
+    ServingConfig,
+    ServingResult,
+    ServingSimulator,
+)
 from repro.serving.warmpool import (
     FixedTTL,
     GreedyLRUCap,
@@ -44,6 +50,8 @@ __all__ = [
     "P2Quantile",
     "QuantileDigest",
     "WindowedSLOTracker",
+    "BacklogStats",
+    "ResilienceReport",
     "ServingConfig",
     "ServingResult",
     "ServingSimulator",

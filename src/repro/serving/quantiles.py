@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 
 class P2Quantile:
@@ -173,6 +174,54 @@ class WindowedSLOTracker:
         if self.total == 0:
             return 0.0
         return self.total_violations / self.total
+
+    def recent_violation_fraction(
+        self, now: float, window_s: Optional[float] = None
+    ) -> float:
+        """Violation fraction over the trailing window ending at ``now``.
+
+        This is the live health signal the brownout controller and AIMD
+        admission feed on; an empty window reads as healthy (0.0).
+        """
+        span = self.window_s if window_s is None else float(window_s)
+        lo = int(max(0.0, now - span) // self.bucket_s)
+        hi = int(now // self.bucket_s)
+        count = violations = 0
+        for idx in range(lo, hi + 1):
+            bucket = self._buckets.get(idx)
+            if bucket is not None:
+                count += bucket.count
+                violations += bucket.violations
+        return violations / count if count else 0.0
+
+    def window_attainment(
+        self, per_window_budget: float = 0.01, min_requests: int = 1
+    ) -> float:
+        """Fraction of sliding windows whose violation rate meets budget.
+
+        With ``per_window_budget = 0.01`` this is *windowed P99
+        attainment*: a window passes iff at least 99% of its completions
+        met the SLO bound, i.e. the window's 99th percentile held.
+        Returns 1.0 when no window saw ``min_requests`` completions.
+        """
+        if not 0.0 <= per_window_budget < 1.0:
+            raise ValueError("per_window_budget must be in [0, 1)")
+        if not self._buckets:
+            return 1.0
+        span = max(1, int(round(self.window_s / self.bucket_s)))
+        passed = judged = 0
+        for start in sorted(self._buckets):
+            count = violations = 0
+            for idx in range(start, start + span):
+                bucket = self._buckets.get(idx)
+                if bucket is not None:
+                    count += bucket.count
+                    violations += bucket.violations
+            if count >= min_requests and count > 0:
+                judged += 1
+                if violations / count <= per_window_budget:
+                    passed += 1
+        return passed / judged if judged else 1.0
 
     def worst_window(self, min_requests: int = 1) -> tuple[float, float]:
         """(window start time, violation fraction) of the worst window."""

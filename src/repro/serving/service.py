@@ -18,8 +18,23 @@ does one ``(degree, timeout)`` policy cost on a short homogeneous stream",
   :meth:`~repro.platform.billing.BillingModel.serving_expense` at the
   provisioned-concurrency rate.
 
-Determinism: one integer seed fixes the arrival schedule, every execution
-noise draw, and therefore every reported number, bit for bit.
+Overload and faults (see ``docs/RESILIENCE.md``) compose onto that loop:
+
+* a :class:`~repro.resilience.ResiliencePolicy` wires admission control
+  (shed excess arrivals, exact per-priority accounting), per-fault-domain
+  circuit breakers around instance dispatch, and a brownout controller
+  that boosts the packing degree and then sheds low-priority traffic
+  while the windowed SLO is breached;
+* a :class:`~repro.faults.scenario.FaultScenario` injects crashes,
+  stragglers, 429 throttling, poisoned domains, and correlated kill
+  events into the dispatch path, with any
+  :class:`~repro.faults.retry.RetryPolicy` governing re-execution; failed
+  attempts are billed (and counted as wasted), retries re-pay payload
+  egress.
+
+Determinism: one integer seed fixes the arrival schedule, every priority,
+fault, and noise draw, and therefore every reported number, bit for bit —
+``admitted + shed == arrivals`` holds exactly.
 """
 
 from __future__ import annotations
@@ -29,9 +44,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.models import ExecutionTimeModel
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import ImmediateRetry, RetryPolicy
+from repro.faults.scenario import FaultScenario
+from repro.faults.throttle import TokenBucket
 from repro.platform.billing import BillingModel
 from repro.platform.metrics import ExpenseBreakdown
 from repro.platform.providers import PlatformProfile
+from repro.resilience import NORMAL, N_PRIORITIES, ResiliencePolicy
 from repro.serving.arrivals import ArrivalProcess
 from repro.serving.controller import OnlineReplanner
 from repro.serving.quantiles import QuantileDigest, WindowedSLOTracker
@@ -56,6 +76,12 @@ class ServingConfig:
     slo_window_s: float = 600.0
     slo_bucket_s: float = 60.0
     replan_interval_s: float = 60.0  # controller tick (ignored w/o controller)
+    backlog_threshold: int = 64      # backlog depth counted as "over" in the
+                                     # report (and fed to brownout)
+    max_breaker_deferrals: int = 32  # batch dispatch deferrals before giving up
+    fault_domains: int = 4           # dispatch targets under a FaultScenario
+                                     # (a CircuitBreakerBank overrides this
+                                     # with its own domain count)
 
     def __post_init__(self) -> None:
         if self.cold_start_s < 0 or self.warm_dispatch_s < 0:
@@ -66,6 +92,86 @@ class ServingConfig:
             raise ValueError("QoS bound must be positive")
         if self.replan_interval_s <= 0:
             raise ValueError("replan interval must be positive")
+        if self.backlog_threshold < 1:
+            raise ValueError("backlog threshold must be >= 1")
+        if self.max_breaker_deferrals < 1:
+            raise ValueError("max_breaker_deferrals must be >= 1")
+        if self.fault_domains < 1:
+            raise ValueError("fault_domains must be >= 1")
+
+
+@dataclass
+class BacklogStats:
+    """Dispatch-queue visibility for one serving run.
+
+    ``mean_depth`` is time-weighted over the whole horizon;
+    ``time_over_threshold_s`` accumulates while the backlog exceeds
+    :attr:`ServingConfig.backlog_threshold` — the signal an operator's
+    queue-depth alert (and the brownout controller) watches.
+    """
+
+    threshold: int = 0
+    max_depth: int = 0
+    mean_depth: float = 0.0
+    time_over_threshold_s: float = 0.0
+
+
+@dataclass
+class ResilienceReport:
+    """Exact overload/fault accounting for one serving run.
+
+    The conservation identity ``arrivals == admitted + shed`` (and
+    ``admitted == completed + failed + still-queued == completed + failed``
+    once the run drains) is bit-exact under one seed; the property and
+    golden suites pin it.
+    """
+
+    arrivals: int = 0
+    admitted: int = 0
+    shed_admission: int = 0
+    shed_brownout: int = 0
+    shed_by_priority: list[int] = field(
+        default_factory=lambda: [0] * N_PRIORITIES
+    )
+    failed_requests: int = 0      # admitted but never completed
+    crashes: int = 0
+    correlated_kills: int = 0
+    retries: int = 0
+    throttled_attempts: int = 0   # 429 rejections at dispatch
+    throttle_drops: int = 0       # batches dropped after the 429 budget
+    breaker_deferrals: int = 0    # dispatches parked on open breakers
+    breaker_transitions: int = 0
+    breaker_opens: int = 0
+    brownout_escalations: int = 0
+    brownout_max_level: int = 0
+    wasted_gb_seconds: float = 0.0   # billed GB-s that produced no result
+    retry_egress_gb: float = 0.0     # payload re-shipped by retries
+
+    @property
+    def shed(self) -> int:
+        return self.shed_admission + self.shed_brownout
+
+    def conserved(self) -> bool:
+        return self.arrivals == self.admitted + self.shed
+
+    def signature(self) -> tuple:
+        return (
+            self.arrivals,
+            self.admitted,
+            self.shed_admission,
+            self.shed_brownout,
+            tuple(self.shed_by_priority),
+            self.failed_requests,
+            self.crashes,
+            self.correlated_kills,
+            self.retries,
+            self.throttled_attempts,
+            self.throttle_drops,
+            self.breaker_transitions,
+            self.brownout_escalations,
+            round(self.wasted_gb_seconds, 9),
+            round(self.retry_egress_gb, 9),
+        )
 
 
 @dataclass
@@ -89,12 +195,27 @@ class ServingResult:
     )
     digest: QuantileDigest = field(default_factory=QuantileDigest)
     slo: Optional[WindowedSLOTracker] = None
+    resilience: ResilienceReport = field(default_factory=ResilienceReport)
+    backlog: BacklogStats = field(default_factory=BacklogStats)
 
     @property
     def cold_start_fraction(self) -> float:
         if self.n_dispatches == 0:
             return 0.0
         return self.cold_dispatches / self.n_dispatches
+
+    @property
+    def n_completed(self) -> int:
+        """Requests actually served (admitted and not lost to faults)."""
+        return self.digest.count
+
+    @property
+    def n_shed(self) -> int:
+        return self.resilience.shed
+
+    @property
+    def n_failed(self) -> int:
+        return self.resilience.failed_requests
 
     @property
     def p50_sojourn_s(self) -> float:
@@ -112,10 +233,35 @@ class ServingResult:
     def slo_violation_fraction(self) -> float:
         return self.slo.violation_fraction if self.slo is not None else 0.0
 
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of completed requests that met the sojourn bound."""
+        return 1.0 - self.slo_violation_fraction
+
+    def windowed_p99_attainment(self, per_window_budget: float = 0.01) -> float:
+        """Fraction of sliding SLO windows whose P99 met the bound."""
+        if self.slo is None:
+            return 1.0
+        return self.slo.window_attainment(per_window_budget)
+
     def cost_per_request_usd(self) -> float:
         if self.n_requests == 0:
             return 0.0
         return self.expense.total_usd / self.n_requests
+
+    def cost_per_completed_request_usd(self) -> float:
+        """Dollars per request that actually finished — the honest overload
+        metric: shedding reduces the denominator only if the survivors
+        still complete."""
+        if self.n_completed == 0:
+            return 0.0
+        return self.expense.total_usd / self.n_completed
+
+    def conserved(self) -> bool:
+        """arrivals == completed + shed + failed, exactly."""
+        return self.n_requests == (
+            self.n_completed + self.n_shed + self.n_failed
+        )
 
     def signature(self) -> tuple:
         """Hashable summary pinned by the determinism tests."""
@@ -126,7 +272,34 @@ class ServingResult:
             round(self.expense.total_usd, 12),
             round(self.p99_sojourn_s, 12),
             round(self.idle_gb_seconds, 9),
+            self.resilience.signature(),
+            self.backlog.max_depth,
         )
+
+
+@dataclass
+class _BatchState:
+    """One formed batch, across throttle/breaker deferrals and retries."""
+
+    arrivals: list[float]
+    retry: Optional[RetryPolicy]
+    attempt: int = 1
+    prev_delay: float = 0.0
+    throttle_tries: int = 0
+    deferrals: int = 0
+
+
+@dataclass
+class _ActiveDispatch:
+    """An in-flight dispatch, killable by correlated fault events."""
+
+    batch: _BatchState
+    event: object               # the scheduled completion/crash event
+    domain: Optional[int]
+    warm: bool
+    exec_start: float
+    exec_time: float
+    crashing: bool              # already scheduled to crash
 
 
 class ServingSimulator:
@@ -140,6 +313,9 @@ class ServingSimulator:
         pool: WarmPool,
         config: ServingConfig = ServingConfig(),
         controller: Optional[OnlineReplanner] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        scenario: Optional[FaultScenario] = None,
+        retry_policy: Optional[RetryPolicy] = None,
         seed: int = 0,
     ) -> None:
         self.profile = profile
@@ -148,12 +324,14 @@ class ServingSimulator:
         self.pool = pool
         self.config = config
         self.controller = controller
+        self.resilience = resilience
+        self.scenario = scenario
+        self.retry_policy = retry_policy
         self.seed = seed
         self._billed_gb = (
             BillingModel(profile).billed_memory_mb(profile.max_memory_mb) / 1024.0
         )
 
-    # ------------------------------------------------------------------ #
     def run(
         self,
         process: ArrivalProcess,
@@ -161,106 +339,441 @@ class ServingSimulator:
         horizon_s: float,
         repetition: int = 0,
     ) -> ServingResult:
-        """Serve every arrival in ``[0, horizon_s)`` to completion."""
+        """Serve every *admitted* arrival in ``[0, horizon_s)`` to completion."""
         if horizon_s <= 0.0:
             raise ValueError("horizon must be positive")
-        rng = RandomStreams(self.seed).spawn(f"serving/r{repetition}")
-        arrivals = process.sample(rng, horizon_s)
-        cfg = self.config
-        result = ServingResult(
-            policy_name=getattr(self.pool.policy, "name", "custom"),
-            mode="replan" if self.controller is not None else "static",
-            n_requests=len(arrivals),
-            slo=WindowedSLOTracker(cfg.qos_sojourn_s, cfg.slo_window_s, cfg.slo_bucket_s),
+        return _ServingRun(self, process, policy, horizon_s, repetition).execute()
+
+
+class _ServingRun:
+    """State machine of one :meth:`ServingSimulator.run` invocation."""
+
+    def __init__(
+        self,
+        owner: ServingSimulator,
+        process: ArrivalProcess,
+        policy: StreamingPolicy,
+        horizon_s: float,
+        repetition: int,
+    ) -> None:
+        self.owner = owner
+        self.cfg = owner.config
+        self.pool = owner.pool
+        self.horizon_s = float(horizon_s)
+        self.rng = RandomStreams(owner.seed).spawn(f"serving/r{repetition}")
+        self.arrivals = process.sample(self.rng, horizon_s)
+        self.sim = Simulator()
+        self.policy = policy
+        self.timer = None
+        self.waiting: list[tuple[float, int]] = []  # (arrival time, priority)
+        self.blocked: list[_BatchState] = []        # parked on open breakers
+        self.pump_scheduled = False
+        self.requests_in_flight = 0                 # formed, not yet resolved
+        self.active: dict[int, _ActiveDispatch] = {}
+        self._next_dispatch_id = 0
+        self._rotor = 0                             # round-robin fault domain
+        self.poisoned_at: dict[int, float] = {}     # domain -> poisoning time
+        self.max_degree = owner.app.max_packing_degree(owner.profile.max_memory_mb)
+
+        res = owner.resilience
+        self.protection_on = res is not None and res.active
+        self.admission = res.admission if res else None
+        self.breakers = res.breakers if res else None
+        self.brownout = res.brownout if res else None
+        self.priority_mix = res.priority_mix if res else None
+
+        scenario = owner.scenario
+        self.injector = (
+            FaultInjector(scenario, self.rng, owner.profile.failure_rate)
+            if scenario is not None
+            else None
         )
-        if len(arrivals) == 0:
-            result.expense = BillingModel(self.profile).serving_expense(0.0, 0, 0.0)
-            return result
+        self.throttle = (
+            TokenBucket(scenario.throttle_capacity, scenario.throttle_refill_per_s)
+            if scenario is not None and scenario.throttled
+            else None
+        )
+        self.retry_policy = owner.retry_policy
+        if self.retry_policy is None and scenario is not None:
+            self.retry_policy = ImmediateRetry()
 
-        sim = Simulator()
-        waiting: list[float] = []
-        state = {"timer": None, "policy": policy}
+        self.result = ServingResult(
+            policy_name=getattr(self.pool.policy, "name", "custom"),
+            mode="replan" if owner.controller is not None else "static",
+            n_requests=len(self.arrivals),
+            slo=WindowedSLOTracker(
+                self.cfg.qos_sojourn_s, self.cfg.slo_window_s, self.cfg.slo_bucket_s
+            ),
+        )
+        self.result.backlog.threshold = self.cfg.backlog_threshold
+        self._bl_last_t = 0.0
+        self._bl_integral = 0.0
 
-        def dispatch() -> None:
-            if not waiting:
+    # ---------------------------------------------------------------- #
+    # backlog accounting (satellite: queue-depth visibility)
+    def _backlog_touch(self) -> None:
+        now = self.sim.now
+        dt = now - self._bl_last_t
+        if dt > 0.0:
+            depth = len(self.waiting)
+            self._bl_integral += depth * dt
+            if depth > self.cfg.backlog_threshold:
+                self.result.backlog.time_over_threshold_s += dt
+        self._bl_last_t = now
+
+    def _backlog_peak(self) -> None:
+        if len(self.waiting) > self.result.backlog.max_depth:
+            self.result.backlog.max_depth = len(self.waiting)
+
+    # ---------------------------------------------------------------- #
+    def _effective_degree(self) -> int:
+        degree = self.policy.degree
+        if self.brownout is not None:
+            boosted = int(round(degree * self.brownout.degree_multiplier))
+            degree = max(1, min(boosted, self.max_degree))
+        return degree
+
+    def _payload_gb(self, n: int) -> float:
+        return n * self.owner.app.io_mb / 1024.0
+
+    def _domain_poisoned(self, domain: int, now: float) -> bool:
+        poisoned_since = self.poisoned_at.get(domain)
+        if poisoned_since is None:
+            return False
+        heal = self.owner.scenario.poison_heal_s
+        if heal is not None and now >= poisoned_since + heal:
+            del self.poisoned_at[domain]
+            if self.breakers is not None:
+                self.breakers.poisoned.discard(domain)
+            return False
+        return True
+
+    # ---------------------------------------------------------------- #
+    def on_arrival(self, t: float) -> None:
+        report = self.result.resilience
+        report.arrivals += 1
+        if self.owner.controller is not None:
+            self.owner.controller.record_arrival(t)
+        priority = (
+            self.priority_mix.draw(self.rng.stream("priority"))
+            if self.protection_on
+            else NORMAL
+        )
+        if self.brownout is not None and self.brownout.sheds(priority):
+            report.shed_brownout += 1
+            report.shed_by_priority[priority] += 1
+            return
+        if self.admission is not None and not self.admission.decide(
+            t, priority, len(self.waiting), self.requests_in_flight
+        ):
+            report.shed_admission += 1
+            report.shed_by_priority[priority] += 1
+            return
+        report.admitted += 1
+        self._backlog_touch()
+        self.waiting.append((t, priority))
+        self._backlog_peak()
+        if len(self.waiting) >= self._effective_degree():
+            self.form_batch()
+        else:
+            self.arm_timer()
+
+    def arm_timer(self) -> None:
+        if self.timer is not None or not self.waiting:
+            return
+        deadline = self.waiting[0][0] + self.policy.batch_timeout_s
+        self.timer = self.sim.schedule(
+            max(0.0, deadline - self.sim.now), self.timer_fired
+        )
+
+    def timer_fired(self) -> None:
+        self.timer = None
+        self.form_batch()
+
+    def form_batch(self) -> None:
+        if not self.waiting:
+            return
+        degree = self._effective_degree()
+        self._backlog_touch()
+        taken = self.waiting[:degree]
+        del self.waiting[: len(taken)]
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+        self.requests_in_flight += len(taken)
+        retry = self.retry_policy.fresh() if self.retry_policy is not None else None
+        self.launch(_BatchState(arrivals=[t for t, _ in taken], retry=retry))
+        if self.waiting:
+            self.arm_timer()
+
+    # ---------------------------------------------------------------- #
+    def launch(self, batch: _BatchState) -> None:
+        now = self.sim.now
+        report = self.result.resilience
+        scenario = self.owner.scenario
+        # 429-style platform throttling: back off, retry, eventually drop.
+        if self.throttle is not None and not self.throttle.try_acquire(now):
+            report.throttled_attempts += 1
+            batch.throttle_tries += 1
+            if batch.throttle_tries > scenario.throttle_max_retries:
+                report.throttle_drops += 1
+                self.fail_batch(batch)
                 return
-            live = state["policy"]
-            batch = waiting[: live.degree]
-            del waiting[: len(batch)]
-            if state["timer"] is not None:
-                state["timer"].cancel()
-                state["timer"] = None
-            warm = self.pool.acquire(sim.now)
-            start_latency = cfg.warm_dispatch_s if warm else cfg.cold_start_s
-            exec_time = self.exec_model.predict(len(batch)) * rng.lognormal_factor(
-                "exec", self.profile.exec_noise_sigma
+            delay = (
+                scenario.throttle_backoff_s * batch.throttle_tries
+                + self.throttle.seconds_until_token(now)
             )
-            billed_s = exec_time + (0.0 if warm else cfg.cold_init_billed_s)
-            finish = sim.now + start_latency + exec_time
-            result.n_dispatches += 1
-            if warm:
-                result.warm_dispatches += 1
-            else:
-                result.cold_dispatches += 1
-            result.exec_gb_seconds += billed_s * self._billed_gb
-            for arrived in batch:
-                sojourn = finish - arrived
-                result.digest.add(sojourn)
-                result.slo.record(finish, sojourn)
-            sim.schedule_at(finish, self.pool.release, finish)
-            if waiting:
-                arm_timer()
-
-        def arm_timer() -> None:
-            if state["timer"] is not None:
+            self.sim.schedule(delay, self.launch, batch)
+            return
+        # Route to a fault domain: breakers filter by circuit state; an
+        # unprotected run routes round-robin regardless of domain health —
+        # the asymmetry the overload experiment measures.
+        domain: Optional[int] = None
+        if self.breakers is not None:
+            domain = self.breakers.pick(now)
+            if domain is None:
+                report.breaker_deferrals += 1
+                batch.deferrals += 1
+                if batch.deferrals > self.cfg.max_breaker_deferrals:
+                    self.fail_batch(batch)
+                    return
+                self.blocked.append(batch)
+                self.schedule_pump()
                 return
-            deadline = waiting[0] + state["policy"].batch_timeout_s
-            state["timer"] = sim.schedule(max(0.0, deadline - sim.now), timer_fired)
+        elif self.injector is not None:
+            domain = self._rotor % self.cfg.fault_domains
+            self._rotor += 1
+        warm = self.pool.acquire(now)
+        start_latency = (
+            self.cfg.warm_dispatch_s if warm else self.cfg.cold_start_s
+        )
+        exec_time = self.owner.exec_model.predict(
+            len(batch.arrivals)
+        ) * self.rng.lognormal_factor("exec", self.owner.profile.exec_noise_sigma)
+        if self.injector is not None:
+            exec_time *= self.injector.straggler_factor()
+        self.result.n_dispatches += 1
+        if warm:
+            self.result.warm_dispatches += 1
+        else:
+            self.result.cold_dispatches += 1
+        exec_start = now + start_latency
+        crash = None
+        if self.injector is not None:
+            poisoned = domain is not None and self._domain_poisoned(domain, now)
+            if poisoned or self.injector.crash_rate > 0.0:
+                crash = self.injector.crash_decision(poisoned=poisoned)
+        dispatch_id = self._next_dispatch_id
+        self._next_dispatch_id += 1
+        if crash is None:
+            event = self.sim.schedule_at(
+                exec_start + exec_time, self.on_complete, dispatch_id
+            )
+            crashing = False
+        else:
+            event = self.sim.schedule_at(
+                exec_start + crash.at_fraction * exec_time,
+                self.on_crash,
+                dispatch_id,
+                crash.persistent,
+            )
+            crashing = True
+        self.active[dispatch_id] = _ActiveDispatch(
+            batch=batch,
+            event=event,
+            domain=domain,
+            warm=warm,
+            exec_start=exec_start,
+            exec_time=exec_time,
+            crashing=crashing,
+        )
 
-        def timer_fired() -> None:
-            state["timer"] = None
-            dispatch()
+    def _bill(self, ad: _ActiveDispatch, exec_seconds: float) -> float:
+        """Billed GB-seconds of one attempt (init is billed on cold starts)."""
+        billed_s = exec_seconds + (
+            0.0 if ad.warm else self.cfg.cold_init_billed_s
+        )
+        gb_s = billed_s * self.owner._billed_gb
+        self.result.exec_gb_seconds += gb_s
+        return gb_s
 
-        def on_arrival(t: float) -> None:
-            if self.controller is not None:
-                self.controller.record_arrival(t)
-            waiting.append(t)
-            if len(waiting) >= state["policy"].degree:
-                dispatch()
-            else:
-                arm_timer()
+    def on_complete(self, dispatch_id: int) -> None:
+        ad = self.active.pop(dispatch_id)
+        now = self.sim.now
+        self._bill(ad, ad.exec_time)
+        self.pool.release(now)
+        if ad.domain is not None and self.breakers is not None:
+            self.breakers.record(ad.domain, True, now)
+        for arrived in ad.batch.arrivals:
+            sojourn = now - arrived
+            self.result.digest.add(sojourn)
+            self.result.slo.record(now, sojourn)
+        self.requests_in_flight -= len(ad.batch.arrivals)
+        self.pump_blocked()
 
-        def replan_tick() -> None:
-            decision = self.controller.replan(sim.now)
+    def on_crash(self, dispatch_id: int, persistent: bool) -> None:
+        ad = self.active.pop(dispatch_id)
+        now = self.sim.now
+        self.result.resilience.crashes += 1
+        executed = max(0.0, now - ad.exec_start)
+        gb_s = self._bill(ad, executed)
+        self.result.resilience.wasted_gb_seconds += gb_s
+        if persistent and ad.domain is not None:
+            self.poisoned_at.setdefault(ad.domain, now)
+            if self.breakers is not None:
+                self.breakers.poison(ad.domain)
+        if ad.domain is not None and self.breakers is not None:
+            self.breakers.record(ad.domain, False, now)
+        # The sandbox died: the instance never returns to the warm pool.
+        self.retry_or_fail(ad.batch)
+        self.pump_blocked()
+
+    def retry_or_fail(self, batch: _BatchState) -> None:
+        report = self.result.resilience
+        delay = (
+            batch.retry.next_delay(
+                batch.attempt, batch.prev_delay, self.rng.stream("retry")
+            )
+            if batch.retry is not None
+            else None
+        )
+        if delay is None:
+            self.fail_batch(batch)
+            return
+        batch.attempt += 1
+        batch.prev_delay = delay
+        report.retries += 1
+        report.retry_egress_gb += self._payload_gb(len(batch.arrivals))
+        self.sim.schedule(delay, self.launch, batch)
+
+    def fail_batch(self, batch: _BatchState) -> None:
+        self.result.resilience.failed_requests += len(batch.arrivals)
+        self.requests_in_flight -= len(batch.arrivals)
+
+    # ---------------------------------------------------------------- #
+    def schedule_pump(self) -> None:
+        if self.pump_scheduled or not self.blocked or self.breakers is None:
+            return
+        at = self.breakers.earliest_retry(self.sim.now)
+        if at is None:
+            return  # an in-flight probe's completion/crash will pump instead
+        self.pump_scheduled = True
+        self.sim.schedule_at(at, self.pump_fired)
+
+    def pump_fired(self) -> None:
+        self.pump_scheduled = False
+        self.pump_blocked()
+
+    def pump_blocked(self) -> None:
+        if not self.blocked:
+            return
+        batches, self.blocked = self.blocked, []
+        for batch in batches:
+            self.launch(batch)  # re-parks itself if still refused
+        self.schedule_pump()
+
+    # ---------------------------------------------------------------- #
+    def on_correlated_event(self) -> None:
+        """A rack/AZ-style event: each in-flight dispatch may be killed."""
+        now = self.sim.now
+        victims = list(self.active.items())
+        if not victims:
+            return
+        kills = self.injector.correlated_kills(len(victims))
+        for (dispatch_id, ad), killed in zip(victims, kills):
+            if not killed:
+                continue
+            ad.event.cancel()
+            del self.active[dispatch_id]
+            self.result.resilience.correlated_kills += 1
+            executed = max(0.0, min(now, ad.exec_start + ad.exec_time) - ad.exec_start)
+            gb_s = self._bill(ad, executed)
+            self.result.resilience.wasted_gb_seconds += gb_s
+            if ad.domain is not None and self.breakers is not None:
+                self.breakers.record(ad.domain, False, now)
+            self.retry_or_fail(ad.batch)
+        self.pump_blocked()
+
+    # ---------------------------------------------------------------- #
+    def control_tick(self) -> None:
+        now = self.sim.now
+        violation = self.result.slo.recent_violation_fraction(now)
+        if self.owner.controller is not None:
+            decision = self.owner.controller.replan(now)
             if decision.changed:
-                state["policy"] = decision.policy
+                self.policy = decision.policy
                 self.pool.set_capacity(decision.pool_target)
-                result.policy_changes += 1
-                # A shallower degree may make the current backlog dispatchable.
-                while len(waiting) >= state["policy"].degree:
-                    dispatch()
+                self.result.policy_changes += 1
+        if self.brownout is not None:
+            self.brownout.observe(now, violation, len(self.waiting))
+        if self.admission is not None:
+            self.admission.observe_window(now, violation)
+        # A shallower (or brownout-boosted) degree may make the current
+        # backlog dispatchable immediately.
+        while len(self.waiting) >= self._effective_degree():
+            self.form_batch()
 
-        for t in arrivals:
-            sim.schedule_at(float(t), on_arrival, float(t))
-        if self.controller is not None:
-            ticks = int(math.floor(horizon_s / cfg.replan_interval_s))
+    # ---------------------------------------------------------------- #
+    def execute(self) -> ServingResult:
+        owner, cfg, result = self.owner, self.cfg, self.result
+        if len(self.arrivals) == 0:
+            result.expense = BillingModel(owner.profile).serving_expense(0.0, 0, 0.0)
+            return result
+        for t in self.arrivals:
+            self.sim.schedule_at(float(t), self.on_arrival, float(t))
+        ticking = (
+            owner.controller is not None
+            or self.brownout is not None
+            or self.admission is not None
+        )
+        if ticking:
+            ticks = int(math.floor(self.horizon_s / cfg.replan_interval_s))
             for k in range(1, ticks + 1):
-                sim.schedule_at(k * cfg.replan_interval_s, replan_tick)
+                self.sim.schedule_at(k * cfg.replan_interval_s, self.control_tick)
+        if self.injector is not None and owner.scenario.correlated_bursts > 0:
+            times = self.rng.stream("fault.correlated.times").uniform(
+                0.0, self.horizon_s, owner.scenario.correlated_bursts
+            )
+            for t in sorted(float(t) for t in times):
+                self.sim.schedule_at(t, self.on_correlated_event)
 
-        sim.run()
+        self.sim.run()
         # Flush the tail still waiting when arrivals stop, then drain the
-        # release events those dispatches scheduled.
-        while waiting:
-            dispatch()
-        sim.run()
-        end_time = max(sim.now, horizon_s)
-        self.pool.drain(end_time)
+        # retries/completions those dispatches scheduled.
+        while self.waiting:
+            self.form_batch()
+        self.sim.run()
+        # Safety net: a batch still parked on permanently-open breakers
+        # after the agenda drained is failed, preserving conservation.
+        for batch in self.blocked:
+            self.fail_batch(batch)
+        self.blocked.clear()
 
-        result.replans = self.controller.replans if self.controller else 0
-        result.final_degree = state["policy"].degree
+        end_time = max(self.sim.now, self.horizon_s)
+        self.pool.drain(end_time)
+        self._backlog_touch()
+        result.backlog.mean_depth = (
+            self._bl_integral / end_time if end_time > 0.0 else 0.0
+        )
+        result.replans = owner.controller.replans if owner.controller else 0
+        result.final_degree = self.policy.degree
         result.evictions = self.pool.stats.evictions
-        result.idle_gb_seconds = self.pool.stats.idle_seconds * self._billed_gb
-        result.expense = BillingModel(self.profile).serving_expense(
-            result.exec_gb_seconds, result.n_dispatches, result.idle_gb_seconds
+        result.idle_gb_seconds = self.pool.stats.idle_seconds * owner._billed_gb
+        if self.breakers is not None:
+            result.resilience.breaker_transitions = self.breakers.n_transitions
+            result.resilience.breaker_opens = sum(
+                1
+                for b in self.breakers.breakers
+                for (_, _, dst) in b.transitions
+                if dst == "open"
+            )
+        if self.brownout is not None:
+            result.resilience.brownout_escalations = self.brownout.escalations
+            result.resilience.brownout_max_level = self.brownout.max_level_seen
+        result.expense = BillingModel(owner.profile).serving_expense(
+            result.exec_gb_seconds,
+            result.n_dispatches,
+            result.idle_gb_seconds,
+            egress_gb=result.resilience.retry_egress_gb,
         )
         return result

@@ -77,3 +77,10 @@ def test_serving_day(capsys):
     out = run_example("serving_day.py", capsys)
     assert "hybrid-histogram" in out
     assert "wins on BOTH cold-start fraction and cost per request" in out
+
+
+def test_overload_flashcrowd(capsys):
+    out = run_example("overload_flashcrowd.py", capsys)
+    assert "flash-crowd" in out
+    assert "protected" in out
+    assert "cheaper per completed request" in out

@@ -95,6 +95,7 @@ def test_registry_covers_every_paper_artifact():
         "ablation_skew", "ablation_amortization", "ablation_rightsizing",
         "streaming", "multitenant", "decentralization", "faults",
         "serving",
+        "overload",
     }
     assert set(ALL_FIGURES) == expected
 

@@ -7,6 +7,7 @@ benchmark suite). Bands are deliberately wide — they encode "the paper's
 story still holds", not exact values.
 """
 
+import numpy as np
 import pytest
 
 from repro import (
@@ -16,7 +17,25 @@ from repro import (
     ServerlessPlatform,
     run_unpacked,
 )
-from repro.workloads import SORT, STATELESS_COST, VIDEO
+from repro.core.models import ExecutionTimeModel
+from repro.extensions.streaming import StreamingPolicy
+from repro.faults.retry import ExponentialBackoffRetry
+from repro.faults.scenario import FaultScenario
+from repro.platform.providers import GOOGLE_CLOUD_FUNCTIONS
+from repro.resilience import (
+    BrownoutController,
+    CircuitBreakerBank,
+    ConcurrencyLimitAdmission,
+    ResiliencePolicy,
+)
+from repro.serving import (
+    FixedTTL,
+    PoissonProcess,
+    ServingConfig,
+    ServingSimulator,
+    WarmPool,
+)
+from repro.workloads import SORT, STATELESS_COST, VIDEO, XAPIAN
 
 SEED = 2023
 
@@ -81,3 +100,65 @@ def test_golden_packing_degrees_reasonable(propack):
     assert 4 <= propack.plan(SORT, 2000)[0].degree <= 12      # paper: 12
     assert 6 <= propack.plan(VIDEO, 5000)[0].degree <= 20
     assert 8 <= propack.plan(STATELESS_COST, 1000)[0].degree <= 18  # paper: ~10
+
+
+def test_golden_overload_resilience_exact():
+    """One seeded overload run, pinned exactly — not a band.
+
+    The resilience layer promises bit-determinism: one seed fixes every
+    admission verdict, breaker transition, and retry draw, so the shed
+    counts and the bill must reproduce to the last unit. Any drift in the
+    serving loop's stream consumption order lands here first.
+    """
+    exec_model = ExecutionTimeModel(
+        coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+    )
+    config = ServingConfig()
+    scenario = FaultScenario(
+        name="golden-overload",
+        crash_rate=0.15,
+        persistent_fraction=0.25,
+        poison_heal_s=300.0,
+        straggler_rate=0.01,
+    )
+    resilience = ResiliencePolicy(
+        admission=ConcurrencyLimitAdmission(limit=40),
+        breakers=CircuitBreakerBank(
+            n_domains=config.fault_domains,
+            rng=np.random.default_rng(SEED),
+            failure_threshold=3,
+            recovery_s=60.0,
+        ),
+        brownout=BrownoutController(
+            violation_threshold=0.02,
+            backlog_threshold=config.backlog_threshold,
+        ),
+    )
+    sim = ServingSimulator(
+        GOOGLE_CLOUD_FUNCTIONS,
+        XAPIAN,
+        exec_model,
+        pool=WarmPool(FixedTTL(60.0)),
+        config=config,
+        resilience=resilience,
+        scenario=scenario,
+        retry_policy=ExponentialBackoffRetry(max_retries=3),
+        seed=SEED,
+    )
+    run = sim.run(
+        PoissonProcess(4.0), StreamingPolicy(degree=6, batch_timeout_s=4.0), 900.0
+    )
+    rep = run.resilience
+    assert run.conserved() and rep.conserved()
+    assert run.n_requests == 3567
+    assert run.n_completed == 1211
+    assert (rep.shed, rep.shed_admission, rep.shed_brownout) == (2348, 1710, 638)
+    assert rep.shed_by_priority == [209, 1421, 718]
+    assert rep.failed_requests == 8
+    assert (rep.crashes, rep.retries) == (63, 61)
+    assert (rep.breaker_transitions, rep.breaker_opens) == (32, 16)
+    assert (rep.brownout_escalations, rep.brownout_max_level) == (2, 2)
+    assert run.expense.total_usd == pytest.approx(1.302955318802082, abs=1e-12)
+    assert run.expense.egress_usd == pytest.approx(0.4921875, abs=1e-12)
+    assert rep.wasted_gb_seconds == pytest.approx(4182.620702125807, abs=1e-9)
+    assert rep.retry_egress_gb == pytest.approx(4.1015625, abs=1e-12)

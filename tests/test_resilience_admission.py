@@ -1,0 +1,174 @@
+"""Admission controllers: decisions, accounting, and priority ordering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    HIGH,
+    LOW,
+    NORMAL,
+    AIMDAdmission,
+    AdmissionStats,
+    ConcurrencyLimitAdmission,
+    PriorityMix,
+    TokenBucketAdmission,
+    UnboundedAdmission,
+)
+
+
+class TestPriorityMix:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PriorityMix(high=0.5, normal=0.5, low=0.5)
+
+    def test_shares_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            PriorityMix(high=-0.1, normal=0.6, low=0.5)
+
+    def test_draw_is_deterministic_per_seed(self):
+        mix = PriorityMix(high=0.3, normal=0.5, low=0.2)
+        a = [mix.draw(np.random.default_rng(7)) for _ in range(1)]
+        b = [mix.draw(np.random.default_rng(7)) for _ in range(1)]
+        assert a == b
+
+    def test_draw_matches_shares(self):
+        mix = PriorityMix(high=0.25, normal=0.5, low=0.25)
+        gen = np.random.default_rng(2023)
+        draws = [mix.draw(gen) for _ in range(20000)]
+        assert abs(draws.count(HIGH) / 20000 - 0.25) < 0.02
+        assert abs(draws.count(NORMAL) / 20000 - 0.5) < 0.02
+        assert abs(draws.count(LOW) / 20000 - 0.25) < 0.02
+
+    def test_degenerate_mix_always_draws_that_class(self):
+        mix = PriorityMix(high=0.0, normal=0.0, low=1.0)
+        gen = np.random.default_rng(1)
+        assert all(mix.draw(gen) == LOW for _ in range(50))
+
+
+class TestAdmissionStats:
+    def test_conservation_identity(self):
+        stats = AdmissionStats()
+        gen = np.random.default_rng(5)
+        for _ in range(500):
+            stats.record(int(gen.integers(3)), bool(gen.random() < 0.6))
+        assert stats.conserved()
+        assert stats.arrivals == 500
+        assert stats.admitted + stats.shed == 500
+
+    def test_shed_tracked_per_priority(self):
+        stats = AdmissionStats()
+        stats.record(HIGH, False)
+        stats.record(LOW, False)
+        stats.record(LOW, False)
+        stats.record(NORMAL, True)
+        assert stats.shed_by_priority == [1, 0, 2]
+        assert stats.shed == 3
+
+
+class TestUnbounded:
+    def test_admits_everything(self):
+        ctl = UnboundedAdmission()
+        assert all(
+            ctl.decide(t, p, 10**6, 10**6)
+            for t in (0.0, 1.0)
+            for p in (HIGH, NORMAL, LOW)
+        )
+        assert ctl.stats.shed == 0
+        assert ctl.concurrency_limit == math.inf
+
+
+class TestConcurrencyLimit:
+    def test_admits_below_limit_sheds_at_limit(self):
+        ctl = ConcurrencyLimitAdmission(limit=10, priority_watermarks=(1.0, 1.0, 1.0))
+        assert ctl.decide(0.0, HIGH, queue_depth=4, in_flight=5)
+        assert not ctl.decide(0.0, HIGH, queue_depth=5, in_flight=5)
+        assert ctl.stats.conserved()
+
+    def test_low_priority_sheds_first(self):
+        ctl = ConcurrencyLimitAdmission(limit=10, priority_watermarks=(1.0, 0.9, 0.7))
+        # Load 7: below every watermark except low's (7 >= 10*0.7).
+        assert ctl.admit(0.0, HIGH, 7, 0)
+        assert ctl.admit(0.0, NORMAL, 7, 0)
+        assert not ctl.admit(0.0, LOW, 7, 0)
+
+    def test_watermarks_must_not_increase(self):
+        with pytest.raises(ValueError):
+            ConcurrencyLimitAdmission(limit=10, priority_watermarks=(0.7, 0.9, 1.0))
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConcurrencyLimitAdmission(limit=0)
+
+
+class TestTokenBucket:
+    def test_burst_drains_then_sheds(self):
+        ctl = TokenBucketAdmission(capacity=5, refill_per_s=1.0,
+                                   reserve_fractions=(0.0, 0.0, 0.0))
+        verdicts = [ctl.decide(0.0, HIGH, 0, 0) for _ in range(7)]
+        assert verdicts == [True] * 5 + [False] * 2
+        assert ctl.stats.shed == 2
+
+    def test_refill_restores_admission(self):
+        ctl = TokenBucketAdmission(capacity=2, refill_per_s=1.0,
+                                   reserve_fractions=(0.0, 0.0, 0.0))
+        assert ctl.decide(0.0, HIGH, 0, 0)
+        assert ctl.decide(0.0, HIGH, 0, 0)
+        assert not ctl.decide(0.0, HIGH, 0, 0)
+        assert ctl.decide(2.5, HIGH, 0, 0)
+
+    def test_reserve_protects_high_priority(self):
+        ctl = TokenBucketAdmission(capacity=10, refill_per_s=1.0,
+                                   reserve_fractions=(0.0, 0.0, 0.5))
+        # Drain to 4 tokens: low priority needs 1 + 0.5*10 = 6 available.
+        for _ in range(6):
+            assert ctl.decide(0.0, HIGH, 0, 0)
+        assert not ctl.decide(0.0, LOW, 0, 0)
+        assert ctl.decide(0.0, HIGH, 0, 0)
+
+    def test_reserves_must_not_decrease(self):
+        with pytest.raises(ValueError):
+            TokenBucketAdmission(capacity=10, refill_per_s=1.0,
+                                 reserve_fractions=(0.25, 0.1, 0.0))
+
+
+class TestAIMD:
+    def test_healthy_windows_grow_limit(self):
+        ctl = AIMDAdmission(initial_limit=16, additive_step=4.0)
+        for i in range(3):
+            ctl.observe_window(float(i), 0.0)
+        assert ctl.concurrency_limit == 28
+        assert ctl.increases == 3
+
+    def test_breach_halves_limit(self):
+        ctl = AIMDAdmission(initial_limit=64, decrease_factor=0.5,
+                            breach_threshold=0.02)
+        ctl.observe_window(0.0, 0.5)
+        assert ctl.concurrency_limit == 32
+        assert ctl.decreases == 1
+
+    def test_limit_stays_within_bounds(self):
+        ctl = AIMDAdmission(initial_limit=8, min_limit=4, max_limit=16,
+                            additive_step=8.0, decrease_factor=0.1)
+        for _ in range(10):
+            ctl.observe_window(0.0, 1.0)
+        assert ctl.concurrency_limit == 4
+        for _ in range(10):
+            ctl.observe_window(0.0, 0.0)
+        assert ctl.concurrency_limit == 16
+
+    def test_admit_uses_live_limit(self):
+        ctl = AIMDAdmission(initial_limit=8,
+                            priority_watermarks=(1.0, 1.0, 1.0))
+        assert ctl.decide(0.0, HIGH, 3, 4)
+        assert not ctl.decide(0.0, HIGH, 4, 4)
+        ctl.observe_window(1.0, 1.0)  # halve to 4
+        assert not ctl.decide(1.0, HIGH, 2, 2)
+        assert ctl.stats.conserved()
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AIMDAdmission(initial_limit=2, min_limit=4)
+        with pytest.raises(ValueError):
+            AIMDAdmission(decrease_factor=1.0)

@@ -1,0 +1,166 @@
+"""Circuit breakers: state machine, probe budget, and bank routing."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitBreakerBank,
+)
+
+
+def trip(breaker, now=0.0):
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure(now)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker()
+        assert b.state == CLOSED
+        assert b.allow(0.0)
+
+    def test_opens_after_consecutive_failures(self):
+        b = CircuitBreaker(failure_threshold=3, recovery_s=10.0, jitter=0.0)
+        b.record_failure(0.0)
+        b.record_failure(1.0)
+        assert b.state == CLOSED
+        b.record_failure(2.0)
+        assert b.state == OPEN
+        assert not b.allow(2.0)
+        assert b.open_until == 12.0
+
+    def test_success_resets_failure_streak(self):
+        b = CircuitBreaker(failure_threshold=3)
+        b.record_failure(0.0)
+        b.record_failure(1.0)
+        b.record_success(2.0)
+        b.record_failure(3.0)
+        b.record_failure(4.0)
+        assert b.state == CLOSED
+
+    def test_half_open_after_recovery_pause(self):
+        b = CircuitBreaker(failure_threshold=1, recovery_s=5.0, jitter=0.0)
+        trip(b)
+        assert not b.allow(4.999)
+        assert b.allow(5.0)
+        assert b.state == HALF_OPEN
+
+    def test_half_open_probe_budget(self):
+        b = CircuitBreaker(failure_threshold=1, recovery_s=5.0,
+                           half_open_probes=2, jitter=0.0)
+        trip(b)
+        assert b.allow(5.0)
+        assert b.allow(5.0)
+        assert not b.allow(5.0)  # budget exhausted
+
+    def test_probe_success_closes(self):
+        b = CircuitBreaker(failure_threshold=1, recovery_s=5.0, jitter=0.0)
+        trip(b)
+        assert b.allow(5.0)
+        b.record_success(6.0)
+        assert b.state == CLOSED
+        # Recovery pause resets to the base after a close.
+        trip(b, now=7.0)
+        assert b.open_until == pytest.approx(12.0)
+
+    def test_probe_failure_reopens_with_backoff(self):
+        b = CircuitBreaker(failure_threshold=1, recovery_s=5.0,
+                           backoff_factor=2.0, jitter=0.0)
+        trip(b)                      # open until 5, next pause 10
+        assert b.allow(5.0)          # half-open probe
+        b.record_failure(5.5)        # re-open until 15.5
+        assert b.state == OPEN
+        assert b.open_until == pytest.approx(15.5)
+
+    def test_backoff_caps_at_max_recovery(self):
+        b = CircuitBreaker(failure_threshold=1, recovery_s=5.0,
+                           backoff_factor=10.0, max_recovery_s=20.0,
+                           jitter=0.0)
+        trip(b)
+        t = b.open_until
+        for _ in range(3):
+            assert b.allow(t)
+            b.record_failure(t)
+            assert b.open_until - t <= 20.0
+            t = b.open_until
+
+    def test_jitter_is_seeded(self):
+        def pauses(seed):
+            b = CircuitBreaker(failure_threshold=1, recovery_s=5.0,
+                               jitter=0.5, rng=np.random.default_rng(seed))
+            trip(b)
+            return b.open_until
+
+        assert pauses(3) == pauses(3)
+        assert pauses(3) != pauses(4)
+
+    def test_transitions_are_logged(self):
+        b = CircuitBreaker(failure_threshold=1, recovery_s=5.0, jitter=0.0)
+        trip(b)
+        b.allow(5.0)
+        b.record_success(6.0)
+        assert [(src, dst) for (_, src, dst) in b.transitions] == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_s=10.0, max_recovery_s=5.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(backoff_factor=0.5)
+
+
+class TestCircuitBreakerBank:
+    def test_rotor_round_robins_healthy_domains(self):
+        bank = CircuitBreakerBank(n_domains=3)
+        assert [bank.pick(0.0) for _ in range(4)] == [0, 1, 2, 0]
+
+    def test_pick_skips_open_domains(self):
+        bank = CircuitBreakerBank(n_domains=3, failure_threshold=1,
+                                  recovery_s=100.0, jitter=0.0)
+        bank.record(1, success=False, now=0.0)
+        picks = [bank.pick(1.0) for _ in range(4)]
+        assert 1 not in picks
+
+    def test_pick_returns_none_when_all_open(self):
+        bank = CircuitBreakerBank(n_domains=2, failure_threshold=1,
+                                  recovery_s=100.0, jitter=0.0)
+        bank.record(0, success=False, now=0.0)
+        bank.record(1, success=False, now=0.0)
+        assert bank.pick(1.0) is None
+        assert bank.n_open == 2
+
+    def test_earliest_retry(self):
+        bank = CircuitBreakerBank(n_domains=2, failure_threshold=1,
+                                  recovery_s=10.0, jitter=0.0)
+        assert bank.earliest_retry(0.0) is None
+        bank.record(0, success=False, now=0.0)
+        bank.record(1, success=False, now=3.0)
+        assert bank.earliest_retry(5.0) == pytest.approx(10.0)
+
+    def test_poison_tracking(self):
+        bank = CircuitBreakerBank(n_domains=2)
+        assert not bank.is_poisoned(0)
+        bank.poison(0)
+        assert bank.is_poisoned(0)
+
+    def test_transition_log_sorted_across_domains(self):
+        bank = CircuitBreakerBank(n_domains=2, failure_threshold=1,
+                                  recovery_s=10.0, jitter=0.0)
+        bank.record(1, success=False, now=1.0)
+        bank.record(0, success=False, now=2.0)
+        log = bank.transition_log()
+        assert log == [(1.0, 1, CLOSED, OPEN), (2.0, 0, CLOSED, OPEN)]
+        assert bank.n_transitions == 2
+
+    def test_needs_at_least_one_domain(self):
+        with pytest.raises(ValueError):
+            CircuitBreakerBank(n_domains=0)
