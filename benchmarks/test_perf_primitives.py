@@ -80,6 +80,43 @@ def test_perf_full_burst_c5000_packed(benchmark):
     assert benchmark(run) == 625
 
 
+@pytest.mark.telemetry_overhead
+def test_perf_telemetry_disabled_is_free():
+    """The zero-cost-when-disabled contract: a disabled TelemetryConfig
+    must keep the C=1000 burst within 2% of the uninstrumented path.
+
+    Timing-sensitive by nature, so it carries the ``telemetry_overhead``
+    marker and runs in the benchmarks CI job, not the tier-1 suite.
+    """
+    import time
+
+    from repro.telemetry import TelemetryConfig
+
+    def one_burst(telemetry):
+        platform = ServerlessPlatform(AWS_LAMBDA, seed=224, telemetry=telemetry)
+        return platform.run_burst(
+            BurstSpec(app=SORT, concurrency=1000)
+        ).n_instances
+
+    # Warm both paths (imports, numpy generator setup) before timing.
+    assert one_burst(None) == one_burst(TelemetryConfig.off()) == 1000
+
+    def best_of(rounds, telemetry):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            one_burst(telemetry)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    baseline = best_of(5, None)
+    disabled = best_of(5, TelemetryConfig.off())
+    # 2% contract plus a small absolute epsilon against scheduler jitter.
+    assert disabled <= baseline * 1.02 + 0.005, (
+        f"disabled telemetry cost {disabled:.4f}s vs baseline {baseline:.4f}s"
+    )
+
+
 def test_perf_optimizer_degree_search(benchmark):
     """Model-driven degree optimization must stay trivially cheap — that is
     ProPack's whole selling point vs the Oracle's brute force."""

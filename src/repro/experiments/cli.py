@@ -7,12 +7,12 @@ Examples::
     propack-experiments fig9 fig11        # selected figures
     propack-experiments all --quick       # reduced grids (fast)
     propack-experiments all --markdown --out results.md
+    propack-experiments all -q            # suppress progress diagnostics
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 from typing import Optional, Sequence
 
@@ -20,6 +20,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.tables import render_all
+from repro.telemetry.logging import add_verbosity_flags, echo, get_console_logger
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,23 +39,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=None, help="experiment seed")
     parser.add_argument("--markdown", action="store_true", help="emit markdown")
     parser.add_argument("--out", type=str, default=None, help="write to file")
+    add_verbosity_flags(parser)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    log = get_console_logger(verbose=args.verbose, quiet=args.quiet)
     if args.list:
         for name, func in ALL_FIGURES.items():
             summary = (func.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:<24} {summary}")
+            echo(f"{name:<24} {summary}")
         return 0
     if not args.figures:
-        print("no figures requested (use 'all' or --list)", file=sys.stderr)
+        log.error("no figures requested (use 'all' or --list)")
         return 2
     names = list(ALL_FIGURES) if "all" in args.figures else list(args.figures)
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
-        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        log.error("unknown figures: %s", ", ".join(unknown))
         return 2
 
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig.full()
@@ -66,14 +69,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in names:
         start = time.perf_counter()
         results.append(ALL_FIGURES[name](ctx))
-        print(f"[{name} done in {time.perf_counter() - start:.1f}s]", file=sys.stderr)
+        log.info("[%s done in %.1fs]", name, time.perf_counter() - start)
     text = render_all(results, markdown=args.markdown)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
-        print(f"wrote {args.out}", file=sys.stderr)
+        log.info("wrote %s", args.out)
     else:
-        print(text)
+        echo(text)
     return 0
 
 

@@ -14,7 +14,7 @@ code").
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.cluster.network import NetworkFabric
 from repro.cluster.registry import FunctionImage, ImageRegistry
@@ -28,6 +28,7 @@ from repro.platform.scheduler import PlacementScheduler
 from repro.platform.storage import ObjectStore
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
+from repro.telemetry.config import TelemetryConfig, TelemetrySession, resolve_session
 from repro.workloads.base import AppSpec
 
 #: No-op probe used for application-independent scaling measurements.
@@ -50,11 +51,15 @@ class ServerlessPlatform:
         profile: PlatformProfile,
         seed: int = 0,
         enforce_timeout: bool = True,
+        telemetry: Union[TelemetryConfig, TelemetrySession, None] = None,
     ) -> None:
         self.profile = profile
         self.seed = int(seed)
         self.enforce_timeout = enforce_timeout
         self.registry = ImageRegistry()
+        #: One telemetry session spans every burst this platform runs:
+        #: each burst becomes a process band in the exported Chrome trace.
+        self.telemetry = resolve_session(telemetry)
         self._run_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -107,7 +112,11 @@ class ServerlessPlatform:
             )
         else:
             scheduler = PlacementScheduler(
-                sim, pool, self.profile.sched_base_s, self.profile.sched_search_s
+                sim,
+                pool,
+                self.profile.sched_base_s,
+                self.profile.sched_search_s,
+                metrics=self.telemetry.registry if self.telemetry else None,
             )
         pipeline = ContainerPipeline(
             sim,
@@ -119,6 +128,13 @@ class ServerlessPlatform:
             ship_overhead_mb=self.profile.ship_overhead_mb,
             build_cache_factor=self.profile.build_cache_factor,
         )
+        instrumentation = None
+        if self.telemetry is not None:
+            instrumentation = self.telemetry.burst_instrumentation(
+                sim,
+                f"{spec.app.name} C={spec.concurrency} "
+                f"P={spec.packing_degree} r{repetition}",
+            )
         invoker = BurstInvoker(
             sim,
             self.profile,
@@ -128,6 +144,7 @@ class ServerlessPlatform:
             rng,
             self.interference_model(),
             enforce_timeout=self.enforce_timeout,
+            telemetry=instrumentation,
         )
         return invoker.run(spec, self.image_for(spec.app))
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from repro.platform.storage import ObjectStore
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.workloads.base import AppSpec
+
+if TYPE_CHECKING:  # annotation-only: keeps the hot import path lean
+    from repro.telemetry.instruments import BurstInstrumentation
 
 
 class FunctionTimeoutError(RuntimeError):
@@ -153,6 +156,7 @@ class BurstInvoker:
         rng: RandomStreams,
         interference: InterferenceModel,
         enforce_timeout: bool = True,
+        telemetry: Optional["BurstInstrumentation"] = None,
     ) -> None:
         self.sim = sim
         self.profile = profile
@@ -162,6 +166,9 @@ class BurstInvoker:
         self.rng = rng
         self.interference = interference
         self.enforce_timeout = enforce_timeout
+        # One attribute check per hook site when disabled (see the
+        # telemetry_overhead benchmark gate).
+        self._tel = telemetry
         self._records: list[InstanceRecord] = []
         self._pending_functions = 0
         self._lost_functions = 0
@@ -193,6 +200,8 @@ class BurstInvoker:
             self._injector = FaultInjector(
                 spec.scenario, self.rng, self.profile.failure_rate
             )
+            if self._tel is not None and self._tel.registry is not None:
+                self._injector.bind_metrics(self._tel.registry)
             if spec.scenario.throttled:
                 self._bucket = TokenBucket(
                     spec.scenario.throttle_capacity,
@@ -283,10 +292,14 @@ class BurstInvoker:
             scenario = self._spec.scenario
             self._stats.throttled_attempts += 1
             chain.throttle_attempts += 1
+            if self._tel is not None:
+                self._tel.on_throttled(chain.chain_id, chain.throttle_attempts)
             if chain.throttle_attempts > scenario.throttle_max_retries:
                 self._stats.throttle_rejections_final += 1
                 chain.lost = True
                 self._lost_functions += chain.n_packed
+                if self._tel is not None:
+                    self._tel.on_lost(chain.chain_id, chain.n_packed)
                 return
             wait = (
                 self._bucket.seconds_until_token(self.sim.now)
@@ -308,6 +321,8 @@ class BurstInvoker:
         chain.active.add(record.instance_id)
         self._record_chain[record.instance_id] = chain
         self._records.append(record)
+        if self._tel is not None:
+            self._tel.on_invoked(record)
         # Placement search and container build proceed in parallel: the
         # image server does not need the placement target to build.
         self.scheduler.request_placement(
@@ -319,6 +334,8 @@ class BurstInvoker:
 
     def _placed(self, server, record: InstanceRecord) -> None:
         record.sched_done = self.sim.now
+        if self._tel is not None:
+            self._tel.on_placed(record)
         self._instances[record.instance_id] = FunctionInstance(
             instance_id=record.instance_id,
             app=self._spec.app,
@@ -331,18 +348,24 @@ class BurstInvoker:
 
     def _built(self, record: InstanceRecord) -> None:
         record.built_at = self.sim.now
+        if self._tel is not None:
+            self._tel.on_built(record)
         self._maybe_ship(record)
 
     def _maybe_ship(self, record: InstanceRecord) -> None:
         # A container ships once it is both built and placed.
         if record.sched_done is None or record.built_at is None:
             return
+        if self._tel is not None:
+            self._tel.on_ship_begin(record)
         self.pipeline.ship(
             self._image, self._shipped, record, ship_factor=self._spec.ship_factor
         )
 
     def _shipped(self, record: InstanceRecord) -> None:
         record.shipped_at = self.sim.now
+        if self._tel is not None:
+            self._tel.on_shipped(record)
         self._start_execution(self._instances.pop(record.instance_id), record)
 
     # ------------------------------------------------------------------ #
@@ -387,8 +410,12 @@ class BurstInvoker:
             record.exec_start = record.exec_end = self.sim.now
             chain.active.discard(record.instance_id)
             instance.release()
+            if self._tel is not None:
+                self._tel.on_cancelled_before_exec(record)
             return
         record.exec_start = self.sim.now
+        if self._tel is not None:
+            self._tel.on_exec_begin(record)
         duration = (
             self.interference.execution_seconds(
                 self._spec.app, record.n_packed, self._concurrency_level
@@ -410,6 +437,8 @@ class BurstInvoker:
             record.exec_end = record.exec_start + cap
             record.timed_out = True
             instance.release()
+            if self._tel is not None:
+                self._tel.on_exec_end(record, "timeout")
             billing = BillingModel(self.profile)
             billed = billing.instance_compute_usd(record) + self.profile.per_request_usd
             raise FunctionTimeoutError(
@@ -467,6 +496,8 @@ class BurstInvoker:
         if duration <= threshold:
             return
         chain.hedges_launched += 1
+        if self._tel is not None:
+            self._tel.on_hedge(chain.chain_id)
         self.sim.schedule(threshold, self._launch_hedge, chain, record)
 
     def _launch_hedge(self, chain: _RetryChain, primary: InstanceRecord) -> None:
@@ -493,11 +524,15 @@ class BurstInvoker:
         instance.release()
         chain = self._chain_for(record)
         chain.active.discard(record.instance_id)
+        if self._tel is not None:
+            self._tel.on_exec_end(record, "timeout")
         self.store.record_failed_attempt(self._spec.app, record.n_packed)
         if self._spec.scenario is not None and not self._spec.scenario.retry_timeouts:
             if not chain.active and not chain.satisfied and not chain.lost:
                 chain.lost = True
                 self._lost_functions += chain.n_packed
+                if self._tel is not None:
+                    self._tel.on_lost(chain.chain_id, chain.n_packed)
             return
         self._retry_or_lose(chain, record)
 
@@ -534,6 +569,8 @@ class BurstInvoker:
         self.store.record_failed_attempt(self._spec.app, record.n_packed)
         chain = self._chain_for(record)
         chain.active.discard(record.instance_id)
+        if self._tel is not None:
+            self._tel.on_exec_end(record, "crash")
         self._retry_or_lose(chain, record)
 
     def _retry_or_lose(self, chain: _RetryChain, record: InstanceRecord) -> None:
@@ -547,10 +584,14 @@ class BurstInvoker:
         if delay is None:
             chain.lost = True
             self._lost_functions += chain.n_packed
+            if self._tel is not None:
+                self._tel.on_lost(chain.chain_id, chain.n_packed)
             return
         chain.prev_delay = delay
         self._stats.retries_scheduled += 1
         self._stats.retry_delay_s_total += delay
+        if self._tel is not None:
+            self._tel.on_retry(chain.chain_id, record.attempt + 1, delay)
         # A retry is a fresh invocation: full placement + cold pipeline.
         if delay <= 0.0:
             self._admit(chain, attempt=record.attempt + 1, retry_delay=0.0)
@@ -566,8 +607,12 @@ class BurstInvoker:
             # Lost a hedge race after executing fully; billed, no result.
             record.cancelled = True
             instance.release()
+            if self._tel is not None:
+                self._tel.on_exec_end(record, "cancelled")
             return
         chain.satisfied = True
+        if self._tel is not None:
+            self._tel.on_exec_end(record, "ok")
         if record.hedged:
             self._stats.hedge_wins += 1
         self._cancel_twins(chain, record)
@@ -594,6 +639,8 @@ class BurstInvoker:
             record.exec_end = self.sim.now
             chain.active.discard(rid)
             instance.release()
+            if self._tel is not None:
+                self._tel.on_exec_end(record, "cancelled")
 
     def _reuse_warm(self, instance: FunctionInstance) -> None:
         n_packed = min(self._spec.packing_degree, self._pending_functions)
@@ -619,6 +666,8 @@ class BurstInvoker:
             cores=instance.cores,
         )
         self._records.append(record)
+        if self._tel is not None:
+            self._tel.on_invoked(record, warm=True)
         self.sim.schedule(self._spec.warm_dispatch_s, self._warm_start, warm, record)
 
     def _warm_start(self, instance: FunctionInstance, record: InstanceRecord) -> None:

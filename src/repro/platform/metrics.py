@@ -76,6 +76,40 @@ class InstanceRecord:
         )
         return self.shipped_at - max(self.built_at, self.sched_done)
 
+    def phase_durations(self) -> dict[str, float]:
+        """Per-phase time breakdown, honouring the module's timing rules.
+
+        Returns only the phases this record has completed, keyed
+        ``sched`` / ``build`` / ``ship`` / ``exec``:
+
+        * ``sched`` — placement search, ``sched_done - invoked_at``;
+        * ``build`` — container build relative to invocation (builds start
+          at invoke and run in parallel with placement),
+          ``built_at - invoked_at``;
+        * ``ship`` — transfer from ship-ready (built AND placed) to
+          arrival, ``shipped_at - max(built_at, sched_done)``;
+        * ``exec`` — ``exec_end - exec_start``.
+
+        Warm starts report zero ``sched``/``ship`` (their timestamps
+        coincide by construction). This single definition backs both the
+        telemetry tracer's phase histograms and the burst-level
+        :meth:`RunResult.breakdown`.
+        """
+        phases: dict[str, float] = {}
+        if self.sched_done is not None:
+            phases["sched"] = self.sched_done - self.invoked_at
+        if self.built_at is not None:
+            phases["build"] = self.built_at - self.invoked_at
+        if (
+            self.shipped_at is not None
+            and self.built_at is not None
+            and self.sched_done is not None
+        ):
+            phases["ship"] = self.shipped_at - max(self.built_at, self.sched_done)
+        if self.exec_start is not None and self.exec_end is not None:
+            phases["exec"] = self.exec_end - self.exec_start
+        return phases
+
 
 @dataclass(frozen=True)
 class ExpenseBreakdown:
@@ -238,10 +272,11 @@ class RunResult:
 
     def breakdown(self) -> dict[str, float]:
         """Mean per-instance scheduling / start-up / shipping delays."""
+        durations = [r.phase_durations() for r in self.records]
         return {
-            "scheduling": float(np.mean([r.scheduling_delay for r in self.records])),
-            "startup": float(np.mean([r.startup_delay for r in self.records])),
-            "shipping": float(np.mean([r.shipping_delay for r in self.records])),
+            "scheduling": float(np.mean([d["sched"] for d in durations])),
+            "startup": float(np.mean([d["build"] for d in durations])),
+            "shipping": float(np.mean([d["ship"] for d in durations])),
         }
 
     def component_totals(self) -> dict[str, float]:

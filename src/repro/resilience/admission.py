@@ -33,10 +33,14 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.faults.throttle import TokenBucket
+
+if TYPE_CHECKING:  # annotation-only import
+    from repro.telemetry.metrics import MetricsRegistry
 
 #: Priority classes, ordered from most to least important. Shedding always
 #: prefers the higher index (lower priority).
@@ -106,6 +110,11 @@ class AdmissionController(abc.ABC):
 
     def __init__(self) -> None:
         self.stats = AdmissionStats()
+        self._metrics: Optional["MetricsRegistry"] = None
+
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
+        """Mirror every decision into a telemetry metrics registry."""
+        self._metrics = registry
 
     @abc.abstractmethod
     def admit(
@@ -119,6 +128,13 @@ class AdmissionController(abc.ABC):
         """:meth:`admit` plus the accounting entry (the serving loop's API)."""
         verdict = self.admit(now, priority, queue_depth, in_flight)
         self.stats.record(priority, verdict)
+        if self._metrics is not None:
+            self._metrics.counter(
+                "propack_admission_decisions_total",
+                help="Admit/shed verdicts by priority class.",
+                verdict="admitted" if verdict else "shed",
+                priority=PRIORITY_NAMES[priority],
+            ).inc()
         return verdict
 
     def observe_window(self, now: float, violation_fraction: float) -> None:

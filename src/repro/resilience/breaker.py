@@ -19,9 +19,12 @@ for the regression goldens.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # annotation-only import
+    from repro.telemetry.metrics import MetricsRegistry
 
 CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
 
@@ -62,10 +65,14 @@ class CircuitBreaker:
         self._current_recovery_s = self.recovery_s
         self._probes_outstanding = 0
         self.transitions: list[tuple[float, str, str]] = []
+        #: Optional observer called with ``(now, from_state, to_state)``.
+        self.on_transition: Optional[Callable[[float, str, str], None]] = None
 
     # ------------------------------------------------------------------ #
     def _transition(self, now: float, to: str) -> None:
         self.transitions.append((now, self.state, to))
+        if self.on_transition is not None:
+            self.on_transition(now, self.state, to)
         self.state = to
 
     def _pause(self) -> float:
@@ -155,6 +162,26 @@ class CircuitBreakerBank:
         ]
         self.poisoned: set[int] = set()
         self._rotor = 0
+
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
+        """Mirror state transitions into a telemetry metrics registry."""
+        transitions = registry.counter(
+            "propack_breaker_transitions_total",
+            help="Circuit-breaker state transitions across fault domains.",
+        )
+        open_gauge = registry.gauge(
+            "propack_breaker_open_domains",
+            help="Fault domains currently in the open state.",
+        )
+
+        def observe(now: float, src: str, dst: str) -> None:
+            transitions.inc()
+            delta = (1 if dst == OPEN else 0) - (1 if src == OPEN else 0)
+            if delta:
+                open_gauge.inc(delta)
+
+        for breaker in self.breakers:
+            breaker.on_transition = observe
 
     def __len__(self) -> int:
         return len(self.breakers)

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.models import ExecutionTimeModel
 from repro.faults.injector import FaultInjector
@@ -58,6 +58,7 @@ from repro.serving.quantiles import QuantileDigest, WindowedSLOTracker
 from repro.serving.warmpool import WarmPool
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
+from repro.telemetry.config import TelemetryConfig, TelemetrySession, resolve_session
 from repro.workloads.base import AppSpec
 
 if TYPE_CHECKING:  # annotation-only: a runtime import would be circular
@@ -317,6 +318,7 @@ class ServingSimulator:
         scenario: Optional[FaultScenario] = None,
         retry_policy: Optional[RetryPolicy] = None,
         seed: int = 0,
+        telemetry: Union[TelemetryConfig, TelemetrySession, None] = None,
     ) -> None:
         self.profile = profile
         self.app = app
@@ -328,6 +330,10 @@ class ServingSimulator:
         self.scenario = scenario
         self.retry_policy = retry_policy
         self.seed = seed
+        #: One session spans every run; each run is a process band in the
+        #: exported trace and resilience components register their metrics
+        #: into the session registry (see docs/OBSERVABILITY.md).
+        self.telemetry = resolve_session(telemetry)
         self._billed_gb = (
             BillingModel(profile).billed_memory_mb(profile.max_memory_mb) / 1024.0
         )
@@ -409,6 +415,21 @@ class _ServingRun:
         self._bl_last_t = 0.0
         self._bl_integral = 0.0
 
+        self.tel = None
+        session = owner.telemetry
+        if session is not None:
+            self.tel = session.serving_instrumentation(
+                self.sim,
+                f"serving {owner.app.name} "
+                f"{self.result.policy_name}/{self.result.mode} r{repetition}",
+            )
+            if session.registry is not None:
+                for component in (
+                    self.admission, self.breakers, self.brownout, self.injector
+                ):
+                    if component is not None:
+                        component.bind_metrics(session.registry)
+
     # ---------------------------------------------------------------- #
     # backlog accounting (satellite: queue-depth visibility)
     def _backlog_touch(self) -> None:
@@ -462,14 +483,20 @@ class _ServingRun:
         if self.brownout is not None and self.brownout.sheds(priority):
             report.shed_brownout += 1
             report.shed_by_priority[priority] += 1
+            if self.tel is not None:
+                self.tel.on_arrival("shed-brownout")
             return
         if self.admission is not None and not self.admission.decide(
             t, priority, len(self.waiting), self.requests_in_flight
         ):
             report.shed_admission += 1
             report.shed_by_priority[priority] += 1
+            if self.tel is not None:
+                self.tel.on_arrival("shed-admission")
             return
         report.admitted += 1
+        if self.tel is not None:
+            self.tel.on_arrival("admitted")
         self._backlog_touch()
         self.waiting.append((t, priority))
         self._backlog_peak()
@@ -515,6 +542,8 @@ class _ServingRun:
         if self.throttle is not None and not self.throttle.try_acquire(now):
             report.throttled_attempts += 1
             batch.throttle_tries += 1
+            if self.tel is not None:
+                self.tel.on_throttled()
             if batch.throttle_tries > scenario.throttle_max_retries:
                 report.throttle_drops += 1
                 self.fail_batch(batch)
@@ -587,6 +616,8 @@ class _ServingRun:
             exec_time=exec_time,
             crashing=crashing,
         )
+        if self.tel is not None:
+            self.tel.on_dispatch(dispatch_id, len(batch.arrivals), warm, domain)
 
     def _bill(self, ad: _ActiveDispatch, exec_seconds: float) -> float:
         """Billed GB-seconds of one attempt (init is billed on cold starts)."""
@@ -604,10 +635,14 @@ class _ServingRun:
         self.pool.release(now)
         if ad.domain is not None and self.breakers is not None:
             self.breakers.record(ad.domain, True, now)
+        sojourns = []
         for arrived in ad.batch.arrivals:
             sojourn = now - arrived
+            sojourns.append(sojourn)
             self.result.digest.add(sojourn)
             self.result.slo.record(now, sojourn)
+        if self.tel is not None:
+            self.tel.on_complete(dispatch_id, sojourns)
         self.requests_in_flight -= len(ad.batch.arrivals)
         self.pump_blocked()
 
@@ -615,6 +650,8 @@ class _ServingRun:
         ad = self.active.pop(dispatch_id)
         now = self.sim.now
         self.result.resilience.crashes += 1
+        if self.tel is not None:
+            self.tel.on_crash(dispatch_id, correlated=False)
         executed = max(0.0, now - ad.exec_start)
         gb_s = self._bill(ad, executed)
         self.result.resilience.wasted_gb_seconds += gb_s
@@ -644,11 +681,15 @@ class _ServingRun:
         batch.prev_delay = delay
         report.retries += 1
         report.retry_egress_gb += self._payload_gb(len(batch.arrivals))
+        if self.tel is not None:
+            self.tel.on_retry(len(batch.arrivals), delay)
         self.sim.schedule(delay, self.launch, batch)
 
     def fail_batch(self, batch: _BatchState) -> None:
         self.result.resilience.failed_requests += len(batch.arrivals)
         self.requests_in_flight -= len(batch.arrivals)
+        if self.tel is not None:
+            self.tel.on_fail_batch(len(batch.arrivals))
 
     # ---------------------------------------------------------------- #
     def schedule_pump(self) -> None:
@@ -686,6 +727,8 @@ class _ServingRun:
             ad.event.cancel()
             del self.active[dispatch_id]
             self.result.resilience.correlated_kills += 1
+            if self.tel is not None:
+                self.tel.on_crash(dispatch_id, correlated=True)
             executed = max(0.0, min(now, ad.exec_start + ad.exec_time) - ad.exec_start)
             gb_s = self._bill(ad, executed)
             self.result.resilience.wasted_gb_seconds += gb_s
@@ -698,6 +741,8 @@ class _ServingRun:
     def control_tick(self) -> None:
         now = self.sim.now
         violation = self.result.slo.recent_violation_fraction(now)
+        if self.tel is not None:
+            self.tel.on_tick(len(self.waiting), violation)
         if self.owner.controller is not None:
             decision = self.owner.controller.replan(now)
             if decision.changed:

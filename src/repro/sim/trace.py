@@ -11,6 +11,11 @@ stream around the anomaly.
     ... run ...
     for entry in trace.window(120.0, 130.0):
         print(entry)
+
+Executed events travel over a :class:`~repro.telemetry.bus.EventBus` as
+``sim.event`` publications — the recorder is one subscriber among any
+number, so a telemetry session (or a test) can watch the same stream by
+passing a shared bus.
 """
 
 from __future__ import annotations
@@ -20,6 +25,10 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.sim.engine import Simulator
+from repro.telemetry.bus import EventBus, TelemetryEvent
+
+#: Event kind published on the bus for every executed simulator event.
+SIM_EVENT_KIND = "sim.event"
 
 
 @dataclass(frozen=True)
@@ -42,29 +51,39 @@ def _callback_name(callback: Callable) -> str:
 
 
 class TraceRecorder:
-    """Records executed events from a simulator into a ring buffer."""
+    """Records executed events from a simulator into a ring buffer.
+
+    Entries flow through ``bus`` (a private one by default): the wrapped
+    step publishes a ``sim.event`` per execution and the recorder's ring
+    buffer is simply a subscriber, so other listeners on a shared bus see
+    the identical stream.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         capacity: int = 100_000,
         predicate: Optional[Callable[[TraceEntry], bool]] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
         self.predicate = predicate
+        self.bus = bus if bus is not None else EventBus()
         self.entries: deque[TraceEntry] = deque(maxlen=capacity)
         self.dropped = 0
         self._installed = False
         self._original_step = None
+        self._unsubscribe: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------ #
     def install(self) -> "TraceRecorder":
         """Start recording (wraps the simulator's step method)."""
         if self._installed:
             return self
+        self._unsubscribe = self.bus.subscribe(self._on_event, kind=SIM_EVENT_KIND)
         original = self.sim.step
         recorder = self
 
@@ -74,12 +93,13 @@ class TraceRecorder:
                 return original()
             # Capture the head event's identity before it executes.
             head = recorder.sim._heap[0]
-            entry = TraceEntry(
-                time=head.time, seq=head.seq, callback=_callback_name(head.callback)
-            )
+            time, seq = head.time, head.seq
+            callback = _callback_name(head.callback)
             executed = original()
             if executed:
-                recorder._record(entry)
+                recorder.bus.publish(
+                    SIM_EVENT_KIND, time, seq=seq, callback=callback
+                )
             return executed
 
         self._original_step = original
@@ -91,6 +111,9 @@ class TraceRecorder:
         if self._installed and self._original_step is not None:
             self.sim.step = self._original_step  # type: ignore[method-assign]
             self._installed = False
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
 
     def __enter__(self) -> "TraceRecorder":
         return self.install()
@@ -99,6 +122,14 @@ class TraceRecorder:
         self.uninstall()
 
     # ------------------------------------------------------------------ #
+    def _on_event(self, event: TelemetryEvent) -> None:
+        entry = TraceEntry(
+            time=event.time,
+            seq=int(event.get("seq")),
+            callback=str(event.get("callback")),
+        )
+        self._record(entry)
+
     def _record(self, entry: TraceEntry) -> None:
         if self.predicate is not None and not self.predicate(entry):
             return

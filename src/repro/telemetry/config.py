@@ -1,0 +1,117 @@
+"""Telemetry configuration and the per-session runtime bundle.
+
+:class:`TelemetryConfig` is the single switchboard: components accept an
+optional config (or a prebuilt :class:`TelemetrySession`) and do *nothing*
+— not even build span objects — when it is absent or disabled. The
+zero-cost-when-disabled contract is enforced by the
+``telemetry_overhead``-marked benchmark: a disabled config must keep the
+perf-primitives burst within 2% of the uninstrumented seed path.
+
+A :class:`TelemetrySession` owns the tracer, the metrics registry, and the
+event bus for one observation window (typically one platform object's
+lifetime, spanning many bursts), plus the export conveniences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Optional, Union
+
+from repro.telemetry.bus import EventBus, EventLog
+from repro.telemetry.exporters import (
+    chrome_trace,
+    events_jsonl,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.telemetry.instruments import BurstInstrumentation, ServingInstrumentation
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to observe. ``enabled=False`` (or ``TelemetryConfig.off()``)
+    short-circuits everything back to the uninstrumented fast path."""
+
+    enabled: bool = True
+    tracing: bool = True          # span tracer (Chrome trace export)
+    metrics: bool = True          # counters / gauges / histograms
+    events: bool = True           # JSONL event log fed from the bus
+    max_events: Optional[int] = 1_000_000  # event-log bound (None = unbounded)
+
+    @classmethod
+    def off(cls) -> "TelemetryConfig":
+        return cls(enabled=False)
+
+    def session(self) -> Optional["TelemetrySession"]:
+        """A fresh runtime bundle, or ``None`` when disabled."""
+        if not self.enabled or not (self.tracing or self.metrics or self.events):
+            return None
+        return TelemetrySession(self)
+
+
+class TelemetrySession:
+    """The live tracer + registry + bus for one observation window."""
+
+    def __init__(self, config: TelemetryConfig = TelemetryConfig()) -> None:
+        self.config = config
+        self.tracer: Optional[Tracer] = Tracer() if config.tracing else None
+        self.registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if config.metrics else None
+        )
+        self.bus = EventBus()
+        self.event_log: Optional[EventLog] = None
+        if config.events:
+            self.event_log = EventLog(capacity=config.max_events).attach(self.bus)
+
+    # ------------------------------------------------------------------ #
+    # instrumentation factories (used by the platform / serving loops)
+    # ------------------------------------------------------------------ #
+    def burst_instrumentation(self, sim, name: str) -> BurstInstrumentation:
+        """Instrument one burst: binds the tracer to ``sim``'s clock and
+        opens a new process band named ``name`` in the trace."""
+        return BurstInstrumentation(
+            tracer=self.tracer, registry=self.registry, bus=self.bus,
+            sim=sim, name=name,
+        )
+
+    def serving_instrumentation(self, sim, name: str) -> ServingInstrumentation:
+        return ServingInstrumentation(
+            tracer=self.tracer, registry=self.registry, bus=self.bus,
+            sim=sim, name=name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # exports
+    # ------------------------------------------------------------------ #
+    def chrome_trace(self) -> dict:
+        if self.tracer is None:
+            raise ValueError("tracing is disabled in this session")
+        return chrome_trace(self.tracer)
+
+    def write_chrome_trace(self, destination: Union[str, IO[str]]) -> None:
+        if self.tracer is None:
+            raise ValueError("tracing is disabled in this session")
+        write_chrome_trace(destination, self.tracer)
+
+    def prometheus_text(self) -> str:
+        if self.registry is None:
+            raise ValueError("metrics are disabled in this session")
+        return prometheus_text(self.registry)
+
+    def events_jsonl(self) -> str:
+        if self.event_log is None:
+            raise ValueError("the event log is disabled in this session")
+        return events_jsonl(self.event_log.events)
+
+
+def resolve_session(
+    telemetry: Union[TelemetryConfig, TelemetrySession, None],
+) -> Optional[TelemetrySession]:
+    """Accept a config, a prebuilt session, or ``None`` (common kwarg glue)."""
+    if telemetry is None:
+        return None
+    if isinstance(telemetry, TelemetrySession):
+        return telemetry
+    return telemetry.session()

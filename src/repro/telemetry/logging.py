@@ -1,0 +1,77 @@
+"""Console logging for the command-line tools.
+
+A thin wrapper over stdlib :mod:`logging` with two properties the CLIs
+need:
+
+* handlers resolve ``sys.stdout`` / ``sys.stderr`` *at emit time*, so
+  pytest's ``capsys`` (and any other stream redirection) always sees the
+  output;
+* verbosity maps from ``-v`` / ``-q`` flag counts: the default level is
+  ``INFO``, each ``-v`` lowers it one notch toward ``DEBUG``, each ``-q``
+  raises it toward ``ERROR``.
+
+Diagnostics (progress, warnings, errors) go through the logger to stderr;
+program *output* — tables, reports, JSON documents — goes through
+:func:`echo` to stdout, so ``propack-plan … | jq`` style pipelines stay
+clean at any verbosity.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Root logger name for every propack CLI.
+CLI_LOGGER = "propack"
+
+
+class ConsoleHandler(logging.Handler):
+    """Write records to the *current* ``sys.stderr`` (late binding)."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - mirrors logging's own policy
+            self.handleError(record)
+
+
+def verbosity_to_level(verbose: int = 0, quiet: int = 0) -> int:
+    """Map ``-v``/``-q`` flag counts to a logging level (INFO by default)."""
+    level = logging.INFO + 10 * (quiet - verbose)
+    return max(logging.DEBUG, min(logging.ERROR, level))
+
+
+def get_console_logger(
+    name: str = CLI_LOGGER,
+    verbose: int = 0,
+    quiet: int = 0,
+    fmt: Optional[str] = None,
+) -> logging.Logger:
+    """A configured CLI logger (idempotent: reconfigures on each call)."""
+    logger = logging.getLogger(name)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = ConsoleHandler()
+    handler.setFormatter(logging.Formatter(fmt or "%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(verbosity_to_level(verbose, quiet))
+    logger.propagate = False
+    return logger
+
+
+def echo(message: str = "") -> None:
+    """Program output to the current stdout (the payload channel)."""
+    sys.stdout.write(message + "\n")
+
+
+def add_verbosity_flags(parser) -> None:
+    """Attach the standard ``-v``/``-q`` counted flags to an argparse parser."""
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more diagnostics (repeatable: -vv for debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="fewer diagnostics (repeatable)",
+    )

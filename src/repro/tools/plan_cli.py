@@ -12,7 +12,6 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import sys
 from typing import Optional, Sequence
 
 from repro.baselines.nopack import run_unpacked
@@ -20,6 +19,7 @@ from repro.core.propack import ProPack
 from repro.funcx import funcx_profile
 from repro.platform.base import ServerlessPlatform
 from repro.platform.providers import PROVIDERS
+from repro.telemetry.logging import add_verbosity_flags, echo, get_console_logger
 from repro.workloads import ALL_APPS
 from repro.workloads.synthetic import make_synthetic
 
@@ -57,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--base-seconds", type=float, default=60.0)
     parser.add_argument("--mem-mb", type=int, default=512)
     parser.add_argument("--pressure", type=float, default=0.1)
+    add_verbosity_flags(parser)
     return parser
 
 
@@ -71,6 +72,7 @@ def _resolve_platform(name: str, seed: int) -> Optional[ServerlessPlatform]:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    log = get_console_logger(verbose=args.verbose, quiet=args.quiet)
 
     if args.app == "synthetic":
         app = make_synthetic(
@@ -81,16 +83,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.app in ALL_APPS:
         app = ALL_APPS[args.app]
     else:
-        print(f"unknown app {args.app!r} (try: {', '.join(ALL_APPS)}, synthetic)",
-              file=sys.stderr)
+        log.error("unknown app %r (try: %s, synthetic)",
+                  args.app, ", ".join(ALL_APPS))
         return 2
 
     platform = _resolve_platform(args.platform, args.seed)
     if platform is None:
-        print(f"unknown platform {args.platform!r}", file=sys.stderr)
+        log.error("unknown platform %r", args.platform)
         return 2
 
     propack = ProPack(platform)
+    log.debug("planning %s C=%d on %s (objective=%s)",
+              app.name, args.concurrency, platform.profile.name, args.objective)
     plan, qos = propack.plan(
         app,
         args.concurrency,
@@ -134,34 +138,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "baseline_service_s": baseline.service_time(),
                 "baseline_expense_usd": baseline.expense.total_usd,
             }
-        print(json.dumps(document, indent=2))
+        echo(json.dumps(document, indent=2))
         return 0
 
-    print(f"app:                 {app.name}  (M_func={app.mem_mb} MB, "
-          f"ET(1)~{profile.model.predict(1):.0f}s, alpha={profile.model.alpha:.3f})")
-    print(f"platform:            {platform.profile.name}")
-    print(f"concurrency:         {args.concurrency}")
-    print(f"objective:           {plan.objective} (W_S={plan.w_s:.2f}, "
-          f"W_E={plan.w_e:.2f})")
+    echo(f"app:                 {app.name}  (M_func={app.mem_mb} MB, "
+         f"ET(1)~{profile.model.predict(1):.0f}s, alpha={profile.model.alpha:.3f})")
+    echo(f"platform:            {platform.profile.name}")
+    echo(f"concurrency:         {args.concurrency}")
+    echo(f"objective:           {plan.objective} (W_S={plan.w_s:.2f}, "
+         f"W_E={plan.w_e:.2f})")
     if qos is not None:
         status = "met" if qos.feasible else "INFEASIBLE"
-        print(f"qos tail bound:      {qos.qos_bound_s:.1f}s -> predicted "
+        echo(f"qos tail bound:      {qos.qos_bound_s:.1f}s -> predicted "
               f"{qos.predicted_tail_s:.1f}s ({status})")
-    print(f"packing degree:      {plan.degree}  "
-          f"({plan.n_instances} instances)")
-    print(f"predicted service:   {plan.predicted_service_s:.1f}s "
-          f"(tail {plan.predicted_tail_s:.1f}s)")
-    print(f"predicted expense:   ${plan.predicted_expense_usd:.2f} "
-          f"(+ ${profile.overhead_usd:.2f} one-time profiling)")
+    echo(f"packing degree:      {plan.degree}  "
+         f"({plan.n_instances} instances)")
+    echo(f"predicted service:   {plan.predicted_service_s:.1f}s "
+         f"(tail {plan.predicted_tail_s:.1f}s)")
+    echo(f"predicted expense:   ${plan.predicted_expense_usd:.2f} "
+         f"(+ ${profile.overhead_usd:.2f} one-time profiling)")
 
     if args.execute:
         result = platform.run_burst(plan.burst_spec())
         baseline = run_unpacked(platform, app, args.concurrency)
-        print("--- executed ---")
-        print(f"realized service:    {result.service_time():.1f}s "
+        echo("--- executed ---")
+        echo(f"realized service:    {result.service_time():.1f}s "
               f"(baseline {baseline.service_time():.1f}s, "
               f"{100 * (1 - result.service_time() / baseline.service_time()):.0f}% better)")
-        print(f"realized expense:    ${result.expense.total_usd:.2f} "
+        echo(f"realized expense:    ${result.expense.total_usd:.2f} "
               f"(baseline ${baseline.expense.total_usd:.2f}, "
               f"{100 * (1 - result.expense.total_usd / baseline.expense.total_usd):.0f}% better)")
     return 0

@@ -1,0 +1,175 @@
+"""``propack-trace`` — produce and inspect telemetry traces.
+
+Subcommands::
+
+    propack-trace demo --app sort --concurrency 500 --out trace.json
+        Run one instrumented burst and write its Chrome trace (plus,
+        optionally, Prometheus metrics and the JSONL event log).
+
+    propack-trace summary trace.json
+        Per-category span counts and per-phase duration statistics of a
+        previously exported Chrome trace.
+
+    propack-trace dump trace.json --category instance --limit 20
+        The raw events, time-ordered, with optional category/name filters.
+
+The demo subcommand is deterministic: the same ``--app/--concurrency/
+--packing/--seed`` always writes a byte-identical trace file, which is
+what the CI artifact step relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional, Sequence
+
+from repro.telemetry.logging import add_verbosity_flags, echo, get_console_logger
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="propack-trace",
+        description="Produce and inspect ProPack telemetry traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one instrumented burst")
+    demo.add_argument("--app", default="sort")
+    demo.add_argument("--concurrency", type=int, default=500)
+    demo.add_argument("--packing", type=int, default=4)
+    demo.add_argument("--platform", default="aws-lambda")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--out", default="trace.json",
+                      help="Chrome trace output path")
+    demo.add_argument("--metrics-out", default=None,
+                      help="also write Prometheus text here")
+    demo.add_argument("--events-out", default=None,
+                      help="also write the JSONL event log here")
+    add_verbosity_flags(demo)
+
+    summary = sub.add_parser("summary", help="summarize a Chrome trace")
+    summary.add_argument("trace", help="trace JSON path")
+    add_verbosity_flags(summary)
+
+    dump = sub.add_parser("dump", help="print raw trace events")
+    dump.add_argument("trace", help="trace JSON path")
+    dump.add_argument("--category", default=None, help="filter by cat")
+    dump.add_argument("--name", default=None, help="filter by name substring")
+    dump.add_argument("--limit", type=int, default=50)
+    add_verbosity_flags(dump)
+    return parser
+
+
+# --------------------------------------------------------------------- #
+def _load_trace(path: str) -> list[dict]:
+    with open(path) as fh:
+        document = json.load(fh)
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace (no traceEvents list)")
+    return events
+
+
+def _run_demo(args, log) -> int:
+    from repro.platform.base import ServerlessPlatform
+    from repro.platform.invoker import BurstSpec
+    from repro.platform.providers import PROVIDERS
+    from repro.telemetry import TelemetryConfig
+    from repro.workloads import ALL_APPS
+
+    app = ALL_APPS.get(args.app)
+    if app is None:
+        log.error("unknown app %r (try: %s)", args.app, ", ".join(ALL_APPS))
+        return 2
+    profile = PROVIDERS.get(args.platform)
+    if profile is None:
+        log.error("unknown platform %r (try: %s)",
+                  args.platform, ", ".join(PROVIDERS))
+        return 2
+
+    platform = ServerlessPlatform(
+        profile, seed=args.seed, telemetry=TelemetryConfig()
+    )
+    spec = BurstSpec(
+        app=app, concurrency=args.concurrency, packing_degree=args.packing
+    )
+    result = platform.run_burst(spec)
+    session = platform.telemetry
+    session.write_chrome_trace(args.out)
+    log.info("wrote %s (%d instances, scaling time %.2fs)",
+             args.out, result.n_instances, result.scaling_time)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(session.prometheus_text())
+        log.info("wrote %s", args.metrics_out)
+    if args.events_out:
+        with open(args.events_out, "w") as fh:
+            fh.write(session.events_jsonl())
+        log.info("wrote %s", args.events_out)
+    echo(f"instances:     {result.n_instances}")
+    echo(f"scaling time:  {result.scaling_time:.2f}s")
+    echo(f"service time:  {result.service_time():.2f}s")
+    echo(f"expense:       ${result.expense.total_usd:.2f}")
+    return 0
+
+
+def _run_summary(args, log) -> int:
+    events = _load_trace(args.trace)
+    complete = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    processes = [e for e in events if e.get("ph") == "M"]
+
+    echo(f"processes:     {len(processes)}")
+    echo(f"spans:         {len(complete)}")
+    echo(f"instants:      {len(instants)}")
+    if complete:
+        last_end = max(e["ts"] + e["dur"] for e in complete) / 1e6
+        echo(f"trace end:     {last_end:.3f}s")
+    by_cat: dict[str, list[dict]] = {}
+    for event in complete:
+        by_cat.setdefault(event.get("cat", "span"), []).append(event)
+    for cat in sorted(by_cat):
+        spans = by_cat[cat]
+        durations = sorted(e["dur"] / 1e6 for e in spans)
+        mean = sum(durations) / len(durations)
+        echo(f"  {cat:<10} n={len(spans):<6} mean={mean:.4f}s "
+             f"min={durations[0]:.4f}s max={durations[-1]:.4f}s")
+    return 0
+
+
+def _run_dump(args, log) -> int:
+    events = _load_trace(args.trace)
+    rows = [e for e in events if e.get("ph") in ("X", "i")]
+    if args.category:
+        rows = [e for e in rows if e.get("cat") == args.category]
+    if args.name:
+        rows = [e for e in rows if args.name in e.get("name", "")]
+    rows.sort(key=lambda e: (e["ts"], e.get("tid", 0)))
+    shown = rows[: args.limit] if args.limit > 0 else rows
+    for event in shown:
+        ts = event["ts"] / 1e6
+        if event["ph"] == "X":
+            dur = event["dur"] / 1e6
+            echo(f"[{ts:12.6f}] {event.get('cat', ''):<10} "
+                 f"{event['name']:<28} dur={dur:.6f}s tid={event.get('tid', 0)}")
+        else:
+            echo(f"[{ts:12.6f}] {event.get('cat', ''):<10} "
+                 f"{event['name']:<28} (instant) tid={event.get('tid', 0)}")
+    if len(rows) > len(shown):
+        log.info("(%d more events; raise --limit)", len(rows) - len(shown))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = get_console_logger(verbose=args.verbose, quiet=args.quiet)
+    if args.command == "demo":
+        return _run_demo(args, log)
+    if args.command == "summary":
+        return _run_summary(args, log)
+    return _run_dump(args, log)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,6 +79,12 @@ def test_serving_day(capsys):
     assert "wins on BOTH cold-start fraction and cost per request" in out
 
 
+def test_trace_a_burst(capsys):
+    out = run_example("trace_a_burst.py", capsys)
+    assert "exact match" in out
+    assert "MISMATCH" not in out
+
+
 def test_overload_flashcrowd(capsys):
     out = run_example("overload_flashcrowd.py", capsys)
     assert "flash-crowd" in out

@@ -1,0 +1,263 @@
+"""Instrumentation wiring: bursts, serving, faults, and phase breakdowns.
+
+The acceptance test of the telemetry subsystem lives here: the Chrome
+trace of a C=1000 burst must reproduce the paper's scaling time (start of
+the last instance's execution) exactly from the exported spans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.models import ExecutionTimeModel
+from repro.extensions.streaming import StreamingPolicy
+from repro.faults.retry import ExponentialBackoffRetry
+from repro.faults.scenario import FaultScenario
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.metrics import InstanceRecord
+from repro.platform.providers import AWS_LAMBDA, GOOGLE_CLOUD_FUNCTIONS
+from repro.resilience import (
+    BrownoutController,
+    CircuitBreakerBank,
+    ConcurrencyLimitAdmission,
+    ResiliencePolicy,
+)
+from repro.serving import (
+    FixedTTL,
+    PoissonProcess,
+    ServingConfig,
+    ServingSimulator,
+    WarmPool,
+)
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.telemetry import EventBus, TelemetryConfig, parse_prometheus_text
+from repro.workloads import SORT, XAPIAN
+
+SEED = 2023
+
+
+# --------------------------------------------------------------------- #
+# The acceptance criterion: the trace reproduces the headline metric
+# --------------------------------------------------------------------- #
+def test_c1000_trace_reproduces_scaling_time():
+    platform = ServerlessPlatform(
+        AWS_LAMBDA, seed=SEED, telemetry=TelemetryConfig()
+    )
+    result = platform.run_burst(BurstSpec(app=SORT, concurrency=1000))
+    events = platform.telemetry.chrome_trace()["traceEvents"]
+    exec_spans = [
+        e for e in events if e.get("ph") == "X" and e["name"] == "exec"
+    ]
+    assert len(exec_spans) == len(result.records)
+    first_invocation = min(e["ts"] for e in events if e.get("ph") == "X")
+    last_exec_start = max(e["ts"] for e in exec_spans)
+    assert first_invocation == 0.0
+    assert (last_exec_start - first_invocation) / 1e6 == pytest.approx(
+        result.scaling_time, abs=1e-9
+    )
+
+
+def test_burst_metrics_match_run_result():
+    platform = ServerlessPlatform(
+        AWS_LAMBDA, seed=7, telemetry=TelemetryConfig()
+    )
+    result = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=400, packing_degree=4)
+    )
+    samples = parse_prometheus_text(platform.telemetry.prometheus_text())
+    assert samples['propack_burst_attempt_outcomes_total{outcome="ok"}'] == (
+        len(result.successful_records)
+    )
+    exec_sum = samples['propack_instance_phase_seconds_sum{phase="exec"}']
+    assert exec_sum == pytest.approx(
+        sum(r.exec_seconds for r in result.records)
+    )
+    assert samples["propack_sched_placements_total"] == len(result.records)
+
+
+def test_telemetry_does_not_perturb_results():
+    """Observation must be pure: identical results with telemetry on/off."""
+    bare = ServerlessPlatform(AWS_LAMBDA, seed=31).run_burst(
+        BurstSpec(app=SORT, concurrency=300, packing_degree=2)
+    )
+    observed = ServerlessPlatform(
+        AWS_LAMBDA, seed=31, telemetry=TelemetryConfig()
+    ).run_burst(BurstSpec(app=SORT, concurrency=300, packing_degree=2))
+    assert bare.scaling_time == observed.scaling_time
+    assert bare.service_time() == observed.service_time()
+    assert bare.expense.total_usd == observed.expense.total_usd
+
+
+def test_faulty_burst_traces_every_outcome():
+    scenario = FaultScenario(
+        name="chaos", crash_rate=0.3, persistent_fraction=0.2,
+        straggler_rate=0.1,
+    )
+    platform = ServerlessPlatform(
+        AWS_LAMBDA, seed=SEED, telemetry=TelemetryConfig()
+    )
+    result = platform.run_burst(
+        BurstSpec(
+            app=SORT, concurrency=200, packing_degree=2, scenario=scenario,
+            retry_policy=ExponentialBackoffRetry(max_retries=3),
+        )
+    )
+    assert result.fault_stats.crashed_attempts > 0
+    samples = parse_prometheus_text(platform.telemetry.prometheus_text())
+    assert samples['propack_burst_attempt_outcomes_total{outcome="crash"}'] == (
+        result.fault_stats.crashed_attempts
+    )
+    crash_draws = sum(
+        v for k, v in samples.items()
+        if k.startswith("propack_fault_crashes_total")
+    )
+    assert crash_draws == result.fault_stats.crashed_attempts
+    # every record, including failed attempts, produced a closed root span
+    roots = platform.telemetry.tracer.finished("instance")
+    assert len(roots) == len(result.records)
+
+
+# --------------------------------------------------------------------- #
+# InstanceRecord.phase_durations — the pinned definitions
+# --------------------------------------------------------------------- #
+def test_phase_durations_definitions():
+    record = InstanceRecord(
+        instance_id=0, n_packed=1, invoked_at=0.0,
+        sched_done=2.0, built_at=3.0, shipped_at=4.5,
+        exec_start=4.5, exec_end=10.0,
+    )
+    durations = record.phase_durations()
+    assert durations == {
+        "sched": 2.0,          # sched_done - invoked_at
+        "build": 3.0,          # built_at - invoked_at (builds start at invoke)
+        "ship": 1.5,           # shipped_at - max(built_at, sched_done)
+        "exec": 5.5,           # exec_end - exec_start
+    }
+
+
+def test_phase_durations_ship_waits_for_both_build_and_placement():
+    # placement finishes after the build: shipping starts at sched_done
+    record = InstanceRecord(
+        instance_id=0, n_packed=1, invoked_at=0.0,
+        sched_done=5.0, built_at=1.0, shipped_at=6.0,
+        exec_start=6.0, exec_end=7.0,
+    )
+    assert record.phase_durations()["ship"] == 1.0
+
+
+def test_phase_durations_partial_record():
+    record = InstanceRecord(
+        instance_id=0, n_packed=1, invoked_at=0.0, sched_done=1.0
+    )
+    assert record.phase_durations() == {"sched": 1.0}
+    assert InstanceRecord(instance_id=1, n_packed=1).phase_durations() == {}
+
+
+def test_breakdown_uses_phase_durations():
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=3)
+    result = platform.run_burst(BurstSpec(app=SORT, concurrency=100))
+    breakdown = result.breakdown()
+    durations = [r.phase_durations() for r in result.records]
+    assert breakdown["scheduling"] == pytest.approx(
+        float(np.mean([d["sched"] for d in durations]))
+    )
+    assert breakdown["shipping"] == pytest.approx(
+        float(np.mean([d["ship"] for d in durations]))
+    )
+
+
+# --------------------------------------------------------------------- #
+# Serving instrumentation
+# --------------------------------------------------------------------- #
+def test_serving_run_instrumented_under_overload():
+    config = ServingConfig()
+    scenario = FaultScenario(
+        name="overload", crash_rate=0.15, persistent_fraction=0.25,
+        poison_heal_s=300.0, straggler_rate=0.01,
+    )
+    resilience = ResiliencePolicy(
+        admission=ConcurrencyLimitAdmission(limit=40),
+        breakers=CircuitBreakerBank(
+            n_domains=config.fault_domains,
+            rng=np.random.default_rng(SEED),
+            failure_threshold=3, recovery_s=60.0,
+        ),
+        brownout=BrownoutController(
+            violation_threshold=0.02,
+            backlog_threshold=config.backlog_threshold,
+        ),
+    )
+    exec_model = ExecutionTimeModel(
+        coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+    )
+    sim = ServingSimulator(
+        GOOGLE_CLOUD_FUNCTIONS, XAPIAN, exec_model,
+        pool=WarmPool(FixedTTL(60.0)), config=config,
+        resilience=resilience, scenario=scenario,
+        retry_policy=ExponentialBackoffRetry(max_retries=3),
+        seed=SEED, telemetry=TelemetryConfig(),
+    )
+    run = sim.run(
+        PoissonProcess(4.0), StreamingPolicy(degree=6, batch_timeout_s=4.0),
+        900.0,
+    )
+    samples = parse_prometheus_text(sim.telemetry.prometheus_text())
+    assert samples["propack_serving_arrivals_total"] == run.n_requests
+    assert samples["propack_serving_requests_completed_total"] == run.n_completed
+    shed = sum(v for k, v in samples.items()
+               if k.startswith("propack_serving_shed_total"))
+    admission_shed = sum(
+        v for k, v in samples.items()
+        if k.startswith("propack_admission_decisions_total")
+        and 'verdict="shed"' in k
+    )
+    assert shed == run.n_requests - samples["propack_serving_admitted_total"]
+    assert admission_shed == resilience.admission.stats.shed
+    assert samples["propack_breaker_transitions_total"] == (
+        resilience.breakers.n_transitions
+    )
+    assert samples['propack_brownout_shifts_total{direction="escalate"}'] == (
+        resilience.brownout.escalations
+    )
+    # dispatch spans closed for every completion and crash
+    spans = sim.telemetry.tracer.finished("dispatch")
+    assert len(spans) >= run.resilience.crashes
+
+
+# --------------------------------------------------------------------- #
+# TraceRecorder on the event bus
+# --------------------------------------------------------------------- #
+def test_trace_recorder_publishes_on_shared_bus():
+    sim = Simulator()
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append, kind="sim.event")
+    recorder = TraceRecorder(sim, bus=bus)
+    fired = []
+    with recorder:
+        for i in range(5):
+            sim.schedule(float(i), fired.append, i)
+        sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert len(recorder) == len(seen) == 5
+    # the ring buffer and the bus subscriber saw the identical stream
+    assert [e.time for e in seen] == [entry.time for entry in recorder.entries]
+    # uninstalling detaches the subscriber: further sim events are silent
+    sim.schedule(9.0, fired.append, 9)
+    sim.run()
+    assert len(recorder) == len(seen) == 5
+
+
+def test_trace_recorder_public_api_preserved():
+    sim = Simulator()
+    recorder = TraceRecorder(sim, capacity=3)
+    with recorder:
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+    assert len(recorder) == 3  # bounded ring
+    assert recorder.dropped == 2
+    assert recorder.window(3.0, 4.0)
+    assert recorder.by_callback("lambda")
+    assert sum(recorder.summary().values()) == 3

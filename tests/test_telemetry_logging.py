@@ -1,0 +1,91 @@
+"""The CLI console helper: verbosity mapping, stream separation, flags."""
+
+import argparse
+import logging
+
+from repro.experiments import cli as experiments_cli
+from repro.telemetry.logging import (
+    add_verbosity_flags,
+    echo,
+    get_console_logger,
+    verbosity_to_level,
+)
+from repro.tools import plan_cli
+
+
+def test_verbosity_mapping():
+    assert verbosity_to_level() == logging.INFO
+    assert verbosity_to_level(verbose=1) == logging.DEBUG
+    assert verbosity_to_level(quiet=1) == logging.WARNING
+    assert verbosity_to_level(quiet=2) == logging.ERROR
+    # clamped at both ends
+    assert verbosity_to_level(verbose=5) == logging.DEBUG
+    assert verbosity_to_level(quiet=9) == logging.ERROR
+    # flags cancel out
+    assert verbosity_to_level(verbose=1, quiet=1) == logging.INFO
+
+
+def test_logger_writes_to_stderr_and_echo_to_stdout(capsys):
+    log = get_console_logger("propack.test")
+    log.info("diagnostic")
+    echo("payload")
+    captured = capsys.readouterr()
+    assert captured.err == "diagnostic\n"
+    assert captured.out == "payload\n"
+
+
+def test_logger_quiet_suppresses_info(capsys):
+    log = get_console_logger("propack.test", quiet=1)
+    log.info("hidden")
+    log.error("shown")
+    assert capsys.readouterr().err == "shown\n"
+
+
+def test_logger_reconfigures_without_duplicate_handlers(capsys):
+    get_console_logger("propack.test")
+    log = get_console_logger("propack.test")  # second call must not double-log
+    log.info("once")
+    assert capsys.readouterr().err == "once\n"
+
+
+def test_add_verbosity_flags_counts():
+    parser = argparse.ArgumentParser()
+    add_verbosity_flags(parser)
+    args = parser.parse_args(["-vv"])
+    assert args.verbose == 2 and args.quiet == 0
+    args = parser.parse_args(["-q", "-q"])
+    assert args.quiet == 2
+
+
+# --------------------------------------------------------------------- #
+# The CLIs through the helper
+# --------------------------------------------------------------------- #
+def test_experiments_cli_errors_on_stderr(capsys):
+    assert experiments_cli.main(["no-such-figure"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown figures" in captured.err
+    assert captured.out == ""
+
+
+def test_experiments_cli_list_on_stdout(capsys):
+    assert experiments_cli.main(["--list"]) == 0
+    captured = capsys.readouterr()
+    assert "fig" in captured.out
+    assert captured.err == ""
+
+
+def test_plan_cli_quiet_keeps_payload(capsys):
+    rc = plan_cli.main(
+        ["--app", "sort", "--concurrency", "200", "--json", "-q"]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert '"degree"' in captured.out
+    assert captured.err == ""
+
+
+def test_plan_cli_unknown_app_on_stderr(capsys):
+    assert plan_cli.main(["--app", "nope", "--concurrency", "10"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown app" in captured.err
+    assert captured.out == ""

@@ -1,0 +1,66 @@
+"""``propack-trace``: demo produces a valid trace; summary/dump read it."""
+
+import json
+
+import pytest
+
+from repro.tools import trace_cli
+
+
+@pytest.fixture(scope="module")
+def demo_trace(tmp_path_factory):
+    out = tmp_path_factory.mktemp("traces") / "trace.json"
+    metrics = out.with_suffix(".prom")
+    rc = trace_cli.main([
+        "demo", "--app", "sort", "--concurrency", "200",
+        "--out", str(out), "--metrics-out", str(metrics), "-q",
+    ])
+    assert rc == 0
+    return out
+
+
+def test_demo_writes_valid_chrome_trace(demo_trace, capsys):
+    document = json.loads(demo_trace.read_text())
+    events = document["traceEvents"]
+    assert any(e["ph"] == "M" for e in events)
+    assert any(e["ph"] == "X" and e["cat"] == "instance" for e in events)
+    metrics = demo_trace.with_suffix(".prom").read_text()
+    assert "propack_sched_placements_total" in metrics
+
+
+def test_demo_is_deterministic(demo_trace, tmp_path, capsys):
+    again = tmp_path / "again.json"
+    assert trace_cli.main([
+        "demo", "--app", "sort", "--concurrency", "200",
+        "--out", str(again), "-q",
+    ]) == 0
+    capsys.readouterr()
+    assert again.read_bytes() == demo_trace.read_bytes()
+
+
+def test_summary_reads_the_trace(demo_trace, capsys):
+    assert trace_cli.main(["summary", str(demo_trace), "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "spans:" in out
+    assert "instance" in out and "phase" in out
+
+
+def test_dump_filters_by_category(demo_trace, capsys):
+    assert trace_cli.main([
+        "dump", str(demo_trace), "--category", "instance", "--limit", "5", "-q",
+    ]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 5
+    assert all("instance#" in line for line in out)
+
+
+def test_dump_rejects_non_trace_file(tmp_path):
+    bogus = tmp_path / "not_a_trace.json"
+    bogus.write_text("{}")
+    with pytest.raises(ValueError, match="traceEvents"):
+        trace_cli.main(["dump", str(bogus)])
+
+
+def test_demo_unknown_app_fails(capsys):
+    assert trace_cli.main(["demo", "--app", "nope"]) == 2
+    assert "unknown app" in capsys.readouterr().err
