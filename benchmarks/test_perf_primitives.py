@@ -57,6 +57,81 @@ def test_perf_fifo_queue(benchmark):
     assert benchmark(run) == 5_000
 
 
+def test_perf_dispatch_kernel_chain_throughput(benchmark):
+    """Attempt-chain arbitration rate of the shared dispatch kernel.
+
+    Walks 2k chains through ``run_synchronous_chain`` under a scenario
+    that exercises every kernel path — throttle verdicts, crash draws,
+    retry delays, straggler factors. This is the per-dispatch cost every
+    subsystem (burst, serving, streaming) now pays, so it bounds how many
+    faulted dispatches per second the harness can simulate.
+    """
+    from repro.engine import DispatchKernel
+    from repro.faults.retry import ImmediateRetry
+    from repro.faults.scenario import FaultScenario
+    from repro.sim.randomness import RandomStreams
+
+    scenario = FaultScenario(
+        name="bench",
+        crash_rate=0.2,
+        throttle_capacity=64,
+        throttle_refill_per_s=500.0,
+        straggler_rate=0.05,
+    )
+
+    class _CountingEnv:
+        """Minimal consumer: monotone throttle clock + outcome counters."""
+
+        def __init__(self, kernel):
+            self.kernel = kernel
+            self.clock = 0.0
+            self.succeeded = 0
+            self.lost = 0
+
+        def throttle_clock(self, launch_at):
+            self.clock = max(self.clock, launch_at)
+            return self.clock
+
+        def on_throttled(self, chain):
+            pass
+
+        def on_rejected(self, chain):
+            self.lost += 1
+
+        def is_warm(self, launch_at):
+            return False
+
+        def attempt_seconds(self, chain, warm):
+            factor = self.kernel.exec_noise_factor(0.25)
+            factor *= self.kernel.straggler_factor()
+            return chain.n_packed * 0.1 * factor
+
+        def on_success(self, chain, launch_at, warm, exec_seconds):
+            self.succeeded += 1
+
+        def on_crash(self, chain, launch_at, warm, exec_seconds, crash):
+            return launch_at + crash.at_fraction * exec_seconds
+
+        def on_retry(self, chain, delay):
+            pass
+
+        def on_exhausted(self, chain):
+            self.lost += 1
+
+    def run():
+        rng = RandomStreams(17).spawn("kernel-bench")
+        kernel = DispatchKernel(
+            rng, scenario=scenario, retry_policy=ImmediateRetry(3)
+        )
+        env = _CountingEnv(kernel)
+        for i in range(2_000):
+            chain = kernel.new_chain(n_packed=4, retry=kernel.fresh_retry())
+            kernel.run_synchronous_chain(chain, env, launch_at=float(i) * 0.01)
+        return env.succeeded + env.lost
+
+    assert benchmark(run) == 2_000
+
+
 def test_perf_full_burst_c1000(benchmark):
     """End-to-end burst simulation rate at C=1000 (the harness workhorse)."""
     platform = ServerlessPlatform(AWS_LAMBDA, seed=221)

@@ -1,0 +1,43 @@
+"""The attempt chain: one logical work unit across all its attempts.
+
+An :class:`AttemptChain` is the unit of retry/hedge arbitration shared by
+every dispatch path: a packed function group in a burst, a request batch in
+serving or streaming. The chain accumulates the feedback state the retry
+and throttle policies need (attempt number, decorrelated-jitter delay,
+consecutive-429 count) and the terminal flags (``satisfied`` / ``lost``)
+that make duplicate deliveries and double-retries impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.faults.retry import RetryPolicy
+
+
+@dataclass
+class AttemptChain:
+    """One packed group / batch across all its attempts (retries, hedges).
+
+    ``payload`` is consumer-defined (e.g. the list of queued requests a
+    serving batch carries); the kernel never inspects it. ``retry`` is the
+    chain-scoped policy instance (serving/streaming refresh one per chain);
+    bursts instead share a burst-scoped policy and pass it explicitly to
+    :meth:`~repro.engine.kernel.DispatchKernel.next_retry_delay`.
+    """
+
+    chain_id: int
+    n_packed: int
+    payload: Any = None
+    retry: Optional[RetryPolicy] = None
+
+    attempt: int = 1            # 1-based index of the next/current attempt
+    prev_delay: float = 0.0     # decorrelated-jitter feedback state
+    throttle_tries: int = 0     # consecutive 429s for the pending admission
+    deferrals: int = 0          # circuit-breaker deferrals (serving)
+    poisoned: bool = False      # a persistent fault dooms every attempt
+    satisfied: bool = False     # some attempt completed successfully
+    lost: bool = False          # retries exhausted; work counted lost
+    hedges_launched: int = 0
+    active: set = field(default_factory=set)  # record ids in flight

@@ -6,18 +6,29 @@ becomes one instance (one placement request, one container build+ship —
 the container carries the union runtime, sized by its largest member's
 image), and the instance executes for the group's interference-model
 makespan plus execution noise.
+
+The lifecycle itself (placement ∥ build → ship → execute) is the shared
+:class:`~repro.engine.burst.BurstDispatchKernel`; this module only
+overrides its heterogeneity hooks — per-group union images, the mixed
+interference model, per-member store accounting — and leaves cluster
+occupancy untouched (groups never return capacity mid-burst, matching the
+planner's all-at-once execution model).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cluster.network import NetworkFabric
 from repro.cluster.registry import FunctionImage
 from repro.cluster.server import ServerPool
+from repro.engine.burst import BurstDispatchKernel, BurstSpec
 from repro.extensions.mixed import MixedGroup, MixedInterferenceModel, MixedPlan
+from repro.faults.retry import ImmediateRetry
 from repro.platform.billing import BillingModel
 from repro.platform.container import ContainerPipeline
+from repro.platform.instance import FunctionInstance
 from repro.platform.metrics import InstanceRecord, RunResult
 from repro.platform.providers import PlatformProfile
 from repro.platform.scheduler import PlacementScheduler
@@ -59,6 +70,60 @@ class MixedRunResult:
         return self.run.expense.total_usd
 
 
+class _MixedBurstKernel(BurstDispatchKernel):
+    """Burst kernel specialized for heterogeneous (multi-app) groups.
+
+    Each chain's payload is its :class:`MixedGroup`. Instances are not
+    tracked or released: the mixed planner models one synchronous wave, so
+    server occupancy stays claimed for the whole burst (releasing it would
+    perturb later placements).
+    """
+
+    def __init__(self, *args, model: MixedInterferenceModel, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._model = model
+
+    def begin_plan(self, spec: BurstSpec, plan: MixedPlan) -> None:
+        """Enqueue every group of ``plan`` at the current simulation time.
+
+        ``spec`` carries only burst-wide defaults (app name, noise-neutral
+        factors); sizing comes from the plan's heterogeneous groups.
+        """
+        self._spec = spec
+        self._image = None
+        self._concurrency_level = len(plan.groups)
+        self._invoked_at = self.sim.now
+        # Inherited failure handling (dormant on fault-free profiles).
+        self.retry_policy = ImmediateRetry(self.profile.max_retries)
+        self._retry_policy = self.fresh_retry()
+        self._provisioned = self.profile.max_memory_mb
+        self._instances = {}
+        for group in plan.groups:
+            chain = self.new_chain(n_packed=group.size, payload=group)
+            self._admit(chain, attempt=1, retry_delay=0.0)
+        self._pending_functions = 0
+
+    # --- heterogeneity hooks ------------------------------------------ #
+    def _group_for(self, record: InstanceRecord) -> MixedGroup:
+        return self._record_chain[record.instance_id].payload
+
+    def _image_for(self, record: InstanceRecord) -> FunctionImage:
+        return _group_image(self._group_for(record))
+
+    def _modeled_exec_seconds(self, record: InstanceRecord) -> float:
+        return self._model.instance_execution_seconds(self._group_for(record))
+
+    def _make_instance(self, server, record: InstanceRecord) -> Optional[FunctionInstance]:
+        return None  # occupancy stays claimed; see class docstring
+
+    def _release_instance(self, instance: Optional[FunctionInstance]) -> None:
+        pass
+
+    def _record_completion(self, record: InstanceRecord) -> None:
+        for app, count in self._group_for(record).members:
+            self.store.record_instance(app, count)
+
+
 class MixedBurstSimulator:
     """Executes a :class:`MixedPlan` on the discrete-event substrate."""
 
@@ -92,54 +157,30 @@ class MixedBurstSimulator:
         )
         model = MixedInterferenceModel(self.profile.isolation_penalty)
         store = ObjectStore()
-        records: list[InstanceRecord] = []
-
-        def placed(server, record: InstanceRecord, group: MixedGroup) -> None:
-            record.sched_done = sim.now
-            maybe_ship(record, group)
-
-        def built(record: InstanceRecord, group: MixedGroup) -> None:
-            record.built_at = sim.now
-            maybe_ship(record, group)
-
-        def maybe_ship(record: InstanceRecord, group: MixedGroup) -> None:
-            if record.sched_done is None or record.built_at is None:
-                return
-            pipeline.ship(_group_image(group), shipped, record, group)
-
-        def shipped(record: InstanceRecord, group: MixedGroup) -> None:
-            record.shipped_at = sim.now
-            record.exec_start = sim.now
-            duration = model.instance_execution_seconds(group) * rng.lognormal_factor(
-                "exec", self.profile.exec_noise_sigma
-            )
-            sim.schedule(duration, finished, record, group)
-
-        def finished(record: InstanceRecord, group: MixedGroup) -> None:
-            record.exec_end = sim.now
-            for app, count in group.members:
-                store.record_instance(app, count)
-
-        for i, group in enumerate(plan.groups):
-            record = InstanceRecord(
-                instance_id=i,
-                n_packed=group.size,
-                invoked_at=sim.now,
-                provisioned_mb=self.profile.max_memory_mb,
-            )
-            records.append(record)
-            scheduler.request_placement(
-                self.profile.cores_per_instance,
-                record.provisioned_mb,
-                placed,
-                record,
-                group,
-            )
-            pipeline.build(_group_image(group), built, record, group)
+        total_functions = sum(g.size for g in plan.groups)
+        kernel = _MixedBurstKernel(
+            sim,
+            self.profile,
+            scheduler,
+            pipeline,
+            store,
+            rng,
+            interference=None,  # the mixed model replaces the homogeneous one
+            enforce_timeout=False,
+            model=model,
+        )
+        # Burst-wide defaults only: noise-neutral factors, max-memory
+        # provisioning (the paper's setup); group sizing is per chain.
+        spec = BurstSpec(
+            app=plan.groups[0].apps[0],
+            concurrency=total_functions,
+            packing_degree=1,
+        )
+        kernel.begin_plan(spec, plan)
         sim.run()
 
+        records = kernel._records
         expense = BillingModel(self.profile).burst_expense(records, store.usage)
-        total_functions = sum(g.size for g in plan.groups)
         run = RunResult(
             platform_name=self.profile.name,
             app_name="+".join(sorted(plan.functions_packed())),

@@ -34,10 +34,14 @@ from typing import Optional
 import numpy as np
 
 from repro.core.models import ExecutionTimeModel
-from repro.faults.injector import FaultInjector
-from repro.faults.retry import ImmediateRetry, RetryPolicy
+from repro.engine import (
+    AttemptChain,
+    DispatchCosts,
+    DispatchKernel,
+    resolve_retry_policy,
+)
+from repro.faults.retry import RetryPolicy
 from repro.faults.scenario import FaultScenario
-from repro.faults.throttle import TokenBucket
 from repro.platform.providers import PlatformProfile
 from repro.serving.arrivals import ArrivalProcess, PoissonProcess
 from repro.sim.engine import Simulator
@@ -100,6 +104,95 @@ class StreamingResult:
         return (compute + requests + egress) / self.n_requests
 
 
+class _StreamAttemptEnv:
+    """Kernel attempt-walk hooks for the streaming dispatcher.
+
+    Implements :class:`~repro.engine.kernel.SyncAttemptEnv`: the kernel
+    arbitrates throttling/crashes/retries while this object owns the
+    stream's warm-window bookkeeping, execution modeling, and
+    :class:`StreamingResult` accounting. A chain's ``payload`` is the
+    batch's list of arrival times.
+    """
+
+    def __init__(
+        self,
+        kernel: DispatchKernel,
+        result: StreamingResult,
+        state: dict,
+        costs: DispatchCosts,
+        exec_model: ExecutionTimeModel,
+        exec_noise_sigma: float,
+        io_mb: float,
+        warm_pool_ttl_s: float,
+        billed_gb: float,
+    ) -> None:
+        self.kernel = kernel
+        self.result = result
+        self.state = state
+        self.costs = costs
+        self.exec_model = exec_model
+        self.exec_noise_sigma = exec_noise_sigma
+        self.io_mb = io_mb
+        self.warm_pool_ttl_s = warm_pool_ttl_s
+        self.billed_gb = billed_gb
+
+    def throttle_clock(self, launch_at: float) -> float:
+        # The bucket clock must be monotone even though batch clocks
+        # interleave (a retry reaches into the future).
+        t = max(launch_at, self.state["bucket_clock"])
+        self.state["bucket_clock"] = t
+        return t
+
+    def on_throttled(self, chain: AttemptChain) -> None:
+        self.result.throttled_attempts += 1
+
+    def on_rejected(self, chain: AttemptChain) -> None:
+        self.result.dropped_batches += 1
+        self.result.failed_requests += chain.n_packed
+
+    def is_warm(self, launch_at: float) -> bool:
+        return launch_at <= self.state["warm_until"]
+
+    def attempt_seconds(self, chain: AttemptChain, warm: bool) -> float:
+        if not warm:
+            self.result.cold_starts += 1
+        factor = self.kernel.exec_noise_factor(self.exec_noise_sigma)
+        factor *= self.kernel.straggler_factor()
+        exec_time = self.exec_model.predict(chain.n_packed) * factor
+        self.result.batch_sizes.append(chain.n_packed)
+        return exec_time
+
+    def on_success(
+        self, chain: AttemptChain, launch_at: float, warm: bool, exec_seconds: float
+    ) -> None:
+        finish = launch_at + self.costs.start_latency(warm) + exec_seconds
+        self.state["warm_until"] = finish + self.warm_pool_ttl_s
+        for arrived in chain.payload:
+            self.result.sojourn_times.append(finish - arrived)
+        self.result.billed_gb_seconds += exec_seconds * self.billed_gb
+
+    def on_crash(
+        self, chain: AttemptChain, launch_at: float, warm: bool,
+        exec_seconds: float, crash,
+    ) -> float:
+        self.result.crashes += 1
+        wasted = crash.at_fraction * exec_seconds * self.billed_gb
+        self.result.billed_gb_seconds += wasted
+        self.result.wasted_gb_seconds += wasted
+        return (
+            launch_at
+            + self.costs.start_latency(warm)
+            + crash.at_fraction * exec_seconds
+        )
+
+    def on_retry(self, chain: AttemptChain, delay: float) -> None:
+        self.result.retries += 1
+        self.result.retry_egress_gb += chain.n_packed * self.io_mb / 1024.0
+
+    def on_exhausted(self, chain: AttemptChain) -> None:
+        self.result.failed_requests += chain.n_packed
+
+
 class StreamingDispatcher:
     """Simulates Poisson arrivals under a batch-and-pack policy."""
 
@@ -160,87 +253,31 @@ class StreamingDispatcher:
         if len(arrivals) == 0:
             raise ValueError("arrival process produced no arrivals in the horizon")
         n_requests = len(arrivals)
-        injector = (
-            FaultInjector(scenario, rng, self.profile.failure_rate)
-            if scenario is not None
-            else None
+        # Fault/throttle/retry arbitration is the shared dispatch kernel's;
+        # the dispatcher keeps only batching and warm-window bookkeeping.
+        kernel = DispatchKernel(
+            rng,
+            scenario=scenario,
+            retry_policy=resolve_retry_policy(retry_policy, scenario),
+            profile_failure_rate=self.profile.failure_rate,
         )
-        bucket = (
-            TokenBucket(scenario.throttle_capacity, scenario.throttle_refill_per_s)
-            if scenario is not None and scenario.throttled
-            else None
-        )
-        if retry_policy is None and scenario is not None:
-            retry_policy = ImmediateRetry()
         sim = Simulator()
         result = StreamingResult(policy=policy, n_requests=n_requests)
         waiting: list[float] = []  # arrival times of queued requests
         warm_until = -math.inf
         billed_gb = self.profile.max_memory_mb / 1024.0
         state = {"warm_until": warm_until, "timer": None, "bucket_clock": 0.0}
-
-        def attempt_exec(batch_size: int) -> float:
-            factor = rng.lognormal_factor("exec", self.profile.exec_noise_sigma)
-            if injector is not None:
-                factor *= injector.straggler_factor()
-            return self.exec_model.predict(batch_size) * factor
-
-        def run_with_faults(batch: list[float]) -> None:
-            # Arithmetic retry loop: the batch's whole fault story (429
-            # backoffs, crashes, retries) advances a local clock instead
-            # of scheduling events, mirroring the fault-free dispatcher's
-            # inline ``finish`` computation.
-            launch_at = sim.now
-            retry = retry_policy.fresh()
-            attempt, prev_delay, throttle_tries = 1, 0.0, 0
-            poisoned = False
-            while True:
-                if bucket is not None:
-                    # The bucket clock must be monotone even though batch
-                    # clocks interleave (a retry reaches into the future).
-                    t = max(launch_at, state["bucket_clock"])
-                    state["bucket_clock"] = t
-                    if not bucket.try_acquire(t):
-                        result.throttled_attempts += 1
-                        throttle_tries += 1
-                        if throttle_tries > scenario.throttle_max_retries:
-                            result.dropped_batches += 1
-                            result.failed_requests += len(batch)
-                            return
-                        launch_at = t + (
-                            scenario.throttle_backoff_s * throttle_tries
-                            + bucket.seconds_until_token(t)
-                        )
-                        continue
-                warm = launch_at <= state["warm_until"]
-                start_latency = self.warm_dispatch_s if warm else self.cold_start_s
-                if not warm:
-                    result.cold_starts += 1
-                exec_time = attempt_exec(len(batch))
-                result.batch_sizes.append(len(batch))
-                crash = injector.crash_decision(poisoned=poisoned)
-                if crash is None:
-                    finish = launch_at + start_latency + exec_time
-                    state["warm_until"] = finish + self.warm_pool_ttl_s
-                    for arrived in batch:
-                        result.sojourn_times.append(finish - arrived)
-                    result.billed_gb_seconds += exec_time * billed_gb
-                    return
-                result.crashes += 1
-                poisoned = poisoned or crash.persistent
-                wasted = crash.at_fraction * exec_time * billed_gb
-                result.billed_gb_seconds += wasted
-                result.wasted_gb_seconds += wasted
-                crash_at = launch_at + start_latency + crash.at_fraction * exec_time
-                delay = retry.next_delay(attempt, prev_delay, rng.stream("retry"))
-                if delay is None:
-                    result.failed_requests += len(batch)
-                    return
-                attempt += 1
-                prev_delay = delay
-                result.retries += 1
-                result.retry_egress_gb += len(batch) * self.app.io_mb / 1024.0
-                launch_at = crash_at + delay
+        env = _StreamAttemptEnv(
+            kernel=kernel,
+            result=result,
+            state=state,
+            costs=DispatchCosts(self.cold_start_s, self.warm_dispatch_s),
+            exec_model=self.exec_model,
+            exec_noise_sigma=self.profile.exec_noise_sigma,
+            io_mb=self.app.io_mb,
+            warm_pool_ttl_s=self.warm_pool_ttl_s,
+            billed_gb=billed_gb,
+        )
 
         def dispatch() -> None:
             if not waiting:
@@ -250,8 +287,15 @@ class StreamingDispatcher:
             if state["timer"] is not None:
                 state["timer"].cancel()
                 state["timer"] = None
-            if injector is not None:
-                run_with_faults(batch)
+            if kernel.injector is not None:
+                # The batch's whole fault story (429 backoffs, crashes,
+                # retries) advances the kernel's arithmetic clock instead
+                # of scheduling events, mirroring the fault-free inline
+                # ``finish`` computation below.
+                chain = kernel.new_chain(
+                    n_packed=len(batch), payload=batch, retry=kernel.fresh_retry()
+                )
+                kernel.run_synchronous_chain(chain, env, sim.now)
                 if waiting:
                     arm_timer()
                 return

@@ -1,676 +1,32 @@
 """Burst invoker (the Step-Functions role).
 
-Drives one burst of concurrent instance invocations through the full
-pipeline: placement scheduling → container build → shipping → execution.
-Also supports the *wave* dispatch pattern used by the Pywren baseline:
-at most ``wave_size`` instances are provisioned cold; when an instance
-finishes and logical functions remain, it is reused warm (execution only,
-no build/ship), matching Pywren's instance-reuse optimization.
-
-Reliability: every attempt group (an original packed instance plus its
-retries and hedges) is tracked as one *retry chain*. Failed attempts are
-re-invoked through a pluggable :class:`~repro.faults.retry.RetryPolicy`
-(default: immediate retries up to the profile's ``max_retries``, Lambda's
-async semantics). An optional :class:`~repro.faults.scenario.FaultScenario`
-injects correlated crash bursts, 429-style admission throttling, lognormal
-stragglers, persistent (poisoned) faults, and billed timeouts; an optional
-:class:`~repro.faults.retry.HedgePolicy` speculatively duplicates
-straggling attempts. All fault draws come from dedicated RNG streams, so a
-seed + scenario pair reproduces the identical fault schedule.
+As of the ``repro.engine`` extraction the entire per-instance lifecycle —
+placement scheduling → container build → shipping → execution, plus wave
+reuse, retries, hedging, throttling, billed timeouts, and fault draws —
+lives in :class:`~repro.engine.burst.BurstDispatchKernel`, shared with the
+serving and streaming dispatch paths. This module keeps the platform
+layer's public API: :class:`BurstSpec`, :class:`FunctionTimeoutError`, and
+:class:`BurstInvoker` (the kernel under its historical name, constructed
+by :class:`~repro.platform.base.ServerlessPlatform` and
+:class:`~repro.platform.multitenant.SharedFleet`).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
-
-import numpy as np
-
-from repro.cluster.registry import FunctionImage
-from repro.faults.injector import FaultInjector
-from repro.faults.retry import HedgePolicy, ImmediateRetry, RetryPolicy
-from repro.faults.scenario import FaultScenario
-from repro.faults.throttle import TokenBucket
-from repro.interference.model import InterferenceModel
-from repro.platform.billing import BillingModel
-from repro.platform.container import ContainerPipeline
-from repro.platform.instance import FunctionInstance
-from repro.platform.metrics import FaultStats, InstanceRecord, RunResult
-from repro.platform.providers import PlatformProfile
-from repro.platform.scheduler import PlacementScheduler
-from repro.platform.storage import ObjectStore
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.workloads.base import AppSpec
-
-if TYPE_CHECKING:  # annotation-only: keeps the hot import path lean
-    from repro.telemetry.instruments import BurstInstrumentation
+from repro.engine.burst import (
+    BurstDispatchKernel,
+    BurstSpec,
+    FunctionTimeoutError,
+)
 
 
-class FunctionTimeoutError(RuntimeError):
-    """An instance exceeded the platform's maximum execution time.
+class BurstInvoker(BurstDispatchKernel):
+    """Executes one :class:`BurstSpec` on a fresh simulation.
 
-    The aborting attempt is billed for the full execution cap (Lambda
-    semantics): its record carries ``exec_end = exec_start + cap`` and the
-    exception reports the dollars charged for the doomed attempt.
+    A thin platform-layer name for the engine's burst kernel; all behavior
+    (including the ``begin`` / ``collect`` split used by multi-tenant
+    callers) is inherited unchanged.
     """
 
-    def __init__(
-        self,
-        message: str,
-        record: Optional[InstanceRecord] = None,
-        billed_usd: float = 0.0,
-    ) -> None:
-        super().__init__(message)
-        self.record = record
-        self.billed_usd = billed_usd
 
-
-@dataclass(frozen=True)
-class BurstSpec:
-    """One burst request.
-
-    ``concurrency`` is the number of logical functions ``C``; the burst
-    spawns ``ceil(C / packing_degree)`` instances (the last instance may be
-    partially packed). ``provisioned_mb`` defaults to the platform maximum,
-    matching the paper's setup ("we use Lambdas with the maximum memory
-    size"). ``wave_size`` caps simultaneously provisioned instances;
-    ``build_factor``/``ship_factor`` discount the cold-start pipeline
-    (used by the Pywren baseline), and ``exec_overhead`` multiplies
-    execution wall time (e.g. Pywren's S3 (de)serialization inside the
-    handler — it is billed, because it runs inside the function).
-
-    ``scenario`` injects a fault environment, ``retry_policy`` overrides
-    the platform's immediate-retry default, and ``hedge`` enables
-    speculative re-execution of straggling attempts.
-    """
-
-    app: AppSpec
-    concurrency: int
-    packing_degree: int = 1
-    provisioned_mb: Optional[int] = None
-    wave_size: Optional[int] = None
-    build_factor: float = 1.0
-    ship_factor: float = 1.0
-    exec_overhead: float = 1.0
-    warm_dispatch_s: float = 0.05
-    extra_io_mb_per_function: float = 0.0
-    # Coefficient of variation of per-function work (input skew). A packed
-    # instance finishes with its slowest function, so skew stretches packed
-    # execution times beyond the homogeneous model's prediction.
-    skew_cv: float = 0.0
-    scenario: Optional[FaultScenario] = None
-    retry_policy: Optional[RetryPolicy] = None
-    hedge: Optional[HedgePolicy] = None
-
-    def __post_init__(self) -> None:
-        if self.concurrency < 1:
-            raise ValueError("concurrency must be >= 1")
-        if self.packing_degree < 1:
-            raise ValueError("packing degree must be >= 1")
-        if self.packing_degree > self.concurrency:
-            raise ValueError(
-                f"packing degree {self.packing_degree} exceeds concurrency "
-                f"{self.concurrency}"
-            )
-        if self.wave_size is not None and self.wave_size < 1:
-            raise ValueError("wave_size must be >= 1")
-        if self.skew_cv < 0.0:
-            raise ValueError("skew_cv must be non-negative")
-        if self.build_factor <= 0.0 or self.ship_factor <= 0.0:
-            raise ValueError("build/ship factors must be positive")
-        if self.exec_overhead < 1.0:
-            raise ValueError("exec_overhead must be >= 1.0")
-
-    @property
-    def n_instances(self) -> int:
-        return math.ceil(self.concurrency / self.packing_degree)
-
-
-@dataclass
-class _RetryChain:
-    """One packed function group across all its attempts (retries, hedges)."""
-
-    chain_id: int
-    n_packed: int
-    poisoned: bool = False      # a persistent fault dooms every attempt
-    satisfied: bool = False     # some attempt completed successfully
-    lost: bool = False          # retries exhausted; functions counted lost
-    prev_delay: float = 0.0     # decorrelated-jitter feedback state
-    hedges_launched: int = 0
-    throttle_attempts: int = 0  # consecutive 429s for the pending admission
-    active: set = field(default_factory=set)  # record ids in flight
-
-
-class BurstInvoker:
-    """Executes one :class:`BurstSpec` on a fresh simulation."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        profile: PlatformProfile,
-        scheduler: PlacementScheduler,
-        pipeline: ContainerPipeline,
-        store: ObjectStore,
-        rng: RandomStreams,
-        interference: InterferenceModel,
-        enforce_timeout: bool = True,
-        telemetry: Optional["BurstInstrumentation"] = None,
-    ) -> None:
-        self.sim = sim
-        self.profile = profile
-        self.scheduler = scheduler
-        self.pipeline = pipeline
-        self.store = store
-        self.rng = rng
-        self.interference = interference
-        self.enforce_timeout = enforce_timeout
-        # One attribute check per hook site when disabled (see the
-        # telemetry_overhead benchmark gate).
-        self._tel = telemetry
-        self._records: list[InstanceRecord] = []
-        self._pending_functions = 0
-        self._lost_functions = 0
-        self._stats = FaultStats()
-        self._chains: dict[int, _RetryChain] = {}
-        self._record_chain: dict[int, _RetryChain] = {}
-        self._inflight: dict[int, tuple] = {}  # record id -> (event, instance, record)
-        self._injector: Optional[FaultInjector] = None
-        self._bucket: Optional[TokenBucket] = None
-
-    # ------------------------------------------------------------------ #
-    def begin(self, spec: BurstSpec, image: FunctionImage) -> None:
-        """Enqueue the burst's invocations at the current simulation time.
-
-        Does not drive the simulation — callers sharing one simulator
-        across bursts (see :mod:`repro.platform.multitenant`) call
-        ``begin`` per burst, run the simulator once, then ``collect``.
-        """
-        self._spec = spec
-        self._image = image
-        n_inst = spec.n_instances
-        cold = n_inst if spec.wave_size is None else min(n_inst, spec.wave_size)
-        self._concurrency_level = cold
-        self._invoked_at = self.sim.now
-
-        policy = spec.retry_policy or ImmediateRetry(self.profile.max_retries)
-        self._retry_policy = policy.fresh()
-        if spec.scenario is not None:
-            self._injector = FaultInjector(
-                spec.scenario, self.rng, self.profile.failure_rate
-            )
-            if self._tel is not None and self._tel.registry is not None:
-                self._injector.bind_metrics(self._tel.registry)
-            if spec.scenario.throttled:
-                self._bucket = TokenBucket(
-                    spec.scenario.throttle_capacity,
-                    spec.scenario.throttle_refill_per_s,
-                )
-
-        provisioned = spec.provisioned_mb or self.profile.max_memory_mb
-        if provisioned > self.profile.max_memory_mb:
-            raise ValueError(
-                f"provisioned memory {provisioned} MB exceeds the platform "
-                f"maximum {self.profile.max_memory_mb} MB"
-            )
-        self._provisioned = provisioned
-        remaining = spec.concurrency
-        self._instances: dict[int, FunctionInstance] = {}
-        for i in range(cold):
-            n_packed = min(spec.packing_degree, remaining)
-            remaining -= n_packed
-            chain = _RetryChain(chain_id=i, n_packed=n_packed)
-            self._chains[i] = chain
-            self._admit(chain, attempt=1, retry_delay=0.0)
-        self._pending_functions = remaining
-
-        if self._injector is not None:
-            for t in self._injector.correlated_event_times():
-                self.sim.schedule(t, self._correlated_event)
-
-    def collect(self) -> RunResult:
-        """Assemble the result after the simulation has drained.
-
-        Timestamps are normalized to the burst's own invocation instant so
-        a burst submitted mid-simulation reports the same metrics as one
-        submitted at t=0.
-        """
-        if self._invoked_at:
-            offset = self._invoked_at
-            for record in self._records:
-                record.invoked_at -= offset
-                for field_name in ("sched_done", "built_at", "shipped_at",
-                                   "exec_start", "exec_end"):
-                    value = getattr(record, field_name)
-                    if value is not None:
-                        setattr(record, field_name, value - offset)
-            self._invoked_at = 0.0
-        billing = BillingModel(self.profile)
-        expense = billing.burst_expense(self._records, self.store.usage)
-        self._finalize_stats(billing)
-        return RunResult(
-            platform_name=self.profile.name,
-            app_name=self._spec.app.name,
-            concurrency=self._spec.concurrency,
-            packing_degree=self._spec.packing_degree,
-            records=self._records,
-            expense=expense,
-            lost_functions=self._lost_functions,
-            fault_stats=self._stats,
-        )
-
-    def _finalize_stats(self, billing: BillingModel) -> None:
-        for r in self._records:
-            if r.exec_start is None or r.exec_end is None:
-                continue
-            gbs = r.exec_seconds * billing.billed_memory_mb(r.provisioned_mb) / 1024.0
-            self._stats.total_billed_gb_seconds += gbs
-            if r.failed or r.timed_out or r.cancelled:
-                self._stats.wasted_billed_gb_seconds += gbs
-
-    def run(self, spec: BurstSpec, image: FunctionImage) -> RunResult:
-        """Simulate the burst to completion and return its result."""
-        self.begin(spec, image)
-        self.sim.run()
-        return self.collect()
-
-    # ------------------------------------------------------------------ #
-    # Admission (throttle gate) and the cold pipeline
-    # ------------------------------------------------------------------ #
-    def _admit(
-        self,
-        chain: _RetryChain,
-        attempt: int,
-        retry_delay: float,
-        hedged: bool = False,
-    ) -> None:
-        """Admit one attempt of ``chain``, or bounce it off the throttle."""
-        if chain.satisfied:
-            return
-        if self._bucket is not None and not self._bucket.try_acquire(self.sim.now):
-            scenario = self._spec.scenario
-            self._stats.throttled_attempts += 1
-            chain.throttle_attempts += 1
-            if self._tel is not None:
-                self._tel.on_throttled(chain.chain_id, chain.throttle_attempts)
-            if chain.throttle_attempts > scenario.throttle_max_retries:
-                self._stats.throttle_rejections_final += 1
-                chain.lost = True
-                self._lost_functions += chain.n_packed
-                if self._tel is not None:
-                    self._tel.on_lost(chain.chain_id, chain.n_packed)
-                return
-            wait = (
-                self._bucket.seconds_until_token(self.sim.now)
-                + scenario.throttle_backoff_s * chain.throttle_attempts
-            )
-            self.sim.schedule(wait, self._admit, chain, attempt, retry_delay, hedged)
-            return
-        record = InstanceRecord(
-            instance_id=len(self._records),
-            n_packed=chain.n_packed,
-            invoked_at=self.sim.now,
-            provisioned_mb=self._provisioned,
-            attempt=attempt,
-            hedged=hedged,
-            throttled_attempts=chain.throttle_attempts,
-            retry_delay_s=retry_delay,
-        )
-        chain.throttle_attempts = 0
-        chain.active.add(record.instance_id)
-        self._record_chain[record.instance_id] = chain
-        self._records.append(record)
-        if self._tel is not None:
-            self._tel.on_invoked(record)
-        # Placement search and container build proceed in parallel: the
-        # image server does not need the placement target to build.
-        self.scheduler.request_placement(
-            self.profile.cores_per_instance, self._provisioned, self._placed, record
-        )
-        self.pipeline.build(
-            self._image, self._built, record, build_factor=self._spec.build_factor
-        )
-
-    def _placed(self, server, record: InstanceRecord) -> None:
-        record.sched_done = self.sim.now
-        if self._tel is not None:
-            self._tel.on_placed(record)
-        self._instances[record.instance_id] = FunctionInstance(
-            instance_id=record.instance_id,
-            app=self._spec.app,
-            n_packed=record.n_packed,
-            server=server,
-            provisioned_mb=record.provisioned_mb,
-            cores=self.profile.cores_per_instance,
-        )
-        self._maybe_ship(record)
-
-    def _built(self, record: InstanceRecord) -> None:
-        record.built_at = self.sim.now
-        if self._tel is not None:
-            self._tel.on_built(record)
-        self._maybe_ship(record)
-
-    def _maybe_ship(self, record: InstanceRecord) -> None:
-        # A container ships once it is both built and placed.
-        if record.sched_done is None or record.built_at is None:
-            return
-        if self._tel is not None:
-            self._tel.on_ship_begin(record)
-        self.pipeline.ship(
-            self._image, self._shipped, record, ship_factor=self._spec.ship_factor
-        )
-
-    def _shipped(self, record: InstanceRecord) -> None:
-        record.shipped_at = self.sim.now
-        if self._tel is not None:
-            self._tel.on_shipped(record)
-        self._start_execution(self._instances.pop(record.instance_id), record)
-
-    # ------------------------------------------------------------------ #
-    # Execution, faults, and completion
-    # ------------------------------------------------------------------ #
-    def _cpu_share_penalty(self, record: InstanceRecord) -> float:
-        """Memory-proportional CPU (Lambda semantics).
-
-        Providers scale an instance's CPU share with its provisioned
-        memory — at the platform maximum the instance has all its cores; a
-        right-sized small instance gets a fraction of one. Each packed
-        function needs roughly one core-equivalent
-        (``max_memory / cores`` MB) to run at full speed. The penalty is
-        expressed *relative to the max-memory configuration* the
-        interference model was calibrated on, so it is exactly 1.0 whenever
-        the burst provisions maximum memory (the paper's setup).
-        """
-        mem_per_core = self.profile.max_memory_mb / self.profile.cores_per_instance
-        need_mb = record.n_packed * mem_per_core
-        actual = max(1.0, need_mb / record.provisioned_mb)
-        calibrated = max(1.0, need_mb / self.profile.max_memory_mb)
-        return actual / calibrated
-
-    def _skew_factor(self, n_packed: int) -> float:
-        """Max of ``n_packed`` unit-mean lognormal work draws (input skew)."""
-        cv = self._spec.skew_cv
-        if cv <= 0.0:
-            return 1.0
-        sigma = float(np.sqrt(np.log1p(cv * cv)))
-        draws = self.rng.stream("skew").lognormal(-0.5 * sigma * sigma, sigma, n_packed)
-        return float(draws.max())
-
-    def _chain_for(self, record: InstanceRecord) -> _RetryChain:
-        return self._record_chain[record.instance_id]
-
-    def _start_execution(self, instance: FunctionInstance, record: InstanceRecord) -> None:
-        chain = self._chain_for(record)
-        if chain.satisfied:
-            # A hedge twin already delivered this group's result while this
-            # copy was still in the cold pipeline; abandon before executing.
-            record.cancelled = True
-            record.exec_start = record.exec_end = self.sim.now
-            chain.active.discard(record.instance_id)
-            instance.release()
-            if self._tel is not None:
-                self._tel.on_cancelled_before_exec(record)
-            return
-        record.exec_start = self.sim.now
-        if self._tel is not None:
-            self._tel.on_exec_begin(record)
-        duration = (
-            self.interference.execution_seconds(
-                self._spec.app, record.n_packed, self._concurrency_level
-            )
-            * self.rng.lognormal_factor("exec", self.profile.exec_noise_sigma)
-            * self._spec.exec_overhead
-            * self._skew_factor(record.n_packed)
-            * self._cpu_share_penalty(record)
-        )
-        if self._injector is not None:
-            duration *= self._injector.straggler_factor()
-        cap = self.profile.max_execution_seconds
-        if self.enforce_timeout and duration > cap:
-            if self._injector is not None:
-                self._schedule_timeout(instance, record, chain)
-                return
-            # Lambda bills a timed-out attempt for the full execution cap;
-            # record the charge before aborting the run.
-            record.exec_end = record.exec_start + cap
-            record.timed_out = True
-            instance.release()
-            if self._tel is not None:
-                self._tel.on_exec_end(record, "timeout")
-            billing = BillingModel(self.profile)
-            billed = billing.instance_compute_usd(record) + self.profile.per_request_usd
-            raise FunctionTimeoutError(
-                f"{self._spec.app.name}: instance {record.instance_id} would run "
-                f"{duration:.0f}s > platform cap "
-                f"{cap:.0f}s "
-                f"(packing degree {record.n_packed})",
-                record=record,
-                billed_usd=billed,
-            )
-        if self._injector is not None:
-            decision = self._injector.crash_decision(poisoned=chain.poisoned)
-            if decision is not None:
-                if decision.persistent:
-                    chain.poisoned = True
-                record.persistent_fault = chain.poisoned
-                crash_after = duration * decision.at_fraction
-                event = self.sim.schedule(crash_after, self._exec_failed, instance, record)
-                self._inflight[record.instance_id] = (event, instance, record)
-                return
-        elif self.profile.failure_rate > 0.0:
-            fail_stream = self.rng.stream("failure")
-            if fail_stream.random() < self.profile.failure_rate:
-                # Crash at a uniform point of the execution; the partial run
-                # is billed (providers charge failed attempts), then retried.
-                crash_after = duration * float(fail_stream.random())
-                event = self.sim.schedule(crash_after, self._exec_failed, instance, record)
-                self._inflight[record.instance_id] = (event, instance, record)
-                return
-        event = self.sim.schedule(duration, self._exec_done, instance, record)
-        self._inflight[record.instance_id] = (event, instance, record)
-        self._maybe_schedule_hedge(chain, record, duration)
-
-    def _maybe_schedule_hedge(
-        self, chain: _RetryChain, record: InstanceRecord, duration: float
-    ) -> None:
-        hedge = self._spec.hedge
-        if (
-            hedge is None
-            or record.hedged
-            or record.warm_start
-            or chain.hedges_launched >= hedge.max_hedges_per_group
-        ):
-            return
-        # The hedge trigger compares against the *modeled* (noise-free)
-        # execution time, the quantity a real controller would know.
-        reference = (
-            self.interference.execution_seconds(
-                self._spec.app, record.n_packed, self._concurrency_level
-            )
-            * self._spec.exec_overhead
-            * self._cpu_share_penalty(record)
-        )
-        threshold = hedge.trigger_seconds(reference)
-        if duration <= threshold:
-            return
-        chain.hedges_launched += 1
-        if self._tel is not None:
-            self._tel.on_hedge(chain.chain_id)
-        self.sim.schedule(threshold, self._launch_hedge, chain, record)
-
-    def _launch_hedge(self, chain: _RetryChain, primary: InstanceRecord) -> None:
-        if chain.satisfied or chain.lost:
-            return
-        if primary.instance_id not in self._inflight:
-            return  # the primary already crashed; the retry path owns recovery
-        self._stats.hedged_attempts += 1
-        self._admit(chain, attempt=primary.attempt, retry_delay=0.0, hedged=True)
-
-    def _schedule_timeout(
-        self, instance: FunctionInstance, record: InstanceRecord, chain: _RetryChain
-    ) -> None:
-        """The attempt runs to the cap, is billed in full, then handled."""
-        cap = self.profile.max_execution_seconds
-        event = self.sim.schedule(cap, self._exec_timed_out, instance, record)
-        self._inflight[record.instance_id] = (event, instance, record)
-
-    def _exec_timed_out(self, instance: FunctionInstance, record: InstanceRecord) -> None:
-        self._inflight.pop(record.instance_id, None)
-        record.exec_end = self.sim.now
-        record.timed_out = True
-        self._stats.timed_out_attempts += 1
-        instance.release()
-        chain = self._chain_for(record)
-        chain.active.discard(record.instance_id)
-        if self._tel is not None:
-            self._tel.on_exec_end(record, "timeout")
-        self.store.record_failed_attempt(self._spec.app, record.n_packed)
-        if self._spec.scenario is not None and not self._spec.scenario.retry_timeouts:
-            if not chain.active and not chain.satisfied and not chain.lost:
-                chain.lost = True
-                self._lost_functions += chain.n_packed
-                if self._tel is not None:
-                    self._tel.on_lost(chain.chain_id, chain.n_packed)
-            return
-        self._retry_or_lose(chain, record)
-
-    def _correlated_event(self) -> None:
-        """One correlated infrastructure event: a slice of in-flight
-        instances crash together (rack/AZ blast radius)."""
-        victims = sorted(self._inflight)
-        if not victims:
-            return
-        kills = self._injector.correlated_kills(len(victims))
-        for rid, kill in zip(victims, kills):
-            if not kill:
-                continue
-            entry = self._inflight.get(rid)
-            if entry is None:
-                continue
-            event, instance, record = entry
-            if record.timed_out or record.failed:
-                continue
-            event.cancel()
-            record.correlated = True
-            self._exec_failed(instance, record)
-
-    def _exec_failed(self, instance: FunctionInstance, record: InstanceRecord) -> None:
-        self._inflight.pop(record.instance_id, None)
-        record.exec_end = self.sim.now
-        record.failed = True
-        instance.release()  # the crash destroys the container
-        self._stats.crashed_attempts += 1
-        if record.correlated:
-            self._stats.correlated_crashes += 1
-        # The attempt fetched its inputs before dying; a retry re-pays the
-        # transfer (and the egress fee, on providers that charge one).
-        self.store.record_failed_attempt(self._spec.app, record.n_packed)
-        chain = self._chain_for(record)
-        chain.active.discard(record.instance_id)
-        if self._tel is not None:
-            self._tel.on_exec_end(record, "crash")
-        self._retry_or_lose(chain, record)
-
-    def _retry_or_lose(self, chain: _RetryChain, record: InstanceRecord) -> None:
-        if chain.satisfied or chain.lost:
-            return
-        if chain.active:
-            return  # a hedge twin of this group is still in flight
-        delay = self._retry_policy.next_delay(
-            record.attempt, chain.prev_delay, self.rng.stream("retry")
-        )
-        if delay is None:
-            chain.lost = True
-            self._lost_functions += chain.n_packed
-            if self._tel is not None:
-                self._tel.on_lost(chain.chain_id, chain.n_packed)
-            return
-        chain.prev_delay = delay
-        self._stats.retries_scheduled += 1
-        self._stats.retry_delay_s_total += delay
-        if self._tel is not None:
-            self._tel.on_retry(chain.chain_id, record.attempt + 1, delay)
-        # A retry is a fresh invocation: full placement + cold pipeline.
-        if delay <= 0.0:
-            self._admit(chain, attempt=record.attempt + 1, retry_delay=0.0)
-        else:
-            self.sim.schedule(delay, self._admit, chain, record.attempt + 1, delay)
-
-    def _exec_done(self, instance: FunctionInstance, record: InstanceRecord) -> None:
-        self._inflight.pop(record.instance_id, None)
-        record.exec_end = self.sim.now
-        chain = self._chain_for(record)
-        chain.active.discard(record.instance_id)
-        if chain.satisfied:
-            # Lost a hedge race after executing fully; billed, no result.
-            record.cancelled = True
-            instance.release()
-            if self._tel is not None:
-                self._tel.on_exec_end(record, "cancelled")
-            return
-        chain.satisfied = True
-        if self._tel is not None:
-            self._tel.on_exec_end(record, "ok")
-        if record.hedged:
-            self._stats.hedge_wins += 1
-        self._cancel_twins(chain, record)
-        self.store.record_instance(self._spec.app, record.n_packed)
-        io_mb = self._spec.extra_io_mb_per_function
-        if io_mb > 0.0:
-            self.store.usage.transferred_mb += io_mb * record.n_packed
-            self.store.usage.put_requests += record.n_packed
-        if self._pending_functions > 0:
-            self._reuse_warm(instance)
-        else:
-            instance.release()
-
-    def _cancel_twins(self, chain: _RetryChain, winner: InstanceRecord) -> None:
-        """Abandon the losing copies of a hedged group (billed for elapsed
-        time; copies still in the cold pipeline cancel at execution start)."""
-        for rid in sorted(chain.active):
-            entry = self._inflight.pop(rid, None)
-            if entry is None:
-                continue  # still in the pipeline; cancels in _start_execution
-            event, instance, record = entry
-            event.cancel()
-            record.cancelled = True
-            record.exec_end = self.sim.now
-            chain.active.discard(rid)
-            instance.release()
-            if self._tel is not None:
-                self._tel.on_exec_end(record, "cancelled")
-
-    def _reuse_warm(self, instance: FunctionInstance) -> None:
-        n_packed = min(self._spec.packing_degree, self._pending_functions)
-        self._pending_functions -= n_packed
-        record = InstanceRecord(
-            instance_id=len(self._records),
-            n_packed=n_packed,
-            invoked_at=self.sim.now,
-            provisioned_mb=instance.provisioned_mb,
-            warm_start=True,
-        )
-        record.sched_done = self.sim.now
-        chain = _RetryChain(chain_id=len(self._chains), n_packed=n_packed)
-        self._chains[chain.chain_id] = chain
-        chain.active.add(record.instance_id)
-        self._record_chain[record.instance_id] = chain
-        warm = FunctionInstance(
-            instance_id=record.instance_id,
-            app=instance.app,
-            n_packed=n_packed,
-            server=instance.server,
-            provisioned_mb=instance.provisioned_mb,
-            cores=instance.cores,
-        )
-        self._records.append(record)
-        if self._tel is not None:
-            self._tel.on_invoked(record, warm=True)
-        self.sim.schedule(self._spec.warm_dispatch_s, self._warm_start, warm, record)
-
-    def _warm_start(self, instance: FunctionInstance, record: InstanceRecord) -> None:
-        record.built_at = self.sim.now
-        record.shipped_at = self.sim.now
-        self._start_execution(instance, record)
+__all__ = ["BurstInvoker", "BurstSpec", "FunctionTimeoutError"]

@@ -44,10 +44,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.models import ExecutionTimeModel
-from repro.faults.injector import FaultInjector
-from repro.faults.retry import ImmediateRetry, RetryPolicy
+from repro.engine import (
+    AttemptChain,
+    DispatchCosts,
+    DispatchKernel,
+    resolve_retry_policy,
+)
+from repro.faults.retry import RetryPolicy
 from repro.faults.scenario import FaultScenario
-from repro.faults.throttle import TokenBucket
 from repro.platform.billing import BillingModel
 from repro.platform.metrics import ExpenseBreakdown
 from repro.platform.providers import PlatformProfile
@@ -279,22 +283,14 @@ class ServingResult:
 
 
 @dataclass
-class _BatchState:
-    """One formed batch, across throttle/breaker deferrals and retries."""
-
-    arrivals: list[float]
-    retry: Optional[RetryPolicy]
-    attempt: int = 1
-    prev_delay: float = 0.0
-    throttle_tries: int = 0
-    deferrals: int = 0
-
-
-@dataclass
 class _ActiveDispatch:
-    """An in-flight dispatch, killable by correlated fault events."""
+    """An in-flight dispatch, killable by correlated fault events.
 
-    batch: _BatchState
+    ``chain`` is the batch's :class:`~repro.engine.chain.AttemptChain`; its
+    ``payload`` holds the batched requests' arrival times.
+    """
+
+    chain: AttemptChain
     event: object               # the scheduled completion/crash event
     domain: Optional[int]
     warm: bool
@@ -372,7 +368,7 @@ class _ServingRun:
         self.policy = policy
         self.timer = None
         self.waiting: list[tuple[float, int]] = []  # (arrival time, priority)
-        self.blocked: list[_BatchState] = []        # parked on open breakers
+        self.blocked: list[AttemptChain] = []       # parked on open breakers
         self.pump_scheduled = False
         self.requests_in_flight = 0                 # formed, not yet resolved
         self.active: dict[int, _ActiveDispatch] = {}
@@ -389,19 +385,22 @@ class _ServingRun:
         self.priority_mix = res.priority_mix if res else None
 
         scenario = owner.scenario
-        self.injector = (
-            FaultInjector(scenario, self.rng, owner.profile.failure_rate)
-            if scenario is not None
-            else None
+        # All fault/throttle/retry arbitration is delegated to the shared
+        # dispatch kernel; serving keeps only its own concerns (batching,
+        # domain routing, breakers, brownout) around the kernel's verdicts.
+        self.kernel = DispatchKernel(
+            self.rng,
+            scenario=scenario,
+            retry_policy=resolve_retry_policy(owner.retry_policy, scenario),
+            profile_failure_rate=owner.profile.failure_rate,
         )
-        self.throttle = (
-            TokenBucket(scenario.throttle_capacity, scenario.throttle_refill_per_s)
-            if scenario is not None and scenario.throttled
-            else None
+        self.injector = self.kernel.injector
+        self.throttle = self.kernel.bucket
+        self.costs = DispatchCosts(
+            self.cfg.cold_start_s,
+            self.cfg.warm_dispatch_s,
+            self.cfg.cold_init_billed_s,
         )
-        self.retry_policy = owner.retry_policy
-        if self.retry_policy is None and scenario is not None:
-            self.retry_policy = ImmediateRetry()
 
         self.result = ServingResult(
             policy_name=getattr(self.pool.policy, "name", "custom"),
@@ -528,32 +527,32 @@ class _ServingRun:
             self.timer.cancel()
             self.timer = None
         self.requests_in_flight += len(taken)
-        retry = self.retry_policy.fresh() if self.retry_policy is not None else None
-        self.launch(_BatchState(arrivals=[t for t, _ in taken], retry=retry))
+        chain = self.kernel.new_chain(
+            n_packed=len(taken),
+            payload=[t for t, _ in taken],
+            retry=self.kernel.fresh_retry(),
+        )
+        self.launch(chain)
         if self.waiting:
             self.arm_timer()
 
     # ---------------------------------------------------------------- #
-    def launch(self, batch: _BatchState) -> None:
+    def launch(self, chain: AttemptChain) -> None:
         now = self.sim.now
         report = self.result.resilience
-        scenario = self.owner.scenario
         # 429-style platform throttling: back off, retry, eventually drop.
-        if self.throttle is not None and not self.throttle.try_acquire(now):
-            report.throttled_attempts += 1
-            batch.throttle_tries += 1
-            if self.tel is not None:
-                self.tel.on_throttled()
-            if batch.throttle_tries > scenario.throttle_max_retries:
-                report.throttle_drops += 1
-                self.fail_batch(batch)
+        if self.throttle is not None:
+            verdict = self.kernel.throttle_gate(chain, now)
+            if not verdict.admitted:
+                report.throttled_attempts += 1
+                if self.tel is not None:
+                    self.tel.on_throttled()
+                if verdict.rejected:
+                    report.throttle_drops += 1
+                    self.fail_batch(chain)
+                    return
+                self.sim.schedule(verdict.wait_s, self.launch, chain)
                 return
-            delay = (
-                scenario.throttle_backoff_s * batch.throttle_tries
-                + self.throttle.seconds_until_token(now)
-            )
-            self.sim.schedule(delay, self.launch, batch)
-            return
         # Route to a fault domain: breakers filter by circuit state; an
         # unprotected run routes round-robin regardless of domain health —
         # the asymmetry the overload experiment measures.
@@ -562,25 +561,22 @@ class _ServingRun:
             domain = self.breakers.pick(now)
             if domain is None:
                 report.breaker_deferrals += 1
-                batch.deferrals += 1
-                if batch.deferrals > self.cfg.max_breaker_deferrals:
-                    self.fail_batch(batch)
+                chain.deferrals += 1
+                if chain.deferrals > self.cfg.max_breaker_deferrals:
+                    self.fail_batch(chain)
                     return
-                self.blocked.append(batch)
+                self.blocked.append(chain)
                 self.schedule_pump()
                 return
         elif self.injector is not None:
             domain = self._rotor % self.cfg.fault_domains
             self._rotor += 1
         warm = self.pool.acquire(now)
-        start_latency = (
-            self.cfg.warm_dispatch_s if warm else self.cfg.cold_start_s
-        )
+        start_latency = self.costs.start_latency(warm)
         exec_time = self.owner.exec_model.predict(
-            len(batch.arrivals)
-        ) * self.rng.lognormal_factor("exec", self.owner.profile.exec_noise_sigma)
-        if self.injector is not None:
-            exec_time *= self.injector.straggler_factor()
+            chain.n_packed
+        ) * self.kernel.exec_noise_factor(self.owner.profile.exec_noise_sigma)
+        exec_time *= self.kernel.straggler_factor()
         self.result.n_dispatches += 1
         if warm:
             self.result.warm_dispatches += 1
@@ -589,9 +585,11 @@ class _ServingRun:
         exec_start = now + start_latency
         crash = None
         if self.injector is not None:
+            # Poisoning is per fault *domain* here (the dispatch target),
+            # not per chain — a poisoned domain dooms whichever batch lands
+            # on it until the domain heals.
             poisoned = domain is not None and self._domain_poisoned(domain, now)
-            if poisoned or self.injector.crash_rate > 0.0:
-                crash = self.injector.crash_decision(poisoned=poisoned)
+            crash = self.kernel.crash_decision(poisoned=poisoned)
         dispatch_id = self._next_dispatch_id
         self._next_dispatch_id += 1
         if crash is None:
@@ -608,7 +606,7 @@ class _ServingRun:
             )
             crashing = True
         self.active[dispatch_id] = _ActiveDispatch(
-            batch=batch,
+            chain=chain,
             event=event,
             domain=domain,
             warm=warm,
@@ -617,13 +615,11 @@ class _ServingRun:
             crashing=crashing,
         )
         if self.tel is not None:
-            self.tel.on_dispatch(dispatch_id, len(batch.arrivals), warm, domain)
+            self.tel.on_dispatch(dispatch_id, chain.n_packed, warm, domain)
 
     def _bill(self, ad: _ActiveDispatch, exec_seconds: float) -> float:
         """Billed GB-seconds of one attempt (init is billed on cold starts)."""
-        billed_s = exec_seconds + (
-            0.0 if ad.warm else self.cfg.cold_init_billed_s
-        )
+        billed_s = self.costs.billed_seconds(exec_seconds, ad.warm)
         gb_s = billed_s * self.owner._billed_gb
         self.result.exec_gb_seconds += gb_s
         return gb_s
@@ -636,14 +632,14 @@ class _ServingRun:
         if ad.domain is not None and self.breakers is not None:
             self.breakers.record(ad.domain, True, now)
         sojourns = []
-        for arrived in ad.batch.arrivals:
+        for arrived in ad.chain.payload:
             sojourn = now - arrived
             sojourns.append(sojourn)
             self.result.digest.add(sojourn)
             self.result.slo.record(now, sojourn)
         if self.tel is not None:
             self.tel.on_complete(dispatch_id, sojourns)
-        self.requests_in_flight -= len(ad.batch.arrivals)
+        self.requests_in_flight -= ad.chain.n_packed
         self.pump_blocked()
 
     def on_crash(self, dispatch_id: int, persistent: bool) -> None:
@@ -662,34 +658,27 @@ class _ServingRun:
         if ad.domain is not None and self.breakers is not None:
             self.breakers.record(ad.domain, False, now)
         # The sandbox died: the instance never returns to the warm pool.
-        self.retry_or_fail(ad.batch)
+        self.retry_or_fail(ad.chain)
         self.pump_blocked()
 
-    def retry_or_fail(self, batch: _BatchState) -> None:
+    def retry_or_fail(self, chain: AttemptChain) -> None:
         report = self.result.resilience
-        delay = (
-            batch.retry.next_delay(
-                batch.attempt, batch.prev_delay, self.rng.stream("retry")
-            )
-            if batch.retry is not None
-            else None
-        )
+        delay = self.kernel.next_retry_delay(chain)
         if delay is None:
-            self.fail_batch(batch)
+            self.fail_batch(chain)
             return
-        batch.attempt += 1
-        batch.prev_delay = delay
         report.retries += 1
-        report.retry_egress_gb += self._payload_gb(len(batch.arrivals))
+        report.retry_egress_gb += self._payload_gb(chain.n_packed)
         if self.tel is not None:
-            self.tel.on_retry(len(batch.arrivals), delay)
-        self.sim.schedule(delay, self.launch, batch)
+            self.tel.on_retry(chain.n_packed, delay)
+        self.sim.schedule(delay, self.launch, chain)
 
-    def fail_batch(self, batch: _BatchState) -> None:
-        self.result.resilience.failed_requests += len(batch.arrivals)
-        self.requests_in_flight -= len(batch.arrivals)
+    def fail_batch(self, chain: AttemptChain) -> None:
+        chain.lost = True
+        self.result.resilience.failed_requests += chain.n_packed
+        self.requests_in_flight -= chain.n_packed
         if self.tel is not None:
-            self.tel.on_fail_batch(len(batch.arrivals))
+            self.tel.on_fail_batch(chain.n_packed)
 
     # ---------------------------------------------------------------- #
     def schedule_pump(self) -> None:
@@ -720,7 +709,7 @@ class _ServingRun:
         victims = list(self.active.items())
         if not victims:
             return
-        kills = self.injector.correlated_kills(len(victims))
+        kills = self.kernel.correlated_kills(len(victims))
         for (dispatch_id, ad), killed in zip(victims, kills):
             if not killed:
                 continue
@@ -734,7 +723,7 @@ class _ServingRun:
             self.result.resilience.wasted_gb_seconds += gb_s
             if ad.domain is not None and self.breakers is not None:
                 self.breakers.record(ad.domain, False, now)
-            self.retry_or_fail(ad.batch)
+            self.retry_or_fail(ad.chain)
         self.pump_blocked()
 
     # ---------------------------------------------------------------- #

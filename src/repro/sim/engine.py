@@ -25,7 +25,9 @@ class Event:
 
     Events compare by ``(time, seq)`` so the heap pops them in timestamp
     order with FIFO tie-breaking. ``cancelled`` implements lazy deletion:
-    cancelled events stay in the heap but are skipped when popped.
+    cancelled events stay in the heap but are skipped when popped (the
+    owning simulator is notified so it can bound the garbage — see
+    :meth:`Simulator._compact`).
     """
 
     time: float
@@ -33,10 +35,16 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    _on_cancel: Optional[Callable[[], None]] = field(
+        compare=False, default=None, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it (lazy deletion)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel()
 
 
 class Simulator:
@@ -53,12 +61,18 @@ class Simulator:
     2.0
     """
 
+    #: Agendas smaller than this are never compacted (rebuild overhead
+    #: would dominate; a few dozen dead entries are harmless).
+    COMPACT_MIN_EVENTS = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._cancelled_live = 0  # cancelled events still sitting in the heap
+        self._cancel_hook = self._note_cancelled  # one bound method, shared
 
     @property
     def now(self) -> float:
@@ -74,9 +88,32 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback, args)
+        event = Event(
+            self._now + delay, next(self._seq), callback, args,
+            _on_cancel=self._cancel_hook,
+        )
         heapq.heappush(self._heap, event)
         return event
+
+    # ------------------------------------------------------------------ #
+    # Lazy-deletion bookkeeping: hedging and twin-cancellation can leave
+    # more dead events than live ones on long agendas, so the heap is
+    # rebuilt once garbage exceeds half the agenda. Compaction preserves
+    # (time, seq) pop order exactly and never touches ``events_processed``
+    # (which counts executed events only).
+    def _note_cancelled(self) -> None:
+        self._cancelled_live += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_EVENTS
+            and self._cancelled_live > len(self._heap) // 2
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify (bounds agenda growth)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_live = 0
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
@@ -86,6 +123,7 @@ class Simulator:
         """Timestamp of the next live event, or ``None`` if the agenda is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_live -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
@@ -93,6 +131,7 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_live -= 1
                 continue
             if event.time < self._now:
                 raise SimulationError("event heap produced a time in the past")

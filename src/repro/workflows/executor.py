@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.propack import ProPack
+from repro.faults.retry import RetryPolicy
+from repro.faults.scenario import FaultScenario
 from repro.platform.base import ServerlessPlatform
 from repro.platform.invoker import BurstSpec
 from repro.platform.metrics import RunResult
@@ -66,17 +68,38 @@ class WorkflowResult:
 
 
 class WorkflowRunner:
-    """Executes a :class:`WorkflowGraph` on one platform."""
+    """Executes a :class:`WorkflowGraph` on one platform.
+
+    ``scenario`` / ``retry_policy`` are threaded into every directly-run
+    stage's :class:`~repro.platform.invoker.BurstSpec`, so workflow stages
+    inherit the shared dispatch kernel's fault, throttle, and retry
+    semantics without stage-level re-wiring (ProPack-planned stages keep
+    the planner's own burst configuration).
+    """
 
     def __init__(
         self,
         platform: ServerlessPlatform,
         propack: Optional[ProPack] = None,
         objective: str = "joint",
+        scenario: Optional[FaultScenario] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.platform = platform
         self.propack = propack
         self.objective = objective
+        self.scenario = scenario
+        self.retry_policy = retry_policy
+
+    def _stage_spec(self, stage: Stage, degree: int) -> BurstSpec:
+        """One stage's burst request under the workflow's fault environment."""
+        return BurstSpec(
+            app=stage.app,
+            concurrency=stage.concurrency,
+            packing_degree=degree,
+            scenario=self.scenario,
+            retry_policy=self.retry_policy,
+        )
 
     def run(
         self,
@@ -98,13 +121,7 @@ class WorkflowRunner:
             )
             if degrees is not None and stage.name in degrees:
                 degree = degrees[stage.name]
-                burst = self.platform.run_burst(
-                    BurstSpec(
-                        app=stage.app,
-                        concurrency=stage.concurrency,
-                        packing_degree=degree,
-                    )
-                )
+                burst = self.platform.run_burst(self._stage_spec(stage, degree))
             elif self.propack is not None:
                 outcome = self.propack.run(
                     stage.app, stage.concurrency, objective=self.objective
@@ -116,9 +133,7 @@ class WorkflowRunner:
                     overhead_seen.add(stage.app.name)
                     result.profiling_overhead_usd += outcome.overhead_usd
             else:
-                burst = self.platform.run_burst(
-                    BurstSpec(app=stage.app, concurrency=stage.concurrency)
-                )
+                burst = self.platform.run_burst(self._stage_spec(stage, 1))
                 degree = 1
             result.outcomes[stage.name] = StageOutcome(
                 stage=stage,

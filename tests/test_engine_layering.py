@@ -1,0 +1,77 @@
+"""Import-layering gate: ``repro.engine`` never imports its consumers.
+
+The engine is the bottom of the dispatch stack (docs/ARCHITECTURE.md):
+``serving``, ``extensions``, and ``resilience`` build on it, so an
+engine → consumer import would be a cycle waiting to happen and would
+let consumer semantics leak into the shared lifecycle. Checked two
+ways: statically (AST scan of every engine module, which also catches
+imports hidden inside functions) and dynamically (importing
+``repro.engine`` in a clean interpreter must not load any consumer
+module).
+"""
+
+import ast
+import os
+import pathlib
+import subprocess
+import sys
+
+import repro.engine
+
+FORBIDDEN = ("repro.serving", "repro.extensions", "repro.resilience")
+
+ENGINE_DIR = pathlib.Path(repro.engine.__file__).parent
+
+
+def _imported_modules(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            yield node.module
+
+
+def test_engine_modules_have_no_consumer_imports():
+    offenders = []
+    for path in sorted(ENGINE_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module in _imported_modules(tree):
+            if module.startswith(FORBIDDEN):
+                offenders.append(f"{path.name}: {module}")
+    assert not offenders, (
+        "repro.engine must not import serving/extensions/resilience "
+        f"(see docs/ARCHITECTURE.md): {offenders}"
+    )
+
+
+def test_importing_engine_loads_no_consumer_module():
+    # The top-level ``repro`` package eagerly re-exports every subsystem,
+    # so a plain ``import repro.engine`` would load consumers through
+    # ``repro/__init__`` regardless of the engine's own imports. Stub the
+    # parent package to measure only the engine's transitive closure.
+    # ``repro.platform`` (an allowed dependency) is imported first: its
+    # ``invoker`` module is a facade over ``repro.engine.burst``, so the
+    # two packages must initialize in that order, as they do under the
+    # real ``repro/__init__``.
+    code = (
+        "import sys, types\n"
+        "pkg = types.ModuleType('repro')\n"
+        f"pkg.__path__ = [{str(ENGINE_DIR.parent)!r}]\n"
+        "sys.modules['repro'] = pkg\n"
+        "import repro.platform\n"
+        "import repro.engine\n"
+        "bad = [m for m in sys.modules if m.startswith("
+        f"{FORBIDDEN!r})]\n"
+        "print('\\n'.join(bad))\n"
+        "raise SystemExit(1 if bad else 0)\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(ENGINE_DIR.parent.parent)},
+    )
+    assert proc.returncode == 0, (
+        f"importing repro.engine loaded consumer modules:\n{proc.stdout}"
+    )

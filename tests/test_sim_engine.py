@@ -148,3 +148,52 @@ def test_event_ordering_dataclass():
     early = Event(1.0, 0, lambda: None)
     late = Event(2.0, 1, lambda: None)
     assert early < late
+
+
+def test_compaction_shrinks_heap_when_garbage_dominates():
+    sim = Simulator()
+    keep = 40
+    doomed = [sim.schedule(1000.0 + i, lambda: None) for i in range(200)]
+    for i in range(keep):
+        sim.schedule(float(i), lambda: None)
+    assert len(sim._heap) == 200 + keep
+    for event in doomed:
+        event.cancel()
+    # Cancelling past half the agenda triggers in-place rebuilds, so the
+    # garbage is bounded instead of lingering until pops reach it: at most
+    # half of a floor-sized agenda can be dead at any point.
+    assert len(sim._heap) <= keep + Simulator.COMPACT_MIN_EVENTS // 2
+    assert sim._cancelled_live == len(sim._heap) - keep
+    sim.run()
+    assert sim.events_processed == keep
+
+
+def test_compaction_preserves_order_and_events_processed():
+    plain, compacted = [], []
+    for hits in (plain, compacted):
+        sim = Simulator()
+        doomed = []
+        for i in range(300):
+            sim.schedule(float(i), hits.append, i)
+            doomed.append(sim.schedule(float(i) + 0.5, hits.append, -i))
+        if hits is compacted:
+            for event in doomed:
+                event.cancel()
+        else:
+            for event in doomed:
+                event.cancelled = True  # bypass the compaction hook
+        sim.run()
+        assert sim.events_processed == 300  # executed events only
+    assert plain == compacted == list(range(300))
+
+
+def test_small_agenda_never_compacts():
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(10)]
+    for event in events[:8]:
+        event.cancel()
+    # Below COMPACT_MIN_EVENTS the garbage stays until popped.
+    assert len(sim._heap) == 10
+    assert sim._cancelled_live == 8
+    sim.run()
+    assert sim.events_processed == 2
