@@ -10,10 +10,19 @@ model fits) are paid once and amortized across figures, exactly as the
 paper amortizes them across applications.
 """
 
+import json
+import pathlib
+
 import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentContext
+
+#: Dispatch-substrate throughput numbers, populated by the primitive
+#: benchmarks in ``test_perf_primitives.py`` and written to
+#: ``BENCH_dispatch.json`` at the repo root when the session ends — the
+#: one-glance answer to "did this PR slow the simulator down?".
+BENCH_RESULTS: dict[str, float] = {}
 
 
 @pytest.fixture(scope="session")
@@ -24,3 +33,22 @@ def ctx():
 def run_once(benchmark, func, *args):
     """Run a figure exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, args=args, rounds=1, iterations=1)
+
+
+def record_throughput(benchmark, key: str, per_round: int) -> None:
+    """Convert one benchmark's mean round time into a rate for the export."""
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is not None and stats.mean > 0.0:
+        BENCH_RESULTS[key] = per_round / stats.mean
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not BENCH_RESULTS:
+        return
+    root = pathlib.Path(__file__).resolve().parent.parent
+    (root / "BENCH_dispatch.json").write_text(
+        json.dumps(
+            {k: round(v, 1) for k, v in sorted(BENCH_RESULTS.items())},
+            indent=2,
+        ) + "\n"
+    )

@@ -7,6 +7,7 @@ make every figure slower.
 """
 
 import pytest
+from conftest import record_throughput
 
 from repro.platform.base import ServerlessPlatform
 from repro.platform.invoker import BurstSpec
@@ -27,6 +28,7 @@ def test_perf_engine_event_throughput(benchmark):
         return sim.events_processed
 
     assert benchmark(run) == 10_000
+    record_throughput(benchmark, "events_per_s", 10_000)
 
 
 def test_perf_processor_sharing_queue(benchmark):
@@ -130,6 +132,7 @@ def test_perf_dispatch_kernel_chain_throughput(benchmark):
         return env.succeeded + env.lost
 
     assert benchmark(run) == 2_000
+    record_throughput(benchmark, "chains_per_s", 2_000)
 
 
 def test_perf_full_burst_c1000(benchmark):

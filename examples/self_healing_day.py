@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""A self-healing serving day under a domain-poisoning storm (extension).
+
+A stormy fault scenario — correlated crash bursts where half the crashes
+leave their fault domain persistently poisoned — hits a service running a
+generous day-one config (wide admission, lazy breakers, nobody watching).
+The same traffic and the same fault seed are served twice:
+
+* **loop off** — the day-one config rides out the storm unattended;
+* **loop on** — the closed-loop auto-remediation control plane watches the
+  run from inside sim time: detectors flag SLO burn, breaker flapping,
+  backlog growth, and poisoned domains; proposers map detections to typed
+  actions; every candidate is first replayed in a short cloned shadow
+  simulation (seeded from the live run, consuming none of its draws); only
+  shadow-verified winners apply, with cooldowns and automatic rollback if
+  the live run regresses afterwards.
+
+The punchline: the loop quarantines sick domains while they are sick,
+re-admits them once they heal, and tightens admission when the backlog
+grows — beating the unattended run on windowed P99 attainment at lower
+cost per completed request, with no operator in the loop.
+
+    python examples/self_healing_day.py [remediation-report.jsonl]
+
+An optional path argument writes the full remediation timeline as JSONL
+(one event per line — the same artifact CI uploads).
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ProPack, ServerlessPlatform
+from repro.extensions.streaming import StreamingPolicy
+from repro.faults.retry import ExponentialBackoffRetry
+from repro.faults.scenario import FaultScenario
+from repro.platform.providers import GOOGLE_CLOUD_FUNCTIONS
+from repro.remediation import RemediationConfig, RemediationLoop
+from repro.resilience import (
+    CircuitBreakerBank,
+    ConcurrencyLimitAdmission,
+    ResiliencePolicy,
+)
+from repro.serving import (
+    FixedTTL,
+    PoissonProcess,
+    ServingConfig,
+    ServingSimulator,
+    WarmPool,
+)
+from repro.workloads import XAPIAN
+
+HORIZON_S = 2400.0   # one compressed stormy "day"
+RATE = 1.2           # sustained arrivals, requests/s
+QOS_S = 60.0         # per-request p99 sojourn SLO
+SEED = 2023
+
+
+def main() -> None:
+    platform = ServerlessPlatform(GOOGLE_CLOUD_FUNCTIONS, seed=SEED)
+    exec_model = ProPack(platform).exec_model(XAPIAN)
+    scenario = FaultScenario(
+        name="poison-storm",
+        crash_rate=0.05,
+        correlated_bursts=2,
+        correlated_fraction=0.5,
+        correlated_window_s=120.0,
+        persistent_fraction=0.5,
+        poison_heal_s=600.0,
+        straggler_rate=0.01,
+    )
+    serving_cfg = ServingConfig(qos_sojourn_s=QOS_S)
+    policy = StreamingPolicy(degree=4, batch_timeout_s=2.0)
+
+    def day_one() -> ResiliencePolicy:
+        return ResiliencePolicy(
+            admission=ConcurrencyLimitAdmission(limit=64),
+            breakers=CircuitBreakerBank(
+                n_domains=serving_cfg.fault_domains,
+                rng=np.random.default_rng(SEED),
+                failure_threshold=5,
+                recovery_s=45.0,
+            ),
+        )
+
+    print(f"== Self-healing day for {XAPIAN.name} on "
+          f"{GOOGLE_CLOUD_FUNCTIONS.name} "
+          f"({RATE:g}/s for {HORIZON_S:g}s, p99 SLO {QOS_S:.0f}s) ==")
+    print(f"fault scenario: {scenario.describe()}\n")
+    print(f"{'mode':<10} {'arrivals':>8} {'done':>6} {'shed':>5} "
+          f"{'failed':>6} {'attain%':>7} {'$/1k done':>9}")
+
+    report = None
+    for mode in ("loop off", "loop on"):
+        loop = None
+        if mode == "loop on":
+            loop = RemediationLoop(RemediationConfig(
+                tick_interval_s=60.0, shadow_horizon_s=120.0
+            ))
+        simulator = ServingSimulator(
+            GOOGLE_CLOUD_FUNCTIONS,
+            XAPIAN,
+            exec_model,
+            pool=WarmPool(FixedTTL(120.0)),
+            config=serving_cfg,
+            resilience=day_one(),
+            scenario=scenario,
+            retry_policy=ExponentialBackoffRetry(max_retries=3),
+            seed=SEED,
+            remediation=loop,
+        )
+        run = simulator.run(PoissonProcess(RATE), policy, HORIZON_S)
+        assert run.conserved()
+        print(f"{mode:<10} {run.n_requests:>8} {run.n_completed:>6} "
+              f"{run.n_shed:>5} {run.n_failed:>6} "
+              f"{100 * run.windowed_p99_attainment():>7.1f} "
+              f"{1000 * run.cost_per_completed_request_usd():>9.4f}")
+        if run.remediation is not None:
+            report = run.remediation
+
+    assert report is not None
+    print(f"\nremediation loop: {report.summary()}")
+    print("\nremediation timeline (applies and rollbacks):")
+    for event in report.timeline():
+        if event["stage"] == "apply":
+            kind, arg = event["action"][0], event["action"][1]
+            print(f"  t={event['t']:>7.1f}s  apply     {kind}({arg})")
+        elif event["stage"] == "rollback":
+            kind, arg = event["rolled_back"][0], event["rolled_back"][1]
+            print(f"  t={event['t']:>7.1f}s  rollback  {kind}({arg})")
+
+    if len(sys.argv) > 1:
+        path = sys.argv[1]
+        with open(path, "w") as fh:
+            fh.write(report.to_jsonl())
+        print(f"\nwrote remediation report to {path} "
+              f"({len(report.timeline())} events)")
+
+    print("\nNobody touched a dial: the loop quarantined poisoned domains"
+          "\nwhile they were sick, re-admitted them once the shadow replay"
+          "\nshowed them healthy, and every risky change was rehearsed in a"
+          "\ncloned simulation before it touched the live run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -152,6 +152,7 @@ class DispatchKernel:
         self.injector: Optional[FaultInjector] = None
         self.bucket: Optional[TokenBucket] = None
         self.retry_policy = retry_policy
+        self.profile_failure_rate = profile_failure_rate
         self.chains: dict[int, AttemptChain] = {}
         self._next_chain_id = 0
         self.configure_faults(scenario, profile_failure_rate, metrics)
@@ -168,6 +169,7 @@ class DispatchKernel:
         """(Re)bind the fault scenario; used by bursts that configure at
         ``begin`` time rather than construction."""
         self.scenario = scenario
+        self.profile_failure_rate = profile_failure_rate
         if scenario is not None:
             self.injector = scenario.build_injector(self.rng, profile_failure_rate)
             if metrics is not None:
@@ -180,6 +182,24 @@ class DispatchKernel:
     def fresh_retry(self) -> Optional[RetryPolicy]:
         """A stateless-fresh copy of the resolved retry policy (per chain)."""
         return None if self.retry_policy is None else self.retry_policy.fresh()
+
+    def fork(self, label: str) -> "DispatchKernel":
+        """Clone seam for shadow replay.
+
+        Returns an independent kernel with the same scenario, retry policy,
+        and profile failure rate, on a child RNG family derived from
+        ``label`` via :meth:`RandomStreams.spawn`. Spawning consumes no
+        draws from the parent's streams, so forking mid-run never perturbs
+        the live simulation — the same seed with and without forks produces
+        bit-identical live output — while the fork itself is fully
+        deterministic given (seed, label).
+        """
+        return DispatchKernel(
+            self.rng.spawn(label),
+            scenario=self.scenario,
+            retry_policy=self.retry_policy,
+            profile_failure_rate=self.profile_failure_rate,
+        )
 
     # ------------------------------------------------------------------ #
     # Chain management

@@ -43,6 +43,16 @@ class ExperimentConfig:
     overload_flash_mean_on_s: float = 300.0
     overload_flash_mean_off_s: float = 1500.0
     overload_qos_s: float = 90.0
+    # Self-healing sweep (repro.remediation): stormy poisoning scenarios
+    # served unprotected, behind a hand-tuned static config, and behind
+    # the closed-loop auto-remediation control plane.
+    selfheal_horizon_s: float = 7200.0
+    selfheal_rate_per_s: float = 1.2
+    selfheal_qos_s: float = 60.0
+    selfheal_admission_limit: int = 64
+    selfheal_handtuned_limit: int = 32
+    selfheal_tick_interval_s: float = 60.0
+    selfheal_shadow_horizon_s: float = 240.0
 
     @classmethod
     def full(cls) -> "ExperimentConfig":
@@ -66,4 +76,6 @@ class ExperimentConfig:
             overload_flash_rate_per_s=10.0,
             overload_flash_mean_on_s=240.0,
             overload_flash_mean_off_s=600.0,
+            selfheal_horizon_s=2400.0,
+            selfheal_shadow_horizon_s=120.0,
         )

@@ -61,6 +61,9 @@ class FaultScenario:
     # --- persistent-fault healing ---
     poison_heal_s: Optional[float] = None  # a poisoned fault domain recovers
                                            # after this long (None = never)
+    initially_poisoned: tuple[int, ...] = ()  # fault domains poisoned from
+                                              # t=0 (shadow replays seed this
+                                              # with the live run's state)
 
     # --- stragglers ---
     straggler_rate: float = 0.0            # probability an attempt straggles
@@ -92,6 +95,8 @@ class FaultScenario:
             raise ValueError("throttle_backoff_s must be non-negative")
         if self.poison_heal_s is not None and self.poison_heal_s <= 0.0:
             raise ValueError("poison_heal_s must be positive (or None)")
+        if any(d < 0 for d in self.initially_poisoned):
+            raise ValueError("initially_poisoned domains must be non-negative")
         if not 0.0 <= self.straggler_rate <= 1.0:
             raise ValueError("straggler_rate must be in [0, 1]")
         if self.straggler_sigma < 0.0:

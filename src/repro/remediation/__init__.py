@@ -1,0 +1,90 @@
+"""Closed-loop auto-remediation for the serving stack.
+
+A detector → proposer → shadow-verifier → risk-ranked-scheduler control
+loop that runs *inside* sim time on top of the telemetry streams, turning
+the static protection of ``repro.resilience`` into an operator-free
+self-healing serving stack. See ``docs/REMEDIATION.md``.
+
+Layering: this package may import telemetry, resilience, extensions, and
+serving; nothing below it (``repro.engine`` in particular) may import it —
+``tests/test_engine_layering.py`` enforces the rule.
+"""
+
+from repro.remediation.actions import (
+    Actuators,
+    QuarantineDomain,
+    ReleaseDomain,
+    RemediationAction,
+    ResizeWarmPool,
+    SetAdmissionLimit,
+    SetPackingDegree,
+)
+from repro.remediation.detectors import (
+    BacklogGrowthDetector,
+    BreakerFlapDetector,
+    Detection,
+    Detector,
+    DomainPoisonDetector,
+    LoopView,
+    RecoveryDetector,
+    SLOBurnDetector,
+    default_detectors,
+)
+from repro.remediation.loop import (
+    RemediationConfig,
+    RemediationLoop,
+    RemediationPort,
+    RemediationReport,
+)
+from repro.remediation.proposers import (
+    AdmissionProposer,
+    PackingDegreeProposer,
+    Proposer,
+    QuarantineProposer,
+    WarmPoolProposer,
+    default_proposers,
+)
+from repro.remediation.scheduler import AppliedAction, RiskRankedScheduler
+from repro.remediation.shadow import (
+    ShadowScore,
+    ShadowSpec,
+    ShadowVerdict,
+    ShadowVerifier,
+    scenario_for_shadow,
+)
+
+__all__ = [
+    "Actuators",
+    "AdmissionProposer",
+    "AppliedAction",
+    "BacklogGrowthDetector",
+    "BreakerFlapDetector",
+    "Detection",
+    "Detector",
+    "DomainPoisonDetector",
+    "LoopView",
+    "PackingDegreeProposer",
+    "Proposer",
+    "QuarantineDomain",
+    "QuarantineProposer",
+    "RecoveryDetector",
+    "ReleaseDomain",
+    "RemediationAction",
+    "RemediationConfig",
+    "RemediationLoop",
+    "RemediationPort",
+    "RemediationReport",
+    "ResizeWarmPool",
+    "RiskRankedScheduler",
+    "SLOBurnDetector",
+    "SetAdmissionLimit",
+    "SetPackingDegree",
+    "ShadowScore",
+    "ShadowSpec",
+    "ShadowVerdict",
+    "ShadowVerifier",
+    "WarmPoolProposer",
+    "default_detectors",
+    "default_proposers",
+    "scenario_for_shadow",
+]

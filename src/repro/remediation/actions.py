@@ -1,0 +1,227 @@
+"""Typed remediation actions: the loop's entire vocabulary of change.
+
+Every mutation the auto-remediation loop may make to a live serving run is
+one of the frozen action types below — there is no "run arbitrary code"
+escape hatch. Each action knows three things:
+
+* how to **apply** itself through the :class:`Actuators` port (returning
+  the inverse action that undoes it, which the scheduler holds for
+  automatic rollback);
+* how to **overlay** itself onto a :class:`~repro.remediation.shadow.ShadowSpec`
+  so the shadow verifier can score the counterfactual without touching the
+  live run;
+* its **risk**: a static ordering used by the risk-ranked scheduler —
+  targeted, easily-reversed actions (quarantine one domain) rank before
+  global knob turns (repacking every future batch).
+
+Actions are value objects: ``signature()`` feeds the seeded regression
+goldens, and ``key()`` is the cooldown/dedup identity (two quarantines of
+*different* domains are independent; two degree changes are not).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional, Protocol
+
+if TYPE_CHECKING:  # annotation-only import (runtime would be cyclic)
+    from repro.remediation.shadow import ShadowSpec
+
+
+class Actuators(Protocol):
+    """The live-run knobs an action may turn (implemented by the serving
+    loop's remediation port)."""
+
+    def get_degree(self) -> int: ...
+    def set_degree(self, degree: int) -> None: ...
+    def get_pool_capacity(self) -> Optional[int]: ...
+    def set_pool_capacity(self, capacity: Optional[int]) -> None: ...
+    def get_admission_limit(self) -> Optional[int]: ...
+    def set_admission_limit(self, limit: int) -> None: ...
+    def quarantined_domains(self) -> frozenset[int]: ...
+    def quarantine_domain(self, domain: int) -> None: ...
+    def release_domain(self, domain: int) -> None: ...
+
+
+class RemediationAction(abc.ABC):
+    """One typed, invertible change to a live serving run."""
+
+    #: Stable action-kind slug (timeline records, metrics labels).
+    kind: str = "action"
+    #: Static risk rank in [0, 1]; lower applies first.
+    risk: float = 1.0
+
+    def key(self) -> str:
+        """Cooldown / dedup identity (default: one slot per kind)."""
+        return self.kind
+
+    @abc.abstractmethod
+    def signature(self) -> tuple:
+        """Hashable value identity for goldens and timeline records."""
+
+    @abc.abstractmethod
+    def apply(self, actuators: Actuators) -> Optional["RemediationAction"]:
+        """Apply to the live run; returns the inverse action (None = no-op)."""
+
+    @abc.abstractmethod
+    def overlay(self, spec: "ShadowSpec") -> "ShadowSpec":
+        """The counterfactual shadow spec with this action in effect."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.signature()}>"
+
+
+@dataclass(frozen=True, repr=False)
+class SetPackingDegree(RemediationAction):
+    """Re-target the streaming packing degree (ProPack's central knob)."""
+
+    degree: int
+    reason: str = ""
+
+    kind = "set-degree"
+    risk = 0.6  # global: every future batch changes shape
+
+    def signature(self) -> tuple:
+        return (self.kind, self.degree)
+
+    def apply(self, actuators: Actuators) -> Optional[RemediationAction]:
+        previous = actuators.get_degree()
+        if previous == self.degree:
+            return None
+        actuators.set_degree(self.degree)
+        return SetPackingDegree(previous, reason=f"rollback of {self.kind}")
+
+    def overlay(self, spec: "ShadowSpec") -> "ShadowSpec":
+        return replace(spec, degree=self.degree)
+
+
+@dataclass(frozen=True, repr=False)
+class ResizeWarmPool(RemediationAction):
+    """Re-cap the warm pool (cost lever: idle sandboxes are billed)."""
+
+    capacity: int
+    reason: str = ""
+
+    kind = "resize-pool"
+    risk = 0.3  # reversible immediately; affects only cold/warm mix
+
+    def signature(self) -> tuple:
+        return (self.kind, self.capacity)
+
+    def apply(self, actuators: Actuators) -> Optional[RemediationAction]:
+        previous = actuators.get_pool_capacity()
+        if previous == self.capacity:
+            return None
+        actuators.set_pool_capacity(self.capacity)
+        if previous is None:
+            return _UncapWarmPool(reason=f"rollback of {self.kind}")
+        return ResizeWarmPool(previous, reason=f"rollback of {self.kind}")
+
+    def overlay(self, spec: "ShadowSpec") -> "ShadowSpec":
+        return replace(spec, pool_capacity=self.capacity)
+
+
+@dataclass(frozen=True, repr=False)
+class _UncapWarmPool(RemediationAction):
+    """Inverse of capping a previously-uncapped pool (rollback only)."""
+
+    reason: str = ""
+
+    kind = "uncap-pool"
+    risk = 0.3
+
+    def signature(self) -> tuple:
+        return (self.kind,)
+
+    def apply(self, actuators: Actuators) -> Optional[RemediationAction]:
+        previous = actuators.get_pool_capacity()
+        if previous is None:
+            return None
+        actuators.set_pool_capacity(None)
+        return ResizeWarmPool(previous, reason=f"rollback of {self.kind}")
+
+    def overlay(self, spec: "ShadowSpec") -> "ShadowSpec":
+        return replace(spec, pool_capacity=None)
+
+
+@dataclass(frozen=True, repr=False)
+class SetAdmissionLimit(RemediationAction):
+    """Tighten or loosen the admission concurrency limit."""
+
+    limit: int
+    reason: str = ""
+
+    kind = "set-admission-limit"
+    risk = 0.4  # sheds real traffic, but sheds are accounted and bounded
+
+    def signature(self) -> tuple:
+        return (self.kind, self.limit)
+
+    def apply(self, actuators: Actuators) -> Optional[RemediationAction]:
+        previous = actuators.get_admission_limit()
+        if previous is None:
+            raise ValueError(
+                "admission controller has no overridable concurrency limit"
+            )
+        if previous == self.limit:
+            return None
+        actuators.set_admission_limit(self.limit)
+        return SetAdmissionLimit(previous, reason=f"rollback of {self.kind}")
+
+    def overlay(self, spec: "ShadowSpec") -> "ShadowSpec":
+        return replace(spec, admission_limit=self.limit)
+
+
+@dataclass(frozen=True, repr=False)
+class QuarantineDomain(RemediationAction):
+    """Shift traffic off one fault domain entirely (poisoning cure)."""
+
+    domain: int
+    reason: str = ""
+
+    kind = "quarantine-domain"
+    risk = 0.2  # most targeted action: touches one domain, trivially undone
+
+    def key(self) -> str:
+        return f"{self.kind}:{self.domain}"
+
+    def signature(self) -> tuple:
+        return (self.kind, self.domain)
+
+    def apply(self, actuators: Actuators) -> Optional[RemediationAction]:
+        if self.domain in actuators.quarantined_domains():
+            return None
+        actuators.quarantine_domain(self.domain)
+        return ReleaseDomain(self.domain, reason=f"rollback of {self.kind}")
+
+    def overlay(self, spec: "ShadowSpec") -> "ShadowSpec":
+        quarantined = tuple(sorted(set(spec.quarantined) | {self.domain}))
+        return replace(spec, quarantined=quarantined)
+
+
+@dataclass(frozen=True, repr=False)
+class ReleaseDomain(RemediationAction):
+    """Return a quarantined fault domain to routing."""
+
+    domain: int
+    reason: str = ""
+
+    kind = "release-domain"
+    risk = 0.5  # re-exposes traffic to a formerly bad domain
+
+    def key(self) -> str:
+        return f"{self.kind}:{self.domain}"
+
+    def signature(self) -> tuple:
+        return (self.kind, self.domain)
+
+    def apply(self, actuators: Actuators) -> Optional[RemediationAction]:
+        if self.domain not in actuators.quarantined_domains():
+            return None
+        actuators.release_domain(self.domain)
+        return QuarantineDomain(self.domain, reason=f"rollback of {self.kind}")
+
+    def overlay(self, spec: "ShadowSpec") -> "ShadowSpec":
+        quarantined = tuple(sorted(set(spec.quarantined) - {self.domain}))
+        return replace(spec, quarantined=quarantined)

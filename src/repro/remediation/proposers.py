@@ -1,0 +1,183 @@
+"""Proposers: map detections to candidate :class:`RemediationAction`s.
+
+A proposer is pure policy — "given this anomaly and this snapshot, what
+would plausibly help?" — and makes no promises of improvement; every
+candidate still has to survive the shadow verifier and the scheduler's
+cooldowns. Keeping proposal heuristics cheap and optimistic while
+verification is strict is the point of the pipeline: detectors may be
+twitchy, proposers naive, and the run is still protected.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.remediation.actions import (
+    QuarantineDomain,
+    ReleaseDomain,
+    RemediationAction,
+    ResizeWarmPool,
+    SetAdmissionLimit,
+    SetPackingDegree,
+)
+from repro.remediation.detectors import Detection, LoopView
+
+
+class Proposer(abc.ABC):
+    """One detection-kind → candidate-action mapping."""
+
+    name = "proposer"
+    #: Detection kinds this proposer responds to.
+    kinds: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def propose(self, detection: Detection, view: LoopView) -> list[RemediationAction]:
+        """Candidate actions for ``detection`` (may be empty)."""
+
+
+class PackingDegreeProposer(Proposer):
+    """Pack deeper when the backlog outruns the dispatch rate.
+
+    ProPack's core trade: a deeper degree amortizes cold starts and
+    multiplies per-dispatch throughput at some per-function slowdown.
+    When requests queue faster than batches drain, deeper packing is the
+    first lever worth trying.
+    """
+
+    name = "packing-degree"
+    kinds = ("slo-burn", "backlog-growth")
+
+    def __init__(self, growth_factor: float = 1.5) -> None:
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must be > 1")
+        self.growth_factor = float(growth_factor)
+
+    def propose(self, detection: Detection, view: LoopView) -> list[RemediationAction]:
+        if view.backlog_depth <= view.backlog_threshold:
+            return []
+        if view.degree >= view.max_degree:
+            return []
+        target = min(
+            view.max_degree, math.ceil(view.degree * self.growth_factor)
+        )
+        return [SetPackingDegree(
+            target, reason=f"{detection.kind}: backlog {view.backlog_depth}"
+        )]
+
+
+class WarmPoolProposer(Proposer):
+    """Size the warm pool to the observed load (grow in storms, shrink after).
+
+    Little's-law sizing: at arrival rate λ, per-batch service time S(d) and
+    degree d, about ``λ·S(d)/d`` dispatches are concurrently in flight;
+    ``headroom`` covers retries and arrival burstiness.
+    """
+
+    name = "warm-pool"
+    kinds = ("slo-burn", "backlog-growth", "recovered")
+
+    def __init__(self, headroom: float = 1.5) -> None:
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        self.headroom = float(headroom)
+
+    def _target(self, view: LoopView) -> int:
+        service_s = view.predict_exec_s(view.degree)
+        concurrency = view.arrival_rate_per_s * service_s / max(1, view.degree)
+        return max(1, math.ceil(concurrency * self.headroom) + 1)
+
+    def propose(self, detection: Detection, view: LoopView) -> list[RemediationAction]:
+        if view.pool_capacity is None or view.predict_exec_s is None:
+            return []
+        target = self._target(view)
+        if detection.kind == "recovered":
+            # Shrink only well below capacity: idle sandboxes burn cost.
+            if target < view.pool_capacity / self.headroom:
+                return [ResizeWarmPool(target, reason="recovered: shrink pool")]
+            return []
+        if target > view.pool_capacity:
+            return [ResizeWarmPool(
+                target, reason=f"{detection.kind}: pool under-provisioned"
+            )]
+        return []
+
+
+class AdmissionProposer(Proposer):
+    """Tighten admission under burn; loosen it back once health returns.
+
+    The loosening path answers to the :class:`RecoveryDetector`, which only
+    fires while the live limit sits below its run-start baseline — the loop
+    never loosens past what the operator originally configured.
+    """
+
+    name = "admission"
+    kinds = ("slo-burn", "recovered")
+
+    def __init__(
+        self, tighten_factor: float = 0.7, min_limit: int = 4
+    ) -> None:
+        if not 0.0 < tighten_factor < 1.0:
+            raise ValueError("tighten_factor must be in (0, 1)")
+        if min_limit < 1:
+            raise ValueError("min_limit must be >= 1")
+        self.tighten_factor = float(tighten_factor)
+        self.min_limit = int(min_limit)
+
+    def propose(self, detection: Detection, view: LoopView) -> list[RemediationAction]:
+        limit = view.admission_limit
+        if limit is None:
+            return []
+        if detection.kind == "recovered":
+            baseline = view.baseline_admission_limit
+            if baseline is None or limit >= baseline:
+                return []
+            target = min(baseline, math.ceil(limit / self.tighten_factor))
+            return [SetAdmissionLimit(target, reason="recovered: loosen")]
+        target = max(self.min_limit, math.floor(limit * self.tighten_factor))
+        if target >= limit:
+            return []
+        return [SetAdmissionLimit(
+            target, reason=f"slo-burn at limit {limit}"
+        )]
+
+
+class QuarantineProposer(Proposer):
+    """Shift traffic off a poisoned or flapping fault domain.
+
+    Never proposes quarantining the last routable domain — that guard also
+    lives in ``CircuitBreakerBank.quarantine`` itself, but refusing here
+    keeps the timeline free of doomed proposals. On recovery it proposes
+    releasing quarantined domains and lets the shadow verifier judge
+    whether each one actually healed: the shadow scenario bakes the
+    still-poisoned set into ``initially_poisoned``, so releasing a domain
+    that is still sick loses the counterfactual and is rejected.
+    """
+
+    name = "quarantine"
+    kinds = ("domain-poisoning", "breaker-flap", "recovered")
+
+    def propose(self, detection: Detection, view: LoopView) -> list[RemediationAction]:
+        if detection.kind == "recovered":
+            return [
+                ReleaseDomain(domain, reason="recovered: re-admit domain")
+                for domain in view.quarantined_domains
+            ]
+        domain = detection.get("domain")
+        if domain is None or domain in view.quarantined_domains:
+            return []
+        if len(view.quarantined_domains) + 1 >= view.n_domains:
+            return []
+        return [QuarantineDomain(
+            int(domain), reason=f"{detection.kind} on domain {domain}"
+        )]
+
+
+def default_proposers() -> list[Proposer]:
+    """The standard playbook, one proposer per remediation family."""
+    return [
+        QuarantineProposer(),
+        AdmissionProposer(),
+        WarmPoolProposer(),
+        PackingDegreeProposer(),
+    ]

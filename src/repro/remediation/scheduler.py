@@ -1,0 +1,125 @@
+"""Risk-ranked action scheduling: cooldowns, caps, and automatic rollback.
+
+Accepted actions are not fired blindly: the scheduler orders them by
+static risk (targeted quarantines before global knob turns), enforces a
+per-key cooldown so the loop cannot thrash one knob every tick, caps how
+many actions land per tick, and keeps each applied action's inverse for a
+post-apply watch window. If the live violation fraction regresses past the
+at-apply level by more than ``regression_margin`` inside
+``rollback_window_s``, the inverse is applied and the key enters an
+extended cooldown — the loop's own changes are held to the same standard
+as the faults it fights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.remediation.actions import RemediationAction
+
+
+@dataclass
+class AppliedAction:
+    """One applied action under post-apply watch."""
+
+    action: RemediationAction
+    inverse: Optional[RemediationAction]
+    applied_at: float
+    baseline_violation: float    # live violation fraction at apply time
+    rolled_back: bool = False
+
+
+@dataclass
+class RiskRankedScheduler:
+    """Order, gate, and watch accepted actions."""
+
+    cooldown_s: float = 300.0
+    max_actions_per_tick: int = 1
+    rollback_window_s: float = 600.0
+    regression_margin: float = 0.10
+    rollback_cooldown_factor: float = 2.0
+
+    _cooldown_until: dict[str, float] = field(default_factory=dict, repr=False)
+    _watch: list[AppliedAction] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cooldown_s < 0.0 or self.rollback_window_s < 0.0:
+            raise ValueError("cooldowns/windows must be non-negative")
+        if self.max_actions_per_tick < 1:
+            raise ValueError("max_actions_per_tick must be >= 1")
+        if self.regression_margin < 0.0:
+            raise ValueError("regression_margin must be non-negative")
+
+    def reset(self) -> None:
+        self._cooldown_until.clear()
+        self._watch.clear()
+
+    # ------------------------------------------------------------------ #
+    def ready(self, key: str, now: float) -> bool:
+        """Is ``key`` outside its cooldown window?"""
+        return now >= self._cooldown_until.get(key, 0.0)
+
+    def select(
+        self, actions: list[RemediationAction], now: float
+    ) -> list[RemediationAction]:
+        """Risk-ranked, cooldown-gated, deduped, capped selection."""
+        chosen: list[RemediationAction] = []
+        seen: set[str] = set()
+        ranked = sorted(actions, key=lambda a: (a.risk, a.kind, a.signature()))
+        for action in ranked:
+            key = action.key()
+            if key in seen or not self.ready(key, now):
+                continue
+            seen.add(key)
+            chosen.append(action)
+            if len(chosen) >= self.max_actions_per_tick:
+                break
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    def on_applied(
+        self,
+        action: RemediationAction,
+        inverse: Optional[RemediationAction],
+        now: float,
+        violation: float,
+    ) -> None:
+        self._cooldown_until[action.key()] = now + self.cooldown_s
+        self._watch.append(AppliedAction(
+            action=action,
+            inverse=inverse,
+            applied_at=now,
+            baseline_violation=violation,
+        ))
+
+    def due_rollbacks(self, now: float, violation: float) -> list[AppliedAction]:
+        """Watched actions whose post-apply health regressed.
+
+        Regression means the live violation fraction moved *above* the
+        at-apply level by more than the margin while the action was inside
+        its watch window. Returned records are marked rolled back and their
+        keys put on the extended cooldown; the caller applies the inverses.
+        """
+        due: list[AppliedAction] = []
+        for record in self._watch:
+            if record.rolled_back or record.inverse is None:
+                continue
+            age = now - record.applied_at
+            if not 0.0 < age <= self.rollback_window_s:
+                continue
+            if violation > record.baseline_violation + self.regression_margin:
+                record.rolled_back = True
+                self._cooldown_until[record.action.key()] = (
+                    now + self.rollback_cooldown_factor * self.cooldown_s
+                )
+                due.append(record)
+        self._watch = [
+            r for r in self._watch
+            if not r.rolled_back and now - r.applied_at <= self.rollback_window_s
+        ]
+        return due
+
+    @property
+    def watched(self) -> int:
+        return len(self._watch)

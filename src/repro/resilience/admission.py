@@ -145,6 +145,13 @@ class AdmissionController(abc.ABC):
         """Current cap on admitted-but-unfinished requests (inf = none)."""
         return math.inf
 
+    #: Whether :meth:`set_limit` is available (remediation actuation seam).
+    supports_limit_override = False
+
+    def set_limit(self, limit: int) -> None:
+        """Override the live concurrency limit (controllers that cap)."""
+        raise NotImplementedError(f"{self.name} has no concurrency limit")
+
 
 class UnboundedAdmission(AdmissionController):
     """Admit everything — the PR 2 behaviour, kept as the baseline."""
@@ -192,6 +199,13 @@ class ConcurrencyLimitAdmission(AdmissionController):
     @property
     def concurrency_limit(self) -> float:
         return float(self.limit)
+
+    supports_limit_override = True
+
+    def set_limit(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = int(limit)
 
     def admit(
         self, now: float, priority: int, queue_depth: int, in_flight: int
@@ -283,6 +297,14 @@ class AIMDAdmission(AdmissionController):
     @property
     def concurrency_limit(self) -> float:
         return math.floor(self.limit)
+
+    supports_limit_override = True
+
+    def set_limit(self, limit: int) -> None:
+        """Re-anchor the AIMD limit (clamped to the configured band)."""
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = min(self.max_limit, max(self.min_limit, float(limit)))
 
     def observe_window(self, now: float, violation_fraction: float) -> None:
         if violation_fraction > self.breach_threshold:

@@ -65,12 +65,18 @@ class CircuitBreaker:
         self._current_recovery_s = self.recovery_s
         self._probes_outstanding = 0
         self.transitions: list[tuple[float, str, str]] = []
+        #: Failed probes (half-open → open re-openings). A flapping breaker
+        #: keeps admitting probes into a still-broken domain — the signal
+        #: remediation detectors watch for.
+        self.flaps = 0
         #: Optional observer called with ``(now, from_state, to_state)``.
         self.on_transition: Optional[Callable[[float, str, str], None]] = None
 
     # ------------------------------------------------------------------ #
     def _transition(self, now: float, to: str) -> None:
         self.transitions.append((now, self.state, to))
+        if to == OPEN and self.state == HALF_OPEN:
+            self.flaps += 1
         if self.on_transition is not None:
             self.on_transition(now, self.state, to)
         self.state = to
@@ -161,7 +167,9 @@ class CircuitBreakerBank:
             CircuitBreaker(rng=rng, **breaker_kwargs) for _ in range(n_domains)
         ]
         self.poisoned: set[int] = set()
+        self.quarantined: set[int] = set()
         self._rotor = 0
+        self._quarantined_gauge = None
 
     def bind_metrics(self, registry: "MetricsRegistry") -> None:
         """Mirror state transitions into a telemetry metrics registry."""
@@ -173,9 +181,29 @@ class CircuitBreakerBank:
             "propack_breaker_open_domains",
             help="Fault domains currently in the open state.",
         )
+        state_changes = {
+            state: registry.counter(
+                "propack_breaker_state_changes_total",
+                help="Circuit-breaker transitions by destination state.",
+                to=state,
+            )
+            for state in (CLOSED, OPEN, HALF_OPEN)
+        }
+        flaps = registry.counter(
+            "propack_breaker_flaps_total",
+            help="Failed half-open probes (half-open → open re-openings).",
+        )
+        self._quarantined_gauge = registry.gauge(
+            "propack_breaker_quarantined_domains",
+            help="Fault domains administratively quarantined.",
+        )
+        self._quarantined_gauge.set(len(self.quarantined))
 
         def observe(now: float, src: str, dst: str) -> None:
             transitions.inc()
+            state_changes[dst].inc()
+            if src == HALF_OPEN and dst == OPEN:
+                flaps.inc()
             delta = (1 if dst == OPEN else 0) - (1 if src == OPEN else 0)
             if delta:
                 open_gauge.inc(delta)
@@ -190,6 +218,8 @@ class CircuitBreakerBank:
         n = len(self.breakers)
         for step in range(n):
             domain = (self._rotor + step) % n
+            if domain in self.quarantined:
+                continue
             if self.breakers[domain].allow(now):
                 self._rotor = (domain + 1) % n
                 return domain
@@ -198,8 +228,8 @@ class CircuitBreakerBank:
     def earliest_retry(self, now: float) -> Optional[float]:
         """Earliest future instant an open breaker reaches half-open."""
         deadlines = [
-            b.open_until for b in self.breakers
-            if b.state == OPEN and b.open_until > now
+            b.open_until for d, b in enumerate(self.breakers)
+            if d not in self.quarantined and b.state == OPEN and b.open_until > now
         ]
         return min(deadlines) if deadlines else None
 
@@ -216,9 +246,41 @@ class CircuitBreakerBank:
     def is_poisoned(self, domain: int) -> bool:
         return domain in self.poisoned
 
+    # ------------------------------------------------------------------ #
+    # Administrative quarantine (remediation actuation seam)
+    # ------------------------------------------------------------------ #
+    def quarantine(self, domain: int) -> None:
+        """Administratively remove ``domain`` from routing.
+
+        Unlike an open breaker — which probes its way back — a quarantined
+        domain receives no traffic at all until :meth:`release`. At least
+        one domain must remain routable.
+        """
+        if not 0 <= domain < len(self.breakers):
+            raise ValueError(f"no such fault domain: {domain}")
+        if len(self.quarantined | {domain}) >= len(self.breakers):
+            raise ValueError("cannot quarantine the last routable domain")
+        self.quarantined.add(domain)
+        if self._quarantined_gauge is not None:
+            self._quarantined_gauge.set(len(self.quarantined))
+
+    def release(self, domain: int) -> None:
+        """Return a quarantined domain to routing (breaker state untouched)."""
+        self.quarantined.discard(domain)
+        if self._quarantined_gauge is not None:
+            self._quarantined_gauge.set(len(self.quarantined))
+
     @property
     def n_transitions(self) -> int:
         return sum(b.n_transitions for b in self.breakers)
+
+    @property
+    def n_flaps(self) -> int:
+        """Total failed half-open probes across domains."""
+        return sum(b.flaps for b in self.breakers)
+
+    def flaps_by_domain(self) -> list[int]:
+        return [b.flaps for b in self.breakers]
 
     @property
     def n_open(self) -> int:

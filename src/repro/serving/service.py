@@ -67,6 +67,7 @@ from repro.workloads.base import AppSpec
 
 if TYPE_CHECKING:  # annotation-only: a runtime import would be circular
     from repro.extensions.streaming import StreamingPolicy
+    from repro.remediation import RemediationLoop, RemediationReport
 
 
 @dataclass(frozen=True)
@@ -202,6 +203,9 @@ class ServingResult:
     slo: Optional[WindowedSLOTracker] = None
     resilience: ResilienceReport = field(default_factory=ResilienceReport)
     backlog: BacklogStats = field(default_factory=BacklogStats)
+    #: Timeline of the auto-remediation loop, when one drove the run
+    #: (kept out of ``signature()``: the goldens pin it separately).
+    remediation: Optional["RemediationReport"] = None
 
     @property
     def cold_start_fraction(self) -> float:
@@ -315,6 +319,7 @@ class ServingSimulator:
         retry_policy: Optional[RetryPolicy] = None,
         seed: int = 0,
         telemetry: Union[TelemetryConfig, TelemetrySession, None] = None,
+        remediation: Optional["RemediationLoop"] = None,
     ) -> None:
         self.profile = profile
         self.app = app
@@ -326,6 +331,9 @@ class ServingSimulator:
         self.scenario = scenario
         self.retry_policy = retry_policy
         self.seed = seed
+        #: Optional closed-loop auto-remediation (see repro.remediation):
+        #: ticks inside sim time, actuating through _RemediationPort.
+        self.remediation = remediation
         #: One session spans every run; each run is a process band in the
         #: exported trace and resilience components register their metrics
         #: into the session registry (see docs/OBSERVABILITY.md).
@@ -375,6 +383,7 @@ class _ServingRun:
         self._next_dispatch_id = 0
         self._rotor = 0                             # round-robin fault domain
         self.poisoned_at: dict[int, float] = {}     # domain -> poisoning time
+        self.crashes_by_domain: dict[int, int] = {}  # cumulative, detectors' feed
         self.max_degree = owner.app.max_packing_degree(owner.profile.max_memory_mb)
 
         res = owner.resilience
@@ -396,6 +405,13 @@ class _ServingRun:
         )
         self.injector = self.kernel.injector
         self.throttle = self.kernel.bucket
+        # A scenario may start with domains already poisoned (shadow replays
+        # seed this with the live run's state; experiments can use it too).
+        if scenario is not None:
+            for domain in scenario.initially_poisoned:
+                self.poisoned_at.setdefault(domain, 0.0)
+                if self.breakers is not None:
+                    self.breakers.poison(domain)
         self.costs = DispatchCosts(
             self.cfg.cold_start_s,
             self.cfg.warm_dispatch_s,
@@ -428,6 +444,10 @@ class _ServingRun:
                 ):
                     if component is not None:
                         component.bind_metrics(session.registry)
+
+        self.remedy = owner.remediation
+        if self.remedy is not None:
+            self.remedy.begin_run(_RemediationPort(self))
 
     # ---------------------------------------------------------------- #
     # backlog accounting (satellite: queue-depth visibility)
@@ -646,8 +666,12 @@ class _ServingRun:
         ad = self.active.pop(dispatch_id)
         now = self.sim.now
         self.result.resilience.crashes += 1
+        if ad.domain is not None:
+            self.crashes_by_domain[ad.domain] = (
+                self.crashes_by_domain.get(ad.domain, 0) + 1
+            )
         if self.tel is not None:
-            self.tel.on_crash(dispatch_id, correlated=False)
+            self.tel.on_crash(dispatch_id, correlated=False, domain=ad.domain)
         executed = max(0.0, now - ad.exec_start)
         gb_s = self._bill(ad, executed)
         self.result.resilience.wasted_gb_seconds += gb_s
@@ -716,8 +740,12 @@ class _ServingRun:
             ad.event.cancel()
             del self.active[dispatch_id]
             self.result.resilience.correlated_kills += 1
+            if ad.domain is not None:
+                self.crashes_by_domain[ad.domain] = (
+                    self.crashes_by_domain.get(ad.domain, 0) + 1
+                )
             if self.tel is not None:
-                self.tel.on_crash(dispatch_id, correlated=True)
+                self.tel.on_crash(dispatch_id, correlated=True, domain=ad.domain)
             executed = max(0.0, min(now, ad.exec_start + ad.exec_time) - ad.exec_start)
             gb_s = self._bill(ad, executed)
             self.result.resilience.wasted_gb_seconds += gb_s
@@ -747,11 +775,25 @@ class _ServingRun:
         while len(self.waiting) >= self._effective_degree():
             self.form_batch()
 
+    def remediation_tick(self) -> None:
+        """One pass of the auto-remediation loop, inside sim time.
+
+        Applied actions may change the packing degree or pool capacity, so
+        batch formation is re-checked afterwards exactly as a control tick
+        does. The loop itself draws no live RNG (shadow replays run on
+        forked streams), so an idle loop leaves the run bit-identical.
+        """
+        self.remedy.tick(self.sim.now)
+        while len(self.waiting) >= self._effective_degree():
+            self.form_batch()
+
     # ---------------------------------------------------------------- #
     def execute(self) -> ServingResult:
         owner, cfg, result = self.owner, self.cfg, self.result
         if len(self.arrivals) == 0:
             result.expense = BillingModel(owner.profile).serving_expense(0.0, 0, 0.0)
+            if self.remedy is not None:
+                result.remediation = self.remedy.report
             return result
         for t in self.arrivals:
             self.sim.schedule_at(float(t), self.on_arrival, float(t))
@@ -764,6 +806,10 @@ class _ServingRun:
             ticks = int(math.floor(self.horizon_s / cfg.replan_interval_s))
             for k in range(1, ticks + 1):
                 self.sim.schedule_at(k * cfg.replan_interval_s, self.control_tick)
+        if self.remedy is not None:
+            interval = self.remedy.config.tick_interval_s
+            for k in range(1, int(math.floor(self.horizon_s / interval)) + 1):
+                self.sim.schedule_at(k * interval, self.remediation_tick)
         if self.injector is not None and owner.scenario.correlated_bursts > 0:
             times = self.rng.stream("fault.correlated.times").uniform(
                 0.0, self.horizon_s, owner.scenario.correlated_bursts
@@ -810,4 +856,159 @@ class _ServingRun:
             result.idle_gb_seconds,
             egress_gb=result.resilience.retry_egress_gb,
         )
+        if self.remedy is not None:
+            result.remediation = self.remedy.report
         return result
+
+
+class _RemediationPort:
+    """The narrow adapter the remediation loop drives a live run through.
+
+    Implements both halves of the loop's contract (see
+    ``repro.remediation.loop.RemediationPort``): read-only health signals
+    for the detectors and typed actuation for the actions. Serving keeps no
+    import on ``repro.remediation`` — the coupling is duck-typed here, and
+    the layering test keeps the dependency one-directional.
+    """
+
+    def __init__(self, run: _ServingRun) -> None:
+        self._run = run
+
+    # --- health signals ------------------------------------------------ #
+    def violation_fraction(self, now: float) -> float:
+        return self._run.result.slo.recent_violation_fraction(now)
+
+    @property
+    def backlog_depth(self) -> int:
+        return len(self._run.waiting)
+
+    @property
+    def backlog_threshold(self) -> int:
+        return self._run.cfg.backlog_threshold
+
+    @property
+    def in_flight(self) -> int:
+        return self._run.requests_in_flight
+
+    @property
+    def arrivals_total(self) -> int:
+        return self._run.result.resilience.arrivals
+
+    @property
+    def n_domains(self) -> int:
+        # Quarantine needs a breaker bank to actuate through; without one
+        # the loop sees zero domains and the domain detectors stay silent.
+        breakers = self._run.breakers
+        return len(breakers) if breakers is not None else 0
+
+    def open_domains(self) -> tuple[int, ...]:
+        breakers = self._run.breakers
+        if breakers is None:
+            return ()
+        return tuple(
+            d for d, b in enumerate(breakers.breakers) if b.state == "open"
+        )
+
+    def breaker_flaps(self) -> tuple[int, ...]:
+        breakers = self._run.breakers
+        return tuple(breakers.flaps_by_domain()) if breakers is not None else ()
+
+    def crashes_by_domain(self) -> tuple[int, ...]:
+        return tuple(
+            self._run.crashes_by_domain.get(d, 0) for d in range(self.n_domains)
+        )
+
+    def poisoned_domains(self, now: float) -> tuple[int, ...]:
+        run = self._run
+        return tuple(sorted(
+            d for d in list(run.poisoned_at) if run._domain_poisoned(d, now)
+        ))
+
+    # --- actuators ------------------------------------------------------ #
+    def get_degree(self) -> int:
+        return self._run.policy.degree
+
+    def set_degree(self, degree: int) -> None:
+        from repro.extensions.streaming import StreamingPolicy
+
+        run = self._run
+        clamped = max(1, min(int(degree), run.max_degree))
+        run.policy = StreamingPolicy(
+            degree=clamped, batch_timeout_s=run.policy.batch_timeout_s
+        )
+        run.result.policy_changes += 1
+
+    @property
+    def max_degree(self) -> int:
+        return self._run.max_degree
+
+    def get_pool_capacity(self) -> Optional[int]:
+        return self._run.pool.capacity
+
+    def set_pool_capacity(self, capacity: Optional[int]) -> None:
+        self._run.pool.set_capacity(capacity)
+
+    def get_admission_limit(self) -> Optional[int]:
+        admission = self._run.admission
+        if admission is None or not getattr(
+            admission, "supports_limit_override", False
+        ):
+            return None
+        return int(admission.concurrency_limit)
+
+    def set_admission_limit(self, limit: int) -> None:
+        self._run.admission.set_limit(limit)
+
+    def quarantined_domains(self) -> frozenset[int]:
+        breakers = self._run.breakers
+        return frozenset(breakers.quarantined) if breakers is not None else frozenset()
+
+    def quarantine_domain(self, domain: int) -> None:
+        self._run.breakers.quarantine(domain)
+
+    def release_domain(self, domain: int) -> None:
+        self._run.breakers.release(domain)
+
+    # --- shadow materials & determinism seams --------------------------- #
+    def shadow_materials(self) -> dict:
+        run = self._run
+        owner = run.owner
+        breakers = run.breakers
+        failure_threshold = None
+        recovery_s = 30.0
+        if breakers is not None and breakers.breakers:
+            failure_threshold = breakers.breakers[0].failure_threshold
+            recovery_s = breakers.breakers[0].recovery_s
+        return {
+            "profile": owner.profile,
+            "app": owner.app,
+            "exec_model": owner.exec_model,
+            "config": owner.config,
+            "scenario": owner.scenario,
+            "retry_policy": owner.retry_policy,
+            "batch_timeout_s": run.policy.batch_timeout_s,
+            "warm_ttl_s": run.pool.policy.keep_alive_s(),
+            "breaker_failure_threshold": failure_threshold,
+            "breaker_recovery_s": recovery_s,
+        }
+
+    def predict_exec_s(self, degree: int) -> float:
+        return self._run.owner.exec_model.predict(max(1, int(degree)))
+
+    def shadow_seed(self, label: str) -> int:
+        """Deterministic shadow seed off the live kernel's fork seam —
+        spawning consumes no parent draws, so the live run is unperturbed."""
+        return self._run.kernel.fork(label).rng.seed
+
+    @property
+    def live_horizon_s(self) -> float:
+        return self._run.horizon_s
+
+    # --- telemetry ------------------------------------------------------ #
+    @property
+    def telemetry(self):
+        return self._run.owner.telemetry
+
+    def emit(self, stage: str, **fields) -> None:
+        if self._run.tel is not None:
+            self._run.tel.on_remediation(stage, **fields)

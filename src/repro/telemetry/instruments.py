@@ -254,6 +254,7 @@ class ServingInstrumentation:
     ) -> None:
         self.tracer = tracer
         self.bus = bus
+        self._registry = registry
         if tracer is not None:
             tracer.bind_clock(lambda: sim.now)
             self.pid = tracer.new_process(name)
@@ -359,7 +360,9 @@ class ServingInstrumentation:
         if self.tracer is not None:
             self._end_dispatch(dispatch_id, "ok")
 
-    def on_crash(self, dispatch_id: int, correlated: bool) -> None:
+    def on_crash(
+        self, dispatch_id: int, correlated: bool, domain: Optional[int] = None
+    ) -> None:
         if self._m:
             self._m["crashes"]["correlated" if correlated else "independent"].inc()
         if self.tracer is not None:
@@ -368,6 +371,7 @@ class ServingInstrumentation:
             self.bus.publish(
                 "dispatch.crash", self.tracer.now,
                 dispatch=dispatch_id, correlated=correlated,
+                domain=-1 if domain is None else domain,
             )
 
     def on_retry(self, batch_size: int, delay: float) -> None:
@@ -394,3 +398,17 @@ class ServingInstrumentation:
                 "control-tick", "control",
                 backlog=backlog, violation=round(violation_fraction, 9),
             )
+
+    def on_remediation(self, stage: str, **fields) -> None:
+        """One remediation-loop event: ``stage`` is 'detection', 'proposal',
+        'verdict', 'apply', or 'rollback'; ``fields`` are stage-specific."""
+        if self._registry is not None:
+            self._registry.counter(
+                "propack_remediation_events_total",
+                help="Remediation-loop pipeline events, by stage.",
+                stage=stage,
+            ).inc()
+        if self.tracer is not None:
+            self.tracer.instant(f"remediation-{stage}", "remediation", **fields)
+        if self.bus is not None and self.tracer is not None:
+            self.bus.publish(f"remediation.{stage}", self.tracer.now, **fields)

@@ -1,9 +1,9 @@
 """Import-layering gate: ``repro.engine`` never imports its consumers.
 
 The engine is the bottom of the dispatch stack (docs/ARCHITECTURE.md):
-``serving``, ``extensions``, and ``resilience`` build on it, so an
-engine → consumer import would be a cycle waiting to happen and would
-let consumer semantics leak into the shared lifecycle. Checked two
+``serving``, ``extensions``, ``resilience``, and ``remediation`` build on
+it, so an engine → consumer import would be a cycle waiting to happen and
+would let consumer semantics leak into the shared lifecycle. Checked two
 ways: statically (AST scan of every engine module, which also catches
 imports hidden inside functions) and dynamically (importing
 ``repro.engine`` in a clean interpreter must not load any consumer
@@ -18,7 +18,12 @@ import sys
 
 import repro.engine
 
-FORBIDDEN = ("repro.serving", "repro.extensions", "repro.resilience")
+FORBIDDEN = (
+    "repro.serving",
+    "repro.extensions",
+    "repro.resilience",
+    "repro.remediation",
+)
 
 ENGINE_DIR = pathlib.Path(repro.engine.__file__).parent
 

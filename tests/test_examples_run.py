@@ -90,3 +90,11 @@ def test_overload_flashcrowd(capsys):
     assert "flash-crowd" in out
     assert "protected" in out
     assert "cheaper per completed request" in out
+
+
+def test_self_healing_day(capsys):
+    out = run_example("self_healing_day.py", capsys)
+    assert "poison-storm" in out
+    assert "remediation loop:" in out
+    assert "apply     quarantine-domain" in out
+    assert "Nobody touched a dial" in out

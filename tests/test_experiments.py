@@ -96,6 +96,7 @@ def test_registry_covers_every_paper_artifact():
         "streaming", "multitenant", "decentralization", "faults",
         "serving",
         "overload",
+        "selfhealing",
     }
     assert set(ALL_FIGURES) == expected
 

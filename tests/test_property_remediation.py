@@ -1,0 +1,117 @@
+"""Property-based tests for the auto-remediation loop.
+
+Two invariants, held across the sampled parameter space:
+
+1. **Conservation** — a remediated serving run accounts for every request
+   exactly (``arrivals == completed + shed + failed``), no matter which
+   actions the loop applies or rolls back mid-run; and
+2. **Byte-determinism** — running the same seeded day twice with the loop
+   enabled produces bit-identical serving results *and* bit-identical
+   remediation timelines: the loop draws nothing from the live RNG
+   (shadow seeds come from the fork seam, which consumes no draws).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import ExecutionTimeModel
+from repro.extensions.streaming import StreamingPolicy
+from repro.faults.retry import ExponentialBackoffRetry
+from repro.faults.scenario import FaultScenario
+from repro.platform.providers import GOOGLE_CLOUD_FUNCTIONS
+from repro.remediation import RemediationConfig, RemediationLoop
+from repro.resilience import (
+    CircuitBreakerBank,
+    ConcurrencyLimitAdmission,
+    ResiliencePolicy,
+)
+from repro.serving import (
+    FixedTTL,
+    PoissonProcess,
+    ServingConfig,
+    ServingSimulator,
+    WarmPool,
+)
+from repro.workloads import XAPIAN
+
+EXEC_MODEL = ExecutionTimeModel(
+    coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+)
+
+
+def _run_once(seed, rate, degree, crash_rate, limit, verify):
+    config = ServingConfig(qos_sojourn_s=45.0)
+    scenario = FaultScenario(
+        name="prop-storm",
+        crash_rate=crash_rate,
+        correlated_bursts=1,
+        correlated_fraction=0.5,
+        correlated_window_s=90.0,
+        persistent_fraction=0.5,
+        poison_heal_s=300.0,
+    )
+    loop = RemediationLoop(RemediationConfig(
+        tick_interval_s=60.0,
+        shadow_horizon_s=60.0,
+        cooldown_s=120.0,
+        verify=verify,
+    ))
+    sim = ServingSimulator(
+        GOOGLE_CLOUD_FUNCTIONS,
+        XAPIAN,
+        EXEC_MODEL,
+        pool=WarmPool(FixedTTL(90.0)),
+        config=config,
+        resilience=ResiliencePolicy(
+            admission=ConcurrencyLimitAdmission(limit=limit),
+            breakers=CircuitBreakerBank(
+                n_domains=config.fault_domains,
+                rng=np.random.default_rng(seed),
+                failure_threshold=4,
+                recovery_s=45.0,
+            ),
+        ),
+        scenario=scenario,
+        retry_policy=ExponentialBackoffRetry(max_retries=2),
+        seed=seed,
+        remediation=loop,
+    )
+    return sim.run(
+        PoissonProcess(rate),
+        StreamingPolicy(degree=degree, batch_timeout_s=2.0),
+        600.0,
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    rate=st.floats(min_value=0.5, max_value=3.0),
+    degree=st.integers(min_value=1, max_value=8),
+    crash_rate=st.floats(min_value=0.0, max_value=0.25),
+    limit=st.integers(min_value=8, max_value=96),
+    verify=st.booleans(),
+)
+@settings(max_examples=10, deadline=None)
+def test_remediated_runs_conserve_requests_exactly(
+    seed, rate, degree, crash_rate, limit, verify
+):
+    run = _run_once(seed, rate, degree, crash_rate, limit, verify)
+    assert run.conserved()
+    assert run.resilience.conserved()
+    assert run.n_requests == run.n_completed + run.n_shed + run.n_failed
+    assert run.remediation is not None
+    assert run.remediation.n_applied <= len(run.remediation.proposals)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    crash_rate=st.floats(min_value=0.02, max_value=0.2),
+)
+@settings(max_examples=6, deadline=None)
+def test_remediated_run_byte_identical_per_seed(seed, crash_rate):
+    first = _run_once(seed, 1.5, 4, crash_rate, 48, True)
+    second = _run_once(seed, 1.5, 4, crash_rate, 48, True)
+    assert first.signature() == second.signature()
+    assert first.remediation.signature() == second.remediation.signature()
+    assert first.expense.total_usd == second.expense.total_usd

@@ -162,3 +162,99 @@ def test_golden_overload_resilience_exact():
     assert run.expense.egress_usd == pytest.approx(0.4921875, abs=1e-12)
     assert rep.wasted_gb_seconds == pytest.approx(4182.620702125807, abs=1e-9)
     assert rep.retry_egress_gb == pytest.approx(4.1015625, abs=1e-12)
+
+
+def test_golden_remediation_timeline_exact():
+    """One seeded self-healing run, its full timeline pinned exactly.
+
+    The remediation loop promises the same bit-determinism as the layers
+    under it: detections, shadow verdicts, applications, and rollbacks
+    are all derived from the seeded streams (shadow seeds come from the
+    kernel's fork seam, which consumes no live draws), so the entire
+    control-plane timeline must reproduce to the last event. Any drift in
+    detector thresholds, verifier scoring, or scheduler bookkeeping lands
+    here first.
+    """
+    from repro.remediation import RemediationConfig, RemediationLoop
+
+    exec_model = ExecutionTimeModel(
+        coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+    )
+    config = ServingConfig(qos_sojourn_s=45.0)
+    scenario = FaultScenario(
+        name="golden-remediation",
+        crash_rate=0.05,
+        correlated_bursts=2,
+        correlated_fraction=0.5,
+        correlated_window_s=120.0,
+        persistent_fraction=0.5,
+        poison_heal_s=600.0,
+        straggler_rate=0.01,
+    )
+
+    def healed_run():
+        sim = ServingSimulator(
+            GOOGLE_CLOUD_FUNCTIONS,
+            XAPIAN,
+            exec_model,
+            pool=WarmPool(FixedTTL(120.0)),
+            config=config,
+            resilience=ResiliencePolicy(
+                admission=ConcurrencyLimitAdmission(limit=64),
+                breakers=CircuitBreakerBank(
+                    n_domains=config.fault_domains,
+                    rng=np.random.default_rng(SEED),
+                    failure_threshold=5,
+                    recovery_s=45.0,
+                ),
+            ),
+            scenario=scenario,
+            retry_policy=ExponentialBackoffRetry(max_retries=3),
+            seed=SEED,
+            remediation=RemediationLoop(RemediationConfig(
+                tick_interval_s=60.0, shadow_horizon_s=120.0
+            )),
+        )
+        return sim.run(
+            PoissonProcess(1.5),
+            StreamingPolicy(degree=4, batch_timeout_s=2.0),
+            1800.0,
+        )
+
+    run = healed_run()
+    rep = run.remediation
+    assert run.conserved() and run.resilience.conserved()
+    assert (run.n_requests, run.n_completed) == (2671, 1005)
+    assert (run.n_shed, run.n_failed) == (1652, 14)
+    assert run.expense.total_usd == pytest.approx(2.005490767850235, abs=1e-12)
+    assert rep.ticks == 30
+    assert (
+        rep.n_detections, rep.n_proposals, rep.n_accepted,
+        rep.n_applied, rep.n_rollbacks,
+    ) == (51, 50, 16, 11, 7)
+    assert rep.applications == [
+        (120.0, ("quarantine-domain", 2)),
+        (300.0, ("release-domain", 2)),
+        (420.0, ("quarantine-domain", 0)),
+        (480.0, ("quarantine-domain", 1)),
+        (540.0, ("quarantine-domain", 2)),
+        (720.0, ("release-domain", 2)),
+        (780.0, ("quarantine-domain", 3)),
+        (900.0, ("set-admission-limit", 44)),
+        (1380.0, ("quarantine-domain", 0)),
+        (1500.0, ("quarantine-domain", 1)),
+        (1560.0, ("set-admission-limit", 30)),
+    ]
+    assert rep.rollbacks == [
+        (780.0, ("quarantine-domain", 2), ("release-domain", 2)),
+        (780.0, ("release-domain", 0), ("quarantine-domain", 0)),
+        (780.0, ("release-domain", 1), ("quarantine-domain", 1)),
+        (780.0, ("release-domain", 2), ("quarantine-domain", 2)),
+        (780.0, ("quarantine-domain", 2), ("release-domain", 2)),
+        (1500.0, ("release-domain", 0), ("quarantine-domain", 0)),
+        (1560.0, ("release-domain", 1), ("quarantine-domain", 1)),
+    ]
+    # Byte-identical across a full re-run, timeline and serving result.
+    again = healed_run()
+    assert again.remediation.signature() == rep.signature()
+    assert again.signature() == run.signature()

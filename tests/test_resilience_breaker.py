@@ -164,3 +164,76 @@ class TestCircuitBreakerBank:
     def test_needs_at_least_one_domain(self):
         with pytest.raises(ValueError):
             CircuitBreakerBank(n_domains=0)
+
+
+class TestQuarantineAndFlaps:
+    """Administrative quarantine + flap counting (remediation seams)."""
+
+    def test_flap_counts_reopenings_only(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=10.0,
+                                 jitter=0.0)
+        trip(breaker, now=0.0)
+        assert breaker.flaps == 0          # closed -> open is not a flap
+        assert breaker.allow(10.5)         # half-open probe admitted
+        breaker.record_failure(10.5)       # probe fails: half-open -> open
+        assert breaker.flaps == 1
+        assert breaker.allow(31.0)         # backoff doubled the pause
+        breaker.record_success(31.0)       # probe succeeds: recovery
+        assert breaker.flaps == 1
+
+    def test_bank_flap_aggregation(self):
+        bank = CircuitBreakerBank(n_domains=2, failure_threshold=1,
+                                  recovery_s=10.0, jitter=0.0)
+        bank.record(0, success=False, now=0.0)
+        assert bank.breakers[0].allow(10.5)
+        bank.record(0, success=False, now=10.5)
+        assert bank.n_flaps == 1
+        assert bank.flaps_by_domain() == [1, 0]
+
+    def test_quarantined_domain_receives_no_traffic(self):
+        bank = CircuitBreakerBank(n_domains=3)
+        bank.quarantine(1)
+        assert 1 not in {bank.pick(0.0) for _ in range(6)}
+        bank.release(1)
+        assert 1 in {bank.pick(0.0) for _ in range(6)}
+
+    def test_quarantine_guards_last_routable_domain(self):
+        bank = CircuitBreakerBank(n_domains=2)
+        bank.quarantine(0)
+        with pytest.raises(ValueError):
+            bank.quarantine(1)
+        with pytest.raises(ValueError):
+            bank.quarantine(5)
+        with pytest.raises(ValueError):
+            CircuitBreakerBank(n_domains=1).quarantine(0)
+
+    def test_earliest_retry_skips_quarantined(self):
+        bank = CircuitBreakerBank(n_domains=2, failure_threshold=1,
+                                  recovery_s=10.0, jitter=0.0)
+        bank.record(0, success=False, now=0.0)
+        bank.quarantine(0)
+        assert bank.earliest_retry(1.0) is None
+
+    def test_bind_metrics_exports_transitions_flaps_quarantine(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        bank = CircuitBreakerBank(n_domains=2, failure_threshold=1,
+                                  recovery_s=10.0, jitter=0.0)
+        bank.bind_metrics(registry)
+        bank.record(0, success=False, now=0.0)       # closed -> open
+        assert bank.breakers[0].allow(10.5)          # open -> half-open
+        bank.record(0, success=False, now=10.5)      # half-open -> open (flap)
+        bank.quarantine(1)
+        # Unlabeled aggregate is preserved for existing dashboards.
+        assert registry.get("propack_breaker_transitions_total").value == 3
+        assert registry.get(
+            "propack_breaker_state_changes_total", to=OPEN
+        ).value == 2
+        assert registry.get(
+            "propack_breaker_state_changes_total", to=HALF_OPEN
+        ).value == 1
+        assert registry.get("propack_breaker_flaps_total").value == 1
+        assert registry.get("propack_breaker_quarantined_domains").value == 1
+        bank.release(1)
+        assert registry.get("propack_breaker_quarantined_domains").value == 0

@@ -261,3 +261,63 @@ def test_trace_recorder_public_api_preserved():
     assert recorder.window(3.0, 4.0)
     assert recorder.by_callback("lambda")
     assert sum(recorder.summary().values()) == 3
+
+
+def test_remediation_loop_instrumented():
+    """A remediated run exports per-stage counters and bus events."""
+    from repro.remediation import RemediationConfig, RemediationLoop
+
+    config = ServingConfig(qos_sojourn_s=45.0)
+    scenario = FaultScenario(
+        name="remediated", crash_rate=0.05, correlated_bursts=2,
+        correlated_fraction=0.5, correlated_window_s=120.0,
+        persistent_fraction=0.5, poison_heal_s=600.0,
+    )
+    exec_model = ExecutionTimeModel(
+        coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+    )
+    sim = ServingSimulator(
+        GOOGLE_CLOUD_FUNCTIONS, XAPIAN, exec_model,
+        pool=WarmPool(FixedTTL(120.0)), config=config,
+        resilience=ResiliencePolicy(
+            admission=ConcurrencyLimitAdmission(limit=64),
+            breakers=CircuitBreakerBank(
+                n_domains=config.fault_domains,
+                rng=np.random.default_rng(SEED),
+                failure_threshold=5, recovery_s=45.0,
+            ),
+        ),
+        scenario=scenario,
+        retry_policy=ExponentialBackoffRetry(max_retries=3),
+        seed=SEED,
+        telemetry=TelemetryConfig(),
+        remediation=RemediationLoop(RemediationConfig(
+            tick_interval_s=60.0, shadow_horizon_s=120.0
+        )),
+    )
+    events = []
+    sim.telemetry.bus.subscribe(events.append)
+    run = sim.run(
+        PoissonProcess(1.5), StreamingPolicy(degree=4, batch_timeout_s=2.0),
+        900.0,
+    )
+    rep = run.remediation
+    assert rep is not None and rep.n_applied > 0
+    samples = parse_prometheus_text(sim.telemetry.prometheus_text())
+    per_stage = {
+        k: v for k, v in samples.items()
+        if k.startswith("propack_remediation_events_total")
+    }
+    assert per_stage['propack_remediation_events_total{stage="detection"}'] \
+        == rep.n_detections
+    assert per_stage['propack_remediation_events_total{stage="apply"}'] \
+        == rep.n_applied
+    kinds = {e.kind for e in events if e.kind.startswith("remediation.")}
+    assert "remediation.detection" in kinds
+    assert "remediation.apply" in kinds
+    # Crash events carry their fault domain for the poison detector.
+    crash_domains = [
+        dict(e.fields).get("domain")
+        for e in events if e.kind == "dispatch.crash"
+    ]
+    assert crash_domains and all(d is not None for d in crash_domains)
