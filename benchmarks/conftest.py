@@ -24,6 +24,12 @@ from repro.experiments.runner import ExperimentContext
 #: one-glance answer to "did this PR slow the simulator down?".
 BENCH_RESULTS: dict[str, float] = {}
 
+#: Serving-day throughput numbers (requests/s of simulated traffic and
+#: wall time for the SV1/SH1 sweeps), populated by ``test_serving.py`` /
+#: ``test_selfhealing.py`` and written to ``BENCH_serving.json`` — the
+#: macro counterpart of the dispatch-primitive trajectory.
+BENCH_SERVING: dict[str, float] = {}
+
 
 @pytest.fixture(scope="session")
 def ctx():
@@ -35,20 +41,65 @@ def run_once(benchmark, func, *args):
     return benchmark.pedantic(func, args=args, rounds=1, iterations=1)
 
 
+def _mean_round_s(benchmark) -> float:
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    return stats.mean if stats is not None and stats.mean > 0.0 else 0.0
+
+
 def record_throughput(benchmark, key: str, per_round: int) -> None:
     """Convert one benchmark's mean round time into a rate for the export."""
-    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
-    if stats is not None and stats.mean > 0.0:
-        BENCH_RESULTS[key] = per_round / stats.mean
+    mean = _mean_round_s(benchmark)
+    if mean > 0.0:
+        BENCH_RESULTS[key] = per_round / mean
+
+
+def record_serving_benchmark(benchmark, key: str, fig) -> None:
+    """Record a serving sweep's wall time and simulated-requests rate.
+
+    ``fig`` is the sweep's FigureResult; its rows each carry a
+    ``requests`` count (one simulated serving run per row).
+    """
+    mean = _mean_round_s(benchmark)
+    requests = sum(r.get("requests", 0) for r in fig.rows)
+    if mean > 0.0 and requests > 0:
+        BENCH_SERVING[f"{key}_wall_s"] = round(mean, 3)
+        BENCH_SERVING[f"{key}_requests_per_s"] = round(requests / mean, 1)
+
+
+def _record_bench_manifests(root: pathlib.Path) -> None:
+    """Mirror the ``BENCH_*.json`` emissions through harness manifests
+    (``results/bench/<run_id>/``), so the perf trajectory carries the same
+    provenance (package version, git SHA) as campaign runs."""
+    from repro.harness import ArtifactStore
+
+    store = ArtifactStore(root / "results")
+    for export, payload in (
+        ("dispatch", BENCH_RESULTS),
+        ("serving", BENCH_SERVING),
+    ):
+        if payload:
+            store.record(
+                campaign="bench",
+                target=f"bench-{export}",
+                params={"export": export, "file": f"BENCH_{export}.json"},
+                summary=dict(sorted(payload.items())),
+                seed=ExperimentConfig.quick().seed,
+                stage="bench",
+            )
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not BENCH_RESULTS:
-        return
     root = pathlib.Path(__file__).resolve().parent.parent
-    (root / "BENCH_dispatch.json").write_text(
-        json.dumps(
-            {k: round(v, 1) for k, v in sorted(BENCH_RESULTS.items())},
-            indent=2,
-        ) + "\n"
-    )
+    if BENCH_RESULTS:
+        (root / "BENCH_dispatch.json").write_text(
+            json.dumps(
+                {k: round(v, 1) for k, v in sorted(BENCH_RESULTS.items())},
+                indent=2,
+            ) + "\n"
+        )
+    if BENCH_SERVING:
+        (root / "BENCH_serving.json").write_text(
+            json.dumps(dict(sorted(BENCH_SERVING.items())), indent=2) + "\n"
+        )
+    if BENCH_RESULTS or BENCH_SERVING:
+        _record_bench_manifests(root)

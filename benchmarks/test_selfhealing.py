@@ -1,12 +1,13 @@
 """Benchmark for the self-healing serving sweep (SH1)."""
 
-from conftest import run_once
+from conftest import record_serving_benchmark, run_once
 
 from repro.experiments.figures import selfhealing_storms
 
 
 def test_sh1_selfhealing_beats_unprotected_near_handtuned(benchmark, ctx):
     fig = run_once(benchmark, selfhealing_storms, ctx)
+    record_serving_benchmark(benchmark, "selfhealing_storms", fig)
     scenarios = sorted({r["scenario"] for r in fig.rows})
     assert len(scenarios) == 2  # the claim must hold under >= 2 storms
     for scenario in scenarios:

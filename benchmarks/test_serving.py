@@ -1,12 +1,13 @@
 """Benchmark for the long-horizon serving subsystem (SV1)."""
 
-from conftest import run_once
+from conftest import record_serving_benchmark, run_once
 
 from repro.experiments.figures import serving_day
 
 
 def test_sv1_hybrid_beats_no_keepalive(benchmark, ctx):
     fig = run_once(benchmark, serving_day, ctx)
+    record_serving_benchmark(benchmark, "serving_day", fig)
     by = {(r["keepalive"], r["mode"]): r for r in fig.rows}
     none_static = by[("no-keep-alive", "static")]
     hybrid_static = by[("hybrid-histogram", "static")]

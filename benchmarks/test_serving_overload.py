@@ -1,12 +1,13 @@
 """Benchmark for the overload-resilience sweep (OV1)."""
 
-from conftest import run_once
+from conftest import record_serving_benchmark, run_once
 
 from repro.experiments.figures import overload_flashcrowd
 
 
 def test_ov1_protection_beats_unprotected(benchmark, ctx):
     fig = run_once(benchmark, overload_flashcrowd, ctx)
+    record_serving_benchmark(benchmark, "overload_flashcrowd", fig)
     by = {r["protection"]: r for r in fig.rows}
     unprot = by["unprotected"]
     full = by["full"]

@@ -67,6 +67,15 @@ from repro.faults import (
     RetryPolicy,
 )
 from repro.funcx import FuncXEndpoint
+from repro.harness import (
+    ArtifactStore,
+    CampaignExecutor,
+    CampaignSpec,
+    RunManifest,
+    SweepStage,
+    plan_campaign,
+    reproduce_run,
+)
 from repro.platform import (
     AWS_LAMBDA,
     AZURE_FUNCTIONS,
@@ -145,6 +154,14 @@ __all__ = [
     "MixedInterferenceModel",
     "MixedPacker",
     "run_campaign",
+    # harness (reproducible campaigns)
+    "ArtifactStore",
+    "CampaignExecutor",
+    "CampaignSpec",
+    "RunManifest",
+    "SweepStage",
+    "plan_campaign",
+    "reproduce_run",
     # workloads
     "AppSpec",
     "VIDEO",

@@ -8,7 +8,8 @@ discussion sections:
 * :mod:`~repro.extensions.adaptive` — re-profiling when the platform's
   scaling behaviour drifts (paper Sec. 5, provider-side mitigation changes
   the optimal packing degree over time).
-* :mod:`~repro.extensions.campaigns` — amortizing the one-time profiling
+* :mod:`~repro.extensions.campaigns` — *amortization campaigns*:
+  amortizing the one-time profiling
   overhead over repeated runs (paper Sec. 2.2: "in practice, this overhead
   will be much lower due to amortization over thousands of applications
   and runs").

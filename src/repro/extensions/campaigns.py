@@ -1,11 +1,16 @@
-"""Profiling-overhead amortization across repeated runs.
+"""**Amortization campaigns**: profiling-overhead economics of repeated runs.
 
 The paper includes ProPack's one-time exploration overhead in every
 reported number, and notes it "will be much lower due to amortization over
 thousands of applications and runs" (Sec. 2.2). :func:`run_campaign`
-executes a campaign of repeated bursts and reports the effective expense
-improvement as a function of run count — the overhead is paid once, the
-savings accrue per run.
+executes an *amortization campaign* — a sequence of repeated bursts — and
+reports the effective expense improvement as a function of run count: the
+overhead is paid once, the savings accrue per run.
+
+Naming note: this module models the **economics** of repeating a run.
+The *execution* harness for reproducible experiment campaigns (artifact
+manifests, sweep DAGs, the ``propack-campaign`` CLI) is
+:mod:`repro.harness` — see ``docs/CAMPAIGNS.md`` for how the two relate.
 """
 
 from __future__ import annotations
@@ -20,7 +25,11 @@ from repro.workloads.base import AppSpec
 
 @dataclass
 class CampaignReport:
-    """Cumulative economics of a repeated-burst campaign."""
+    """Cumulative economics of a repeated-burst amortization campaign.
+
+    (Distinct from :class:`repro.harness.executor.CampaignReport`, which
+    reports the execution of a sweep campaign.)
+    """
 
     app_name: str
     concurrency: int
@@ -54,7 +63,8 @@ def run_campaign(
     runs: int,
     objective: str = "joint",
 ) -> CampaignReport:
-    """Execute ``runs`` repeated bursts, profiling once."""
+    """Execute an amortization campaign: ``runs`` repeated bursts,
+    profiling once."""
     if runs < 1:
         raise ValueError("need at least one run")
     propack = ProPack(platform)

@@ -1,0 +1,78 @@
+"""Reproducible campaign harness.
+
+The harness turns one-off experiment invocations into **reproducible,
+resumable campaigns** (ROADMAP item 4):
+
+* :mod:`~repro.harness.manifest` — per-run provenance: fully-resolved
+  config, seed, package version, git SHA; deterministic content-hash run
+  ids.
+* :mod:`~repro.harness.artifacts` — the ``results/<campaign>/<run_id>/``
+  layout (``manifest.json`` / ``metrics.jsonl`` / ``summary.json``) with
+  atomic completion semantics.
+* :mod:`~repro.harness.spec` / :mod:`~repro.harness.planner` —
+  declarative sweep specs (target × axes × seeds with barrier stage
+  dependencies) expanded into a run DAG on
+  :class:`repro.workflows.dag.TaskGraph`.
+* :mod:`~repro.harness.executor` — bounded-parallelism execution
+  (process pool), seed-preserving retry-on-flake, and resume (completed
+  runs detected from manifests and skipped).
+* :mod:`~repro.harness.reproduce` / :mod:`~repro.harness.diffing` —
+  re-run any manifest and assert the summary matches (exact by default);
+  structured diffs between runs.
+* :mod:`~repro.harness.targets` — adapters registering existing entry
+  points (bursts, every ``repro.experiments`` figure/sweep) as campaign
+  targets.
+* :mod:`~repro.harness.cli` — the ``propack-campaign`` command.
+
+Not to be confused with :mod:`repro.extensions.campaigns`, which models
+the *economics* of repeated runs (profiling-overhead amortization); this
+package is the *execution* harness. See ``docs/CAMPAIGNS.md``.
+"""
+
+from repro.harness.artifacts import ArtifactStore, RunStatus
+from repro.harness.diffing import RunDiff, diff_runs, flatten
+from repro.harness.executor import CampaignExecutor, CampaignReport, RunRecord
+from repro.harness.manifest import RunManifest, config_digest
+from repro.harness.planner import CampaignPlan, PlannedRun, plan_campaign
+from repro.harness.reproduce import ReproduceReport, compare_summaries, reproduce_run
+from repro.harness.spec import CampaignSpec, SweepStage, builtin_specs
+from repro.harness.targets import (
+    DEFAULT_REGISTRY,
+    BurstTarget,
+    CampaignTarget,
+    ExperimentTarget,
+    RunOutput,
+    TargetRegistry,
+    make_target,
+    register_target,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "BurstTarget",
+    "CampaignExecutor",
+    "CampaignPlan",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignTarget",
+    "DEFAULT_REGISTRY",
+    "ExperimentTarget",
+    "PlannedRun",
+    "ReproduceReport",
+    "RunDiff",
+    "RunManifest",
+    "RunOutput",
+    "RunRecord",
+    "RunStatus",
+    "SweepStage",
+    "TargetRegistry",
+    "builtin_specs",
+    "compare_summaries",
+    "config_digest",
+    "diff_runs",
+    "flatten",
+    "make_target",
+    "plan_campaign",
+    "register_target",
+    "reproduce_run",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.harness`` — alias for ``propack-campaign``."""
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

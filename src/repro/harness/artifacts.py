@@ -1,0 +1,178 @@
+"""On-disk run artifacts: ``results/<campaign>/<run_id>/``.
+
+Layout of one completed run directory::
+
+    results/<campaign>/<run_id>/
+        manifest.json   # RunManifest — the full recipe (identity)
+        metrics.jsonl   # telemetry events / per-row records (may be empty)
+        summary.json    # headline scalars — the reproduce contract
+        runtime.json    # wall-clock + attempt bookkeeping (not identity)
+
+``summary.json`` is written last via an atomic rename, so its presence is
+the completion marker: a killed run leaves ``manifest.json`` without a
+summary and is transparently re-executed on resume. Everything except
+``runtime.json`` is byte-deterministic for seeded targets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.harness.manifest import RunManifest
+
+MANIFEST_FILE = "manifest.json"
+METRICS_FILE = "metrics.jsonl"
+SUMMARY_FILE = "summary.json"
+RUNTIME_FILE = "runtime.json"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def summary_json(summary: dict[str, Any]) -> str:
+    """The canonical ``summary.json`` serialization (reproduce compares
+    these bytes, so there is exactly one way to write a summary)."""
+    return json.dumps(summary, sort_keys=True, indent=2) + "\n"
+
+
+@dataclass(frozen=True)
+class RunStatus:
+    """One run's place in the campaign lifecycle."""
+
+    run_id: str
+    stage: str
+    target: str
+    state: str  # "pending" | "incomplete" | "complete"
+    wall_time_s: Optional[float] = None
+
+
+class ArtifactStore:
+    """Reads and writes the per-run artifact layout under one root."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    def campaign_dir(self, campaign: str) -> Path:
+        return self.root / campaign
+
+    def run_dir(self, campaign: str, run_id: str) -> Path:
+        return self.campaign_dir(campaign) / run_id
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def begin_run(self, manifest: RunManifest) -> Path:
+        """Create the run directory and write the manifest (idempotent)."""
+        run_dir = self.run_dir(manifest.campaign, manifest.run_id)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(run_dir / MANIFEST_FILE, manifest.to_json())
+        return run_dir
+
+    def finish_run(
+        self,
+        manifest: RunManifest,
+        summary: dict[str, Any],
+        metrics_jsonl: str = "",
+        runtime: Optional[dict[str, Any]] = None,
+    ) -> Path:
+        """Write the remaining artifacts; the summary lands last (atomic),
+        flipping the run to complete."""
+        run_dir = self.begin_run(manifest)
+        _atomic_write(run_dir / METRICS_FILE, metrics_jsonl)
+        if runtime is not None:
+            _atomic_write(
+                run_dir / RUNTIME_FILE,
+                json.dumps(runtime, sort_keys=True, indent=2) + "\n",
+            )
+        _atomic_write(run_dir / SUMMARY_FILE, summary_json(summary))
+        return run_dir
+
+    def record(
+        self,
+        campaign: str,
+        target: str,
+        params: dict[str, Any],
+        summary: dict[str, Any],
+        seed: int,
+        stage: str = "default",
+        metrics_jsonl: str = "",
+    ) -> RunManifest:
+        """One-shot convenience for externally-executed runs (e.g. the
+        benchmark suite recording ``BENCH_*.json`` emissions)."""
+        manifest = RunManifest(
+            campaign=campaign,
+            stage=stage,
+            target=target,
+            params=dict(params),
+            resolved_config=dict(params),
+            seed=seed,
+        )
+        self.finish_run(manifest, summary, metrics_jsonl=metrics_jsonl)
+        return manifest
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def is_complete(self, campaign: str, run_id: str) -> bool:
+        run_dir = self.run_dir(campaign, run_id)
+        return (run_dir / MANIFEST_FILE).exists() and (
+            run_dir / SUMMARY_FILE
+        ).exists()
+
+    def load_manifest(self, campaign: str, run_id: str) -> RunManifest:
+        return RunManifest.load(self.run_dir(campaign, run_id) / MANIFEST_FILE)
+
+    def load_summary(self, campaign: str, run_id: str) -> dict[str, Any]:
+        path = self.run_dir(campaign, run_id) / SUMMARY_FILE
+        return json.loads(path.read_text())
+
+    def load_runtime(self, campaign: str, run_id: str) -> Optional[dict[str, Any]]:
+        path = self.run_dir(campaign, run_id) / RUNTIME_FILE
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def completed_runs(self, campaign: str) -> list[str]:
+        """run_ids with a full manifest + summary pair, sorted."""
+        campaign_dir = self.campaign_dir(campaign)
+        if not campaign_dir.is_dir():
+            return []
+        return sorted(
+            d.name
+            for d in campaign_dir.iterdir()
+            if d.is_dir() and self.is_complete(campaign, d.name)
+        )
+
+    def statuses(self, campaign: str) -> list[RunStatus]:
+        """Every run directory under ``campaign``, complete or not."""
+        campaign_dir = self.campaign_dir(campaign)
+        if not campaign_dir.is_dir():
+            return []
+        out: list[RunStatus] = []
+        for d in sorted(p for p in campaign_dir.iterdir() if p.is_dir()):
+            manifest_path = d / MANIFEST_FILE
+            if not manifest_path.exists():
+                continue
+            manifest = RunManifest.load(manifest_path)
+            complete = (d / SUMMARY_FILE).exists()
+            runtime = self.load_runtime(campaign, d.name)
+            out.append(
+                RunStatus(
+                    run_id=d.name,
+                    stage=manifest.stage,
+                    target=manifest.target,
+                    state="complete" if complete else "incomplete",
+                    wall_time_s=(runtime or {}).get("wall_time_s"),
+                )
+            )
+        return out

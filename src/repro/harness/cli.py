@@ -1,0 +1,221 @@
+"""``propack-campaign`` — run, resume, inspect, and reproduce campaigns.
+
+Subcommands::
+
+    propack-campaign run quickstart --root results
+        Execute (or resume) a campaign: a built-in spec name or a path to
+        a spec JSON. Completed runs are detected from their manifests and
+        skipped, so re-invoking after a crash finishes the sweep.
+
+    propack-campaign status results/quickstart
+        Per-run completion table for a campaign directory.
+
+    propack-campaign reproduce results/quickstart/<run_id>/manifest.json
+        Re-execute one manifest and assert the summary matches (exact by
+        default; --tolerance for intentionally nondeterministic targets).
+        Exits non-zero on mismatch.
+
+    propack-campaign diff results/q/<run_a> results/q/<run_b>
+        What differs between two runs: recipe, provenance, and results.
+
+    propack-campaign targets | specs
+        List registered campaign targets / built-in specs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.harness.artifacts import ArtifactStore
+from repro.harness.diffing import diff_runs
+from repro.harness.planner import plan_campaign
+from repro.harness.executor import CampaignExecutor
+from repro.harness.reproduce import reproduce_run
+from repro.harness.spec import CampaignSpec, builtin_specs
+from repro.harness.targets import DEFAULT_REGISTRY
+from repro.telemetry.logging import add_verbosity_flags, echo, get_console_logger
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="propack-campaign",
+        description="Reproducible experiment campaigns with per-run manifests.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute or resume a campaign")
+    run.add_argument("spec", help="built-in spec name or path to a spec JSON")
+    run.add_argument("--root", default="results", help="artifact root directory")
+    run.add_argument("--parallelism", type=int, default=None,
+                     help="worker processes (default: the spec's)")
+    run.add_argument("--max-retries", type=int, default=None,
+                     help="extra seed-preserving attempts per flaky run")
+    run.add_argument("--dry-run", action="store_true",
+                     help="plan and print the run DAG without executing")
+    add_verbosity_flags(run)
+
+    status = sub.add_parser("status", help="campaign completion table")
+    status.add_argument("campaign_dir", help="results/<campaign> directory")
+    add_verbosity_flags(status)
+
+    rep = sub.add_parser("reproduce", help="re-run a manifest and verify")
+    rep.add_argument("manifest", help="path to a run's manifest.json")
+    rep.add_argument("--tolerance", type=float, default=0.0,
+                     help="relative tolerance (default 0.0 = exact)")
+    add_verbosity_flags(rep)
+
+    diff = sub.add_parser("diff", help="compare two run directories")
+    diff.add_argument("run_a")
+    diff.add_argument("run_b")
+    add_verbosity_flags(diff)
+
+    targets = sub.add_parser("targets", help="list registered targets")
+    add_verbosity_flags(targets)
+
+    specs = sub.add_parser("specs", help="list built-in campaign specs")
+    add_verbosity_flags(specs)
+
+    return parser
+
+
+def _load_spec(ref: str) -> CampaignSpec:
+    builtins = builtin_specs()
+    if ref in builtins:
+        return builtins[ref]
+    path = Path(ref)
+    if path.exists():
+        return CampaignSpec.load(path)
+    raise SystemExit(
+        f"error: {ref!r} is neither a built-in spec "
+        f"({', '.join(sorted(builtins))}) nor a spec file"
+    )
+
+
+def _cmd_run(args, log) -> int:
+    spec = _load_spec(args.spec)
+    plan = plan_campaign(spec)
+    if args.dry_run:
+        echo(f"campaign {spec.name}: {len(plan)} runs")
+        for planned in plan.runs:
+            deps = (
+                f"  <- {len(planned.depends_on)} deps" if planned.depends_on else ""
+            )
+            echo(
+                f"  {planned.run_id}  stage={planned.stage} "
+                f"target={planned.manifest.target} seed={planned.manifest.seed}"
+                f"{deps}"
+            )
+        return 0
+    executor = CampaignExecutor(ArtifactStore(args.root))
+    log.info(
+        "campaign %s: %d planned runs -> %s/%s",
+        spec.name, len(plan), args.root, spec.name,
+    )
+    report = executor.run(
+        plan, parallelism=args.parallelism, max_retries=args.max_retries
+    )
+    echo(
+        f"campaign {spec.name}: {len(report.executed)} executed, "
+        f"{len(report.skipped)} skipped, {len(report.failed)} failed "
+        f"in {report.wall_time_s:.1f}s"
+    )
+    for record in report.records:
+        if record.outcome == "failed":
+            log.error("run %s failed:\n%s", record.run_id, record.error)
+    return 0 if report.ok else 1
+
+
+def _cmd_status(args, log) -> int:
+    campaign_dir = Path(args.campaign_dir)
+    if not campaign_dir.is_dir():
+        log.error("no such campaign directory: %s", campaign_dir)
+        return 2
+    store = ArtifactStore(campaign_dir.parent)
+    statuses = store.statuses(campaign_dir.name)
+    if not statuses:
+        echo(f"{campaign_dir}: no runs")
+        return 0
+    complete = sum(1 for s in statuses if s.state == "complete")
+    echo(f"{campaign_dir.name}: {complete}/{len(statuses)} runs complete")
+    for s in statuses:
+        wall = f"{s.wall_time_s:.2f}s" if s.wall_time_s is not None else "-"
+        echo(f"  {s.run_id}  {s.state:<10} stage={s.stage} target={s.target} wall={wall}")
+    return 0 if complete == len(statuses) else 1
+
+
+def _cmd_reproduce(args, log) -> int:
+    report = reproduce_run(args.manifest, tolerance=args.tolerance)
+    if report.matched:
+        exact = "byte-identical" if report.byte_identical else (
+            f"within tolerance {report.tolerance:g}"
+        )
+        echo(f"run {report.run_id} ({report.target}): REPRODUCED ({exact})")
+    else:
+        echo(f"run {report.run_id} ({report.target}): MISMATCH")
+        for m in report.mismatches:
+            echo(f"  {m.key}: recorded={m.expected!r} reproduced={m.actual!r}")
+    if report.resolution_drift:
+        log.warning(
+            "resolution drift (same params resolve differently today): %s",
+            ", ".join(report.resolution_drift),
+        )
+    return 0 if report.matched else 1
+
+
+def _cmd_diff(args, log) -> int:
+    diff = diff_runs(args.run_a, args.run_b)
+    echo(f"diff {diff.run_a} vs {diff.run_b}")
+    if diff.identical:
+        echo("  identical (recipe, provenance, and summary)")
+        return 0
+    for title, changes in (
+        ("recipe", diff.config_changes),
+        ("provenance", diff.provenance_changes),
+        ("summary", diff.summary_changes),
+    ):
+        for change in changes:
+            echo(f"  {title}: {change.key}: {change.a!r} -> {change.b!r}")
+    return 1
+
+
+def _cmd_targets(args, log) -> int:
+    for name in DEFAULT_REGISTRY.names():
+        doc = (type(DEFAULT_REGISTRY.get(name)).__doc__ or "").strip()
+        echo(f"{name:<14} {doc.splitlines()[0] if doc else ''}")
+    return 0
+
+
+def _cmd_specs(args, log) -> int:
+    for name, spec in sorted(builtin_specs().items()):
+        stages = ", ".join(s.name for s in spec.stages)
+        echo(f"{name:<16} {spec.n_runs} runs ({stages})")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "status": _cmd_status,
+    "reproduce": _cmd_reproduce,
+    "diff": _cmd_diff,
+    "targets": _cmd_targets,
+    "specs": _cmd_specs,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = get_console_logger(
+        verbose=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", 0)
+    )
+    try:
+        return _COMMANDS[args.command](args, log)
+    except (FileNotFoundError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        log.error("%s", exc)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""Diffing two runs: what changed in the recipe, what changed in the result.
+
+``propack-campaign diff <run_a> <run_b>`` answers "these two runs disagree
+— why?" by diffing the flattened manifests (config, seed, code tier) and
+the flattened summaries side by side. Nested dicts flatten to dotted keys
+(``platform_profile.gb_second_usd``), lists to indexed keys
+(``concurrencies.2``), so a single coefficient change is one line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Union
+
+from repro.harness.artifacts import MANIFEST_FILE, SUMMARY_FILE
+from repro.harness.manifest import RunManifest
+
+
+def flatten(value: Any, prefix: str = "") -> dict[str, Any]:
+    """Nested dicts/lists → ``{dotted.key: scalar}``."""
+    out: dict[str, Any] = {}
+    if isinstance(value, dict):
+        for key in sorted(value):
+            out.update(flatten(value[key], f"{prefix}{key}."))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            out.update(flatten(item, f"{prefix}{i}."))
+    else:
+        out[prefix[:-1]] = value
+    return out
+
+
+@dataclass(frozen=True)
+class FieldChange:
+    key: str
+    a: Any
+    b: Any
+
+
+@dataclass
+class RunDiff:
+    """Structured diff of two run directories."""
+
+    run_a: str
+    run_b: str
+    config_changes: list[FieldChange] = field(default_factory=list)
+    provenance_changes: list[FieldChange] = field(default_factory=list)
+    summary_changes: list[FieldChange] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not (
+            self.config_changes or self.provenance_changes or self.summary_changes
+        )
+
+
+def _changes(a: dict[str, Any], b: dict[str, Any]) -> list[FieldChange]:
+    flat_a, flat_b = flatten(a), flatten(b)
+    return [
+        FieldChange(key=k, a=flat_a.get(k, "<missing>"), b=flat_b.get(k, "<missing>"))
+        for k in sorted(set(flat_a) | set(flat_b))
+        if flat_a.get(k, "<missing>") != flat_b.get(k, "<missing>")
+    ]
+
+
+def diff_runs(dir_a: Union[str, Path], dir_b: Union[str, Path]) -> RunDiff:
+    """Diff two completed run directories (each holding manifest+summary)."""
+    dir_a, dir_b = Path(dir_a), Path(dir_b)
+    man_a = RunManifest.load(dir_a / MANIFEST_FILE)
+    man_b = RunManifest.load(dir_b / MANIFEST_FILE)
+    sum_a = json.loads((dir_a / SUMMARY_FILE).read_text())
+    sum_b = json.loads((dir_b / SUMMARY_FILE).read_text())
+    recipe_a = {"seed": man_a.seed, "target": man_a.target, **man_a.resolved_config}
+    recipe_b = {"seed": man_b.seed, "target": man_b.target, **man_b.resolved_config}
+    prov_a = {
+        "package_version": man_a.package_version,
+        "git_sha": man_a.git_sha,
+        "campaign": man_a.campaign,
+        "stage": man_a.stage,
+    }
+    prov_b = {
+        "package_version": man_b.package_version,
+        "git_sha": man_b.git_sha,
+        "campaign": man_b.campaign,
+        "stage": man_b.stage,
+    }
+    return RunDiff(
+        run_a=man_a.run_id,
+        run_b=man_b.run_id,
+        config_changes=_changes(recipe_a, recipe_b),
+        provenance_changes=_changes(prov_a, prov_b),
+        summary_changes=_changes(sum_a, sum_b),
+    )

@@ -1,0 +1,254 @@
+"""Campaign execution: bounded parallelism, retry-on-flake, resume.
+
+The executor walks the planned run DAG in topological waves. Within a
+wave, independent runs execute either in-process (``parallelism=1``, the
+default — and the only mode for targets registered after interpreter
+start on spawn-based platforms) or on a ``ProcessPoolExecutor`` with
+``parallelism`` workers. Each run:
+
+* is **skipped** when its artifact directory already holds a complete
+  ``manifest.json`` + ``summary.json`` pair whose manifest matches the
+  plan (that is resumability — a killed sweep re-executes only unfinished
+  runs, and because manifests carry no wall-clock state the resumed
+  campaign's artifacts are byte-identical to an uninterrupted one);
+* is **retried** with the *same seed* up to ``max_retries`` extra
+  attempts when the target raises (retry-on-flake; seeded sims are
+  deterministic, so a genuine failure fails every attempt and surfaces);
+* writes its manifest before execution, so an interrupted run leaves an
+  ``incomplete`` directory that ``status`` can show and resume re-runs.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.harness.artifacts import ArtifactStore
+from repro.harness.manifest import RunManifest
+from repro.harness.planner import CampaignPlan, PlannedRun, plan_campaign
+from repro.harness.spec import CampaignSpec
+from repro.harness.targets import DEFAULT_REGISTRY, TargetRegistry
+
+
+@dataclass
+class RunRecord:
+    """How one planned run fared in this invocation."""
+
+    run_id: str
+    stage: str
+    outcome: str  # "executed" | "skipped" | "failed"
+    attempts: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignReport:
+    """Everything one :meth:`CampaignExecutor.run` invocation did."""
+
+    campaign: str
+    records: list[RunRecord] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    def _ids(self, outcome: str) -> list[str]:
+        return [r.run_id for r in self.records if r.outcome == outcome]
+
+    @property
+    def executed(self) -> list[str]:
+        return self._ids("executed")
+
+    @property
+    def skipped(self) -> list[str]:
+        return self._ids("skipped")
+
+    @property
+    def failed(self) -> list[str]:
+        return self._ids("failed")
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def execute_manifest(
+    manifest: RunManifest,
+    registry: Optional[TargetRegistry] = None,
+    max_retries: int = 0,
+):
+    """Run one manifest's target; returns ``(RunOutput, attempts)``.
+
+    Shared by the executor, the worker processes, and ``reproduce`` — a
+    reproduced run goes through exactly the code path that produced it.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    target = registry.get(manifest.target)
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return target.execute(manifest.resolved_config, manifest.seed), attempts
+        except Exception:
+            if attempts > max_retries:
+                raise
+
+
+def _pool_worker(root: str, manifest_dict: dict, max_retries: int) -> RunRecord:
+    """Module-level so ``ProcessPoolExecutor`` can pickle it; targets must
+    come from the default registry (built-ins register at import)."""
+    manifest = RunManifest.from_dict(manifest_dict)
+    store = ArtifactStore(root)
+    return _execute_and_store(store, manifest, DEFAULT_REGISTRY, max_retries)
+
+
+def _execute_and_store(
+    store: ArtifactStore,
+    manifest: RunManifest,
+    registry: TargetRegistry,
+    max_retries: int,
+) -> RunRecord:
+    store.begin_run(manifest)
+    start = time.perf_counter()
+    try:
+        output, attempts = execute_manifest(manifest, registry, max_retries)
+    except Exception as exc:
+        return RunRecord(
+            run_id=manifest.run_id,
+            stage=manifest.stage,
+            outcome="failed",
+            attempts=max_retries + 1,
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+        )
+    wall = time.perf_counter() - start
+    store.finish_run(
+        manifest,
+        output.summary,
+        metrics_jsonl=output.metrics_jsonl,
+        runtime={"wall_time_s": round(wall, 6), "attempts": attempts},
+    )
+    return RunRecord(
+        run_id=manifest.run_id,
+        stage=manifest.stage,
+        outcome="executed",
+        attempts=attempts,
+    )
+
+
+class CampaignExecutor:
+    """Runs campaign plans against one artifact store."""
+
+    def __init__(
+        self,
+        store: Union[ArtifactStore, str, Path],
+        registry: Optional[TargetRegistry] = None,
+    ) -> None:
+        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        self.registry = registry or DEFAULT_REGISTRY
+
+    # ------------------------------------------------------------------ #
+    def _should_skip(self, planned: PlannedRun) -> bool:
+        manifest = planned.manifest
+        if not self.store.is_complete(manifest.campaign, manifest.run_id):
+            return False
+        existing = self.store.load_manifest(manifest.campaign, manifest.run_id)
+        return existing == manifest
+
+    def run(
+        self,
+        spec_or_plan: Union[CampaignSpec, CampaignPlan],
+        parallelism: Optional[int] = None,
+        max_retries: Optional[int] = None,
+    ) -> CampaignReport:
+        """Execute (or resume) a campaign.
+
+        ``parallelism`` / ``max_retries`` default to the spec's values.
+        A run whose dependency failed is reported as ``failed`` with a
+        ``dependency failed`` error and never executed.
+        """
+        plan = (
+            spec_or_plan
+            if isinstance(spec_or_plan, CampaignPlan)
+            else plan_campaign(spec_or_plan, self.registry)
+        )
+        spec = plan.spec
+        workers = spec.parallelism if parallelism is None else parallelism
+        retries = spec.max_retries if max_retries is None else max_retries
+        started = time.perf_counter()
+        report = CampaignReport(campaign=spec.name)
+
+        done: set[str] = set()
+        failed: set[str] = set()
+        pool = (
+            ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
+        )
+        try:
+            while len(done) + len(failed) < len(plan):
+                wave = [
+                    run_id
+                    for run_id in plan.dag.ready(done)
+                    if run_id not in failed
+                ]
+                # Runs gated on a failed dependency can never become ready.
+                stranded = [
+                    r.run_id
+                    for r in plan.runs
+                    if r.run_id not in done
+                    and r.run_id not in failed
+                    and any(dep in failed for dep in r.depends_on)
+                ]
+                for run_id in stranded:
+                    failed.add(run_id)
+                    planned = plan.run(run_id)
+                    report.records.append(
+                        RunRecord(
+                            run_id=run_id,
+                            stage=planned.stage,
+                            outcome="failed",
+                            error="dependency failed",
+                        )
+                    )
+                wave = [r for r in wave if r not in failed]
+                if not wave:
+                    break
+                pending: list[PlannedRun] = []
+                for run_id in wave:
+                    planned = plan.run(run_id)
+                    if self._should_skip(planned):
+                        done.add(run_id)
+                        report.records.append(
+                            RunRecord(
+                                run_id=run_id, stage=planned.stage, outcome="skipped"
+                            )
+                        )
+                    else:
+                        pending.append(planned)
+                if pool is not None and pending:
+                    futures = [
+                        pool.submit(
+                            _pool_worker,
+                            str(self.store.root),
+                            planned.manifest.as_dict(),
+                            retries,
+                        )
+                        for planned in pending
+                    ]
+                    records = [f.result() for f in futures]
+                else:
+                    records = [
+                        _execute_and_store(
+                            self.store, planned.manifest, self.registry, retries
+                        )
+                        for planned in pending
+                    ]
+                for record in records:
+                    report.records.append(record)
+                    (done if record.outcome == "executed" else failed).add(
+                        record.run_id
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        report.wall_time_s = time.perf_counter() - started
+        return report

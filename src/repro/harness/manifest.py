@@ -1,0 +1,131 @@
+"""Per-run provenance manifests.
+
+A :class:`RunManifest` is the complete recipe for one campaign run: the
+target that executed it, the raw sweep-point parameters, the target's
+fully-resolved configuration, the seed, and the code tier (package version
+plus git SHA when the tree is available). ``propack-campaign reproduce``
+re-runs a manifest and asserts that ``summary.json`` comes back identical,
+so manifests deliberately contain **no wall-clock state** — two manifests
+for the same (target, params, seed) are byte-identical regardless of when
+or in how many interrupted attempts they were produced. Wall-clock timing
+lives in the run's ``runtime.json`` sidecar, outside the identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+#: Bumped whenever the manifest layout changes incompatibly.
+MANIFEST_SCHEMA = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(target: str, resolved_config: Mapping[str, Any], seed: int) -> str:
+    """Deterministic run identity: hash of the fully-resolved recipe."""
+    basis = canonical_json(
+        {"target": target, "config": resolved_config, "seed": seed}
+    )
+    return hashlib.sha256(basis.encode()).hexdigest()
+
+
+def package_version() -> str:
+    """The installed ``repro`` version (pyproject's, not importlib's, when
+    running from a source tree on ``PYTHONPATH``)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return "unknown"
+
+
+def git_sha(root: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The current commit SHA, or ``None`` outside a git checkout."""
+    if root is None:
+        root = Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything needed to re-execute one run and check the result."""
+
+    campaign: str
+    stage: str
+    target: str
+    params: dict[str, Any]
+    resolved_config: dict[str, Any]
+    seed: int
+    run_id: str = ""
+    package_version: str = field(default_factory=package_version)
+    git_sha: Optional[str] = field(default_factory=git_sha)
+    schema: int = MANIFEST_SCHEMA
+
+    def __post_init__(self) -> None:
+        # Normalize through JSON so in-memory manifests compare equal to
+        # reloaded ones (tuples become lists, keys become strings): resume
+        # detection relies on plain dataclass equality.
+        object.__setattr__(self, "params", json.loads(canonical_json(self.params)))
+        object.__setattr__(
+            self,
+            "resolved_config",
+            json.loads(canonical_json(self.resolved_config)),
+        )
+        expected = self.derive_run_id()
+        if not self.run_id:
+            object.__setattr__(self, "run_id", expected)
+        elif self.run_id != expected:
+            raise ValueError(
+                f"run_id {self.run_id!r} does not match the resolved config "
+                f"(expected {expected!r}) — the manifest was edited or the "
+                "target's resolution changed"
+            )
+
+    def derive_run_id(self) -> str:
+        return config_digest(self.target, self.resolved_config, self.seed)[:16]
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunManifest":
+        data = dict(payload)
+        schema = data.get("schema", MANIFEST_SCHEMA)
+        if schema != MANIFEST_SCHEMA:
+            raise ValueError(f"unsupported manifest schema {schema!r}")
+        unknown = set(data) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(f"unknown manifest keys: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,113 @@
+"""Campaign planning: spec → run DAG.
+
+:func:`plan_campaign` expands every stage's ``axes × seeds`` grid into
+:class:`PlannedRun` s, resolves each grid point through its target (so the
+manifest is written *before* execution and is identical whether the run
+later succeeds, flakes, or is resumed), and wires the barrier dependencies
+into a :class:`repro.workflows.dag.TaskGraph` keyed by run id. Run ids are
+content hashes of ``(target, resolved config, seed)`` — planning the same
+spec twice yields the same ids, which is what makes resume detection and
+killed-vs-uninterrupted manifest identity trivial.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.harness.manifest import RunManifest
+from repro.harness.spec import CampaignSpec, SweepStage
+from repro.harness.targets import DEFAULT_REGISTRY, TargetRegistry
+from repro.workflows.dag import TaskGraph
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One grid point, fully resolved and ready to execute."""
+
+    manifest: RunManifest
+    depends_on: tuple[str, ...]  # run ids of barrier dependencies
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest.run_id
+
+    @property
+    def stage(self) -> str:
+        return self.manifest.stage
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The expanded campaign: runs + their dependency DAG."""
+
+    spec: CampaignSpec
+    runs: tuple[PlannedRun, ...]
+    dag: TaskGraph
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def run(self, run_id: str) -> PlannedRun:
+        for planned in self.runs:
+            if planned.run_id == run_id:
+                return planned
+        raise KeyError(f"no planned run {run_id!r}")
+
+    def by_stage(self, stage: str) -> list[PlannedRun]:
+        return [r for r in self.runs if r.stage == stage]
+
+
+def expand_stage(stage: SweepStage) -> list[tuple[dict[str, Any], int]]:
+    """All ``(params, seed)`` grid points of one stage, in deterministic
+    axis-major order (axes in declaration order, then seeds)."""
+    axis_names = list(stage.axes)
+    points: list[tuple[dict[str, Any], int]] = []
+    for combo in itertools.product(*(stage.axes[a] for a in axis_names)):
+        params = dict(stage.params)
+        params.update(zip(axis_names, combo))
+        for seed in stage.seeds:
+            points.append((params, seed))
+    return points
+
+
+def plan_campaign(
+    spec: CampaignSpec,
+    registry: Optional[TargetRegistry] = None,
+) -> CampaignPlan:
+    """Expand and resolve ``spec`` into an executable :class:`CampaignPlan`."""
+    registry = registry or DEFAULT_REGISTRY
+    runs: list[PlannedRun] = []
+    stage_run_ids: dict[str, list[str]] = {}
+    seen: dict[str, str] = {}
+    for stage in spec.stages:
+        target = registry.get(stage.target)
+        barrier = tuple(
+            run_id for dep in stage.depends_on for run_id in stage_run_ids[dep]
+        )
+        ids: list[str] = []
+        for params, seed in expand_stage(stage):
+            manifest = RunManifest(
+                campaign=spec.name,
+                stage=stage.name,
+                target=stage.target,
+                params=params,
+                resolved_config=target.resolve(params),
+                seed=seed,
+            )
+            if manifest.run_id in seen:
+                raise ValueError(
+                    f"duplicate grid point: stages {seen[manifest.run_id]!r} and "
+                    f"{stage.name!r} both plan run {manifest.run_id} "
+                    f"(same target, resolved config, and seed)"
+                )
+            seen[manifest.run_id] = stage.name
+            ids.append(manifest.run_id)
+            runs.append(PlannedRun(manifest=manifest, depends_on=barrier))
+        stage_run_ids[stage.name] = ids
+    dag = TaskGraph(
+        [r.run_id for r in runs],
+        [(dep, r.run_id) for r in runs for dep in r.depends_on],
+    )
+    return CampaignPlan(spec=spec, runs=tuple(runs), dag=dag)

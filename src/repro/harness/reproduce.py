@@ -1,0 +1,125 @@
+"""Reproduce a run from its manifest and check the summary matches.
+
+``propack-campaign reproduce <manifest.json>`` re-executes the manifest's
+target from the *stored* resolved config (not a re-resolution — the
+manifest is the authority) and compares every ``summary.json`` scalar.
+The default tolerance is ``0.0``: seeded simulations are byte-exact, so
+any drift is a real regression. A relative tolerance can be passed for
+targets with intentional nondeterminism.
+
+The report also flags **resolution drift**: parameters that no longer
+resolve to the stored config under the current code (e.g. a re-tuned
+platform profile). Drift does not fail the reproduction — the stored
+config still executed — but it tells you the same spec would plan a
+different run today.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.harness.artifacts import SUMMARY_FILE, summary_json
+from repro.harness.diffing import flatten
+from repro.harness.executor import execute_manifest
+from repro.harness.manifest import RunManifest
+from repro.harness.targets import DEFAULT_REGISTRY, TargetRegistry
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    key: str
+    expected: Any
+    actual: Any
+
+
+@dataclass
+class ReproduceReport:
+    """The verdict of one reproduction."""
+
+    run_id: str
+    target: str
+    matched: bool
+    byte_identical: bool
+    tolerance: float
+    mismatches: list[Mismatch] = field(default_factory=list)
+    resolution_drift: list[str] = field(default_factory=list)
+    reproduced_summary: dict[str, Any] = field(default_factory=dict)
+
+
+def _values_match(expected: Any, actual: Any, tolerance: float) -> bool:
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if tolerance <= 0.0:
+            return expected == actual
+        scale = max(abs(float(expected)), abs(float(actual)), 1e-12)
+        return abs(float(expected) - float(actual)) <= tolerance * scale
+    return expected == actual
+
+
+def compare_summaries(
+    expected: dict[str, Any],
+    actual: dict[str, Any],
+    tolerance: float = 0.0,
+) -> list[Mismatch]:
+    """All differing flattened keys (missing keys are mismatches too)."""
+    flat_expected = flatten(expected)
+    flat_actual = flatten(actual)
+    mismatches: list[Mismatch] = []
+    for key in sorted(set(flat_expected) | set(flat_actual)):
+        exp = flat_expected.get(key, "<missing>")
+        act = flat_actual.get(key, "<missing>")
+        if key not in flat_expected or key not in flat_actual:
+            mismatches.append(Mismatch(key=key, expected=exp, actual=act))
+        elif not _values_match(exp, act, tolerance):
+            mismatches.append(Mismatch(key=key, expected=exp, actual=act))
+    return mismatches
+
+
+def reproduce_run(
+    manifest_path: Union[str, Path],
+    registry: Optional[TargetRegistry] = None,
+    tolerance: float = 0.0,
+) -> ReproduceReport:
+    """Re-execute ``manifest_path``'s run and compare against its
+    recorded ``summary.json`` (which must sit next to the manifest)."""
+    registry = registry or DEFAULT_REGISTRY
+    manifest_path = Path(manifest_path)
+    manifest = RunManifest.load(manifest_path)
+    summary_path = manifest_path.parent / SUMMARY_FILE
+    if not summary_path.exists():
+        raise FileNotFoundError(
+            f"{summary_path}: the run is incomplete — nothing to reproduce"
+        )
+    recorded = json.loads(summary_path.read_text())
+
+    output, _ = execute_manifest(manifest, registry)
+    mismatches = compare_summaries(recorded, output.summary, tolerance)
+    byte_identical = summary_json(output.summary) == summary_path.read_text()
+
+    drift: list[str] = []
+    try:
+        resolved_now = registry.get(manifest.target).resolve(manifest.params)
+        normalized = json.loads(json.dumps(resolved_now, sort_keys=True))
+        if normalized != manifest.resolved_config:
+            flat_old = flatten(manifest.resolved_config)
+            flat_new = flatten(normalized)
+            drift = sorted(
+                k
+                for k in set(flat_old) | set(flat_new)
+                if flat_old.get(k) != flat_new.get(k)
+            )
+    except Exception as exc:
+        drift = [f"<resolution failed: {type(exc).__name__}: {exc}>"]
+
+    return ReproduceReport(
+        run_id=manifest.run_id,
+        target=manifest.target,
+        matched=not mismatches,
+        byte_identical=byte_identical,
+        tolerance=tolerance,
+        mismatches=mismatches,
+        resolution_drift=drift,
+        reproduced_summary=output.summary,
+    )

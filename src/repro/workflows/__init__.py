@@ -13,12 +13,13 @@ application — and plans every stage's packing degree with ProPack:
   per-stage ProPack packing or the unpacked baseline.
 """
 
-from repro.workflows.dag import Stage, WorkflowGraph
+from repro.workflows.dag import Stage, TaskGraph, WorkflowGraph
 from repro.workflows.deadline import DeadlinePlan, DeadlinePlanner
 from repro.workflows.executor import StageOutcome, WorkflowResult, WorkflowRunner
 
 __all__ = [
     "Stage",
+    "TaskGraph",
     "WorkflowGraph",
     "StageOutcome",
     "WorkflowResult",

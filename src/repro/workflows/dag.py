@@ -1,13 +1,82 @@
-"""Workflow DAG definition and analysis."""
+"""Workflow DAG definition and analysis.
+
+Two layers live here:
+
+* :class:`TaskGraph` — a validated DAG over opaque task names. It is the
+  generic dependency substrate: :class:`WorkflowGraph` uses it for
+  sim-level stage DAGs, and ``repro.harness.planner`` builds campaign run
+  DAGs on it (sweep stages with barrier dependencies).
+* :class:`WorkflowGraph` — the simulation-facing DAG of
+  :class:`Stage` bursts (apps × concurrency with ``depends_on`` edges).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import networkx as nx
 
 from repro.workloads.base import AppSpec
+
+
+class TaskGraph:
+    """A validated DAG over opaque task names.
+
+    ``edges`` are ``(dependency, dependent)`` pairs: the second task may
+    only start once the first has completed. Duplicate names, unknown
+    endpoints, self-loops, and cycles are rejected at construction.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[str],
+        edges: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        if not nodes:
+            raise ValueError("a task graph needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("duplicate task names")
+        known = set(nodes)
+        self.graph = nx.DiGraph()
+        self.graph.add_nodes_from(nodes)
+        for dep, node in edges:
+            if dep not in known:
+                raise ValueError(f"{node}: unknown dependency {dep!r}")
+            if node not in known:
+                raise ValueError(f"unknown task {node!r}")
+            if dep == node:
+                raise ValueError(f"{node}: a task cannot depend on itself")
+            self.graph.add_edge(dep, node)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            cycle = nx.find_cycle(self.graph)
+            raise ValueError(f"task graph has a cycle: {cycle}")
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def topological_order(self) -> list[str]:
+        return list(nx.topological_sort(self.graph))
+
+    def roots(self) -> list[str]:
+        return [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+
+    def sinks(self) -> list[str]:
+        return [n for n in self.graph.nodes if self.graph.out_degree(n) == 0]
+
+    def dependencies(self, name: str) -> list[str]:
+        return sorted(self.graph.predecessors(name))
+
+    def ready(self, completed: Iterable[str]) -> list[str]:
+        """Tasks whose every dependency is in ``completed``, in topological
+        order (completed tasks themselves are excluded)."""
+        done = set(completed)
+        return [
+            n
+            for n in self.topological_order()
+            if n not in done
+            and all(dep in done for dep in self.graph.predecessors(n))
+        ]
 
 
 @dataclass(frozen=True)
@@ -39,32 +108,24 @@ class WorkflowGraph:
     def __init__(self, stages: Sequence[Stage]) -> None:
         if not stages:
             raise ValueError("a workflow needs at least one stage")
-        names = [s.name for s in stages]
-        if len(set(names)) != len(names):
-            raise ValueError("duplicate stage names")
         self.stages: dict[str, Stage] = {s.name: s for s in stages}
-        self.graph = nx.DiGraph()
-        self.graph.add_nodes_from(names)
-        for stage in stages:
-            for dep in stage.depends_on:
-                if dep not in self.stages:
-                    raise ValueError(f"{stage.name}: unknown dependency {dep!r}")
-                self.graph.add_edge(dep, stage.name)
-        if not nx.is_directed_acyclic_graph(self.graph):
-            cycle = nx.find_cycle(self.graph)
-            raise ValueError(f"workflow has a cycle: {cycle}")
+        self.tasks = TaskGraph(
+            [s.name for s in stages],
+            [(dep, s.name) for s in stages for dep in s.depends_on],
+        )
+        self.graph = self.tasks.graph
 
     def __len__(self) -> int:
         return len(self.stages)
 
     def topological_order(self) -> list[Stage]:
-        return [self.stages[name] for name in nx.topological_sort(self.graph)]
+        return [self.stages[name] for name in self.tasks.topological_order()]
 
     def roots(self) -> list[str]:
-        return [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+        return self.tasks.roots()
 
     def sinks(self) -> list[str]:
-        return [n for n in self.graph.nodes if self.graph.out_degree(n) == 0]
+        return self.tasks.sinks()
 
     def critical_path(self, durations: dict[str, float]) -> tuple[list[str], float]:
         """Longest path through the DAG under per-stage ``durations``.

@@ -1,8 +1,9 @@
 """Import-layering gate: ``repro.engine`` never imports its consumers.
 
 The engine is the bottom of the dispatch stack (docs/ARCHITECTURE.md):
-``serving``, ``extensions``, ``resilience``, and ``remediation`` build on
-it, so an engine → consumer import would be a cycle waiting to happen and
+``serving``, ``extensions``, ``resilience``, ``remediation``, and the
+``harness`` campaign runner build on it, so an engine → consumer import
+would be a cycle waiting to happen and
 would let consumer semantics leak into the shared lifecycle. Checked two
 ways: statically (AST scan of every engine module, which also catches
 imports hidden inside functions) and dynamically (importing
@@ -23,6 +24,7 @@ FORBIDDEN = (
     "repro.extensions",
     "repro.resilience",
     "repro.remediation",
+    "repro.harness",
 )
 
 ENGINE_DIR = pathlib.Path(repro.engine.__file__).parent

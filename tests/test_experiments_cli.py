@@ -1,0 +1,86 @@
+"""``propack-experiments`` CLI: argument parsing and figure selection."""
+
+import pytest
+
+import repro.experiments.cli as cli
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.tables import FigureResult
+
+
+@pytest.fixture()
+def stub_figures(monkeypatch):
+    """Replace the (slow) figure registry with instant stubs that record
+    which figures ran and with what config."""
+    calls = []
+
+    def figure(name):
+        def run(ctx):
+            """Stub figure for CLI tests."""
+            calls.append((name, ctx.config))
+            return FigureResult(
+                figure_id=name,
+                title=f"stub {name}",
+                columns=["x", "y"],
+                rows=[{"x": 1, "y": 2.0}],
+            )
+
+        return run
+
+    registry = {"figA": figure("figA"), "figB": figure("figB")}
+    monkeypatch.setattr(cli, "ALL_FIGURES", registry)
+    return calls
+
+
+def test_list_prints_every_figure_id(capsys):
+    assert cli.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ALL_FIGURES:
+        assert name in out
+
+
+def test_no_figures_is_a_usage_error():
+    assert cli.main([]) == 2
+
+
+def test_unknown_figure_is_a_usage_error(stub_figures):
+    assert cli.main(["figA", "nope", "-q"]) == 2
+    assert stub_figures == []  # nothing ran
+
+
+def test_selected_figures_run_in_request_order(stub_figures, capsys):
+    assert cli.main(["figB", "figA", "-q"]) == 0
+    assert [name for name, _ in stub_figures] == ["figB", "figA"]
+    assert "stub figB" in capsys.readouterr().out
+
+
+def test_all_expands_to_the_whole_registry(stub_figures):
+    assert cli.main(["all", "-q"]) == 0
+    assert [name for name, _ in stub_figures] == ["figA", "figB"]
+
+
+def test_quick_and_seed_flags_shape_the_config(stub_figures):
+    assert cli.main(["figA", "--quick", "--seed", "123", "-q"]) == 0
+    [(_, config)] = stub_figures
+    assert config.seed == 123
+    # Quick grids are strictly smaller than the full ones.
+    from repro.experiments.config import ExperimentConfig
+
+    assert config.repetitions == ExperimentConfig.quick().repetitions
+    assert config.repetitions < ExperimentConfig.full().repetitions
+
+
+def test_default_config_is_the_full_grid(stub_figures):
+    assert cli.main(["figA", "-q"]) == 0
+    [(_, config)] = stub_figures
+    from repro.experiments.config import ExperimentConfig
+
+    assert config == ExperimentConfig.full()
+
+
+def test_out_writes_rendered_tables_to_a_file(stub_figures, tmp_path, capsys):
+    out_file = tmp_path / "tables.md"
+    assert cli.main(["figA", "--markdown", "--out", str(out_file), "-q"]) == 0
+    text = out_file.read_text()
+    assert "stub figA" in text and "|" in text
+    # Nothing rendered to stdout when --out is given.
+    assert "stub figA" not in capsys.readouterr().out

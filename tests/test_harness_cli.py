@@ -1,0 +1,112 @@
+"""``propack-campaign`` CLI: run/status/reproduce/diff and error paths."""
+
+import json
+
+import pytest
+
+from repro.harness import CampaignSpec, SweepStage, plan_campaign
+from repro.harness.cli import main
+from repro.harness.spec import builtin_specs
+
+
+@pytest.fixture()
+def quickstart_root(tmp_path):
+    """A completed quickstart campaign under ``tmp_path / results``."""
+    root = tmp_path / "results"
+    assert main(["run", "quickstart", "--root", str(root), "-q"]) == 0
+    return root
+
+
+def _quickstart_run_dirs(root):
+    plan = plan_campaign(builtin_specs()["quickstart"])
+    return [root / "quickstart" / planned.run_id for planned in plan.runs]
+
+
+def test_run_executes_builtin_spec_and_resumes(quickstart_root, capsys):
+    for run_dir in _quickstart_run_dirs(quickstart_root):
+        assert (run_dir / "summary.json").exists()
+    # Second invocation resumes: everything is skipped.
+    assert main(["run", "quickstart", "--root", str(quickstart_root), "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "0 executed, 3 skipped, 0 failed" in out
+
+
+def test_run_accepts_spec_file_and_parallelism(tmp_path, capsys):
+    spec = CampaignSpec(
+        name="from-file",
+        stages=(
+            SweepStage(
+                name="s",
+                target="burst",
+                params={"app": "sort", "packing_degree": 2},
+                axes={"concurrency": (8, 16)},
+                seeds=(3,),
+            ),
+        ),
+    )
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(spec.to_json())
+    root = tmp_path / "results"
+    code = main(
+        ["run", str(spec_path), "--root", str(root), "--parallelism", "2", "-q"]
+    )
+    assert code == 0
+    assert "2 executed" in capsys.readouterr().out
+
+
+def test_run_dry_run_prints_plan_without_artifacts(tmp_path, capsys):
+    root = tmp_path / "results"
+    assert main(["run", "smoke", "--root", str(root), "--dry-run", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign smoke: 4 runs" in out
+    assert not root.exists()
+
+
+def test_run_rejects_unknown_spec(tmp_path):
+    with pytest.raises(SystemExit, match="neither a built-in spec"):
+        main(["run", "no-such-spec", "--root", str(tmp_path), "-q"])
+
+
+def test_status_reports_completion_and_detects_gaps(quickstart_root, capsys):
+    campaign_dir = quickstart_root / "quickstart"
+    assert main(["status", str(campaign_dir), "-q"]) == 0
+    assert "3/3 runs complete" in capsys.readouterr().out
+    # Remove one summary: status exits non-zero and flags the hole.
+    run_dir = _quickstart_run_dirs(quickstart_root)[0]
+    (run_dir / "summary.json").unlink()
+    assert main(["status", str(campaign_dir), "-q"]) == 1
+    assert "2/3 runs complete" in capsys.readouterr().out
+    # Missing directory is a usage error.
+    assert main(["status", str(quickstart_root / "ghost"), "-q"]) == 2
+
+
+def test_reproduce_passes_then_fails_after_tamper(quickstart_root, capsys):
+    run_dir = _quickstart_run_dirs(quickstart_root)[0]
+    manifest = run_dir / "manifest.json"
+    assert main(["reproduce", str(manifest), "-q"]) == 0
+    assert "REPRODUCED (byte-identical)" in capsys.readouterr().out
+    summary = json.loads((run_dir / "summary.json").read_text())
+    summary["expense_usd"] *= 2
+    (run_dir / "summary.json").write_text(json.dumps(summary))
+    assert main(["reproduce", str(manifest), "-q"]) == 1
+    assert "MISMATCH" in capsys.readouterr().out
+    assert main(["reproduce", str(run_dir / "nope.json"), "-q"]) == 2
+
+
+def test_diff_compares_two_runs(quickstart_root, capsys):
+    dirs = _quickstart_run_dirs(quickstart_root)
+    assert main(["diff", str(dirs[0]), str(dirs[0]), "-q"]) == 0
+    assert "identical" in capsys.readouterr().out
+    assert main(["diff", str(dirs[0]), str(dirs[1]), "-q"]) == 1
+    out = capsys.readouterr().out
+    assert "recipe: concurrency:" in out
+
+
+def test_targets_and_specs_listings(capsys):
+    assert main(["targets", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "burst" in out and "experiment" in out
+    assert main(["specs", "-q"]) == 0
+    out = capsys.readouterr().out
+    for name in builtin_specs():
+        assert name in out

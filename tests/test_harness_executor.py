@@ -1,0 +1,228 @@
+"""Campaign execution: artifacts, resume, retry-on-flake, failure gating."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.harness import (
+    ArtifactStore,
+    CampaignExecutor,
+    CampaignSpec,
+    SweepStage,
+    plan_campaign,
+)
+from repro.harness.targets import RunOutput, TargetRegistry, make_target
+
+
+def _tiny_spec(name="tiny", seeds=(11,), concurrencies=(8, 16)):
+    """A fast two-stage burst campaign with a barrier edge."""
+    return CampaignSpec(
+        name=name,
+        stages=(
+            SweepStage(
+                name="baseline",
+                target="burst",
+                params={"app": "sort", "packing_degree": 1},
+                axes={"concurrency": concurrencies},
+                seeds=seeds,
+            ),
+            SweepStage(
+                name="packed",
+                target="burst",
+                params={"app": "sort", "packing_degree": 4, "concurrency": 8},
+                seeds=seeds,
+                depends_on=("baseline",),
+            ),
+        ),
+    )
+
+
+def _tree(root):
+    """{relative artifact path: bytes} for every manifest/summary file."""
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*.json"))
+        if p.name in ("manifest.json", "summary.json")
+    }
+
+
+def test_campaign_executes_and_writes_full_artifact_layout(tmp_path):
+    spec = _tiny_spec()
+    executor = CampaignExecutor(ArtifactStore(tmp_path))
+    report = executor.run(spec)
+    assert report.ok
+    assert len(report.executed) == 3 and not report.skipped
+    plan = plan_campaign(spec)
+    for planned in plan.runs:
+        run_dir = tmp_path / spec.name / planned.run_id
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "summary.json").exists()
+        assert (run_dir / "metrics.jsonl").exists()
+        summary = json.loads((run_dir / "summary.json").read_text())
+        assert summary["service_time_s"] > 0
+        runtime = json.loads((run_dir / "runtime.json").read_text())
+        assert runtime["attempts"] == 1 and runtime["wall_time_s"] >= 0
+        # The JSONL metrics are real telemetry events.
+        lines = (run_dir / "metrics.jsonl").read_text().splitlines()
+        assert lines and all(json.loads(ln) for ln in lines)
+
+
+def test_resume_skips_completed_runs(tmp_path):
+    spec = _tiny_spec()
+    executor = CampaignExecutor(ArtifactStore(tmp_path))
+    first = executor.run(spec)
+    assert len(first.executed) == 3
+    second = executor.run(spec)
+    assert second.executed == []
+    assert len(second.skipped) == 3
+    assert second.ok
+
+
+def test_killed_then_resumed_matches_uninterrupted_byte_for_byte(tmp_path):
+    spec = _tiny_spec()
+    clean_root = tmp_path / "clean"
+    killed_root = tmp_path / "killed"
+    CampaignExecutor(ArtifactStore(clean_root)).run(spec)
+
+    executor = CampaignExecutor(ArtifactStore(killed_root))
+    executor.run(spec)
+    plan = plan_campaign(spec)
+    # Simulate a mid-run kill: one run died before finishing (manifest
+    # written, no summary) and one never started (directory gone).
+    victim_a, victim_b = plan.runs[0], plan.runs[2]
+    a_dir = killed_root / spec.name / victim_a.run_id
+    (a_dir / "summary.json").unlink()
+    b_dir = killed_root / spec.name / victim_b.run_id
+    for child in b_dir.iterdir():
+        child.unlink()
+    b_dir.rmdir()
+
+    resumed = executor.run(spec)
+    assert resumed.ok
+    assert sorted(resumed.executed) == sorted([victim_a.run_id, victim_b.run_id])
+    assert len(resumed.skipped) == 1
+    assert _tree(killed_root) == _tree(clean_root)
+
+
+def test_execution_order_does_not_leak_into_results(tmp_path):
+    """Each run gets a fresh seeded platform, so a run's artifacts are
+    identical whether it executed alone or inside the full sweep."""
+    from dataclasses import replace
+
+    spec = _tiny_spec()
+    full_root, solo_root = tmp_path / "full", tmp_path / "solo"
+    CampaignExecutor(ArtifactStore(full_root)).run(spec)
+    solo_spec = CampaignSpec(
+        name=spec.name, stages=(replace(spec.stages[1], depends_on=()),)
+    )
+    CampaignExecutor(ArtifactStore(solo_root)).run(solo_spec)
+    [solo_run] = plan_campaign(solo_spec).runs
+    # depends_on lives in the plan, not the manifest, so the bytes match.
+    solo = (solo_root / spec.name / solo_run.run_id / "summary.json").read_bytes()
+    full = (full_root / spec.name / solo_run.run_id / "summary.json").read_bytes()
+    assert solo == full
+
+
+def test_process_pool_matches_serial_execution(tmp_path):
+    spec = _tiny_spec()
+    serial_root, pooled_root = tmp_path / "serial", tmp_path / "pooled"
+    CampaignExecutor(ArtifactStore(serial_root)).run(spec, parallelism=1)
+    report = CampaignExecutor(ArtifactStore(pooled_root)).run(spec, parallelism=2)
+    assert report.ok and len(report.executed) == 3
+    assert _tree(pooled_root) == _tree(serial_root)
+
+
+def test_retry_on_flake_preserves_seed_and_records_attempts(tmp_path):
+    registry = TargetRegistry()
+    calls = itertools.count()
+    seen_seeds = []
+
+    def execute(resolved, seed):
+        seen_seeds.append(seed)
+        if next(calls) == 0:
+            raise RuntimeError("transient flake")
+        return RunOutput(summary={"value": 42})
+
+    make_target("flaky", lambda p: dict(p), execute, registry=registry)
+    spec = CampaignSpec(
+        name="flaky-camp",
+        stages=(SweepStage(name="s", target="flaky", seeds=(99,)),),
+        max_retries=1,
+    )
+    executor = CampaignExecutor(ArtifactStore(tmp_path), registry=registry)
+    report = executor.run(spec)
+    assert report.ok
+    [record] = report.records
+    assert record.attempts == 2
+    assert seen_seeds == [99, 99]  # the rerun kept the seed
+
+
+def test_persistent_failure_surfaces_and_strands_dependents(tmp_path):
+    registry = TargetRegistry()
+
+    def execute(resolved, seed):
+        raise RuntimeError("always broken")
+
+    make_target("broken", lambda p: dict(p), execute, registry=registry)
+    make_target(
+        "fine",
+        lambda p: dict(p),
+        lambda resolved, seed: RunOutput(summary={"v": 1}),
+        registry=registry,
+    )
+    spec = CampaignSpec(
+        name="doomed",
+        stages=(
+            SweepStage(name="root", target="broken", seeds=(1,)),
+            SweepStage(name="leaf", target="fine", seeds=(1,), depends_on=("root",)),
+        ),
+        max_retries=0,
+    )
+    executor = CampaignExecutor(ArtifactStore(tmp_path), registry=registry)
+    report = executor.run(spec)
+    assert not report.ok
+    assert len(report.failed) == 2
+    by_stage = {r.stage: r for r in report.records}
+    assert "always broken" in by_stage["root"].error
+    assert by_stage["leaf"].error == "dependency failed"
+    # The failed run left an incomplete directory (manifest, no summary).
+    store = ArtifactStore(tmp_path)
+    [status] = store.statuses("doomed")
+    assert status.state == "incomplete" and status.stage == "root"
+
+
+def test_changed_recipe_invalidates_resume(tmp_path):
+    """A completed run is only skipped when its manifest matches the plan
+    byte for byte — same run_id with a different manifest re-runs."""
+    registry = TargetRegistry()
+    make_target(
+        "echo",
+        lambda p: dict(p),
+        lambda resolved, seed: RunOutput(summary={"v": resolved["x"]}),
+        registry=registry,
+    )
+    spec = CampaignSpec(
+        name="c",
+        stages=(SweepStage(name="s", target="echo", params={"x": 1}, seeds=(1,)),),
+    )
+    executor = CampaignExecutor(ArtifactStore(tmp_path), registry=registry)
+    executor.run(spec)
+    [planned] = plan_campaign(spec, registry).runs
+    # Corrupt the stored manifest's provenance (run_id still derivable).
+    run_dir = tmp_path / "c" / planned.run_id
+    payload = json.loads((run_dir / "manifest.json").read_text())
+    payload["package_version"] = "0.0.0-other"
+    (run_dir / "manifest.json").write_text(json.dumps(payload))
+    report = executor.run(spec)
+    assert report.executed == [planned.run_id]
+
+
+@pytest.mark.parametrize("parallelism", [1, 2])
+def test_report_accounting_is_complete(tmp_path, parallelism):
+    spec = _tiny_spec()
+    report = CampaignExecutor(ArtifactStore(tmp_path)).run(
+        spec, parallelism=parallelism
+    )
+    assert len(report.records) == spec.n_runs
+    assert report.wall_time_s > 0

@@ -1,0 +1,123 @@
+"""Manifest identity, serialization round-trips, and artifact layout."""
+
+import json
+
+import pytest
+
+from repro.harness import ArtifactStore, RunManifest
+from repro.harness.manifest import canonical_json, config_digest
+from repro.harness.targets import DEFAULT_REGISTRY
+
+
+def _manifest(**overrides):
+    defaults = dict(
+        campaign="c",
+        stage="s",
+        target="burst",
+        params={"app": "sort", "concurrency": 16},
+        resolved_config={"app": "sort", "concurrency": 16, "nested": {"x": 1}},
+        seed=7,
+    )
+    defaults.update(overrides)
+    return RunManifest(**defaults)
+
+
+def test_run_id_is_deterministic_and_config_sensitive():
+    a = _manifest()
+    b = _manifest()
+    assert a.run_id == b.run_id
+    assert a == b
+    c = _manifest(seed=8)
+    d = _manifest(resolved_config={"app": "sort", "concurrency": 32})
+    assert len({a.run_id, c.run_id, d.run_id}) == 3
+
+
+def test_digest_is_order_insensitive():
+    assert config_digest("t", {"a": 1, "b": 2}, 0) == config_digest(
+        "t", {"b": 2, "a": 1}, 0
+    )
+
+
+def test_json_round_trip_preserves_identity_and_equality():
+    a = _manifest()
+    b = RunManifest.from_json(a.to_json())
+    assert b == a
+    assert b.run_id == a.run_id
+
+
+def test_tuples_normalize_to_lists_for_stable_equality():
+    a = _manifest(resolved_config={"grid": (1, 2, 3)})
+    b = RunManifest.from_json(a.to_json())
+    assert a.resolved_config == {"grid": [1, 2, 3]}
+    assert a == b
+
+
+def test_tampered_run_id_is_rejected():
+    a = _manifest()
+    payload = json.loads(a.to_json())
+    payload["seed"] = 999  # recipe edited without re-deriving the id
+    with pytest.raises(ValueError, match="does not match the resolved config"):
+        RunManifest.from_dict(payload)
+
+
+def test_unknown_keys_and_schema_are_rejected():
+    payload = json.loads(_manifest().to_json())
+    payload["wall_clock"] = 123.0
+    with pytest.raises(ValueError, match="unknown manifest keys"):
+        RunManifest.from_dict(payload)
+    payload = json.loads(_manifest().to_json())
+    payload["schema"] = 999
+    with pytest.raises(ValueError, match="unsupported manifest schema"):
+        RunManifest.from_dict(payload)
+
+
+def test_canonical_json_is_whitespace_free_and_sorted():
+    text = canonical_json({"b": [1, 2], "a": {"y": 1, "x": 2}})
+    assert text == '{"a":{"x":2,"y":1},"b":[1,2]}'
+
+
+def test_manifest_round_trips_through_target_resolution():
+    """manifest.json ↔ resolved config: resolving the manifest's params
+    again yields exactly the stored resolved_config (burst + experiment)."""
+    burst = DEFAULT_REGISTRY.get("burst")
+    params = {"app": "sort", "concurrency": 24, "packing_degree": 2}
+    manifest = _manifest(
+        params=params, resolved_config=burst.resolve(params), seed=3
+    )
+    reloaded = RunManifest.from_json(manifest.to_json())
+    renormalized = json.loads(canonical_json(burst.resolve(reloaded.params)))
+    assert renormalized == reloaded.resolved_config
+
+    experiment = DEFAULT_REGISTRY.get("experiment")
+    params = {"figure": "fig1", "grid": "quick", "repetitions": 2}
+    manifest = _manifest(
+        target="experiment",
+        params=params,
+        resolved_config=experiment.resolve(params),
+        seed=3,
+    )
+    reloaded = RunManifest.from_json(manifest.to_json())
+    renormalized = json.loads(canonical_json(experiment.resolve(reloaded.params)))
+    assert renormalized == reloaded.resolved_config
+    # The pinned grid really carries the override.
+    assert reloaded.resolved_config["config"]["repetitions"] == 2
+
+
+def test_artifact_store_layout_and_completion(tmp_path):
+    store = ArtifactStore(tmp_path)
+    manifest = _manifest()
+    store.begin_run(manifest)
+    run_dir = tmp_path / "c" / manifest.run_id
+    assert (run_dir / "manifest.json").exists()
+    # Manifest alone is an incomplete run.
+    assert not store.is_complete("c", manifest.run_id)
+    assert store.completed_runs("c") == []
+    [status] = store.statuses("c")
+    assert status.state == "incomplete"
+
+    store.finish_run(manifest, {"x": 1.5}, metrics_jsonl='{"e":1}\n')
+    assert store.is_complete("c", manifest.run_id)
+    assert store.completed_runs("c") == [manifest.run_id]
+    assert store.load_summary("c", manifest.run_id) == {"x": 1.5}
+    assert (run_dir / "metrics.jsonl").read_text() == '{"e":1}\n'
+    assert store.load_manifest("c", manifest.run_id) == manifest

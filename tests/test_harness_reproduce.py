@@ -1,0 +1,109 @@
+"""``reproduce`` semantics (byte-exact for seeded sims) and run diffs."""
+
+import json
+
+from repro.harness import (
+    ArtifactStore,
+    CampaignExecutor,
+    CampaignSpec,
+    SweepStage,
+    diff_runs,
+    plan_campaign,
+    reproduce_run,
+)
+from repro.harness.reproduce import compare_summaries
+from repro.harness.targets import RunOutput, TargetRegistry, make_target
+
+
+def _run_tiny_campaign(tmp_path, seeds=(5,)):
+    spec = CampaignSpec(
+        name="repro-camp",
+        stages=(
+            SweepStage(
+                name="sweep",
+                target="burst",
+                params={"app": "stateless-cost", "packing_degree": 2},
+                axes={"concurrency": (8, 16)},
+                seeds=seeds,
+            ),
+        ),
+    )
+    report = CampaignExecutor(ArtifactStore(tmp_path)).run(spec)
+    assert report.ok
+    return spec, plan_campaign(spec)
+
+
+def test_reproduce_fresh_manifest_is_byte_exact(tmp_path):
+    spec, plan = _run_tiny_campaign(tmp_path)
+    for planned in plan.runs:
+        manifest_path = tmp_path / spec.name / planned.run_id / "manifest.json"
+        report = reproduce_run(manifest_path)
+        assert report.matched
+        assert report.byte_identical
+        assert report.mismatches == []
+        assert report.resolution_drift == []
+
+
+def test_reproduce_detects_tampered_summary(tmp_path):
+    spec, plan = _run_tiny_campaign(tmp_path)
+    run_dir = tmp_path / spec.name / plan.runs[0].run_id
+    summary = json.loads((run_dir / "summary.json").read_text())
+    summary["expense_usd"] *= 1.5
+    (run_dir / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    report = reproduce_run(run_dir / "manifest.json")
+    assert not report.matched
+    assert [m.key for m in report.mismatches] == ["expense_usd"]
+    # The loose tolerance accepts the 50% drift, exact does not.
+    loose = reproduce_run(run_dir / "manifest.json", tolerance=0.9)
+    assert loose.matched and not loose.byte_identical
+
+
+def test_compare_summaries_tolerance_and_missing_keys():
+    assert compare_summaries({"a": 1.0}, {"a": 1.0}) == []
+    assert compare_summaries({"a": 1.0}, {"a": 1.0 + 1e-9}, tolerance=1e-6) == []
+    exact = compare_summaries({"a": 1.0}, {"a": 1.0 + 1e-9})
+    assert [m.key for m in exact] == ["a"]
+    missing = compare_summaries({"a": 1, "b": 2}, {"a": 1})
+    assert [m.key for m in missing] == ["b"]
+    # Non-numeric values always compare exactly.
+    assert compare_summaries({"s": "x"}, {"s": "y"}, tolerance=0.5) != []
+
+
+def test_reproduce_flags_resolution_drift(tmp_path):
+    registry = TargetRegistry()
+    coeff = {"value": 1.0}
+    make_target(
+        "drifty",
+        lambda p: {**p, "coeff": coeff["value"]},
+        lambda resolved, seed: RunOutput(summary={"out": resolved["coeff"]}),
+        registry=registry,
+    )
+    spec = CampaignSpec(
+        name="drift",
+        stages=(SweepStage(name="s", target="drifty", seeds=(1,)),),
+    )
+    executor = CampaignExecutor(ArtifactStore(tmp_path), registry=registry)
+    executor.run(spec)
+    [planned] = plan_campaign(spec, registry).runs
+    manifest_path = tmp_path / "drift" / planned.run_id / "manifest.json"
+    # No drift initially.
+    assert reproduce_run(manifest_path, registry=registry).resolution_drift == []
+    # Re-tune the "profile": execution from the stored config still
+    # matches, but the drift is reported.
+    coeff["value"] = 2.0
+    report = reproduce_run(manifest_path, registry=registry)
+    assert report.matched
+    assert report.resolution_drift == ["coeff"]
+
+
+def test_diff_runs_localizes_the_changed_coefficient(tmp_path):
+    spec, plan = _run_tiny_campaign(tmp_path)
+    dir_a = tmp_path / spec.name / plan.runs[0].run_id
+    dir_b = tmp_path / spec.name / plan.runs[1].run_id
+    diff = diff_runs(dir_a, dir_b)
+    assert not diff.identical
+    assert [c.key for c in diff.config_changes] == ["concurrency"]
+    assert {c.key for c in diff.summary_changes} >= {"expense_usd"}
+    assert diff.provenance_changes == []
+    same = diff_runs(dir_a, dir_a)
+    assert same.identical
