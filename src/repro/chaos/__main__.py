@@ -1,0 +1,6 @@
+"""``python -m repro.chaos`` == ``propack-chaos``."""
+
+from repro.chaos.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

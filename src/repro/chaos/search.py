@@ -1,0 +1,316 @@
+"""Coverage-guided adversarial storm search with greedy shrinking.
+
+The loop is a tiny seeded fuzzer over :class:`StormSpec` space:
+
+1. **seed** — evaluate the hand-built archetype corpus
+   (:data:`repro.chaos.composer.CORPUS`) through the ``chaos-serving``
+   harness target;
+2. **score** — each run earns SLO damage (lost attainment, failed
+   fraction) plus a large bonus per invariant violation; its *coverage
+   features* (breaker-open, throttle-drop, crash, gray window active,
+   attainment decile, violation kinds, …) describe which corners of the
+   protection stack the storm reached;
+3. **select** — a spec joins the frontier when it uncovered a new feature
+   or out-scored the current frontier;
+4. **mutate** — next round's candidates are bounded mutations of frontier
+   members (:meth:`StormSpec.mutate` cannot leave the declared space);
+5. **shrink** — the best *failing* storm (SLO breach or invariant
+   violation) is greedily minimized: quiet one knob at a time, keeping a
+   candidate only if it still reproduces the parent's violation class;
+6. **persist** — the minimized storm is written as a complete harness run
+   (manifest + summary + violation metrics) under
+   ``results/<campaign>/<run_id>/``, so ``propack-chaos replay`` (and
+   ``propack-campaign reproduce``) re-assert it byte-identically.
+
+Everything is deterministic in ``SearchConfig.seed``: same config, same
+storms, same run_id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.chaos.composer import CORPUS, StormSpec
+from repro.harness.artifacts import ArtifactStore
+from repro.harness.manifest import RunManifest
+from repro.harness.targets import DEFAULT_REGISTRY, TargetRegistry
+
+#: Score weight of one invariant violation — any violation dominates any
+#: amount of SLO damage, so the search always prefers accounting bugs.
+VIOLATION_WEIGHT = 10.0
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of one ``propack-chaos search`` invocation."""
+
+    seed: int = 0
+    rounds: int = 3
+    population: int = 4            # mutants evaluated per round
+    frontier_size: int = 6
+    horizon_s: float = 900.0
+    rate_per_s: float = 6.0
+    protected: bool = False
+    slo_attainment_floor: float = 0.9
+    app: str = "xapian"
+    platform: str = "google-cloud-functions"
+    shrink_budget: int = 24        # max evaluations spent shrinking
+    campaign: str = "chaos"
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0 or self.population < 1 or self.frontier_size < 1:
+            raise ValueError("rounds/population/frontier_size out of range")
+        if self.shrink_budget < 0:
+            raise ValueError("shrink_budget must be non-negative")
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One storm's measured damage."""
+
+    spec: StormSpec
+    summary: dict[str, Any]
+    score: float
+    features: frozenset[str]
+    classes: frozenset[str]        # violation classes (empty = run survived)
+
+    @property
+    def failing(self) -> bool:
+        return bool(self.classes)
+
+
+@dataclass
+class SearchReport:
+    """Everything one search produced."""
+
+    config: SearchConfig
+    evaluations: int = 0
+    coverage: set[str] = field(default_factory=set)
+    best: Optional[Evaluation] = None
+    minimized: Optional[Evaluation] = None
+    shrink_evaluations: int = 0
+    run_id: str = ""
+    manifest_path: str = ""
+
+    @property
+    def found_failure(self) -> bool:
+        return self.best is not None
+
+    def summary(self) -> str:
+        if not self.found_failure:
+            return (
+                f"no failing storm in {self.evaluations} evaluations "
+                f"({len(self.coverage)} features covered)"
+            )
+        classes = ", ".join(sorted(self.minimized.classes))
+        return (
+            f"found {self.best.spec.name!r} "
+            f"(score {self.best.score:.3f}), shrunk to "
+            f"{self.minimized.spec.describe()!r} [{classes}] in "
+            f"{self.shrink_evaluations} shrink evaluations; "
+            f"minimized manifest: {self.manifest_path or '<not persisted>'}"
+        )
+
+
+def coverage_features(summary: dict[str, Any]) -> frozenset[str]:
+    """The behavioural corners one run reached (the fuzzer's feedback)."""
+    features: set[str] = set()
+    for key in (
+        "crashes", "retries", "throttled", "throttle_drops",
+        "breaker_opens", "failed", "shed",
+    ):
+        if summary.get(key, 0) > 0:
+            features.add(key)
+    if summary.get("slo_breach"):
+        features.add("slo-breach")
+    if not summary.get("conserved", True):
+        features.add("not-conserved")
+    attainment = float(summary.get("attainment", 1.0))
+    features.add(f"attain-decile-{min(9, int(attainment * 10))}")
+    backlog = int(summary.get("max_backlog", 0))
+    if backlog > 0:
+        features.add(f"backlog-pow-{backlog.bit_length()}")
+    for kind in summary.get("violation_kinds", ()):
+        features.add(f"invariant:{kind}")
+    return frozenset(features)
+
+
+def violation_classes(summary: dict[str, Any]) -> frozenset[str]:
+    """What a storm *broke* — the classes shrinking must preserve."""
+    classes: set[str] = set()
+    if summary.get("slo_breach"):
+        classes.add("slo-breach")
+    if not summary.get("conserved", True):
+        classes.add("not-conserved")
+    for kind in summary.get("violation_kinds", ()):
+        classes.add(f"invariant:{kind}")
+    return frozenset(classes)
+
+
+def damage_score(summary: dict[str, Any]) -> float:
+    """SLO damage plus a dominating bonus per invariant violation."""
+    requests = max(1, int(summary.get("requests", 0)))
+    failed_frac = float(summary.get("failed", 0)) / requests
+    attainment = float(summary.get("attainment", 1.0))
+    return (
+        (1.0 - attainment)
+        + failed_frac
+        + VIOLATION_WEIGHT * int(summary.get("violations", 0))
+    )
+
+
+class ChaosSearch:
+    """The adversarial loop (see module docstring)."""
+
+    def __init__(
+        self,
+        config: SearchConfig = SearchConfig(),
+        registry: Optional[TargetRegistry] = None,
+        on_evaluation: Optional[Callable[[Evaluation], None]] = None,
+    ) -> None:
+        import repro.chaos.target  # noqa: F401  (registers chaos-serving)
+
+        self.config = config
+        self.registry = registry or DEFAULT_REGISTRY
+        self.target = self.registry.get("chaos-serving")
+        self.on_evaluation = on_evaluation
+        self._cache: dict[StormSpec, Evaluation] = {}
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    def params_for(self, spec: StormSpec) -> dict[str, Any]:
+        cfg = self.config
+        return {
+            "storm": spec.to_dict(),
+            "protected": cfg.protected,
+            "horizon_s": cfg.horizon_s,
+            "rate_per_s": cfg.rate_per_s,
+            "app": cfg.app,
+            "platform": cfg.platform,
+            "slo_attainment_floor": cfg.slo_attainment_floor,
+        }
+
+    def evaluate(self, spec: StormSpec) -> Evaluation:
+        """Run one storm through the harness target (memoized: the sim is
+        deterministic, so a repeated spec costs nothing)."""
+        if spec in self._cache:
+            return self._cache[spec]
+        resolved = self.target.resolve(self.params_for(spec))
+        output = self.target.execute(resolved, self.config.seed)
+        evaluation = Evaluation(
+            spec=spec,
+            summary=output.summary,
+            score=damage_score(output.summary),
+            features=coverage_features(output.summary),
+            classes=violation_classes(output.summary),
+        )
+        self._cache[spec] = evaluation
+        self._evaluations += 1
+        if self.on_evaluation is not None:
+            self.on_evaluation(evaluation)
+        return evaluation
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self, store: Optional[ArtifactStore] = None
+    ) -> SearchReport:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        report = SearchReport(config=cfg)
+        frontier: list[Evaluation] = []
+
+        def admit(evaluation: Evaluation) -> None:
+            new_features = evaluation.features - report.coverage
+            report.coverage |= evaluation.features
+            frontier_min = min((e.score for e in frontier), default=-1.0)
+            if new_features or evaluation.score > frontier_min:
+                frontier.append(evaluation)
+                frontier.sort(key=lambda e: -e.score)
+                del frontier[cfg.frontier_size:]
+
+        for spec in CORPUS:
+            admit(self.evaluate(spec))
+        for _ in range(cfg.rounds):
+            parents = list(frontier)
+            if not parents:
+                break
+            for i in range(cfg.population):
+                parent = parents[i % len(parents)]
+                admit(self.evaluate(parent.spec.mutate(rng)))
+
+        report.evaluations = self._evaluations
+        failing = [e for e in self._cache.values() if e.failing]
+        if not failing:
+            return report
+        report.best = max(failing, key=lambda e: (e.score, e.spec.name))
+        before = self._evaluations
+        report.minimized = self.shrink(report.best)
+        report.shrink_evaluations = self._evaluations - before
+        if store is not None:
+            manifest = self.persist(report.minimized, store)
+            report.run_id = manifest.run_id
+            report.manifest_path = str(
+                store.run_dir(cfg.campaign, manifest.run_id) / "manifest.json"
+            )
+        return report
+
+    # ------------------------------------------------------------------ #
+    def shrink(self, evaluation: Evaluation) -> Evaluation:
+        """Greedy minimization preserving the parent's violation classes.
+
+        Quiet one knob (or halve it) at a time; keep the first candidate
+        whose classes still cover the parent's. Stops when no candidate
+        survives or the shrink budget runs out — the result is locally
+        minimal: every single-knob simplification loses the failure.
+        """
+        target_classes = evaluation.classes
+        if not target_classes:
+            return evaluation
+        budget = self.config.shrink_budget
+        current = evaluation
+        progress = True
+        while progress and budget > 0:
+            progress = False
+            for candidate_spec in current.spec.shrink_candidates():
+                if budget <= 0:
+                    break
+                budget -= 1
+                candidate = self.evaluate(candidate_spec)
+                if target_classes <= candidate.classes:
+                    current = candidate
+                    progress = True
+                    break
+        return current
+
+    def persist(self, evaluation: Evaluation, store: ArtifactStore) -> RunManifest:
+        """Write the minimized storm as a complete, replayable harness run."""
+        cfg = self.config
+        params = self.params_for(evaluation.spec)
+        resolved = self.target.resolve(params)
+        manifest = RunManifest(
+            campaign=cfg.campaign,
+            stage="minimized",
+            target=self.target.name,
+            params=params,
+            resolved_config=resolved,
+            seed=cfg.seed,
+        )
+        output = self.target.execute(resolved, cfg.seed)
+        store.finish_run(
+            manifest, output.summary, metrics_jsonl=output.metrics_jsonl
+        )
+        return manifest
+
+
+def search_storms(
+    config: SearchConfig = SearchConfig(),
+    results_root: Optional[str] = None,
+    on_evaluation: Optional[Callable[[Evaluation], None]] = None,
+) -> SearchReport:
+    """One-call convenience: search, shrink, and (optionally) persist."""
+    store = ArtifactStore(Path(results_root)) if results_root else None
+    return ChaosSearch(config, on_evaluation=on_evaluation).run(store)

@@ -262,6 +262,16 @@ class DispatchKernel:
     def straggler_factor(self) -> float:
         return 1.0 if self.injector is None else self.injector.straggler_factor()
 
+    def gray_factor(self, domain: Optional[int], now: float) -> float:
+        """Gray-failure slowdown for a dispatch at ``domain`` (1.0 = healthy).
+
+        Draw-free (see :meth:`FaultScenario.gray_factor`): consulting it
+        never perturbs the RNG schedule of an otherwise-identical run.
+        """
+        if self.scenario is None:
+            return 1.0
+        return self.scenario.gray_factor(domain, now)
+
     def exec_noise_factor(self, sigma: float) -> float:
         return self.rng.lognormal_factor("exec", sigma)
 

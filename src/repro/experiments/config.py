@@ -53,6 +53,15 @@ class ExperimentConfig:
     selfheal_handtuned_limit: int = 32
     selfheal_tick_interval_s: float = 60.0
     selfheal_shadow_horizon_s: float = 240.0
+    # Chaos sweep (repro.chaos): a seeded adversarial search finds the
+    # worst storm against unprotected serving; the figure then serves that
+    # storm unprotected vs. protected with the invariant auditor attached.
+    chaos_horizon_s: float = 1800.0
+    chaos_rate_per_s: float = 4.0
+    chaos_search_rounds: int = 2
+    chaos_search_population: int = 3
+    chaos_shrink_budget: int = 12
+    chaos_slo_floor: float = 0.9
 
     @classmethod
     def full(cls) -> "ExperimentConfig":
@@ -78,4 +87,8 @@ class ExperimentConfig:
             overload_flash_mean_off_s=600.0,
             selfheal_horizon_s=2400.0,
             selfheal_shadow_horizon_s=120.0,
+            chaos_horizon_s=480.0,
+            chaos_search_rounds=1,
+            chaos_search_population=2,
+            chaos_shrink_budget=6,
         )

@@ -1474,6 +1474,105 @@ def selfhealing_storms(ctx: ExperimentContext) -> FigureResult:
     return result
 
 
+def chaos_worst_storm(ctx: ExperimentContext) -> FigureResult:
+    """CH1 (ours) — protected vs unprotected serving under the worst storm.
+
+    A seeded adversarial search (:mod:`repro.chaos.search`) attacks the
+    *unprotected* serving loop with multi-phase storms composed from the
+    fault primitives plus the gray-failure model, shrinks the best
+    SLO-breaking storm to a minimal reproducing scenario, and this figure
+    then serves that minimized storm twice with identical traffic and
+    fault seeds:
+
+    * **unprotected** — no admission control, no breakers;
+    * **protected** — concurrency-limit admission plus per-domain circuit
+      breakers.
+
+    Both runs execute with the online invariant auditor attached; the
+    figure asserts zero violations (the chaos harness must never flag the
+    real engine) on top of exact request conservation.
+
+    The acceptance claim: the search finds at least one storm that breaks
+    the SLO floor unprotected, and protection recovers attainment at
+    equal-or-lower cost per completed request under that same storm.
+    """
+    from repro.chaos.search import ChaosSearch, SearchConfig
+
+    cfg = ctx.config
+    result = FigureResult(
+        "CH1",
+        (
+            f"Adversarial worst-storm serving (horizon="
+            f"{cfg.chaos_horizon_s:g}s, rate={cfg.chaos_rate_per_s:g}/s, "
+            f"SLO floor {cfg.chaos_slo_floor:g} windowed P99 attainment)"
+        ),
+        [
+            "storm", "mode", "requests", "completed", "shed", "failed",
+            "attainment_pct", "usd_per_1k_completed", "crashes",
+            "breaker_opens", "audit_events", "violations",
+        ],
+    )
+
+    search_cfg = SearchConfig(
+        seed=cfg.seed,
+        rounds=cfg.chaos_search_rounds,
+        population=cfg.chaos_search_population,
+        horizon_s=cfg.chaos_horizon_s,
+        rate_per_s=cfg.chaos_rate_per_s,
+        protected=False,
+        slo_attainment_floor=cfg.chaos_slo_floor,
+        shrink_budget=cfg.chaos_shrink_budget,
+    )
+    search = ChaosSearch(search_cfg)
+    report = search.run()
+    assert report.found_failure, "chaos search found no SLO-breaking storm"
+    storm = report.minimized.spec
+    result.notes.append(
+        f"search: {report.evaluations} evaluations, "
+        f"{len(report.coverage)} coverage features; minimized storm: "
+        f"{storm.describe()}"
+    )
+
+    for mode in ("unprotected", "protected"):
+        params = search.params_for(storm)
+        params["protected"] = mode == "protected"
+        output = search.target.execute(
+            search.target.resolve(params), search_cfg.seed
+        )
+        s = output.summary
+        assert s["conserved"], f"{mode}: request conservation broke"
+        assert s["violations"] == 0, (
+            f"{mode}: invariant auditor flagged the engine: "
+            f"{s['violation_kinds']}"
+        )
+        result.add(
+            storm=storm.name,
+            mode=mode,
+            requests=s["requests"],
+            completed=s["completed"],
+            shed=s["shed"],
+            failed=s["failed"],
+            attainment_pct=100.0 * s["attainment"],
+            usd_per_1k_completed=s["usd_per_1k_completed"],
+            crashes=s["crashes"],
+            breaker_opens=s["breaker_opens"],
+            audit_events=s["audit_events"],
+            violations=s["violations"],
+        )
+
+    unprot = result.select(mode="unprotected")[0]
+    prot = result.select(mode="protected")[0]
+    result.notes.append(
+        f"{storm.name}: protected {prot['attainment_pct']:.1f}% vs "
+        f"unprotected {unprot['attainment_pct']:.1f}% attainment at "
+        f"${prot['usd_per_1k_completed']:.4f} / "
+        f"${unprot['usd_per_1k_completed']:.4f} per 1k completed; "
+        f"auditor clean over "
+        f"{prot['audit_events'] + unprot['audit_events']} events"
+    )
+    return result
+
+
 ALL_FIGURES = {
     "fig1": fig1,
     "fig2": fig2,
@@ -1510,4 +1609,5 @@ ALL_FIGURES = {
     "serving": serving_day,
     "overload": overload_flashcrowd,
     "selfhealing": selfhealing_storms,
+    "chaos": chaos_worst_storm,
 }

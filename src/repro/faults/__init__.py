@@ -19,6 +19,8 @@ from repro.faults.retry import (
     ImmediateRetry,
     RetryBudget,
     RetryPolicy,
+    retry_policy_from_dict,
+    retry_policy_to_dict,
 )
 from repro.faults.scenario import (
     CALM,
@@ -40,6 +42,8 @@ __all__ = [
     "ExponentialBackoffRetry",
     "RetryBudget",
     "HedgePolicy",
+    "retry_policy_to_dict",
+    "retry_policy_from_dict",
     "TokenBucket",
     "CALM",
     "FLAKY",

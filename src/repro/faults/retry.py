@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 import numpy as np
 
@@ -142,6 +142,65 @@ class RetryBudget(RetryPolicy):
 
     def fresh(self) -> "RetryBudget":
         return RetryBudget(self.inner.fresh(), self.budget)
+
+
+# --------------------------------------------------------------------- #
+# Validated JSON round-trip (policies embed in harness manifests)
+# --------------------------------------------------------------------- #
+#: kind tag -> (class, constructor-field names)
+_RETRY_KINDS: dict[str, tuple[type, tuple[str, ...]]] = {
+    "immediate": (ImmediateRetry, ("max_retries",)),
+    "fixed-delay": (FixedDelayRetry, ("delay_s", "max_retries")),
+    "exponential-backoff": (
+        ExponentialBackoffRetry,
+        ("base_s", "cap_s", "max_retries"),
+    ),
+}
+
+
+def retry_policy_to_dict(policy: RetryPolicy) -> dict[str, Any]:
+    """JSON-safe description of any built-in retry policy.
+
+    ``RetryBudget`` nests its inner policy; runtime state (``spent``) is
+    deliberately excluded — a round-tripped policy is always fresh.
+    """
+    if isinstance(policy, RetryBudget):
+        return {
+            "kind": "budget",
+            "budget": policy.budget,
+            "inner": retry_policy_to_dict(policy.inner),
+        }
+    for kind, (cls, field_names) in _RETRY_KINDS.items():
+        if type(policy) is cls:
+            return {"kind": kind, **{f: getattr(policy, f) for f in field_names}}
+    raise ValueError(
+        f"cannot serialize retry policy of type {type(policy).__name__}"
+    )
+
+
+def retry_policy_from_dict(payload: Mapping[str, Any]) -> RetryPolicy:
+    """Rebuild a retry policy, rejecting unknown kinds/keys and invalid
+    values (negative delays, ``cap_s < base_s``, …) via the constructors."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    if kind == "budget":
+        inner = data.pop("inner", None)
+        budget = data.pop("budget", None)
+        if data:
+            raise ValueError(f"budget retry policy: unknown keys {sorted(data)}")
+        if not isinstance(inner, Mapping) or budget is None:
+            raise ValueError("budget retry policy needs 'inner' and 'budget'")
+        return RetryBudget(retry_policy_from_dict(inner), int(budget))
+    if kind not in _RETRY_KINDS:
+        raise ValueError(
+            f"unknown retry policy kind {kind!r} "
+            f"(known: {', '.join(sorted(_RETRY_KINDS))}, budget)"
+        )
+    cls, field_names = _RETRY_KINDS[kind]
+    unknown = set(data) - set(field_names)
+    if unknown:
+        raise ValueError(f"{kind} retry policy: unknown keys {sorted(unknown)}")
+    return cls(**data)
 
 
 @dataclass(frozen=True)

@@ -15,18 +15,30 @@ in *Demystifying Serverless Costs on Public Platforms*:
   retry; a persistent one (poisoned input, corrupt layer) crashes every
   attempt of the same function group;
 * **billed timeouts** — an attempt that hits ``max_execution_seconds`` is
-  billed for the full cap (Lambda semantics), then retried.
+  billed for the full cap (Lambda semantics), then retried;
+* **gray failures** — slow-but-alive fault domains whose service rate is
+  degraded by a fixed factor during a time window. A gray domain never
+  crashes, so circuit breakers (which watch failures) and crash detectors
+  stay silent while latency quietly drowns — the adversarial case the
+  ``repro.chaos`` search exploits.
 
 A :class:`FaultScenario` is a frozen description of all of these. It is
 *pure configuration*: the randomness lives in dedicated
 :class:`~repro.sim.randomness.RandomStreams` labels, so the same seed and
-scenario always produce the identical fault schedule.
+scenario always produce the identical fault schedule. Gray failures draw
+no randomness at all (the degradation is a deterministic function of
+domain and time), so enabling them never perturbs the draw sequence of an
+otherwise-identical run.
+
+Scenarios round-trip through validated JSON (:meth:`FaultScenario.to_dict`
+/ :meth:`FaultScenario.from_dict`), so a storm embeds directly in a
+:mod:`repro.harness` run manifest instead of being reconstructed ad hoc.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 if TYPE_CHECKING:  # annotation-only imports (runtime would be cyclic)
     from repro.faults.injector import FaultInjector
@@ -74,6 +86,15 @@ class FaultScenario:
     retry_timeouts: bool = True            # timed-out attempts are retried
                                            # (billed the full cap either way)
 
+    # --- gray failures (slow-but-alive fault domains) ---
+    gray_domains: tuple[int, ...] = ()     # fault domains degraded by the
+                                           # gray window (empty = no grays)
+    gray_slowdown: float = 1.0             # execution-time multiplier while
+                                           # gray (1.0 = no degradation)
+    gray_onset_s: float = 0.0              # degradation starts at this time
+    gray_heal_s: Optional[float] = None    # degradation ends this long after
+                                           # onset (None = never heals)
+
     def __post_init__(self) -> None:
         if self.crash_rate is not None and not 0.0 <= self.crash_rate < 1.0:
             raise ValueError("crash_rate must be in [0, 1)")
@@ -101,6 +122,17 @@ class FaultScenario:
             raise ValueError("straggler_rate must be in [0, 1]")
         if self.straggler_sigma < 0.0:
             raise ValueError("straggler_sigma must be non-negative")
+        object.__setattr__(
+            self, "gray_domains", tuple(int(d) for d in self.gray_domains)
+        )
+        if any(d < 0 for d in self.gray_domains):
+            raise ValueError("gray_domains must be non-negative")
+        if self.gray_slowdown < 1.0:
+            raise ValueError("gray_slowdown must be >= 1.0 (1.0 = off)")
+        if self.gray_onset_s < 0.0:
+            raise ValueError("gray_onset_s must be non-negative")
+        if self.gray_heal_s is not None and self.gray_heal_s <= 0.0:
+            raise ValueError("gray_heal_s must be positive (or None)")
 
     # ------------------------------------------------------------------ #
     @property
@@ -110,6 +142,30 @@ class FaultScenario:
     def effective_crash_rate(self, profile_rate: float) -> float:
         """The i.i.d. crash rate: the scenario's, else the profile's."""
         return profile_rate if self.crash_rate is None else self.crash_rate
+
+    @property
+    def gray_active(self) -> bool:
+        return bool(self.gray_domains) and self.gray_slowdown > 1.0
+
+    def gray_factor(self, domain: Optional[int], now: float) -> float:
+        """Execution-time multiplier for a dispatch routed at ``domain``.
+
+        Deterministic and draw-free: a gray domain slows every attempt by
+        ``gray_slowdown`` inside ``[onset, onset + heal)`` and is healthy
+        outside it. Crash detectors and breakers never see a gray domain —
+        the attempts *succeed*, just late.
+        """
+        if domain is None or not self.gray_active:
+            return 1.0
+        if domain not in self.gray_domains:
+            return 1.0
+        if now < self.gray_onset_s:
+            return 1.0
+        if self.gray_heal_s is not None and now >= (
+            self.gray_onset_s + self.gray_heal_s
+        ):
+            return 1.0
+        return self.gray_slowdown
 
     def build_injector(
         self, streams: "RandomStreams", profile_failure_rate: float = 0.0
@@ -142,6 +198,39 @@ class FaultScenario:
             if value != f.default:
                 parts.append(f"{f.name}={value}")
         return " ".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # Validated JSON round-trip (storms embed in harness manifests)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict: tuples become lists, every field included."""
+        doc: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            doc[f.name] = list(value) if isinstance(value, tuple) else value
+        return doc
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultScenario":
+        """Rebuild a scenario, rejecting unknown keys and invalid values.
+
+        Validation is the constructor's (`__post_init__`): negative rates,
+        out-of-range probabilities, and inconsistent throttle settings all
+        raise ``ValueError`` — a corrupted manifest cannot round-trip into
+        a silently-different storm.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown FaultScenario keys: {sorted(unknown)}")
+        data = dict(payload)
+        for key in ("initially_poisoned", "gray_domains"):
+            if key in data:
+                value = data[key]
+                if not isinstance(value, (list, tuple)):
+                    raise ValueError(f"{key} must be a list of domain ids")
+                data[key] = tuple(int(d) for d in value)
+        return cls(**data)
 
 
 #: No injected faults beyond the profile's own failure_rate.

@@ -597,6 +597,10 @@ class _ServingRun:
             chain.n_packed
         ) * self.kernel.exec_noise_factor(self.owner.profile.exec_noise_sigma)
         exec_time *= self.kernel.straggler_factor()
+        # Gray failures: a slow-but-alive domain stretches execution without
+        # crashing, so breakers (which watch failures) never trip. Draw-free,
+        # so runs without gray domains keep a byte-identical RNG schedule.
+        exec_time *= self.kernel.gray_factor(domain, now)
         self.result.n_dispatches += 1
         if warm:
             self.result.warm_dispatches += 1
@@ -658,7 +662,12 @@ class _ServingRun:
             self.result.digest.add(sojourn)
             self.result.slo.record(now, sojourn)
         if self.tel is not None:
-            self.tel.on_complete(dispatch_id, sojourns)
+            self.tel.on_complete(
+                dispatch_id,
+                sojourns,
+                exec_s=ad.exec_time,
+                billed_s=self.costs.billed_seconds(ad.exec_time, ad.warm),
+            )
         self.requests_in_flight -= ad.chain.n_packed
         self.pump_blocked()
 

@@ -86,6 +86,17 @@ class EventBus:
     def has_subscribers(self, kind: str) -> bool:
         return bool(self._all) or bool(self._by_kind.get(kind))
 
+    def has_kind_subscribers(self, kind: str) -> bool:
+        """Whether anyone subscribed to ``kind`` *specifically*.
+
+        Catch-all subscribers (the :class:`EventLog` attaches as one) do not
+        count: publishers of opt-in event families — the chaos auditor's
+        ``audit.*`` stream — gate on this so that an ordinary session with
+        an event log sees no new events and its JSONL export stays
+        byte-identical.
+        """
+        return bool(self._by_kind.get(kind))
+
 
 @dataclass
 class EventLog:

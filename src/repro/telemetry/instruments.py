@@ -242,7 +242,15 @@ class BurstInstrumentation:
 
 
 class ServingInstrumentation:
-    """Per-run tracing + metrics, driven by the serving loop's hooks."""
+    """Per-run tracing + metrics, driven by the serving loop's hooks.
+
+    Besides the tracer/metrics adapters, every hook also offers an
+    ``audit.*`` event to the bus — but only when something subscribed to
+    that kind *specifically* (:meth:`EventBus.has_kind_subscribers`), so
+    sessions without a chaos :class:`~repro.chaos.auditor.InvariantAuditor`
+    pay one dict lookup and publish nothing, keeping JSONL exports
+    byte-identical.
+    """
 
     def __init__(
         self,
@@ -255,6 +263,7 @@ class ServingInstrumentation:
         self.tracer = tracer
         self.bus = bus
         self._registry = registry
+        self._now = lambda: sim.now  # audit events may run untraced
         if tracer is not None:
             tracer.bind_clock(lambda: sim.now)
             self.pid = tracer.new_process(name)
@@ -320,8 +329,15 @@ class ServingInstrumentation:
             }
 
     # ------------------------------------------------------------------ #
+    def _audit(self, kind: str, **fields) -> None:
+        """Publish an opt-in ``audit.*`` event iff someone subscribed to it."""
+        if self.bus is not None and self.bus.has_kind_subscribers(kind):
+            self.bus.publish(kind, self._now(), **fields)
+
+    # ------------------------------------------------------------------ #
     def on_arrival(self, verdict: str) -> None:
         """``verdict`` is 'admitted', 'shed-admission', or 'shed-brownout'."""
+        self._audit("audit.arrival", verdict=verdict)
         if not self._m:
             return
         self._m["arrivals"].inc()
@@ -333,6 +349,11 @@ class ServingInstrumentation:
     def on_dispatch(
         self, dispatch_id: int, batch_size: int, warm: bool, domain: Optional[int]
     ) -> None:
+        self._audit(
+            "audit.dispatch",
+            dispatch=dispatch_id, batch=batch_size, warm=warm,
+            domain=-1 if domain is None else domain,
+        )
         if self._m:
             self._m["warm" if warm else "cold"].inc()
         if self.tracer is None:
@@ -351,7 +372,19 @@ class ServingInstrumentation:
         if span is not None:
             self.tracer.end_span(span, outcome=outcome)
 
-    def on_complete(self, dispatch_id: int, sojourns: list[float]) -> None:
+    def on_complete(
+        self,
+        dispatch_id: int,
+        sojourns: list[float],
+        exec_s: Optional[float] = None,
+        billed_s: Optional[float] = None,
+    ) -> None:
+        self._audit(
+            "audit.complete",
+            dispatch=dispatch_id, n=len(sojourns),
+            exec_s=-1.0 if exec_s is None else exec_s,
+            billed_s=-1.0 if billed_s is None else billed_s,
+        )
         if self._m:
             self._m["completed"].inc(len(sojourns))
             hist = self._m["sojourn"]
@@ -363,6 +396,11 @@ class ServingInstrumentation:
     def on_crash(
         self, dispatch_id: int, correlated: bool, domain: Optional[int] = None
     ) -> None:
+        self._audit(
+            "audit.crash",
+            dispatch=dispatch_id, correlated=correlated,
+            domain=-1 if domain is None else domain,
+        )
         if self._m:
             self._m["crashes"]["correlated" if correlated else "independent"].inc()
         if self.tracer is not None:
@@ -375,22 +413,26 @@ class ServingInstrumentation:
             )
 
     def on_retry(self, batch_size: int, delay: float) -> None:
+        self._audit("audit.retry", batch=batch_size, delay_s=delay)
         if self._m:
             self._m["retries"].inc()
         if self.tracer is not None:
             self.tracer.instant("retry", "fault", batch=batch_size, delay_s=delay)
 
     def on_throttled(self) -> None:
+        self._audit("audit.throttled")
         if self._m:
             self._m["throttled"].inc()
 
     def on_fail_batch(self, batch_size: int) -> None:
+        self._audit("audit.fail", batch=batch_size)
         if self._m:
             self._m["failed"].inc(batch_size)
         if self.bus is not None and self.tracer is not None:
             self.bus.publish("batch.failed", self.tracer.now, batch=batch_size)
 
     def on_tick(self, backlog: int, violation_fraction: float) -> None:
+        self._audit("audit.tick", backlog=backlog)
         if self._m:
             self._m["backlog"].set(backlog)
         if self.tracer is not None:
@@ -402,6 +444,7 @@ class ServingInstrumentation:
     def on_remediation(self, stage: str, **fields) -> None:
         """One remediation-loop event: ``stage`` is 'detection', 'proposal',
         'verdict', 'apply', or 'rollback'; ``fields`` are stage-specific."""
+        self._audit("audit.remediation", stage=stage, **fields)
         if self._registry is not None:
             self._registry.counter(
                 "propack_remediation_events_total",

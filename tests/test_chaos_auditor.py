@@ -1,0 +1,198 @@
+"""The runtime invariant auditor: online checks over the audit.* stream.
+
+Two families: synthetic-bus tests plant specific bugs event by event and
+assert the auditor flags exactly them; integration tests attach the
+auditor to a real serving run and require a clean bill (the auditor must
+never cry wolf on the actual engine) while proving the audit.* family
+publishes nothing when nobody subscribed.
+"""
+
+import numpy as np
+
+from repro.chaos import AUDIT_KINDS, InvariantAuditor
+from repro.core.models import ExecutionTimeModel
+from repro.extensions.streaming import StreamingPolicy
+from repro.faults.retry import ExponentialBackoffRetry
+from repro.faults.scenario import SCENARIOS
+from repro.platform.providers import GOOGLE_CLOUD_FUNCTIONS
+from repro.resilience import (
+    CircuitBreakerBank,
+    ConcurrencyLimitAdmission,
+    ResiliencePolicy,
+)
+from repro.serving import (
+    FixedTTL,
+    PoissonProcess,
+    ServingConfig,
+    ServingSimulator,
+    WarmPool,
+)
+from repro.telemetry.bus import EventBus
+from repro.telemetry.config import TelemetryConfig, TelemetrySession
+from repro.workloads import XAPIAN
+
+EXEC = ExecutionTimeModel(
+    coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+)
+POLICY = StreamingPolicy(degree=4, batch_timeout_s=2.0)
+
+
+def attached_auditor():
+    bus = EventBus()
+    return bus, InvariantAuditor().attach(bus)
+
+
+# --------------------------------------------------------------------- #
+# synthetic-bus planted bugs
+# --------------------------------------------------------------------- #
+def test_clean_lifecycle_is_clean():
+    bus, auditor = attached_auditor()
+    bus.publish("audit.arrival", 0.0, verdict="admitted")
+    bus.publish("audit.arrival", 0.5, verdict="shed-admission")
+    bus.publish("audit.dispatch", 1.0, dispatch=1, batch=1, warm=False, domain=0)
+    bus.publish("audit.complete", 2.0, dispatch=1, n=1, exec_s=1.0, billed_s=1.1)
+    report = auditor.finalize()
+    assert report.ok
+    assert report.events_seen == 4
+    assert report.checks_run > 0
+
+
+def test_billed_below_executed_is_flagged_online():
+    bus, auditor = attached_auditor()
+    bus.publish("audit.arrival", 0.0, verdict="admitted")
+    bus.publish("audit.dispatch", 1.0, dispatch=1, batch=1, warm=True, domain=0)
+    bus.publish("audit.complete", 2.0, dispatch=1, n=1, exec_s=2.0, billed_s=1.5)
+    assert auditor.report.violations  # caught at the event, not at finalize
+    assert auditor.finalize().violation_kinds() == ["billing-legality"]
+
+
+def test_double_launch_and_unknown_termination():
+    bus, auditor = attached_auditor()
+    bus.publish("audit.dispatch", 1.0, dispatch=7, batch=2, warm=False, domain=0)
+    bus.publish("audit.dispatch", 2.0, dispatch=7, batch=2, warm=False, domain=0)
+    bus.publish("audit.crash", 3.0, dispatch=9, batch=2)
+    kinds = auditor.report.violations
+    assert [v.invariant for v in kinds] == [
+        "dispatch-lifecycle", "dispatch-lifecycle"
+    ]
+
+
+def test_completion_with_wrong_batch_size():
+    bus, auditor = attached_auditor()
+    bus.publish("audit.arrival", 0.0, verdict="admitted")
+    bus.publish("audit.arrival", 0.1, verdict="admitted")
+    bus.publish("audit.dispatch", 1.0, dispatch=1, batch=2, warm=False, domain=0)
+    bus.publish("audit.complete", 2.0, dispatch=1, n=3, exec_s=1.0, billed_s=1.0)
+    report = auditor.finalize()
+    assert "request-conservation" in report.violation_kinds()
+
+
+def test_time_reversal_is_flagged():
+    bus, auditor = attached_auditor()
+    bus.publish("audit.tick", 5.0, backlog=0)
+    bus.publish("audit.tick", 4.0, backlog=0)
+    assert auditor.finalize().violation_kinds() == ["sim-time-monotonic"]
+
+
+def test_rollback_without_apply():
+    bus, auditor = attached_auditor()
+    bus.publish("audit.remediation", 1.0, stage="apply", action="quarantine:2")
+    bus.publish("audit.remediation", 2.0, stage="rollback", action="quarantine:2")
+    bus.publish("audit.remediation", 3.0, stage="rollback", action="quarantine:2")
+    assert auditor.finalize().violation_kinds() == ["remediation-pairing"]
+
+
+def test_never_terminated_dispatch_flagged_at_finalize():
+    bus, auditor = attached_auditor()
+    bus.publish("audit.arrival", 0.0, verdict="admitted")
+    bus.publish("audit.dispatch", 1.0, dispatch=1, batch=1, warm=False, domain=0)
+    report = auditor.finalize()
+    assert report.violation_kinds() == ["dispatch-lifecycle"]
+    assert "never terminated" in report.violations[0].message
+
+
+def test_finalize_is_idempotent():
+    bus, auditor = attached_auditor()
+    bus.publish("audit.dispatch", 1.0, dispatch=1, batch=1, warm=False, domain=0)
+    first = auditor.finalize()
+    again = auditor.finalize()
+    assert first is again
+    assert len(again.violations) == 1
+
+
+def test_detach_restores_publish_nothing_state():
+    bus, auditor = attached_auditor()
+    for kind in AUDIT_KINDS:
+        assert bus.has_kind_subscribers(kind)
+    auditor.detach()
+    for kind in AUDIT_KINDS:
+        assert not bus.has_kind_subscribers(kind)
+
+
+# --------------------------------------------------------------------- #
+# real serving runs
+# --------------------------------------------------------------------- #
+def run_with_session(session, scenario_name="stormy", protected=True, seed=7):
+    cfg = ServingConfig()
+    resilience = None
+    if protected:
+        resilience = ResiliencePolicy(
+            admission=ConcurrencyLimitAdmission(limit=48),
+            breakers=CircuitBreakerBank(
+                n_domains=cfg.fault_domains,
+                rng=np.random.default_rng(seed),
+                failure_threshold=3,
+                recovery_s=60.0,
+            ),
+        )
+    sim = ServingSimulator(
+        GOOGLE_CLOUD_FUNCTIONS,
+        XAPIAN,
+        EXEC,
+        pool=WarmPool(FixedTTL(120.0)),
+        config=cfg,
+        resilience=resilience,
+        scenario=SCENARIOS[scenario_name],
+        retry_policy=ExponentialBackoffRetry(max_retries=3),
+        seed=seed,
+        telemetry=session,
+    )
+    run = sim.run(PoissonProcess(3.0), POLICY, 400.0)
+    return run, resilience
+
+
+def test_real_stormy_run_audits_clean():
+    session = TelemetrySession(
+        TelemetryConfig(tracing=False, metrics=False, events=False)
+    )
+    auditor = InvariantAuditor().attach(session.bus)
+    run, resilience = run_with_session(session)
+    report = auditor.finalize(run, breakers=resilience.breakers)
+    assert report.ok, report.summary()
+    assert report.events_seen > run.n_requests  # arrivals + dispatch traffic
+
+
+def test_no_auditor_means_no_audit_events():
+    """The zero-cost gate: a full-telemetry session without an auditor
+    must see zero audit.* events in its log (and the run is unchanged)."""
+    session = TelemetrySession(TelemetryConfig())
+    run, _ = run_with_session(session)
+    kinds = {e.kind for e in session.event_log.events}
+    assert kinds  # the ordinary event families did flow
+    assert not any(k.startswith("audit.") for k in kinds)
+
+    # Byte-identity against a fully untelemetered run.
+    bare, _ = run_with_session(None)
+    assert bare.signature() == run.signature()
+
+
+def test_audited_run_is_byte_identical_to_unaudited():
+    """Attaching the auditor must not perturb the simulation — it only
+    observes. Signatures (counts, expense, p99, backlog) must match."""
+    session = TelemetrySession(
+        TelemetryConfig(tracing=False, metrics=False, events=False)
+    )
+    InvariantAuditor().attach(session.bus)
+    audited, _ = run_with_session(session)
+    bare, _ = run_with_session(None)
+    assert audited.signature() == bare.signature()

@@ -1,0 +1,86 @@
+"""End-to-end ``propack-chaos`` CLI: search -> replay, audit, errors.
+
+The search smoke here is the PR's headline acceptance test: a seeded
+mini-search must find an SLO-breaking storm against unprotected serving,
+shrink it, persist the minimized manifest, and ``replay`` must reproduce
+it byte-identically twice in a row.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.cli import main
+
+#: Short horizon keeps each serving evaluation sub-second.
+FAST_SEARCH = [
+    "--rounds", "0", "--horizon", "180", "--rate", "3",
+    "--shrink-budget", "6",
+]
+
+
+def test_search_then_replay_byte_identical(tmp_path, capsys):
+    root = tmp_path / "results"
+    code = main(["search", "--seed", "0", "--root", str(root), *FAST_SEARCH])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "minimized run_id:" in out
+    run_id = out.rsplit("minimized run_id:", 1)[1].strip()
+    manifest = root / "chaos" / run_id / "manifest.json"
+    assert manifest.exists()
+    assert (root / "chaos" / run_id / "summary.json").exists()
+
+    # The acceptance criterion: byte-identical twice in a row.
+    code = main(["replay", str(manifest), "--times", "2"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "REPRODUCED byte-identically 2×" in out
+
+
+def test_replay_detects_tampered_summary(tmp_path, capsys):
+    root = tmp_path / "results"
+    assert main(["search", "--seed", "0", "--root", str(root),
+                 *FAST_SEARCH]) == 0
+    out = capsys.readouterr().out
+    run_id = out.rsplit("minimized run_id:", 1)[1].strip()
+    summary_path = root / "chaos" / run_id / "summary.json"
+    doctored = json.loads(summary_path.read_text())
+    doctored["completed"] += 1
+    summary_path.write_text(json.dumps(doctored, sort_keys=True, indent=2) + "\n")
+    assert main(["replay", str(summary_path.parent / "manifest.json")]) == 1
+    assert "MISMATCH" in capsys.readouterr().out
+
+
+def test_audit_calm_scenario_is_clean(capsys):
+    code = main(["audit", "--scenario", "calm", "--horizon", "120",
+                 "--rate", "2"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "audit clean" in out
+    assert "0 violations" in out
+
+
+def test_audit_accepts_storm_archetype_and_json_file(tmp_path, capsys):
+    code = main(["audit", "--scenario", "crash-storm", "--horizon", "120",
+                 "--rate", "2"])
+    assert code == 0, capsys.readouterr().out
+    capsys.readouterr()
+
+    storm_file = tmp_path / "storm.json"
+    storm_file.write_text(json.dumps({"name": "filed", "crash_rate": 0.1}))
+    code = main(["audit", "--scenario", str(storm_file), "--horizon", "120",
+                 "--rate", "2", "--protected"])
+    assert code == 0, capsys.readouterr().out
+
+
+def test_audit_unknown_scenario_exits_via_usage_error():
+    with pytest.raises(SystemExit):
+        main(["audit", "--scenario", "definitely-not-a-scenario"])
+
+
+def test_replay_missing_manifest_returns_2(tmp_path):
+    assert main(["replay", str(tmp_path / "nope" / "manifest.json")]) == 2
+
+
+def test_search_invalid_config_returns_2():
+    assert main(["search", "--rounds", "-1"]) == 2

@@ -1,0 +1,169 @@
+"""The coverage-guided search loop, tested against a stub target.
+
+The stub makes damage a deterministic function of the knobs, so these
+tests pin the *loop mechanics* — frontier admission, coverage accounting,
+class-preserving shrink, manifest persistence — without paying for real
+serving simulations. The real ``chaos-serving`` target is integration
+tested in ``test_harness_chaos_target.py`` and the CLI smoke test.
+"""
+
+import pytest
+
+from repro.chaos import SearchConfig, StormSpec
+from repro.chaos.search import (
+    ChaosSearch,
+    coverage_features,
+    damage_score,
+    violation_classes,
+)
+from repro.harness.artifacts import ArtifactStore
+from repro.harness.reproduce import reproduce_run
+from repro.harness.targets import CampaignTarget, RunOutput, TargetRegistry
+
+
+class StubServingTarget(CampaignTarget):
+    """Damage model: crash_rate alone drives SLO damage; a crash_rate
+    above 0.3 *combined with* gray slowdown breaks an invariant. The
+    minimal reproduction of the invariant class is therefore
+    crash_rate > 0.3 with some gray — everything else must shrink away."""
+
+    name = "chaos-serving"
+
+    def __init__(self):
+        self.executions = 0
+
+    def resolve(self, params):
+        return dict(params)
+
+    def execute(self, resolved, seed):
+        self.executions += 1
+        spec = StormSpec.from_dict(resolved["storm"])
+        attainment = max(0.0, 1.0 - spec.crash_rate - 0.05 * spec.gray_domains)
+        violations = int(spec.crash_rate > 0.3 and spec.gray_slowdown > 1.0)
+        summary = {
+            "storm": spec.name,
+            "requests": 1000,
+            "completed": 1000,
+            "shed": 0,
+            "failed": int(1000 * spec.crash_rate * 0.1),
+            "attainment": attainment,
+            "max_backlog": int(100 * spec.crash_rate),
+            "crashes": int(100 * spec.crash_rate),
+            "retries": 0,
+            "throttled": 0,
+            "throttle_drops": 0,
+            "breaker_opens": 0,
+            "conserved": True,
+            "slo_breach": attainment < resolved["slo_attainment_floor"],
+            "audit_events": 0,
+            "violations": violations,
+            "violation_kinds": ["billing-legality"] if violations else [],
+        }
+        return RunOutput(summary=summary, metrics_jsonl="")
+
+
+@pytest.fixture()
+def registry():
+    reg = TargetRegistry()
+    reg.register(StubServingTarget())
+    return reg
+
+
+def make_search(registry, **overrides):
+    defaults = dict(seed=0, rounds=2, population=3, shrink_budget=30)
+    defaults.update(overrides)
+    return ChaosSearch(SearchConfig(**defaults), registry=registry)
+
+
+# --------------------------------------------------------------------- #
+# scoring helpers
+# --------------------------------------------------------------------- #
+def test_damage_score_weights_violations_dominantly():
+    quiet = {"requests": 100, "attainment": 1.0, "violations": 0}
+    slo = {"requests": 100, "attainment": 0.0, "failed": 100, "violations": 0}
+    broken = {"requests": 100, "attainment": 1.0, "violations": 1}
+    assert damage_score(quiet) == 0.0
+    assert damage_score(broken) > damage_score(slo)
+
+
+def test_coverage_features_and_classes():
+    summary = {
+        "crashes": 5, "failed": 2, "attainment": 0.43, "max_backlog": 9,
+        "slo_breach": True, "conserved": False,
+        "violation_kinds": ["billing-legality"],
+    }
+    features = coverage_features(summary)
+    assert {"crashes", "failed", "slo-breach", "not-conserved",
+            "attain-decile-4", "invariant:billing-legality"} <= features
+    assert violation_classes(summary) == {
+        "slo-breach", "not-conserved", "invariant:billing-legality"
+    }
+
+
+# --------------------------------------------------------------------- #
+# the loop
+# --------------------------------------------------------------------- #
+def test_search_finds_and_shrinks_failure(registry):
+    search = make_search(registry)
+    report = search.run()
+    assert report.found_failure
+    assert report.best.failing
+    # Shrink must preserve every violation class the parent exhibited.
+    assert report.best.classes <= report.minimized.classes
+    # The stub's invariant needs crash_rate > 0.3 and gray alive; the
+    # shrunk spec keeps both but quiets unrelated phases.
+    spec = report.minimized.spec
+    if "invariant:billing-legality" in report.minimized.classes:
+        assert spec.crash_rate > 0.3
+        assert spec.gray_slowdown > 1.0
+        assert spec.throttle_capacity == 0
+        assert spec.poisoned_domains == 0
+
+
+def test_search_is_deterministic(registry):
+    a = make_search(registry).run()
+    fresh = TargetRegistry()
+    fresh.register(StubServingTarget())
+    b = make_search(fresh).run()
+    assert a.minimized.spec == b.minimized.spec
+    assert a.evaluations == b.evaluations
+    assert a.coverage == b.coverage
+
+
+def test_memoization_never_reexecutes_a_spec(registry):
+    search = make_search(registry)
+    search.run()
+    target = registry.get("chaos-serving")
+    assert target.executions == search._evaluations
+
+
+def test_no_failure_reports_coverage(registry):
+    # A floor of 0 means no SLO breach, and with rounds=0 only the corpus
+    # runs — no corpus archetype trips the stub's invariant condition.
+    search = make_search(registry, slo_attainment_floor=0.0, rounds=0)
+    report = search.run()
+    assert not report.found_failure
+    assert report.evaluations > 0
+    assert "no failing storm" in report.summary()
+
+
+def test_persisted_manifest_reproduces(tmp_path, registry):
+    store = ArtifactStore(tmp_path)
+    search = make_search(registry)
+    report = search.run(store)
+    assert report.run_id
+    manifest_path = tmp_path / "chaos" / report.run_id / "manifest.json"
+    assert str(manifest_path) == report.manifest_path
+    assert manifest_path.exists()
+    # Byte-identical twice in a row — the replay acceptance criterion.
+    for _ in range(2):
+        verdict = reproduce_run(manifest_path, registry=registry)
+        assert verdict.matched and verdict.byte_identical
+
+
+def test_shrink_budget_zero_keeps_parent(registry):
+    search = make_search(registry, shrink_budget=0)
+    report = search.run()
+    assert report.found_failure
+    assert report.minimized.spec == report.best.spec
+    assert report.shrink_evaluations == 0

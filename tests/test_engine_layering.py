@@ -25,9 +25,18 @@ FORBIDDEN = (
     "repro.resilience",
     "repro.remediation",
     "repro.harness",
+    "repro.chaos",
 )
 
 ENGINE_DIR = pathlib.Path(repro.engine.__file__).parent
+
+#: repro.chaos sits at the very top of the stack (it drives serving,
+#: resilience, remediation, telemetry, and the harness as black boxes), so
+#: no lower layer may import it — not even lazily inside a function.
+CHAOS_LOWER_LAYERS = (
+    "core", "engine", "platform", "workloads", "faults", "serving",
+    "extensions", "resilience", "remediation", "telemetry", "harness",
+)
 
 
 def _imported_modules(tree: ast.AST):
@@ -49,6 +58,24 @@ def test_engine_modules_have_no_consumer_imports():
     assert not offenders, (
         "repro.engine must not import serving/extensions/resilience "
         f"(see docs/ARCHITECTURE.md): {offenders}"
+    )
+
+
+def test_no_lower_layer_imports_chaos():
+    src_root = ENGINE_DIR.parent
+    offenders = []
+    for layer in CHAOS_LOWER_LAYERS:
+        layer_dir = src_root / layer
+        if not layer_dir.is_dir():
+            continue
+        for path in sorted(layer_dir.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for module in _imported_modules(tree):
+                if module == "repro.chaos" or module.startswith("repro.chaos."):
+                    offenders.append(f"{path.relative_to(src_root)}: {module}")
+    assert not offenders, (
+        "repro.chaos is the top of the stack; lower layers must not "
+        f"import it (see docs/ARCHITECTURE.md): {offenders}"
     )
 
 

@@ -97,6 +97,7 @@ def test_registry_covers_every_paper_artifact():
         "serving",
         "overload",
         "selfhealing",
+        "chaos",
     }
     assert set(ALL_FIGURES) == expected
 

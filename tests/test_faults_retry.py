@@ -163,3 +163,70 @@ def test_bucket_validates():
         TokenBucket(capacity=0, refill_per_s=1.0)
     with pytest.raises(ValueError):
         TokenBucket(capacity=1, refill_per_s=0.0)
+
+
+# --------------------------------------------------------------------- #
+# validated JSON round-trips
+# --------------------------------------------------------------------- #
+from repro.faults import retry_policy_from_dict, retry_policy_to_dict  # noqa: E402
+
+
+class TestRetrySerialization:
+    @pytest.mark.parametrize("policy", [
+        ImmediateRetry(max_retries=3),
+        FixedDelayRetry(delay_s=2.5, max_retries=1),
+        ExponentialBackoffRetry(base_s=0.5, cap_s=10.0, max_retries=5),
+        RetryBudget(ExponentialBackoffRetry(max_retries=4), budget=7),
+        RetryBudget(RetryBudget(ImmediateRetry(), budget=3), budget=9),
+    ])
+    def test_round_trip_preserves_behaviour(self, policy, rng):
+        clone = retry_policy_from_dict(retry_policy_to_dict(policy))
+        assert type(clone) is type(policy)
+        assert retry_policy_to_dict(clone) == retry_policy_to_dict(policy)
+        # Behavioural equality where it matters: identical delay schedule.
+        a, b = policy.fresh(), clone.fresh()
+        prev_a = prev_b = 0.0
+        for attempt in range(1, 8):
+            da = a.next_delay(attempt, prev_a, np.random.default_rng(42))
+            db = b.next_delay(attempt, prev_b, np.random.default_rng(42))
+            assert da == db
+            if da is None:
+                break
+            prev_a, prev_b = da, db
+
+    def test_budget_excludes_runtime_spend(self):
+        budget = RetryBudget(ImmediateRetry(), budget=2)
+        gen = np.random.default_rng(0)
+        budget.next_delay(1, 0.0, gen)
+        payload = retry_policy_to_dict(budget)
+        assert "spent" not in payload
+        assert retry_policy_from_dict(payload).spent == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown retry policy kind"):
+            retry_policy_from_dict({"kind": "telepathic"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError):
+            retry_policy_from_dict({"max_retries": 2})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            retry_policy_from_dict({"kind": "immediate", "max_retries": 2,
+                                    "surprise": True})
+
+    def test_invalid_values_rejected_by_constructor_validation(self):
+        with pytest.raises(ValueError):
+            retry_policy_from_dict({"kind": "fixed-delay", "delay_s": -1.0,
+                                    "max_retries": 2})
+        with pytest.raises(ValueError):
+            retry_policy_from_dict({"kind": "budget", "budget": -1,
+                                    "inner": {"kind": "immediate",
+                                              "max_retries": 2}})
+
+    def test_unserializable_policy_rejected(self):
+        class Odd:
+            pass
+
+        with pytest.raises(ValueError, match="cannot serialize"):
+            retry_policy_to_dict(Odd())

@@ -255,3 +255,87 @@ def test_stateless_app_supports_scenarios():
     )
     assert result.fault_stats.crashed_attempts > 0
     assert completed_functions(result) + result.lost_functions == 150
+
+
+# --------------------------------------------------------------------- #
+# gray failures (slow-but-alive fault domains)
+# --------------------------------------------------------------------- #
+class TestGrayFailures:
+    def test_gray_factor_window_semantics(self):
+        scenario = FaultScenario(
+            name="gray", gray_domains=(1, 3), gray_slowdown=4.0,
+            gray_onset_s=100.0, gray_heal_s=200.0,
+        )
+        assert scenario.gray_active
+        assert scenario.gray_factor(1, 50.0) == 1.0       # before onset
+        assert scenario.gray_factor(1, 100.0) == 4.0      # onset inclusive
+        assert scenario.gray_factor(3, 250.0) == 4.0      # inside window
+        assert scenario.gray_factor(1, 300.0) == 1.0      # heal boundary
+        assert scenario.gray_factor(2, 150.0) == 1.0      # healthy domain
+        assert scenario.gray_factor(None, 150.0) == 1.0   # undomained
+
+    def test_gray_without_heal_never_recovers(self):
+        scenario = FaultScenario(name="gray", gray_domains=(0,),
+                                 gray_slowdown=2.0, gray_onset_s=10.0)
+        assert scenario.gray_factor(0, 1e9) == 2.0
+
+    def test_gray_is_draw_free(self):
+        """Gray degradation must consume zero RNG draws — pre-existing
+        goldens pin exact stream consumption, so gray is a pure function
+        of (domain, time)."""
+        scenario = FaultScenario(name="gray", gray_domains=(0,),
+                                 gray_slowdown=3.0)
+        for _ in range(3):
+            assert scenario.gray_factor(0, 5.0) == 3.0
+
+    def test_gray_validation(self):
+        with pytest.raises(ValueError, match="gray_slowdown"):
+            FaultScenario(name="bad", gray_slowdown=0.5)
+        with pytest.raises(ValueError, match="gray_domains"):
+            FaultScenario(name="bad", gray_domains=(-1,))
+        with pytest.raises(ValueError, match="gray_onset_s"):
+            FaultScenario(name="bad", gray_onset_s=-1.0)
+        with pytest.raises(ValueError, match="gray_heal_s"):
+            FaultScenario(name="bad", gray_heal_s=0.0)
+
+    def test_inactive_without_domains_or_slowdown(self):
+        assert not FaultScenario(name="x", gray_slowdown=5.0).gray_active
+        assert not FaultScenario(name="x", gray_domains=(0,)).gray_active
+
+
+class TestScenarioSerialization:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_presets_round_trip(self, name):
+        scenario = SCENARIOS[name]
+        assert FaultScenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_gray_fields_round_trip(self):
+        scenario = FaultScenario(
+            name="gray", gray_domains=(2, 5), gray_slowdown=3.5,
+            gray_onset_s=60.0, gray_heal_s=120.0,
+        )
+        clone = FaultScenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+        assert clone.gray_domains == (2, 5)  # list coerced back to tuple
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = SCENARIOS["stormy"].to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_from_dict_rejects_unknown_keys(self):
+        payload = SCENARIOS["calm"].to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown FaultScenario keys"):
+            FaultScenario.from_dict(payload)
+
+    def test_from_dict_rejects_invalid_values(self):
+        payload = SCENARIOS["calm"].to_dict()
+        payload["crash_rate"] = 1.5
+        with pytest.raises(ValueError):
+            FaultScenario.from_dict(payload)
+        payload = SCENARIOS["calm"].to_dict()
+        payload["gray_domains"] = "nope"
+        with pytest.raises(ValueError, match="gray_domains"):
+            FaultScenario.from_dict(payload)

@@ -1,0 +1,87 @@
+"""The real ``chaos-serving`` campaign target: resolution + execution."""
+
+import pytest
+
+import repro.chaos  # noqa: F401  (registers chaos-serving)
+from repro.chaos import StormSpec
+from repro.harness.targets import DEFAULT_REGISTRY
+
+#: Small enough to execute twice in a unit test.
+FAST = {"horizon_s": 120.0, "rate_per_s": 2.0}
+
+
+@pytest.fixture()
+def target():
+    return DEFAULT_REGISTRY.get("chaos-serving")
+
+
+def test_registered_in_default_registry(target):
+    assert target.name == "chaos-serving"
+
+
+def test_resolve_embeds_validated_storm_and_full_context(target):
+    resolved = target.resolve({
+        "storm": {"name": "x", "crash_rate": 0.2}, **FAST
+    })
+    assert resolved["storm"]["crash_rate"] == 0.2
+    assert resolved["storm"]["gray_domains"] == 0  # defaults pinned
+    assert resolved["app_spec"]["name"] == "xapian"
+    assert resolved["platform_profile"]["name"]
+    assert resolved["protected"] is False
+
+
+def test_resolve_rejects_bad_inputs(target):
+    with pytest.raises(ValueError, match="unknown params"):
+        target.resolve({"storm": {}, "surprise": 1})
+    with pytest.raises(ValueError, match="unknown app"):
+        target.resolve({"storm": {}, "app": "nope"})
+    with pytest.raises(ValueError, match="unknown platform"):
+        target.resolve({"storm": {}, "platform": "nope"})
+    with pytest.raises(ValueError, match="crash_rate"):
+        target.resolve({"storm": {"crash_rate": 2.0}})
+    with pytest.raises(ValueError, match="positive"):
+        target.resolve({"storm": {}, "horizon_s": 0.0})
+
+
+def test_execute_summary_contract_and_auditor_clean(target):
+    resolved = target.resolve({
+        "storm": StormSpec(name="mini", crash_rate=0.15).to_dict(), **FAST
+    })
+    output = target.execute(resolved, seed=5)
+    s = output.summary
+    for key in ("requests", "completed", "shed", "failed", "attainment",
+                "expense_usd", "conserved", "slo_breach", "audit_events",
+                "violations", "violation_kinds"):
+        assert key in s
+    assert s["conserved"] is True
+    assert s["violations"] == 0, s["violation_kinds"]
+    assert s["audit_events"] > 0
+    assert s["requests"] == s["completed"] + s["shed"] + s["failed"]
+    assert output.metrics_jsonl == ""  # one line per violation; none here
+
+
+def test_execute_is_deterministic(target):
+    resolved = target.resolve({
+        "storm": StormSpec(name="mini", crash_rate=0.15).to_dict(), **FAST
+    })
+    assert target.execute(resolved, seed=5).summary == \
+        target.execute(resolved, seed=5).summary
+
+
+def test_audit_off_skips_auditing_but_not_serving(target):
+    resolved = target.resolve({"storm": {}, "audit": False, **FAST})
+    s = target.execute(resolved, seed=5).summary
+    assert s["audit_events"] == 0
+    assert s["requests"] > 0
+
+
+def test_protected_flag_changes_the_run(target):
+    storm = StormSpec(name="squeeze", crash_rate=0.4,
+                      persistent_fraction=0.3).to_dict()
+    bare = target.execute(target.resolve({"storm": storm, **FAST}), seed=5)
+    prot = target.execute(
+        target.resolve({"storm": storm, "protected": True, **FAST}), seed=5
+    )
+    assert prot.summary["protected"] is True
+    assert bare.summary["protected"] is False
+    assert prot.summary != bare.summary

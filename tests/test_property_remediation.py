@@ -15,6 +15,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.chaos import assert_serving_invariants
 from repro.core.models import ExecutionTimeModel
 from repro.extensions.streaming import StreamingPolicy
 from repro.faults.retry import ExponentialBackoffRetry
@@ -97,8 +98,7 @@ def test_remediated_runs_conserve_requests_exactly(
     seed, rate, degree, crash_rate, limit, verify
 ):
     run = _run_once(seed, rate, degree, crash_rate, limit, verify)
-    assert run.conserved()
-    assert run.resilience.conserved()
+    assert_serving_invariants(run)
     assert run.n_requests == run.n_completed + run.n_shed + run.n_failed
     assert run.remediation is not None
     assert run.remediation.n_applied <= len(run.remediation.proposals)

@@ -17,6 +17,7 @@ from repro import (
     ServerlessPlatform,
     run_unpacked,
 )
+from repro.chaos import assert_serving_invariants
 from repro.core.models import ExecutionTimeModel
 from repro.extensions.streaming import StreamingPolicy
 from repro.faults.retry import ExponentialBackoffRetry
@@ -149,7 +150,7 @@ def test_golden_overload_resilience_exact():
         PoissonProcess(4.0), StreamingPolicy(degree=6, batch_timeout_s=4.0), 900.0
     )
     rep = run.resilience
-    assert run.conserved() and rep.conserved()
+    assert_serving_invariants(run)
     assert run.n_requests == 3567
     assert run.n_completed == 1211
     assert (rep.shed, rep.shed_admission, rep.shed_brownout) == (2348, 1710, 638)
@@ -223,7 +224,7 @@ def test_golden_remediation_timeline_exact():
 
     run = healed_run()
     rep = run.remediation
-    assert run.conserved() and run.resilience.conserved()
+    assert_serving_invariants(run)
     assert (run.n_requests, run.n_completed) == (2671, 1005)
     assert (run.n_shed, run.n_failed) == (1652, 14)
     assert run.expense.total_usd == pytest.approx(2.005490767850235, abs=1e-12)

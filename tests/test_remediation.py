@@ -11,6 +11,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.chaos import assert_serving_invariants
 from repro.core.models import ExecutionTimeModel
 from repro.extensions.streaming import StreamingPolicy
 from repro.faults.retry import ExponentialBackoffRetry
@@ -410,7 +411,7 @@ def _run(loop, horizon_s=1800.0, seed=SEED):
 
 def test_loop_end_to_end_conserves_and_reports():
     run = _run(_loop())
-    assert run.conserved() and run.resilience.conserved()
+    assert_serving_invariants(run)
     report = run.remediation
     assert report is not None
     assert report.ticks == 30  # one per minute over 1800 s
@@ -493,7 +494,7 @@ def test_initially_poisoned_domains_start_poisoned():
         StreamingPolicy(degree=2, batch_timeout_s=2.0),
         300.0,
     )
-    assert run.conserved()
+    assert_serving_invariants(run)
     # Same seed, no pre-poisoning: the runs must diverge (the poisoned
     # domains elevate crash probabilities from t=0).
     clean = ServingSimulator(

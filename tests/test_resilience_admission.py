@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.chaos import check_admission_conservation
 from repro.resilience import (
     HIGH,
     LOW,
@@ -53,7 +54,7 @@ class TestAdmissionStats:
         gen = np.random.default_rng(5)
         for _ in range(500):
             stats.record(int(gen.integers(3)), bool(gen.random() < 0.6))
-        assert stats.conserved()
+        assert not check_admission_conservation(stats)
         assert stats.arrivals == 500
         assert stats.admitted + stats.shed == 500
 
@@ -84,7 +85,7 @@ class TestConcurrencyLimit:
         ctl = ConcurrencyLimitAdmission(limit=10, priority_watermarks=(1.0, 1.0, 1.0))
         assert ctl.decide(0.0, HIGH, queue_depth=4, in_flight=5)
         assert not ctl.decide(0.0, HIGH, queue_depth=5, in_flight=5)
-        assert ctl.stats.conserved()
+        assert not check_admission_conservation(ctl.stats)
 
     def test_low_priority_sheds_first(self):
         ctl = ConcurrencyLimitAdmission(limit=10, priority_watermarks=(1.0, 0.9, 0.7))
@@ -165,7 +166,7 @@ class TestAIMD:
         assert not ctl.decide(0.0, HIGH, 4, 4)
         ctl.observe_window(1.0, 1.0)  # halve to 4
         assert not ctl.decide(1.0, HIGH, 2, 2)
-        assert ctl.stats.conserved()
+        assert not check_admission_conservation(ctl.stats)
 
     def test_invalid_bounds_rejected(self):
         with pytest.raises(ValueError):

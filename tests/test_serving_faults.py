@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.chaos import assert_serving_invariants
 from repro.core.models import ExecutionTimeModel
 from repro.extensions.streaming import StreamingPolicy
 from repro.faults.retry import ExponentialBackoffRetry
@@ -75,8 +76,7 @@ def test_empty_resilience_policy_matches_legacy_bit_for_bit():
 
 def test_faulted_run_conserves_requests():
     result = make_simulator(scenario=CRASHY).run(PoissonProcess(2.0), POLICY, 900.0)
-    assert result.conserved()
-    assert result.resilience.conserved()
+    assert_serving_invariants(result)
     assert result.resilience.crashes > 0
     assert result.resilience.retries > 0
 
@@ -158,7 +158,7 @@ def test_correlated_bursts_kill_in_flight_work():
     )
     assert result.resilience.correlated_kills > 0
     assert result.resilience.retries >= result.resilience.correlated_kills
-    assert result.conserved()
+    assert_serving_invariants(result)
 
 
 def test_throttling_delays_or_drops_batches():
@@ -170,7 +170,7 @@ def test_throttling_delays_or_drops_batches():
         PoissonProcess(3.0), POLICY, 600.0
     )
     assert result.resilience.throttled_attempts > 0
-    assert result.conserved()
+    assert_serving_invariants(result)
 
 
 def test_admission_sheds_under_load_and_accounts_exactly():
@@ -220,3 +220,36 @@ def test_config_validates_new_fields():
         ServingConfig(fault_domains=0)
     with pytest.raises(ValueError):
         ServingConfig(max_breaker_deferrals=0)
+
+
+# --------------------------------------------------------------------- #
+# gray failures in the serving loop
+# --------------------------------------------------------------------- #
+def test_gray_domains_slow_completions_without_crashing():
+    gray = FaultScenario(name="gray-window", gray_domains=(0, 1, 2, 3),
+                         gray_slowdown=6.0, gray_onset_s=0.0)
+    slowed = make_simulator(scenario=gray).run(PoissonProcess(2.0), POLICY, 600.0)
+    baseline = make_simulator(
+        scenario=FaultScenario(name="calm")
+    ).run(PoissonProcess(2.0), POLICY, 600.0)
+    # Gray never trips crash detectors: no crashes, no retries, everything
+    # conserves — but the storm is visible in latency and billed compute.
+    assert slowed.resilience.crashes == baseline.resilience.crashes
+    assert_serving_invariants(slowed)
+    assert slowed.n_requests == baseline.n_requests  # same arrival draws
+    assert slowed.p99_sojourn_s > baseline.p99_sojourn_s
+    assert slowed.expense.total_usd > baseline.expense.total_usd
+
+
+def test_gray_outside_window_is_baseline_identical():
+    """A gray window that never opens must be byte-identical to no gray
+    at all — the model consumes zero RNG draws."""
+    dormant = FaultScenario(name="dormant", gray_domains=(0,),
+                            gray_slowdown=8.0, gray_onset_s=1e9)
+    gray_run = make_simulator(scenario=dormant).run(
+        PoissonProcess(2.0), POLICY, 600.0
+    )
+    plain_run = make_simulator(
+        scenario=FaultScenario(name="calm")
+    ).run(PoissonProcess(2.0), POLICY, 600.0)
+    assert gray_run.signature() == plain_run.signature()

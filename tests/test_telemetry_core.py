@@ -188,3 +188,17 @@ def test_session_subsystem_toggles():
 def test_resolve_session_passes_prebuilt_through():
     session = TelemetrySession()
     assert resolve_session(session) is session
+
+
+def test_has_kind_subscribers_ignores_catchalls():
+    """The audit.* gate: a catch-all subscriber (the EventLog attaches as
+    one) must not trick opt-in publishers into emitting their family."""
+    bus = EventBus()
+    bus.subscribe(lambda e: None)  # catch-all
+    assert bus.has_subscribers("audit.complete")
+    assert not bus.has_kind_subscribers("audit.complete")
+    unsubscribe = bus.subscribe(lambda e: None, kind="audit.complete")
+    assert bus.has_kind_subscribers("audit.complete")
+    assert not bus.has_kind_subscribers("audit.crash")
+    unsubscribe()
+    assert not bus.has_kind_subscribers("audit.complete")
