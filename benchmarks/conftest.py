@@ -30,6 +30,11 @@ BENCH_RESULTS: dict[str, float] = {}
 #: macro counterpart of the dispatch-primitive trajectory.
 BENCH_SERVING: dict[str, float] = {}
 
+#: Platform-side fusion numbers (fused vs unfused cost per 1k functions
+#: under rounded billing, plus planner throughput), populated by
+#: ``test_fusion.py`` and written to ``BENCH_fusion.json``.
+BENCH_FUSION: dict[str, float] = {}
+
 
 @pytest.fixture(scope="session")
 def ctx():
@@ -76,6 +81,7 @@ def _record_bench_manifests(root: pathlib.Path) -> None:
     for export, payload in (
         ("dispatch", BENCH_RESULTS),
         ("serving", BENCH_SERVING),
+        ("fusion", BENCH_FUSION),
     ):
         if payload:
             store.record(
@@ -101,5 +107,9 @@ def pytest_sessionfinish(session, exitstatus):
         (root / "BENCH_serving.json").write_text(
             json.dumps(dict(sorted(BENCH_SERVING.items())), indent=2) + "\n"
         )
-    if BENCH_RESULTS or BENCH_SERVING:
+    if BENCH_FUSION:
+        (root / "BENCH_fusion.json").write_text(
+            json.dumps(dict(sorted(BENCH_FUSION.items())), indent=2) + "\n"
+        )
+    if BENCH_RESULTS or BENCH_SERVING or BENCH_FUSION:
         _record_bench_manifests(root)

@@ -1,0 +1,73 @@
+"""Benchmarks for platform-side fusion (FU1) and the planner's throughput.
+
+Exports ``BENCH_fusion.json``: the fused-vs-unfused cost per 1k functions
+under 100 ms-rounded billing (the PR's headline dollars) and the fusion
+planner's plans/second on the serving-scale trio mix.
+"""
+
+from conftest import BENCH_FUSION, _mean_round_s, run_once
+
+from repro.experiments.figures import fusion_comparison
+
+
+def test_fu1_platform_fusion_beats_user_side_propack(benchmark, ctx):
+    fig = run_once(benchmark, fusion_comparison, ctx)
+    wall = _mean_round_s(benchmark)
+    if wall > 0.0:
+        BENCH_FUSION["fu1_wall_s"] = round(wall, 3)
+
+    for scale in ("burst", "serving"):
+        rounded = {
+            row["mode"]: row
+            for row in fig.select(scale=scale, billing="rounded-100ms")
+        }
+        propack, both = rounded["propack"], rounded["both"]
+        # The acceptance claim: platform-side fusion on top of ProPack is
+        # strictly cheaper per function than user-side ProPack alone, on
+        # fewer instances, with nothing dropped and nothing violated.
+        assert both["usd_per_1k_functions"] < propack["usd_per_1k_functions"]
+        assert both["instances"] < propack["instances"]
+        assert both["functions"] == propack["functions"]
+        assert all(row["violations"] == 0 for row in rounded.values())
+        BENCH_FUSION[f"{scale}_unfused_usd_per_1k"] = round(
+            propack["usd_per_1k_functions"], 4
+        )
+        BENCH_FUSION[f"{scale}_fused_usd_per_1k"] = round(
+            both["usd_per_1k_functions"], 4
+        )
+
+
+def test_fu1_same_seed_reproduces(ctx):
+    a = fusion_comparison(ctx)
+    b = fusion_comparison(ctx)
+    assert a.rows == b.rows
+
+
+def test_perf_fusion_planner_throughput(benchmark, ctx):
+    """Plans/second of the greedy merge search on the serving-scale trio
+    mix — the planner must stay interactive (it runs per deployment, not
+    per request), so its throughput is tracked like the dispatch
+    primitives."""
+    from repro.fusion import FusedFleet, mix_demands
+    from repro.platform.providers import PROVIDERS
+    from repro.workloads import ALL_APPS
+
+    cfg = ctx.config
+    profile = PROVIDERS["aws-lambda"].with_overrides(
+        billing_granularity_s=cfg.fusion_granularity_s,
+        min_billed_duration_s=cfg.fusion_min_billed_s,
+    )
+
+    def plan_once():
+        fleet = FusedFleet(profile, seed=cfg.fusion_seed)
+        for tenant, app, count in mix_demands(
+            cfg.fusion_mix, cfg.fusion_serving_scale
+        ):
+            fleet.submit(tenant, ALL_APPS[app], count)
+        return fleet.plan("both")
+
+    decision = benchmark.pedantic(plan_once, rounds=5, iterations=1)
+    assert decision.merges > 0
+    mean = _mean_round_s(benchmark)
+    if mean > 0.0:
+        BENCH_FUSION["planner_plans_per_s"] = round(1.0 / mean, 1)

@@ -30,6 +30,7 @@ from repro.chaos.invariants import (
     EPS,
     LEGAL_BREAKER_EDGES,
     Violation,
+    assert_fleet_invariants,
     assert_serving_invariants,
     check_admission_conservation,
     check_billed_vs_executed,
@@ -39,6 +40,9 @@ from repro.chaos.invariants import (
     check_remediation_pairing,
     check_request_conservation,
     check_span_nesting,
+    check_tenant_billing_attribution,
+    check_tenant_conservation,
+    fleet_violations,
     serving_violations,
 )
 from repro.chaos.search import (
@@ -64,6 +68,7 @@ __all__ = [
     "EPS",
     "LEGAL_BREAKER_EDGES",
     "Violation",
+    "assert_fleet_invariants",
     "assert_serving_invariants",
     "check_admission_conservation",
     "check_billed_vs_executed",
@@ -73,6 +78,9 @@ __all__ = [
     "check_remediation_pairing",
     "check_request_conservation",
     "check_span_nesting",
+    "check_tenant_billing_attribution",
+    "check_tenant_conservation",
+    "fleet_violations",
     "serving_violations",
     "ChaosSearch",
     "Evaluation",

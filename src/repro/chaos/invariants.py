@@ -29,6 +29,10 @@ span-nesting           a child span lies inside its parent's interval;
 sim-time-monotonic     audited event times never decrease
 dispatch-lifecycle     every dispatch terminates exactly once, and only
                        after it was launched
+tenant-conservation    per-tenant submitted == admitted + rejected, all
+                       counters non-negative (exact, integer)
+billing-attribution    per-tenant bills are finite and >= 0, and their
+                       sum equals the fleet's reported expense total
 =====================  ==================================================
 
 All checks are pure functions returning :class:`Violation` lists — no
@@ -353,6 +357,110 @@ def assert_serving_invariants(
     checked algebra is byte-for-byte the auditor's.
     """
     violations = serving_violations(result, breakers=breakers, tracer=tracer)
+    assert not violations, "invariant violations:\n" + "\n".join(
+        str(v) for v in violations
+    )
+
+
+# --------------------------------------------------------------------- #
+# multi-tenant fleet fairness (SharedFleet / FusedFleet ledgers)
+# --------------------------------------------------------------------- #
+def check_tenant_conservation(
+    accounts: Iterable[Any], time: float = 0.0
+) -> list[Violation]:
+    """Per tenant: ``submitted == admitted + rejected``, counters >= 0.
+
+    Accepts any iterable of ledger entries with ``tenant``/``submitted``/
+    ``admitted``/``rejected`` attributes (duck-typed — both
+    :class:`repro.platform.multitenant.FleetAccount` ledgers and fused
+    fleets qualify; no fleet imports here).
+    """
+    out: list[Violation] = []
+    for account in accounts:
+        counters = (account.submitted, account.admitted, account.rejected)
+        if any(c < 0 for c in counters):
+            out.append(
+                Violation(
+                    "tenant-conservation",
+                    time,
+                    f"tenant {account.tenant!r} has a negative counter "
+                    f"(submitted={account.submitted}, "
+                    f"admitted={account.admitted}, "
+                    f"rejected={account.rejected})",
+                )
+            )
+        if account.submitted != account.admitted + account.rejected:
+            out.append(
+                Violation(
+                    "tenant-conservation",
+                    time,
+                    f"tenant {account.tenant!r}: submitted "
+                    f"{account.submitted} != admitted {account.admitted} "
+                    f"+ rejected {account.rejected}",
+                )
+            )
+    return out
+
+
+def check_tenant_billing_attribution(
+    total_usd: float, bills: Iterable[Any], time: float = 0.0
+) -> list[Violation]:
+    """Per-tenant bills are finite, non-negative, and sum to the total.
+
+    ``bills`` is any iterable with ``tenant``/``total_usd`` attributes
+    (e.g. :class:`repro.fusion.scheduler.TenantBill`). The platform must
+    never invent or lose dollars when splitting a shared instance's cost.
+    """
+    out: list[Violation] = []
+    billed = 0.0
+    for bill in bills:
+        value = bill.total_usd
+        if not math.isfinite(value) or value < -EPS:
+            out.append(
+                Violation(
+                    "billing-attribution",
+                    time,
+                    f"tenant {bill.tenant!r} bill is {value!r}",
+                )
+            )
+            continue
+        billed += value
+    tolerance = EPS * max(1.0, abs(total_usd))
+    if not math.isfinite(total_usd) or abs(billed - total_usd) > tolerance:
+        out.append(
+            Violation(
+                "billing-attribution",
+                time,
+                f"tenant bills sum to {billed!r} but the fleet reported "
+                f"{total_usd!r}",
+            )
+        )
+    return out
+
+
+def fleet_violations(report: Any) -> list[Violation]:
+    """Every end-of-run invariant applicable to one fused-fleet run.
+
+    Duck-typed against :class:`repro.fusion.fleet.FleetRunReport`:
+    ``accounts`` (tenant -> ledger), ``report.bills``, ``expense_usd``,
+    and the inner run's expense breakdown.
+    """
+    out: list[Violation] = []
+    out.extend(check_tenant_conservation(report.accounts.values()))
+    out.extend(
+        check_tenant_billing_attribution(report.expense_usd, report.report.bills)
+    )
+    out.extend(
+        check_expense_breakdown(
+            report.report.expense, reported_total=report.expense_usd
+        )
+    )
+    return out
+
+
+def assert_fleet_invariants(report: Any) -> None:
+    """Raise ``AssertionError`` listing every violated fleet invariant."""
+    violations = fleet_violations(report)
     assert not violations, "invariant violations:\n" + "\n".join(
         str(v) for v in violations
     )

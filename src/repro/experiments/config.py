@@ -62,6 +62,17 @@ class ExperimentConfig:
     chaos_search_population: int = 3
     chaos_shrink_budget: int = 12
     chaos_slo_floor: float = 0.9
+    # Fusion sweep (repro.fusion): user-side ProPack vs platform-side
+    # fusion vs both on a mixed-app multi-tenant demand set, billed under
+    # exact per-ms and legacy 100 ms-rounded schedules. Scales are chosen
+    # off the ProPack degrees' divisors so remainder groups exist — the
+    # raw material platform fusion consolidates.
+    fusion_mix: str = "trio"
+    fusion_burst_scale: int = 203
+    fusion_serving_scale: int = 407
+    fusion_granularity_s: float = 0.1
+    fusion_min_billed_s: float = 0.1
+    fusion_seed: int = 2023
 
     @classmethod
     def full(cls) -> "ExperimentConfig":
@@ -91,4 +102,6 @@ class ExperimentConfig:
             chaos_search_rounds=1,
             chaos_search_population=2,
             chaos_shrink_budget=6,
+            fusion_burst_scale=61,
+            fusion_serving_scale=203,
         )

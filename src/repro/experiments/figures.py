@@ -1573,6 +1573,121 @@ def chaos_worst_storm(ctx: ExperimentContext) -> FigureResult:
     return result
 
 
+def fusion_comparison(ctx: ExperimentContext) -> FigureResult:
+    """FU1 (ours) — user-side ProPack vs platform-side fusion vs both.
+
+    One multi-tenant mixed-app demand set (``repro.fusion.MIXES``) is
+    deployed three ways on the same seeded shared datacenter:
+
+    * **propack** — every tenant packs their own clones at their Eq. 7
+      degree; no cross-app or cross-tenant sharing (the user-side
+      baseline, i.e. the paper as published);
+    * **fusion** — functions arrive unpacked and the platform builds
+      fusion groups from scratch;
+    * **both** — user-side degrees first, then the platform merges the
+      underfull remainder groups across apps and tenants.
+
+    Each deployment runs once at burst scale and once at serving scale,
+    and the *same* run is billed twice post-hoc: exact per-ms metering
+    and the legacy coarse schedule (100 ms granularity + 100 ms minimum
+    billed duration) — dynamics are billing-independent, so the service
+    columns within a (scale, mode) pair are identical by construction.
+
+    The acceptance claim: under rounded billing, platform-side fusion on
+    top of ProPack (``both``) is strictly cheaper per 1k functions than
+    user-side ProPack alone at every scale, with zero constraint
+    violations and an auditor-clean fairness ledger (per-tenant
+    conservation and exact billing attribution).
+    """
+    from repro.chaos.invariants import assert_fleet_invariants
+    from repro.fusion import FUSION_MODES, FusedFleet, mix_demands
+    from repro.fusion.scheduler import rebill
+    from repro.platform.providers import PROVIDERS
+    from repro.workloads import ALL_APPS
+
+    cfg = ctx.config
+    result = FigureResult(
+        "FU1",
+        (
+            f"Platform-side fusion vs user-side ProPack "
+            f"(mix={cfg.fusion_mix}, rounding={cfg.fusion_granularity_s:g}s, "
+            f"min billed={cfg.fusion_min_billed_s:g}s)"
+        ),
+        [
+            "scale", "mode", "billing", "functions", "instances",
+            "fused_instances", "merges", "service_s", "expense_usd",
+            "usd_per_1k_functions", "violations",
+        ],
+    )
+
+    exact_profile = PROVIDERS["aws-lambda"]
+    rounded_profile = exact_profile.with_overrides(
+        billing_granularity_s=cfg.fusion_granularity_s,
+        min_billed_duration_s=cfg.fusion_min_billed_s,
+    )
+
+    scales = (
+        ("burst", cfg.fusion_burst_scale),
+        ("serving", cfg.fusion_serving_scale),
+    )
+    for scale_label, scale in scales:
+        for mode in FUSION_MODES:
+            # The planner sees the rounded schedule (that is the regime
+            # where consolidation saves rounding losses per invocation).
+            fleet = FusedFleet(rounded_profile, seed=cfg.fusion_seed)
+            for tenant, app, count in mix_demands(cfg.fusion_mix, scale):
+                fleet.submit(tenant, ALL_APPS[app], count)
+            run = fleet.run(mode)
+            assert_fleet_invariants(run)
+            assert not run.constraint_violations, run.constraint_violations
+
+            for billing, report in (
+                ("rounded-100ms", run.report),
+                ("exact", rebill(run.report, exact_profile)),
+            ):
+                result.add(
+                    scale=scale_label,
+                    mode=mode,
+                    billing=billing,
+                    functions=report.plan.n_functions,
+                    instances=report.plan.n_instances,
+                    fused_instances=report.plan.fused_instances,
+                    merges=run.decision.merges,
+                    service_s=report.service_time,
+                    expense_usd=report.expense_usd,
+                    usd_per_1k_functions=report.usd_per_1k_functions(),
+                    violations=len(run.constraint_violations),
+                )
+
+    for scale_label, _ in scales:
+        propack = result.select(
+            scale=scale_label, mode="propack", billing="rounded-100ms"
+        )[0]
+        both = result.select(
+            scale=scale_label, mode="both", billing="rounded-100ms"
+        )[0]
+        saved = improvement(
+            propack["usd_per_1k_functions"], both["usd_per_1k_functions"]
+        )
+        assert saved > 0.0, (
+            f"{scale_label}: platform-side fusion did not beat user-side "
+            f"ProPack ({both['usd_per_1k_functions']:.4f} vs "
+            f"{propack['usd_per_1k_functions']:.4f} usd/1k)"
+        )
+        result.notes.append(
+            f"{scale_label} (scale={dict(scales)[scale_label]}): both is "
+            f"{saved:.1f}% cheaper per 1k functions than user-side propack "
+            f"under 100 ms-rounded billing "
+            f"({both['instances']} vs {propack['instances']} instances, "
+            f"{both['merges']} merges)"
+        )
+    result.notes.append(
+        "all runs auditor-clean: tenant conservation, billing attribution, "
+        "and fusion constraints verified per mode"
+    )
+    return result
+
+
 ALL_FIGURES = {
     "fig1": fig1,
     "fig2": fig2,
@@ -1610,4 +1725,5 @@ ALL_FIGURES = {
     "overload": overload_flashcrowd,
     "selfhealing": selfhealing_storms,
     "chaos": chaos_worst_storm,
+    "fusion": fusion_comparison,
 }

@@ -32,7 +32,7 @@ from repro.platform.instance import FunctionInstance
 from repro.platform.metrics import InstanceRecord, RunResult
 from repro.platform.providers import PlatformProfile
 from repro.platform.scheduler import PlacementScheduler
-from repro.platform.storage import ObjectStore
+from repro.platform.storage import ObjectStore, StorageUsage
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 
@@ -52,10 +52,16 @@ def _group_image(group: MixedGroup) -> FunctionImage:
 
 @dataclass
 class MixedRunResult:
-    """A mixed burst's measurements (thin wrapper around RunResult)."""
+    """A mixed burst's measurements (thin wrapper around RunResult).
+
+    ``storage`` keeps the run's object-store usage so the same records can
+    be re-billed post hoc under a different billing fidelity (dynamics are
+    billing-independent; see ``repro.fusion``).
+    """
 
     run: RunResult
     plan: MixedPlan
+    storage: Optional[StorageUsage] = None
 
     @property
     def service_time(self) -> float:
@@ -189,4 +195,4 @@ class MixedBurstSimulator:
             records=records,
             expense=expense,
         )
-        return MixedRunResult(run=run, plan=plan)
+        return MixedRunResult(run=run, plan=plan, storage=store.usage)

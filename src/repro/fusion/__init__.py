@@ -1,0 +1,73 @@
+"""Platform-side function fusion and cross-tenant packing.
+
+``repro.fusion`` sits in the top band of the engine layering, a peer of
+``repro.chaos``: it drives the core optimizer, the pairwise interference
+model, the mixed-app engine path, and the harness as black boxes, and no
+lower layer may import it (enforced by ``tests/test_engine_layering.py``).
+
+* :mod:`repro.fusion.spec` — :class:`TenantDemand`,
+  :class:`FusionConstraints` (memory ceiling, tenant isolation policy,
+  runtime-tag compatibility), :class:`FusionGroup`, :class:`FusionPlan`;
+* :mod:`repro.fusion.optimizer` — :class:`FusionOptimizer`, the
+  fusion-aware Eq. 1–7 planner (greedy strict-improvement merge search,
+  never worse than the unfused baseline by construction);
+* :mod:`repro.fusion.scheduler` — :class:`FusionScheduler`, executing
+  plans on the shared dispatch kernel with per-tenant proportional
+  billing attribution and post-hoc :func:`rebill`;
+* :mod:`repro.fusion.fleet` — :class:`FusedFleet`, multi-tenant admission
+  with a fairness ledger plus the propack/fusion/both run modes;
+* :mod:`repro.fusion.target` — the ``fusion-fleet`` campaign target
+  (registered on import) and the named workload :data:`MIXES`;
+* :mod:`repro.fusion.cli` — the ``propack-fusion`` entry point
+  (``plan`` / ``compare`` / ``dump``).
+
+See ``docs/FUSION.md``.
+"""
+
+from repro.fusion.fleet import FUSION_MODES, FleetRunReport, FusedFleet
+from repro.fusion.optimizer import (
+    FusionDecision,
+    FusionOptimizer,
+    PlanScore,
+    analytic_exec_model,
+    default_scaling_model,
+)
+from repro.fusion.scheduler import (
+    FusionRunReport,
+    FusionScheduler,
+    TenantBill,
+    attribute_expense,
+    rebill,
+)
+from repro.fusion.spec import (
+    ISOLATION_POLICIES,
+    FusionConstraints,
+    FusionGroup,
+    FusionPlan,
+    TenantDemand,
+)
+from repro.fusion.target import MIXES, FusionTarget, mix_demands
+
+__all__ = [
+    "FUSION_MODES",
+    "FleetRunReport",
+    "FusedFleet",
+    "FusionDecision",
+    "FusionOptimizer",
+    "PlanScore",
+    "analytic_exec_model",
+    "default_scaling_model",
+    "FusionRunReport",
+    "FusionScheduler",
+    "TenantBill",
+    "attribute_expense",
+    "rebill",
+    "ISOLATION_POLICIES",
+    "FusionConstraints",
+    "FusionGroup",
+    "FusionPlan",
+    "TenantDemand",
+    "MIXES",
+    "FusionTarget",
+    "mix_demands",
+]

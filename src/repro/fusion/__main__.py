@@ -1,0 +1,6 @@
+"""``python -m repro.fusion`` — the propack-fusion CLI."""
+
+from repro.fusion.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

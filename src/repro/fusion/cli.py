@@ -1,0 +1,237 @@
+"""``propack-fusion`` — plan, compare, and dump platform-side fusion runs.
+
+Subcommands::
+
+    propack-fusion plan --mix trio --scale 200 --mode both
+        Plan one fused deployment and print its bundles (who co-resides,
+        at what replica counts) plus the predicted service/expense score
+        against the unfused user-side baseline.
+
+    propack-fusion compare --mix trio --scale 200 --rounded
+        Run user-side ProPack vs platform-side fusion vs both on one
+        seeded shared datacenter and print realized service time, dollars,
+        and per-tenant bills. ``--root`` persists each mode as a harness
+        manifest (campaign ``fusion``) reproducible byte-identically with
+        ``propack-campaign reproduce``.
+
+    propack-fusion dump --mix trio --scale 200
+        Print the fully-resolved fusion-fleet target config (the manifest
+        recipe) as canonical JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Optional, Sequence
+
+from repro.fusion.fleet import FUSION_MODES
+from repro.fusion.spec import ISOLATION_POLICIES
+from repro.fusion.target import MIXES, FusionTarget
+from repro.harness.artifacts import ArtifactStore
+from repro.harness.manifest import RunManifest, canonical_json
+from repro.telemetry.logging import add_verbosity_flags, echo, get_console_logger
+
+
+def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mix", default="trio", choices=sorted(MIXES),
+                        help="named multi-tenant workload mix")
+    parser.add_argument("--scale", type=int, default=200,
+                        help="demand multiplier (functions ≈ weight × scale)")
+    parser.add_argument("--platform", default="aws-lambda")
+    parser.add_argument("--isolation", default="shared",
+                        choices=ISOLATION_POLICIES)
+    parser.add_argument("--allow-cross-runtime", action="store_true")
+    parser.add_argument("--quota", type=int, default=None,
+                        help="per-tenant admitted-function quota")
+    parser.add_argument("--w-service", type=float, default=0.5,
+                        help="service weight (expense weight is 1 - this)")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--rounded", action="store_true",
+                        help="bill under the legacy 100 ms schedule "
+                             "(granularity + minimum duration = 0.1 s)")
+    parser.add_argument("--granularity", type=float, default=None,
+                        help="billing granularity in seconds (overrides "
+                             "--rounded)")
+    parser.add_argument("--min-billed", type=float, default=None,
+                        help="minimum billed duration in seconds")
+    parser.add_argument("--throttle", type=float, default=None,
+                        help="CPU-share throttling billed-time multiplier")
+
+
+def _params(args, mode: str) -> dict[str, Any]:
+    granularity = 0.1 if args.rounded else 0.0
+    min_billed = 0.1 if args.rounded else 0.0
+    if args.granularity is not None:
+        granularity = args.granularity
+    if args.min_billed is not None:
+        min_billed = args.min_billed
+    return {
+        "mix": args.mix,
+        "scale": args.scale,
+        "platform": args.platform,
+        "mode": mode,
+        "isolation": args.isolation,
+        "allow_cross_runtime": args.allow_cross_runtime,
+        "tenant_quota_functions": args.quota,
+        "w_service": args.w_service,
+        "w_expense": 1.0 - args.w_service,
+        "billing_granularity_s": granularity,
+        "min_billed_duration_s": min_billed,
+        "cpu_throttle_multiplier": args.throttle if args.throttle else 1.0,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="propack-fusion",
+        description="Platform-side function fusion: plan, compare, dump.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="plan one fused deployment")
+    plan.add_argument("--mode", default="both", choices=FUSION_MODES)
+    _add_fleet_flags(plan)
+    add_verbosity_flags(plan)
+
+    compare = sub.add_parser(
+        "compare", help="run propack vs fusion vs both on one seeded fleet"
+    )
+    _add_fleet_flags(compare)
+    compare.add_argument("--root", default=None,
+                         help="persist each mode as a harness manifest here")
+    compare.add_argument("--campaign", default="fusion")
+    compare.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the comparison as JSON")
+    add_verbosity_flags(compare)
+
+    dump = sub.add_parser("dump", help="print the resolved target config")
+    dump.add_argument("--mode", default="both", choices=FUSION_MODES)
+    _add_fleet_flags(dump)
+    add_verbosity_flags(dump)
+
+    return parser
+
+
+def _cmd_plan(args, log) -> int:
+    from repro.fusion.fleet import FusedFleet
+    from repro.platform.providers import PROVIDERS
+    from repro.workloads import ALL_APPS
+
+    params = _params(args, args.mode)
+    resolved = FusionTarget().resolve(params)
+    profile = PROVIDERS[args.platform].with_overrides(
+        billing_granularity_s=resolved["billing_granularity_s"],
+        min_billed_duration_s=resolved["min_billed_duration_s"],
+        cpu_throttle_multiplier=resolved["cpu_throttle_multiplier"],
+    )
+    fleet = FusedFleet(
+        profile,
+        seed=args.seed,
+        isolation=args.isolation,
+        allow_cross_runtime=args.allow_cross_runtime,
+        tenant_quota_functions=args.quota,
+        w_service=args.w_service,
+        w_expense=1.0 - args.w_service,
+    )
+    for tenant, app, count in resolved["demands"]:
+        fleet.submit(tenant, ALL_APPS[app], count)
+    decision = fleet.plan(args.mode)
+    echo(f"mode={args.mode} mix={args.mix} scale={args.scale} "
+         f"platform={profile.name}")
+    echo(f"instances: {decision.plan.n_instances} "
+         f"(baseline {decision.baseline.n_instances}, "
+         f"{decision.plan.fused_instances} fused, "
+         f"{decision.merges} merges)")
+    for group, replicas in decision.plan.bundles:
+        members = " + ".join(
+            f"{tenant}/{app.name}×{count}" for tenant, app, count in group.members
+        )
+        echo(f"  {replicas:5d} × [{members}]  "
+             f"mem={group.memory_mb} MB")
+    echo(f"predicted: service={decision.score.service_s:.1f}s "
+         f"expense=${decision.score.expense_usd:.4f} "
+         f"joint={decision.score.joint:.4f} "
+         f"(baseline service={decision.baseline_score.service_s:.1f}s "
+         f"expense=${decision.baseline_score.expense_usd:.4f})")
+    return 0
+
+
+def _cmd_compare(args, log) -> int:
+    target = FusionTarget()
+    store = ArtifactStore(args.root) if args.root else None
+    rows = []
+    for mode in FUSION_MODES:
+        params = _params(args, mode)
+        resolved = target.resolve(params)
+        output = target.execute(resolved, args.seed)
+        if store is not None:
+            manifest = RunManifest(
+                campaign=args.campaign,
+                stage=mode,
+                target=target.name,
+                params=params,
+                resolved_config=resolved,
+                seed=args.seed,
+            )
+            store.finish_run(
+                manifest, output.summary, metrics_jsonl=output.metrics_jsonl
+            )
+            log.info("persisted %s as %s", mode, manifest.run_id)
+        rows.append(output.summary)
+
+    if args.as_json:
+        echo(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    echo(f"mix={args.mix} scale={args.scale} platform={args.platform} "
+         f"billing="
+         + ("rounded" if _params(args, 'both')['billing_granularity_s'] else "exact"))
+    echo(f"{'mode':>8} {'inst':>6} {'fused':>6} {'service_s':>10} "
+         f"{'expense_usd':>12} {'usd/1k fns':>11}")
+    for row in rows:
+        echo(f"{row['mode']:>8} {row['instances']:>6} "
+             f"{row['fused_instances']:>6} {row['service_s']:>10.1f} "
+             f"{row['expense_usd']:>12.4f} "
+             f"{row['usd_per_1k_functions']:>11.4f}")
+    baseline = rows[0]
+    for row in rows[1:]:
+        saved = 100.0 * (
+            1.0 - row["usd_per_1k_functions"] / baseline["usd_per_1k_functions"]
+        )
+        echo(f"{row['mode']}: {saved:+.1f}% cheaper per 1k functions than "
+             f"user-side propack")
+    for row in rows:
+        if row["constraint_violations"] or not row["conserved"]:
+            echo(f"WARNING: mode {row['mode']} violated constraints or "
+                 f"conservation")
+            return 1
+    return 0
+
+
+def _cmd_dump(args, log) -> int:
+    resolved = FusionTarget().resolve(_params(args, args.mode))
+    echo(canonical_json(resolved))
+    return 0
+
+
+_COMMANDS = {
+    "plan": _cmd_plan,
+    "compare": _cmd_compare,
+    "dump": _cmd_dump,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = get_console_logger(
+        verbose=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", 0)
+    )
+    try:
+        return _COMMANDS[args.command](args, log)
+    except (FileNotFoundError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        log.error("%s", exc)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

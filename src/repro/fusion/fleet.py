@@ -1,0 +1,168 @@
+"""FusedFleet: multi-tenant admission, fusion planning, and execution.
+
+The platform-side counterpart of
+:class:`~repro.platform.multitenant.SharedFleet`: tenants submit per-app
+demands, the fleet admits them against shape and quota limits (recording
+every decision in the same :class:`~repro.platform.multitenant.FleetAccount`
+ledger the shared fleet keeps, so ``submitted == admitted + rejected``
+holds by construction), then plans one of three deployments and executes
+it on a shared seeded datacenter:
+
+``propack``
+    user-side only — every tenant packs their own clones at their Eq. 7
+    ProPack degree; no cross-app or cross-tenant sharing (the baseline).
+``fusion``
+    platform-side only — functions arrive unpacked and the fusion
+    optimizer builds groups from scratch.
+``both``
+    user-side degrees first, then the platform merges further — the
+    deployment the fusion experiment shows is cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.models import ScalingTimeModel
+from repro.fusion.optimizer import FusionDecision, FusionOptimizer
+from repro.fusion.scheduler import FusionRunReport, FusionScheduler
+from repro.fusion.spec import FusionConstraints, TenantDemand
+from repro.interference.model import PairwiseInterference
+from repro.platform.multitenant import FleetAccount
+from repro.platform.providers import PlatformProfile
+from repro.workloads.base import AppSpec
+
+FUSION_MODES = ("propack", "fusion", "both")
+
+
+@dataclass
+class FleetRunReport:
+    """One fused-fleet run: plan provenance, measurements, and ledger."""
+
+    mode: str
+    decision: FusionDecision
+    report: FusionRunReport
+    accounts: dict[str, FleetAccount]
+    constraint_violations: list[str]
+
+    @property
+    def expense_usd(self) -> float:
+        return self.report.expense_usd
+
+    @property
+    def service_time(self) -> float:
+        return self.report.service_time
+
+    def usd_per_1k_functions(self) -> float:
+        return self.report.usd_per_1k_functions()
+
+
+class FusedFleet:
+    """One shared datacenter, many tenants, platform-side fusion."""
+
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        seed: int = 0,
+        *,
+        isolation: str = "shared",
+        allow_cross_runtime: bool = False,
+        tenant_quota_functions: Optional[int] = None,
+        w_service: float = 0.5,
+        w_expense: float = 0.5,
+        affinity: Optional[Mapping[tuple[str, str], float]] = None,
+        scaling: Optional[ScalingTimeModel] = None,
+    ) -> None:
+        if tenant_quota_functions is not None and tenant_quota_functions < 0:
+            raise ValueError("tenant quota must be non-negative")
+        self.profile = profile
+        self.seed = seed
+        self.constraints = FusionConstraints(
+            max_memory_mb=profile.max_memory_mb,
+            max_execution_seconds=profile.max_execution_seconds,
+            isolation=isolation,
+            allow_cross_runtime=allow_cross_runtime,
+        )
+        self.model = PairwiseInterference(profile.isolation_penalty, affinity)
+        self.quota = tenant_quota_functions
+        self.w_service = w_service
+        self.w_expense = w_expense
+        self.scaling = scaling
+        self._demands: list[TenantDemand] = []
+        self._accounts: dict[str, FleetAccount] = {}
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def submit(self, tenant: str, app: AppSpec, count: int) -> int:
+        """Submit ``count`` clones of ``app``; returns how many were
+        admitted. Rejections (over-quota functions, functions whose memory
+        cannot fit any instance) land in the tenant's ledger so
+        ``submitted == admitted + rejected`` always holds."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        account = self._accounts.setdefault(tenant, FleetAccount(tenant))
+        account.submitted += count
+
+        admitted = count
+        if app.mem_mb > self.profile.max_memory_mb:
+            admitted = 0  # can never fit an instance, whole demand refused
+        elif self.quota is not None:
+            headroom = self.quota - account.admitted
+            admitted = max(0, min(admitted, headroom))
+        account.admitted += admitted
+        account.rejected += count - admitted
+        if admitted > 0:
+            self._demands.append(TenantDemand(tenant, app, admitted))
+        return admitted
+
+    def ledger(self) -> dict[str, FleetAccount]:
+        return dict(self._accounts)
+
+    # ------------------------------------------------------------------ #
+    # planning and execution
+    # ------------------------------------------------------------------ #
+    def optimizer(self) -> FusionOptimizer:
+        if not self._demands:
+            raise ValueError("no admitted demands to plan")
+        return FusionOptimizer(
+            self.profile,
+            self._demands,
+            model=self.model,
+            constraints=self.constraints,
+            scaling=self.scaling,
+            w_service=self.w_service,
+            w_expense=self.w_expense,
+        )
+
+    def plan(self, mode: str = "both") -> FusionDecision:
+        if mode not in FUSION_MODES:
+            raise ValueError(f"mode must be one of {FUSION_MODES} (got {mode!r})")
+        optimizer = self.optimizer()
+        if mode == "propack":
+            baseline = optimizer.baseline_plan(user_side=True)
+            score = optimizer.score_plan(baseline)  # joint = 1.0 vs itself
+            return FusionDecision(
+                plan=baseline, score=score, baseline=baseline,
+                baseline_score=score, merges=0,
+            )
+        return optimizer.optimize(user_side=(mode == "both"))
+
+    def run(self, mode: str = "both", repetition: int = 0) -> FleetRunReport:
+        """Plan, execute on the shared kernel, and settle the ledger."""
+        decision = self.plan(mode)
+        scheduler = FusionScheduler(self.profile, self.seed)
+        report = scheduler.execute(decision.plan, repetition)
+        for bill in report.bills:
+            self._accounts[bill.tenant].billed_usd = bill.total_usd
+        violations = decision.plan.constraint_violations(
+            self.constraints, self.model
+        )
+        return FleetRunReport(
+            mode=mode,
+            decision=decision,
+            report=report,
+            accounts=self.ledger(),
+            constraint_violations=violations,
+        )

@@ -1,0 +1,311 @@
+"""Fusion-aware packing optimizer (the Eq. 1–7 planner, cross-app).
+
+ProPack's :class:`~repro.core.optimizer.PackingOptimizer` answers "at what
+degree do I pack clones of *one* function?". The platform can do better: it
+sees every tenant's demand at once, so underfull remainder groups and
+low-pressure functions can be *fused* across apps and tenants. This module
+keeps the paper's objective — the weighted fractional regret of service
+time and expense (Eqs. 5–7) — and widens the search space from packing
+degrees to fusion groups.
+
+The search is a deterministic greedy merge: start from a baseline plan
+(per-tenant ProPack degrees, or degree-1 for a pure platform-side view),
+then repeatedly apply the single bundle merge that most improves the joint
+score, subject to :class:`~repro.fusion.spec.FusionConstraints`. A merge is
+only ever *accepted* when it strictly improves the score, which yields the
+planner's central guarantee by construction: **the fused plan is never
+worse than the unfused baseline under the planner's own models** — if the
+interference matrix makes every fusion hostile, the baseline comes back
+untouched.
+
+Why fusion wins dollars at all: every instance is provisioned (and billed)
+at the platform's full memory grant, pays one request fee, and — under a
+coarse billing granularity — pays rounding losses per invocation. Merging
+two half-empty instances into one full one halves all three.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.models import ExecutionTimeModel, ScalingTimeModel
+from repro.core.optimizer import PackingOptimizer
+from repro.fusion.spec import FusionConstraints, FusionGroup, FusionPlan, TenantDemand
+from repro.interference.model import PairwiseInterference
+from repro.platform.billing import BillingFidelity
+from repro.platform.providers import PlatformProfile
+
+#: Strict-improvement threshold for accepting a merge: protects the
+#: never-worse guarantee from float noise.
+_IMPROVEMENT_EPS = 1e-12
+
+
+def default_scaling_model(profile: PlatformProfile) -> ScalingTimeModel:
+    """Planner-side scaling proxy: the serial placement lower bound
+    ``sched_base + sched_search · C`` expressed in the Eq. 2 polynomial
+    form. Callers with a fitted model (experiments) should pass it in."""
+    return ScalingTimeModel(
+        beta1=0.0, beta2=profile.sched_search_s, beta3=-profile.sched_base_s
+    )
+
+
+def analytic_exec_model(
+    app, isolation_penalty: float = 1.0
+) -> ExecutionTimeModel:
+    """The paper's Eq. 1 coefficients derived mechanistically from an
+    :class:`AppSpec`: ``ET(p) = base · exp(B · (p − 1))`` with
+    ``B = pressure·mem_gb·iso``, rewritten into the fit family's
+    ``A · exp(B · p)`` form (so ``predict(1) == base_seconds``)."""
+    rate = app.pressure_per_gb * app.mem_gb * isolation_penalty
+    return ExecutionTimeModel(
+        coeff_a=app.base_seconds * math.exp(-rate),
+        coeff_b=rate,
+        mem_gb=app.mem_gb,
+    )
+
+
+@dataclass(frozen=True)
+class PlanScore:
+    """Predicted quality of one plan under the planner's models."""
+
+    service_s: float
+    expense_usd: float
+    joint: float  # w_s·S/S_ref + w_e·E/E_ref against the baseline plan
+
+
+@dataclass(frozen=True)
+class FusionDecision:
+    """The optimizer's output: the chosen plan plus its provenance."""
+
+    plan: FusionPlan
+    score: PlanScore
+    baseline: FusionPlan
+    baseline_score: PlanScore
+    merges: int
+
+    @property
+    def improved(self) -> bool:
+        return self.merges > 0
+
+
+class FusionOptimizer:
+    """Chooses fusion groups for a multi-tenant demand set."""
+
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        demands: Sequence[TenantDemand],
+        *,
+        model: Optional[PairwiseInterference] = None,
+        constraints: Optional[FusionConstraints] = None,
+        scaling: Optional[ScalingTimeModel] = None,
+        fidelity: Optional[BillingFidelity] = None,
+        w_service: float = 0.5,
+        w_expense: float = 0.5,
+        max_merges: int = 512,
+    ) -> None:
+        if not demands:
+            raise ValueError("at least one tenant demand is required")
+        if not math.isclose(w_service + w_expense, 1.0, abs_tol=1e-9):
+            raise ValueError(
+                f"weights must sum to 1 (got {w_service} + {w_expense})"
+            )
+        if not 0.0 <= w_service <= 1.0:
+            raise ValueError(f"W_S must be in [0, 1] (got {w_service})")
+        self.profile = profile
+        self.demands = sorted(demands, key=lambda d: (d.tenant, d.app.name))
+        self.model = model or PairwiseInterference(profile.isolation_penalty)
+        self.constraints = constraints or FusionConstraints(
+            max_memory_mb=profile.max_memory_mb,
+            max_execution_seconds=profile.max_execution_seconds,
+        )
+        self.scaling = scaling or default_scaling_model(profile)
+        self.fidelity = (
+            fidelity if fidelity is not None else BillingFidelity.from_profile(profile)
+        )
+        self.w_service = w_service
+        self.w_expense = w_expense
+        self.max_merges = max_merges
+        self._makespans: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # baseline (user-side) plans
+    # ------------------------------------------------------------------ #
+    def propack_degree(self, demand: TenantDemand) -> int:
+        """The user-side Eq. 7 degree the tenant would pick on their own."""
+        optimizer = PackingOptimizer(
+            analytic_exec_model(demand.app, self.profile.isolation_penalty),
+            self.scaling,
+            demand.app,
+            self.profile,
+            demand.count,
+            latency_safety=self.constraints.latency_safety,
+        )
+        return optimizer.optimal_joint(self.w_service, self.w_expense)
+
+    def baseline_plan(self, user_side: bool = True) -> FusionPlan:
+        """The unfused starting point: each demand packed on its own.
+
+        ``user_side=True`` packs every demand at its ProPack degree (what
+        tenants deploy today); ``user_side=False`` leaves every function
+        unpacked (degree 1), the raw material for pure platform fusion.
+        """
+        bundles: list[tuple[FusionGroup, int]] = []
+        for demand in self.demands:
+            degree = self.propack_degree(demand) if user_side else 1
+            degree = min(degree, demand.count)
+            full, rest = divmod(demand.count, degree)
+            if full:
+                bundles.append(
+                    (FusionGroup(((demand.tenant, demand.app, degree),)), full)
+                )
+            if rest:
+                bundles.append(
+                    (FusionGroup(((demand.tenant, demand.app, rest),)), 1)
+                )
+        mode = "propack" if user_side else "unpacked"
+        return FusionPlan(bundles=tuple(bundles), mode=mode)
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def _bundle_makespan(self, group: FusionGroup) -> float:
+        key = group.signature()
+        cached = self._makespans.get(key)
+        if cached is None:
+            cached = self.model.makespan_seconds(group.residents())
+            self._makespans[key] = cached
+        return cached
+
+    def _plan_raw(self, bundles: Sequence[tuple[FusionGroup, int]]) -> tuple[float, float]:
+        """(service_s, expense_usd) under the planner's models.
+
+        Mirrors :meth:`MixedPlan.predicted_expense_usd`: every instance is
+        provisioned at the platform's full memory grant (the paper's
+        deployment) and billed for its makespan — run through the billing
+        fidelity — plus one request fee.
+        """
+        billed_gb = self.profile.max_memory_mb / 1024.0
+        n_instances = 0
+        slowest = 0.0
+        expense = 0.0
+        for group, replicas in bundles:
+            makespan = self._bundle_makespan(group)
+            slowest = max(slowest, makespan)
+            n_instances += replicas
+            billed_s = self.fidelity.billed_seconds(makespan)
+            expense += replicas * (
+                billed_s * billed_gb * self.profile.gb_second_usd
+                + self.profile.per_request_usd
+            )
+        service = self.scaling.predict(n_instances) + slowest
+        return service, expense
+
+    def score_plan(
+        self, plan: FusionPlan, reference: Optional[PlanScore] = None
+    ) -> PlanScore:
+        """Eqs. 5–7 style fractional score against a reference plan."""
+        service, expense = self._plan_raw(plan.bundles)
+        if reference is None:
+            joint = 1.0  # a plan scored against itself
+        else:
+            joint = self.w_service * (
+                service / reference.service_s
+            ) + self.w_expense * (expense / reference.expense_usd)
+        return PlanScore(service_s=service, expense_usd=expense, joint=joint)
+
+    # ------------------------------------------------------------------ #
+    # the greedy merge search
+    # ------------------------------------------------------------------ #
+    def optimize(self, user_side: bool = True) -> FusionDecision:
+        """Greedy best-merge-first search from the unfused baseline.
+
+        Each round evaluates every pairwise bundle merge that the
+        constraints admit, scores the resulting plan, and accepts the best
+        one only if it *strictly* improves the joint score. Ties break on
+        the merged group's canonical signature so the search is fully
+        deterministic.
+        """
+        baseline = self.baseline_plan(user_side)
+        ref = self.score_plan(baseline)
+        baseline_score = PlanScore(ref.service_s, ref.expense_usd, 1.0)
+
+        bundles: list[tuple[FusionGroup, int]] = list(baseline.bundles)
+        current = self._joint(bundles, ref)
+        merges = 0
+        while merges < self.max_merges:
+            best: Optional[tuple[float, tuple, list[tuple[FusionGroup, int]]]] = None
+            for i in range(len(bundles)):
+                # j == i is the self-merge: fuse replica pairs of one
+                # bundle, doubling its composition — how same-app packing
+                # emerges from an unpacked (degree-1) starting point.
+                for j in range(i, len(bundles)):
+                    candidate = self._merge_bundles(bundles, i, j)
+                    if candidate is None:
+                        continue
+                    joint = self._joint(candidate, ref)
+                    key = (joint, candidate[-1][0].signature())
+                    if joint < current - _IMPROVEMENT_EPS and (
+                        best is None or key < (best[0], best[1])
+                    ):
+                        best = (joint, key[1], candidate)
+            if best is None:
+                break
+            current = best[0]
+            bundles = best[2]
+            merges += 1
+
+        plan = FusionPlan(
+            bundles=tuple(bundles),
+            mode="propack" if (user_side and merges == 0) else "fusion",
+        )
+        return FusionDecision(
+            plan=plan,
+            score=self.score_plan(plan, baseline_score),
+            baseline=baseline,
+            baseline_score=baseline_score,
+            merges=merges,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _joint(
+        self, bundles: Sequence[tuple[FusionGroup, int]], ref: PlanScore
+    ) -> float:
+        service, expense = self._plan_raw(bundles)
+        return self.w_service * (service / ref.service_s) + self.w_expense * (
+            expense / ref.expense_usd
+        )
+
+    def _merge_bundles(
+        self, bundles: list[tuple[FusionGroup, int]], i: int, j: int
+    ) -> Optional[list[tuple[FusionGroup, int]]]:
+        """Bundles after fusing replicas of i and j (``i == j`` fuses a
+        bundle's replica *pairs*), or None if the merged composition
+        violates the constraints."""
+        group_i, reps_i = bundles[i]
+        group_j, reps_j = bundles[j]
+        if i == j:
+            if reps_i < 2:
+                return None
+            merged = group_i.merged(group_i)
+            if not self.constraints.admits(merged, self.model):
+                return None
+            pairs, leftover = divmod(reps_i, 2)
+            out = [b for k, b in enumerate(bundles) if k != i]
+            if leftover:
+                out.append((group_i, leftover))
+            out.append((merged, pairs))
+            return out
+        merged = group_i.merged(group_j)
+        if not self.constraints.admits(merged, self.model):
+            return None
+        fused_reps = min(reps_i, reps_j)
+        out = [b for k, b in enumerate(bundles) if k not in (i, j)]
+        if reps_i > fused_reps:
+            out.append((group_i, reps_i - fused_reps))
+        if reps_j > fused_reps:
+            out.append((group_j, reps_j - fused_reps))
+        out.append((merged, fused_reps))
+        return out

@@ -1,0 +1,182 @@
+"""The ``fusion-fleet`` campaign target: one fused-fleet run per manifest.
+
+Registering fusion runs as :class:`~repro.harness.targets.CampaignTarget`
+runs makes every fusion sweep a byte-reproducible artifact: the manifest
+embeds the fully-expanded demand set, the platform profile (including the
+billing-fidelity knobs), and the planning weights, and
+``propack-campaign reproduce`` / ``propack-fusion compare --root`` re-run
+it byte-identically. The target lives in ``repro.fusion`` — not the
+harness — mirroring ``chaos-serving``; importing ``repro.fusion``
+registers it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.fusion.fleet import FUSION_MODES, FusedFleet
+from repro.fusion.spec import ISOLATION_POLICIES
+from repro.harness.manifest import canonical_json
+from repro.harness.targets import CampaignTarget, RunOutput, register_target
+
+#: Named multi-tenant workload mixes: (tenant, app name, demand weight).
+#: Demands are ``round(weight × scale)`` functions, so one ``scale`` knob
+#: moves a mix between burst and serving magnitudes.
+MIXES: dict[str, tuple[tuple[str, str, float], ...]] = {
+    "trio": (
+        ("analytics", "sort", 1.0),
+        ("media", "video", 0.75),
+        ("api", "stateless-cost", 1.5),
+    ),
+    "search": (
+        ("api", "xapian", 2.0),
+        ("batch", "stateless-cost", 1.0),
+    ),
+    "hpc": (
+        ("genomics", "smith-waterman", 1.0),
+        ("analytics", "sort", 1.0),
+        ("api", "xapian", 1.5),
+    ),
+}
+
+_DEFAULTS: dict[str, Any] = {
+    "mix": "trio",
+    "scale": 200,
+    "platform": "aws-lambda",
+    "mode": "both",
+    "isolation": "shared",
+    "allow_cross_runtime": False,
+    "tenant_quota_functions": None,
+    "w_service": 0.5,
+    "w_expense": 0.5,
+    "billing_granularity_s": 0.0,
+    "min_billed_duration_s": 0.0,
+    "cpu_throttle_multiplier": 1.0,
+}
+
+
+def mix_demands(mix: str, scale: int) -> list[tuple[str, str, int]]:
+    """Expand a named mix at ``scale`` into (tenant, app, count) rows."""
+    if mix not in MIXES:
+        raise ValueError(f"unknown mix {mix!r} (have {sorted(MIXES)})")
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    return [
+        (tenant, app, max(1, round(weight * scale)))
+        for tenant, app, weight in MIXES[mix]
+    ]
+
+
+class FusionTarget(CampaignTarget):
+    """Plan + execute one fused fleet and summarize dollars and fairness."""
+
+    name = "fusion-fleet"
+
+    def resolve(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        from dataclasses import asdict
+
+        from repro.platform.providers import PROVIDERS
+        from repro.workloads import ALL_APPS
+
+        params = dict(params)
+        resolved = dict(_DEFAULTS)
+        for key in _DEFAULTS:
+            if key in params:
+                resolved[key] = params.pop(key)
+        if params:
+            raise ValueError(f"fusion-fleet: unknown params {sorted(params)}")
+        if resolved["platform"] not in PROVIDERS:
+            raise ValueError(
+                f"fusion-fleet: unknown platform {resolved['platform']!r}"
+            )
+        if resolved["mode"] not in FUSION_MODES:
+            raise ValueError(f"fusion-fleet: unknown mode {resolved['mode']!r}")
+        if resolved["isolation"] not in ISOLATION_POLICIES:
+            raise ValueError(
+                f"fusion-fleet: unknown isolation {resolved['isolation']!r}"
+            )
+        demands = mix_demands(resolved["mix"], int(resolved["scale"]))
+        resolved["scale"] = int(resolved["scale"])
+        resolved["demands"] = [list(row) for row in demands]
+        resolved["app_specs"] = {
+            app: asdict(ALL_APPS[app]) for _, app, _ in demands
+        }
+        profile = PROVIDERS[resolved["platform"]].with_overrides(
+            billing_granularity_s=float(resolved["billing_granularity_s"]),
+            min_billed_duration_s=float(resolved["min_billed_duration_s"]),
+            cpu_throttle_multiplier=float(resolved["cpu_throttle_multiplier"]),
+        )
+        resolved["platform_profile"] = asdict(profile)
+        return resolved
+
+    def execute(self, resolved: Mapping[str, Any], seed: int) -> RunOutput:
+        from repro.platform.providers import PROVIDERS
+        from repro.workloads import ALL_APPS
+
+        profile = PROVIDERS[resolved["platform"]].with_overrides(
+            billing_granularity_s=float(resolved["billing_granularity_s"]),
+            min_billed_duration_s=float(resolved["min_billed_duration_s"]),
+            cpu_throttle_multiplier=float(resolved["cpu_throttle_multiplier"]),
+        )
+        quota = resolved["tenant_quota_functions"]
+        fleet = FusedFleet(
+            profile,
+            seed=seed,
+            isolation=str(resolved["isolation"]),
+            allow_cross_runtime=bool(resolved["allow_cross_runtime"]),
+            tenant_quota_functions=None if quota is None else int(quota),
+            w_service=float(resolved["w_service"]),
+            w_expense=float(resolved["w_expense"]),
+        )
+        for tenant, app, count in resolved["demands"]:
+            fleet.submit(tenant, ALL_APPS[app], int(count))
+        run = fleet.run(str(resolved["mode"]))
+        report = run.report
+        decision = run.decision
+        summary = {
+            "mix": resolved["mix"],
+            "mode": run.mode,
+            "platform": profile.name,
+            "functions": report.plan.n_functions,
+            "instances": report.plan.n_instances,
+            "fused_instances": report.plan.fused_instances,
+            "baseline_instances": decision.baseline.n_instances,
+            "merges": decision.merges,
+            "predicted_joint": decision.score.joint,
+            "service_s": report.service_time,
+            "scaling_s": report.scaling_time,
+            "expense_usd": report.expense_usd,
+            "usd_per_1k_functions": report.usd_per_1k_functions(),
+            "tenants": {
+                tenant: {
+                    "submitted": account.submitted,
+                    "admitted": account.admitted,
+                    "rejected": account.rejected,
+                    "billed_usd": account.billed_usd,
+                }
+                for tenant, account in sorted(run.accounts.items())
+            },
+            "conserved": all(a.conserved() for a in run.accounts.values()),
+            "constraint_violations": len(run.constraint_violations),
+        }
+        metrics = "".join(
+            canonical_json(
+                {
+                    "tenant": bill.tenant,
+                    "functions": bill.functions,
+                    "compute_usd": bill.compute_usd,
+                    "requests_usd": bill.requests_usd,
+                    "storage_usd": bill.storage_usd,
+                    "egress_usd": bill.egress_usd,
+                    "total_usd": bill.total_usd,
+                }
+            )
+            + "\n"
+            for bill in report.bills
+        )
+        return RunOutput(summary=summary, metrics_jsonl=metrics)
+
+
+# Module-level registration: importing repro.fusion makes "fusion-fleet"
+# resolvable by manifests; module caching keeps it one-shot.
+register_target(FusionTarget())

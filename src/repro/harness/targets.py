@@ -64,10 +64,29 @@ class TargetRegistry:
 
     def get(self, name: str) -> CampaignTarget:
         if name not in self._targets:
+            self._try_lazy_import(name)
+        if name not in self._targets:
             raise KeyError(
                 f"unknown target {name!r} (known: {', '.join(sorted(self._targets))})"
             )
         return self._targets[name]
+
+    def _try_lazy_import(self, name: str) -> None:
+        """Convention-based plugin discovery: a target named
+        ``<subsystem>-<rest>`` registers itself when ``repro.<subsystem>``
+        is imported (``chaos-serving`` → ``repro.chaos``, ``fusion-fleet``
+        → ``repro.fusion``). Importing on demand keeps ``propack-campaign
+        reproduce`` working on any manifest without the harness ever
+        naming — or statically importing — its consumers."""
+        import importlib
+
+        prefix = name.split("-", 1)[0]
+        if not prefix or not prefix.isidentifier():
+            return
+        try:
+            importlib.import_module(f"repro.{prefix}")
+        except ImportError:
+            return
 
     def names(self) -> list[str]:
         return sorted(self._targets)

@@ -9,20 +9,106 @@ resources (execution time per function instance × memory consumption)"
 * storage — per PUT/GET request,
 * egress — per GB transferred, only on providers with a networking fee
   (Google/Azure; AWS charges none — paper Fig. 21 discussion).
+
+:class:`BillingFidelity` layers the *schedule* realism from "Demystifying
+Serverless Costs on Public Platforms" on top: duration rounding (per-ms vs
+100 ms), a minimum billed duration, and a CPU-share throttling multiplier.
+The default fidelity is exact — billed seconds == executed seconds,
+byte-for-byte — so every pre-existing expense stays identical.
 """
 
 from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.platform.metrics import ExpenseBreakdown, InstanceRecord
 from repro.platform.providers import PlatformProfile
 from repro.platform.storage import StorageUsage
 
 
+@dataclass(frozen=True)
+class BillingFidelity:
+    """How a provider turns executed seconds into billed seconds.
+
+    Applied in provider order: throttling stretches the measured duration,
+    the minimum billed duration floors it, then the granularity rounds it
+    *up*. All knobs default to the exact schedule, under which
+    :meth:`billed_seconds` returns its input unchanged (no float
+    round-trip), preserving byte-identical billing for existing runs.
+    """
+
+    granularity_s: float = 0.0        # 0 = exact; 0.1 = legacy 100 ms
+    min_billed_s: float = 0.0
+    throttle_multiplier: float = 1.0  # >= 1; billed-time stretch
+
+    def __post_init__(self) -> None:
+        if self.granularity_s < 0.0 or not math.isfinite(self.granularity_s):
+            raise ValueError("billing granularity must be finite and >= 0")
+        if self.min_billed_s < 0.0 or not math.isfinite(self.min_billed_s):
+            raise ValueError("minimum billed duration must be finite and >= 0")
+        if self.throttle_multiplier < 1.0 or not math.isfinite(
+            self.throttle_multiplier
+        ):
+            raise ValueError("throttle multiplier must be finite and >= 1")
+
+    @classmethod
+    def from_profile(cls, profile: PlatformProfile) -> "BillingFidelity":
+        return cls(
+            granularity_s=profile.billing_granularity_s,
+            min_billed_s=profile.min_billed_duration_s,
+            throttle_multiplier=profile.cpu_throttle_multiplier,
+        )
+
+    @property
+    def exact(self) -> bool:
+        """True when billed seconds always equal executed seconds."""
+        return (
+            self.granularity_s == 0.0
+            and self.min_billed_s == 0.0
+            and self.throttle_multiplier == 1.0
+        )
+
+    def billed_seconds(self, exec_seconds: float) -> float:
+        """Billed duration for one executed attempt.
+
+        Guaranteed ``>= exec_seconds`` (the billing-legality invariant) and
+        monotone in its input. Each transform is guarded so the exact
+        schedule returns ``exec_seconds`` unchanged.
+        """
+        if exec_seconds < 0.0:
+            raise ValueError("executed seconds must be non-negative")
+        billed = exec_seconds
+        if self.throttle_multiplier != 1.0:
+            billed *= self.throttle_multiplier
+        if self.min_billed_s > 0.0 and billed < self.min_billed_s:
+            billed = self.min_billed_s
+        if self.granularity_s > 0.0:
+            # Round *up* to the granularity; the epsilon forgives float
+            # representation noise (0.3 / 0.1 is 2.999…96) so an exact
+            # multiple never pays an extra tick.
+            units = math.ceil(billed / self.granularity_s - 1e-9)
+            billed = units * self.granularity_s
+        return billed
+
+
+#: The idealized schedule every seeded golden was recorded under.
+EXACT_BILLING = BillingFidelity()
+
+
 class BillingModel:
     """Converts run records + storage usage into an expense breakdown."""
 
-    def __init__(self, profile: PlatformProfile) -> None:
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        fidelity: Optional[BillingFidelity] = None,
+    ) -> None:
         self.profile = profile
+        self.fidelity = (
+            fidelity if fidelity is not None else BillingFidelity.from_profile(profile)
+        )
 
     def billed_memory_mb(self, requested_mb: int) -> int:
         """Providers bill in memory increments with a floor."""
@@ -32,9 +118,14 @@ class BillingModel:
         increments = -(-requested_mb // step)  # ceil division
         return int(increments * step)
 
+    def billed_seconds(self, exec_seconds: float) -> float:
+        """Executed → billed duration under this model's fidelity."""
+        return self.fidelity.billed_seconds(exec_seconds)
+
     def instance_compute_usd(self, record: InstanceRecord) -> float:
         billed_gb = self.billed_memory_mb(record.provisioned_mb) / 1024.0
-        return record.exec_seconds * billed_gb * self.profile.gb_second_usd
+        billed_s = self.fidelity.billed_seconds(record.exec_seconds)
+        return billed_s * billed_gb * self.profile.gb_second_usd
 
     def keepalive_usd(self, idle_gb_seconds: float) -> float:
         """Warm-idle charge at the provisioned-concurrency-style rate.
@@ -61,6 +152,11 @@ class BillingModel:
         dispatch pays one request fee. ``egress_gb`` is the re-shipped
         payload traffic of fault retries, billed only on providers with a
         networking fee.
+
+        Fidelity rounding is per *invocation*, so it cannot be applied to
+        an already-aggregated GB-seconds total; serving paths that want
+        rounded billing must round per dispatch before aggregating (see
+        :meth:`billed_seconds`).
         """
         if egress_gb < 0.0:
             raise ValueError("egress GB must be non-negative")

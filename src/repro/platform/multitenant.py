@@ -35,6 +35,26 @@ from repro.sim.randomness import RandomStreams
 
 
 @dataclass
+class FleetAccount:
+    """Per-tenant fairness ledger of a shared fleet.
+
+    The conservation identity ``submitted == admitted + rejected`` is what
+    :func:`repro.chaos.invariants.check_tenant_conservation` audits; the
+    fused fleet (``repro.fusion``) reuses this account type with non-zero
+    rejections and proportional ``billed_usd``.
+    """
+
+    tenant: str
+    submitted: int = 0   # functions the tenant asked for
+    admitted: int = 0    # functions the fleet agreed to run
+    rejected: int = 0    # functions turned away (quota, shape)
+    billed_usd: float = 0.0
+
+    def conserved(self) -> bool:
+        return self.submitted == self.admitted + self.rejected
+
+
+@dataclass
 class _Submission:
     tenant: str
     spec: BurstSpec
@@ -87,6 +107,7 @@ class SharedFleet:
         )
         self.registry = ImageRegistry()
         self._submissions: list[_Submission] = []
+        self._accounts: dict[str, FleetAccount] = {}
         self._ran = False
 
     # ------------------------------------------------------------------ #
@@ -112,6 +133,13 @@ class SharedFleet:
         if any(s.tenant == tenant for s in self._submissions):
             raise ValueError(f"tenant {tenant!r} already has a burst queued")
         self._submissions.append(_Submission(tenant, spec, at_time))
+        account = self._accounts.setdefault(tenant, FleetAccount(tenant))
+        account.submitted += spec.concurrency
+        account.admitted += spec.concurrency  # the shared fleet never rejects
+
+    def ledger(self) -> dict[str, FleetAccount]:
+        """Per-tenant fairness accounts (billed after :meth:`run`)."""
+        return dict(self._accounts)
 
     def run(self) -> dict[str, RunResult]:
         """Execute all queued bursts on the shared fleet."""
@@ -142,4 +170,7 @@ class SharedFleet:
                 self._image_for(submission.spec),
             )
         self.sim.run()
-        return {s.tenant: s.invoker.collect() for s in self._submissions}
+        results = {s.tenant: s.invoker.collect() for s in self._submissions}
+        for tenant, result in results.items():
+            self._accounts[tenant].billed_usd = result.expense.total_usd
+        return results

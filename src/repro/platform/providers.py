@@ -71,6 +71,15 @@ class PlatformProfile:
     storage_get_usd: float = 4.0e-7       # S3 GET
     egress_usd_per_gb: float = 0.0        # networking fee (GCF/Azure only)
     min_billed_memory_mb: int = 128
+    # Billing fidelity ("Demystifying Serverless Costs"): real schedules
+    # round durations up to a granularity (legacy Lambda: 100 ms; today:
+    # 1 ms), impose a minimum billed duration, and may bill throttled
+    # CPU shares at a multiplier. Defaults are the idealized exact-seconds
+    # schedule every existing experiment was calibrated against.
+    billing_granularity_s: float = 0.0    # 0 = exact (no rounding)
+    min_billed_duration_s: float = 0.0    # floor on billed duration
+    cpu_throttle_multiplier: float = 1.0  # billed-time stretch under
+                                          # CPU-share throttling
 
     # --- datacenter fleet ---
     fleet_servers: int = 4096

@@ -22,6 +22,11 @@ class AppSpec:
     memory footprint (the mechanistic counterpart of the paper's ``α``;
     compute-bound apps like Smith-Waterman have larger values, I/O-heavy
     apps smaller ones).
+
+    ``runtime_tag`` names the language runtime the function needs inside
+    its container; platform-side fusion (``repro.fusion``) only co-locates
+    functions whose tags match unless cross-runtime fusion is explicitly
+    allowed.
     """
 
     name: str
@@ -34,6 +39,7 @@ class AppSpec:
     runtime_mb: float = 60.0
     dependencies_mb: float = 80.0
     description: str = ""
+    runtime_tag: str = "python"  # language runtime compatibility tag
 
     def __post_init__(self) -> None:
         if self.base_seconds <= 0:
@@ -44,6 +50,8 @@ class AppSpec:
             raise ValueError(f"{self.name}: io_shared_fraction must be in [0, 1]")
         if self.pressure_per_gb < 0:
             raise ValueError(f"{self.name}: pressure_per_gb must be non-negative")
+        if not self.runtime_tag:
+            raise ValueError(f"{self.name}: runtime_tag must be non-empty")
 
     def max_packing_degree(self, platform_memory_mb: int) -> int:
         """``P_max = M_platform / M_func`` (paper Sec. 2.1), at least 1."""

@@ -19,6 +19,8 @@ from repro.chaos import (
     check_remediation_pairing,
     check_request_conservation,
     check_span_nesting,
+    check_tenant_billing_attribution,
+    check_tenant_conservation,
 )
 from repro.platform.metrics import ExpenseBreakdown
 
@@ -214,3 +216,37 @@ def test_assert_serving_invariants_raises_with_catalog():
 def test_violation_str_is_readable():
     v = Violation("billing-legality", 12.5, "billed 1s < executed 2s")
     assert str(v) == "[billing-legality @ t=12.5] billed 1s < executed 2s"
+
+
+# --------------------------------------------------------------------- #
+# multi-tenant fleet fairness
+# --------------------------------------------------------------------- #
+def _account(tenant="a", submitted=10, admitted=7, rejected=3):
+    return _Stub(
+        tenant=tenant, submitted=submitted, admitted=admitted, rejected=rejected
+    )
+
+
+def test_tenant_conservation_clean_and_broken():
+    assert check_tenant_conservation([_account(), _account(tenant="b")]) == []
+    broken = check_tenant_conservation([_account(admitted=8)])
+    assert len(broken) == 1
+    assert broken[0].invariant == "tenant-conservation"
+    negative = check_tenant_conservation([_account(rejected=-3, admitted=13)])
+    assert any("negative" in v.message for v in negative)
+
+
+def test_tenant_billing_attribution_clean_and_broken():
+    bills = [_Stub(tenant="a", total_usd=0.75), _Stub(tenant="b", total_usd=0.25)]
+    assert check_tenant_billing_attribution(1.0, bills) == []
+    lost = check_tenant_billing_attribution(1.1, bills)
+    assert len(lost) == 1 and lost[0].invariant == "billing-attribution"
+    negative = check_tenant_billing_attribution(
+        0.25, [_Stub(tenant="a", total_usd=-0.5), _Stub(tenant="b", total_usd=0.75)]
+    )
+    assert any("'a'" in v.message for v in negative)
+
+
+def test_tenant_billing_attribution_tolerates_float_noise():
+    bills = [_Stub(tenant="a", total_usd=0.1 + 0.2)]
+    assert check_tenant_billing_attribution(0.3, bills) == []

@@ -26,6 +26,7 @@ FORBIDDEN = (
     "repro.remediation",
     "repro.harness",
     "repro.chaos",
+    "repro.fusion",
 )
 
 ENGINE_DIR = pathlib.Path(repro.engine.__file__).parent
@@ -37,6 +38,12 @@ CHAOS_LOWER_LAYERS = (
     "core", "engine", "platform", "workloads", "faults", "serving",
     "extensions", "resilience", "remediation", "telemetry", "harness",
 )
+
+#: repro.fusion is a top-band peer of repro.chaos: it drives the core
+#: optimizer, the interference models, the mixed-app engine path, and the
+#: harness as black boxes. No lower layer may import it, and the two
+#: top-band peers stay mutually import-free.
+FUSION_LOWER_LAYERS = CHAOS_LOWER_LAYERS + ("interference", "chaos")
 
 
 def _imported_modules(tree: ast.AST):
@@ -76,6 +83,40 @@ def test_no_lower_layer_imports_chaos():
     assert not offenders, (
         "repro.chaos is the top of the stack; lower layers must not "
         f"import it (see docs/ARCHITECTURE.md): {offenders}"
+    )
+
+
+def test_no_lower_layer_imports_fusion():
+    src_root = ENGINE_DIR.parent
+    offenders = []
+    for layer in FUSION_LOWER_LAYERS:
+        layer_dir = src_root / layer
+        if not layer_dir.is_dir():
+            continue
+        for path in sorted(layer_dir.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for module in _imported_modules(tree):
+                if module == "repro.fusion" or module.startswith("repro.fusion."):
+                    offenders.append(f"{path.relative_to(src_root)}: {module}")
+    assert not offenders, (
+        "repro.fusion is a top-band peer of repro.chaos; lower layers must "
+        f"not import it (see docs/ARCHITECTURE.md): {offenders}"
+    )
+
+
+def test_fusion_does_not_import_chaos():
+    # The two top-band subsystems are peers: fusion promotes its fairness
+    # invariants *into* chaos.invariants (chaos stays duck-typed), so an
+    # import in either direction would collapse the band into a cycle.
+    src_root = ENGINE_DIR.parent
+    offenders = []
+    for path in sorted((src_root / "fusion").rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for module in _imported_modules(tree):
+            if module == "repro.chaos" or module.startswith("repro.chaos."):
+                offenders.append(f"{path.relative_to(src_root)}: {module}")
+    assert not offenders, (
+        f"repro.fusion and repro.chaos are peers: {offenders}"
     )
 
 

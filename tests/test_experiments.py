@@ -98,6 +98,7 @@ def test_registry_covers_every_paper_artifact():
         "overload",
         "selfhealing",
         "chaos",
+        "fusion",
     }
     assert set(ALL_FIGURES) == expected
 

@@ -1,0 +1,59 @@
+"""End-to-end ``propack-fusion`` CLI: plan, compare, dump, errors."""
+
+import json
+
+from repro.fusion.cli import main
+from repro.harness.reproduce import reproduce_run
+
+#: Small but remainder-bearing scale keeps each mode sub-second.
+FAST = ["--mix", "trio", "--scale", "23"]
+
+
+def test_plan_prints_bundles_and_score(capsys):
+    assert main(["plan", *FAST, "--mode", "both"]) == 0
+    out = capsys.readouterr().out
+    assert "mode=both mix=trio scale=23" in out
+    assert "instances:" in out
+    assert "predicted:" in out
+    assert "joint=" in out
+
+
+def test_compare_all_three_modes(capsys):
+    assert main(["compare", *FAST, "--rounded"]) == 0
+    out = capsys.readouterr().out
+    for mode in ("propack", "fusion", "both"):
+        assert mode in out
+    assert "billing=rounded" in out
+    assert "cheaper per 1k functions" in out
+
+
+def test_compare_json_is_parseable(capsys):
+    assert main(["compare", *FAST, "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [row["mode"] for row in rows] == ["propack", "fusion", "both"]
+    assert all(row["conserved"] for row in rows)
+    assert all(row["constraint_violations"] == 0 for row in rows)
+
+
+def test_compare_persists_reproducible_manifests(tmp_path, capsys):
+    root = tmp_path / "results"
+    assert main(["compare", *FAST, "--rounded", "--root", str(root)]) == 0
+    capsys.readouterr()
+    run_dirs = sorted((root / "fusion").iterdir())
+    assert len(run_dirs) == 3
+    for run_dir in run_dirs:
+        report = reproduce_run(run_dir / "manifest.json")
+        assert report.matched, report.diffs
+
+
+def test_dump_emits_canonical_json(capsys):
+    assert main(["dump", *FAST, "--granularity", "0.1"]) == 0
+    resolved = json.loads(capsys.readouterr().out)
+    assert resolved["billing_granularity_s"] == 0.1
+    assert resolved["demands"]
+    assert resolved["platform_profile"]["name"]
+
+
+def test_bad_inputs_exit_2(capsys):
+    assert main(["plan", "--mix", "trio", "--scale", "0"]) == 2
+    assert main(["dump", "--platform", "nope"]) == 2

@@ -1,0 +1,63 @@
+"""The FU1 fusion figure: the PR's headline acceptance test.
+
+Platform-side fusion on top of user-side ProPack (``both``) must be
+strictly cheaper per 1k functions than user-side ProPack alone under
+100 ms-rounded billing, at burst and serving scale, with zero constraint
+violations and an auditor-clean fairness ledger — the figure itself
+asserts all of that, so this test mostly needs to run it and pin the
+table's shape.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES, fusion_comparison
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def figure():
+    ctx = ExperimentContext(ExperimentConfig.quick())
+    return fusion_comparison(ctx)
+
+
+def test_registered():
+    assert ALL_FIGURES["fusion"] is fusion_comparison
+
+
+def test_table_shape(figure):
+    # 2 scales × 3 modes × 2 billing schedules.
+    assert len(figure.rows) == 12
+    assert figure.figure_id == "FU1"
+    for scale in ("burst", "serving"):
+        for mode in ("propack", "fusion", "both"):
+            assert len(figure.select(scale=scale, mode=mode)) == 2
+
+
+def test_fusion_beats_user_side_propack_under_rounded_billing(figure):
+    for scale in ("burst", "serving"):
+        propack = figure.select(scale=scale, mode="propack",
+                                billing="rounded-100ms")[0]
+        both = figure.select(scale=scale, mode="both",
+                             billing="rounded-100ms")[0]
+        assert both["usd_per_1k_functions"] < propack["usd_per_1k_functions"]
+        assert both["instances"] < propack["instances"]
+        assert both["merges"] > 0
+        assert both["functions"] == propack["functions"]
+
+
+def test_rounded_billing_never_cheaper_than_exact(figure):
+    for scale in ("burst", "serving"):
+        for mode in ("propack", "fusion", "both"):
+            exact, rounded = (
+                figure.select(scale=scale, mode=mode, billing=b)[0]
+                for b in ("exact", "rounded-100ms")
+            )
+            assert rounded["expense_usd"] >= exact["expense_usd"]
+            # Dynamics are billing-independent: identical service columns.
+            assert rounded["service_s"] == exact["service_s"]
+
+
+def test_every_run_is_violation_free(figure):
+    assert all(row["violations"] == 0 for row in figure.rows)
+    assert any("auditor-clean" in note for note in figure.notes)

@@ -1,0 +1,121 @@
+"""FusedFleet: admission, quotas, the fairness ledger, and the run modes."""
+
+import pytest
+
+from repro.chaos.invariants import (
+    assert_fleet_invariants,
+    check_tenant_conservation,
+    fleet_violations,
+)
+from repro.fusion.fleet import FUSION_MODES, FusedFleet
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, STATELESS_COST, VIDEO
+from repro.workloads.base import AppSpec
+
+ROUNDED = AWS_LAMBDA.with_overrides(
+    billing_granularity_s=0.1, min_billed_duration_s=0.1
+)
+
+
+def loaded_fleet(profile=AWS_LAMBDA, **kwargs):
+    fleet = FusedFleet(profile, seed=2023, **kwargs)
+    fleet.submit("analytics", SORT, 203)
+    fleet.submit("media", VIDEO, 152)
+    fleet.submit("api", STATELESS_COST, 305)
+    return fleet
+
+
+# --------------------------------------------------------------------- #
+# admission and the ledger
+# --------------------------------------------------------------------- #
+def test_quota_rejects_overflow_but_conserves_the_ledger():
+    fleet = FusedFleet(AWS_LAMBDA, tenant_quota_functions=100)
+    assert fleet.submit("a", SORT, 80) == 80
+    assert fleet.submit("a", SORT, 50) == 20  # only the headroom
+    assert fleet.submit("a", SORT, 10) == 0
+    account = fleet.ledger()["a"]
+    assert (account.submitted, account.admitted, account.rejected) == (140, 100, 40)
+    assert account.conserved()
+    assert check_tenant_conservation(fleet.ledger().values()) == []
+
+
+def test_oversized_app_is_refused_entirely():
+    giant = AppSpec(
+        name="giant", base_seconds=10.0, mem_mb=AWS_LAMBDA.max_memory_mb + 1,
+        io_mb=1.0, io_shared_fraction=0.0, pressure_per_gb=0.01,
+    )
+    fleet = FusedFleet(AWS_LAMBDA)
+    assert fleet.submit("a", giant, 5) == 0
+    account = fleet.ledger()["a"]
+    assert account.rejected == 5 and account.conserved()
+
+
+def test_submission_validation():
+    fleet = FusedFleet(AWS_LAMBDA)
+    with pytest.raises(ValueError, match="count"):
+        fleet.submit("a", SORT, 0)
+    with pytest.raises(ValueError, match="quota"):
+        FusedFleet(AWS_LAMBDA, tenant_quota_functions=-1)
+    with pytest.raises(ValueError, match="no admitted demands"):
+        FusedFleet(AWS_LAMBDA).plan("propack")
+    with pytest.raises(ValueError, match="mode"):
+        loaded_fleet().plan("magic")
+
+
+# --------------------------------------------------------------------- #
+# the three run modes
+# --------------------------------------------------------------------- #
+def test_propack_mode_is_the_unfused_baseline():
+    decision = loaded_fleet().plan("propack")
+    assert decision.merges == 0
+    assert decision.plan.fused_instances == 0
+    assert decision.score.joint == 1.0
+
+
+def test_both_mode_merges_and_beats_propack_on_rounded_dollars():
+    propack = loaded_fleet(ROUNDED).run("propack")
+    both = loaded_fleet(ROUNDED).run("both")
+    assert both.decision.merges > 0
+    assert both.usd_per_1k_functions() < propack.usd_per_1k_functions()
+    assert both.report.plan.n_functions == propack.report.plan.n_functions
+
+
+def test_every_mode_is_auditor_clean():
+    for mode in FUSION_MODES:
+        run = loaded_fleet(ROUNDED).run(mode)
+        assert run.constraint_violations == []
+        assert fleet_violations(run) == []
+        assert_fleet_invariants(run)
+
+
+def test_run_settles_the_ledger():
+    run = loaded_fleet().run("both")
+    assert run.accounts.keys() == {"analytics", "media", "api"}
+    billed = sum(a.billed_usd for a in run.accounts.values())
+    assert billed == pytest.approx(run.expense_usd, rel=1e-12)
+    for tenant, account in run.accounts.items():
+        assert account.billed_usd == run.report.bill_for(tenant).total_usd
+
+
+def test_runs_are_deterministic_per_seed():
+    a = loaded_fleet().run("both")
+    b = loaded_fleet().run("both")
+    assert a.report.run.records == b.report.run.records
+    assert a.report.bills == b.report.bills
+
+
+def test_strict_isolation_fleet_never_mixes_tenants():
+    run = loaded_fleet(isolation="strict").run("both")
+    for group, _ in run.report.plan.bundles:
+        assert len(group.tenants) == 1
+    assert run.constraint_violations == []
+
+
+def test_hostile_affinity_disables_cross_app_fusion():
+    names = ("sort", "video", "stateless-cost")
+    affinity = {
+        (v, a): 50.0 for v in names for a in names
+    }
+    run = loaded_fleet(affinity=affinity).run("both")
+    assert run.decision.merges == 0
+    assert run.report.plan.fused_instances == 0

@@ -1,0 +1,153 @@
+"""FusionOptimizer: the fusion-aware Eq. 1–7 planner.
+
+The central guarantee: the greedy merge search only ever accepts a merge
+that *strictly* improves the joint fractional score, so the fused plan is
+never worse than the unfused baseline under the planner's own models —
+and when the interference matrix makes every fusion hostile, the baseline
+comes back untouched.
+"""
+
+import pytest
+
+from repro.fusion.optimizer import (
+    FusionOptimizer,
+    analytic_exec_model,
+    default_scaling_model,
+)
+from repro.fusion.spec import FusionConstraints, TenantDemand
+from repro.interference.model import PairwiseInterference
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import ALL_APPS, SORT, STATELESS_COST, VIDEO
+from repro.core.optimizer import PackingOptimizer
+
+#: Counts chosen to leave remainder groups at the ProPack degrees — the
+#: raw material platform fusion consolidates.
+TRIO = (
+    TenantDemand("analytics", SORT, 203),
+    TenantDemand("media", VIDEO, 152),
+    TenantDemand("api", STATELESS_COST, 305),
+)
+
+
+def make_optimizer(**kwargs):
+    return FusionOptimizer(AWS_LAMBDA, TRIO, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# baselines
+# --------------------------------------------------------------------- #
+def test_propack_degree_matches_core_optimizer():
+    opt = make_optimizer()
+    for demand in TRIO:
+        expected = PackingOptimizer(
+            analytic_exec_model(demand.app, AWS_LAMBDA.isolation_penalty),
+            default_scaling_model(AWS_LAMBDA),
+            demand.app,
+            AWS_LAMBDA,
+            demand.count,
+        ).optimal_joint(0.5, 0.5)
+        assert opt.propack_degree(demand) == expected
+
+
+def test_baseline_plan_covers_every_function():
+    opt = make_optimizer()
+    for user_side in (True, False):
+        plan = opt.baseline_plan(user_side)
+        assert plan.n_functions == sum(d.count for d in TRIO)
+        assert plan.fused_instances == 0
+        assert plan.tenant_functions() == {
+            d.tenant: d.count for d in TRIO
+        }
+    assert opt.baseline_plan(False).n_instances == sum(d.count for d in TRIO)
+
+
+# --------------------------------------------------------------------- #
+# the never-worse guarantee
+# --------------------------------------------------------------------- #
+def test_merges_strictly_improve_the_joint_score():
+    decision = make_optimizer().optimize(user_side=True)
+    assert decision.merges > 0
+    assert decision.score.joint < 1.0
+    assert decision.plan.n_instances < decision.baseline.n_instances
+    assert decision.plan.n_functions == decision.baseline.n_functions
+
+
+def test_never_worse_than_baseline():
+    decision = make_optimizer().optimize(user_side=True)
+    assert decision.score.joint <= 1.0 + 1e-12
+
+
+def test_hostile_matrix_returns_the_baseline_untouched():
+    """When every cross-pair is strongly hostile and even self-merges
+    explode the exponent, no merge can improve the score — the plan must
+    be the unfused ProPack baseline, bundle for bundle."""
+    names = [d.app.name for d in TRIO]
+    hostile = PairwiseInterference(
+        AWS_LAMBDA.isolation_penalty,
+        affinity={(v, a): 50.0 for v in names for a in names},
+    )
+    decision = make_optimizer(model=hostile).optimize(user_side=True)
+    assert decision.merges == 0
+    assert decision.plan.mode == "propack"
+    assert [
+        (g.signature(), r) for g, r in decision.plan.bundles
+    ] == [(g.signature(), r) for g, r in decision.baseline.bundles]
+
+
+# --------------------------------------------------------------------- #
+# constraints shape the search space
+# --------------------------------------------------------------------- #
+def test_chosen_plan_respects_constraints():
+    opt = make_optimizer()
+    for user_side in (True, False):
+        decision = opt.optimize(user_side)
+        assert decision.plan.constraint_violations(
+            opt.constraints, opt.model
+        ) == []
+
+
+def test_strict_isolation_never_mixes_tenants():
+    constraints = FusionConstraints(
+        max_memory_mb=AWS_LAMBDA.max_memory_mb,
+        max_execution_seconds=AWS_LAMBDA.max_execution_seconds,
+        isolation="strict",
+    )
+    decision = make_optimizer(constraints=constraints).optimize(user_side=True)
+    for group, _ in decision.plan.bundles:
+        assert len(group.tenants) == 1
+
+
+def test_self_merge_packs_from_unpacked_baseline():
+    """Pure platform-side fusion: starting from degree-1 functions, the
+    self-merge move must discover same-app packing on its own."""
+    decision = make_optimizer().optimize(user_side=False)
+    assert decision.merges > 0
+    assert decision.plan.n_instances < decision.baseline.n_instances
+    assert any(g.size > 1 for g, _ in decision.plan.bundles)
+
+
+def test_search_is_deterministic():
+    a = make_optimizer().optimize(user_side=True)
+    b = make_optimizer().optimize(user_side=True)
+    assert [
+        (g.signature(), r) for g, r in a.plan.bundles
+    ] == [(g.signature(), r) for g, r in b.plan.bundles]
+    assert a.score == b.score
+
+
+# --------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------- #
+def test_weight_validation():
+    with pytest.raises(ValueError, match="sum to 1"):
+        make_optimizer(w_service=0.5, w_expense=0.6)
+    with pytest.raises(ValueError, match="W_S"):
+        make_optimizer(w_service=1.5, w_expense=-0.5)
+    with pytest.raises(ValueError, match="at least one tenant"):
+        FusionOptimizer(AWS_LAMBDA, [])
+
+
+def test_all_apps_have_analytic_models():
+    for app in ALL_APPS.values():
+        model = analytic_exec_model(app, AWS_LAMBDA.isolation_penalty)
+        assert model.predict(1) == pytest.approx(app.base_seconds)

@@ -1,0 +1,109 @@
+"""The ``fusion-fleet`` campaign target: resolution, execution, reproduce."""
+
+import pytest
+
+import repro.fusion  # noqa: F401  (registers fusion-fleet)
+from repro.fusion.target import mix_demands
+from repro.harness.artifacts import ArtifactStore
+from repro.harness.manifest import RunManifest
+from repro.harness.reproduce import reproduce_run
+from repro.harness.targets import DEFAULT_REGISTRY
+
+#: Small enough to execute several times in a unit test, with remainders
+#: at the ProPack degrees so merges actually happen.
+FAST = {"scale": 23}
+
+
+@pytest.fixture()
+def target():
+    return DEFAULT_REGISTRY.get("fusion-fleet")
+
+
+def test_registered_in_default_registry(target):
+    assert target.name == "fusion-fleet"
+
+
+def test_mix_demands_expansion():
+    rows = mix_demands("trio", 100)
+    assert rows == [
+        ("analytics", "sort", 100),
+        ("media", "video", 75),
+        ("api", "stateless-cost", 150),
+    ]
+    with pytest.raises(ValueError, match="unknown mix"):
+        mix_demands("nope", 10)
+    with pytest.raises(ValueError, match="scale"):
+        mix_demands("trio", 0)
+
+
+def test_resolve_embeds_the_full_recipe(target):
+    resolved = target.resolve(FAST)
+    assert resolved["mode"] == "both"
+    assert resolved["demands"] == [list(r) for r in mix_demands("trio", 23)]
+    assert set(resolved["app_specs"]) == {"sort", "video", "stateless-cost"}
+    assert resolved["platform_profile"]["name"]
+    # Billing knobs land in the embedded profile (default: exact).
+    assert resolved["platform_profile"]["billing_granularity_s"] == 0.0
+
+
+def test_resolve_rejects_bad_inputs(target):
+    with pytest.raises(ValueError, match="unknown params"):
+        target.resolve({"surprise": 1})
+    with pytest.raises(ValueError, match="unknown platform"):
+        target.resolve({"platform": "nope"})
+    with pytest.raises(ValueError, match="unknown mode"):
+        target.resolve({"mode": "nope"})
+    with pytest.raises(ValueError, match="unknown isolation"):
+        target.resolve({"isolation": "nope"})
+    with pytest.raises(ValueError, match="unknown mix"):
+        target.resolve({"mix": "nope"})
+
+
+def test_execute_summary_contract(target):
+    resolved = target.resolve(FAST)
+    output = target.execute(resolved, seed=5)
+    s = output.summary
+    for key in ("mix", "mode", "functions", "instances", "fused_instances",
+                "baseline_instances", "merges", "service_s", "expense_usd",
+                "usd_per_1k_functions", "tenants", "conserved",
+                "constraint_violations"):
+        assert key in s
+    assert s["conserved"] is True
+    assert s["constraint_violations"] == 0
+    assert s["functions"] == sum(n for _, _, n in mix_demands("trio", 23))
+    # One metrics line per tenant bill.
+    assert output.metrics_jsonl.count("\n") == len(s["tenants"])
+
+
+def test_execute_is_deterministic(target):
+    resolved = target.resolve(FAST)
+    assert target.execute(resolved, seed=5).summary == \
+        target.execute(resolved, seed=5).summary
+
+
+def test_rounded_billing_costs_more(target):
+    exact = target.execute(target.resolve(FAST), seed=5).summary
+    rounded = target.execute(
+        target.resolve({**FAST, "billing_granularity_s": 0.5,
+                        "min_billed_duration_s": 0.5}),
+        seed=5,
+    ).summary
+    assert rounded["expense_usd"] > exact["expense_usd"]
+    assert rounded["service_s"] == exact["service_s"]  # dynamics unchanged
+
+
+def test_reproduce_run_is_byte_identical(target, tmp_path):
+    params = {**FAST, "mode": "both", "billing_granularity_s": 0.1,
+              "min_billed_duration_s": 0.1}
+    resolved = target.resolve(params)
+    output = target.execute(resolved, seed=9)
+    store = ArtifactStore(tmp_path)
+    manifest = RunManifest(
+        campaign="fusion", stage="both", target=target.name,
+        params=params, resolved_config=resolved, seed=9,
+    )
+    run_dir = store.finish_run(
+        manifest, output.summary, metrics_jsonl=output.metrics_jsonl
+    )
+    report = reproduce_run(run_dir / "manifest.json")
+    assert report.matched, report.diffs

@@ -115,3 +115,33 @@ def test_expenses_accounted_per_tenant():
     fleet.submit("b", BurstSpec(app=SORT, concurrency=200))
     results = fleet.run()
     assert results["b"].expense.total_usd > 1.5 * results["a"].expense.total_usd
+
+
+def test_fairness_ledger_conserves_and_bills_proportionally():
+    """Every submission lands in the ledger (submitted == admitted +
+    rejected — the shared fleet never rejects, so rejected stays 0), and
+    after the run each tenant's billed dollars equal their own result's
+    expense, growing with their share of the work. The conservation
+    identity itself is the promoted ``tenant-conservation`` invariant in
+    ``repro.chaos.invariants``."""
+    from repro.chaos.invariants import check_tenant_conservation
+
+    fleet = make_fleet(seed=23)
+    fleet.submit("a", BurstSpec(app=SORT, concurrency=100))
+    fleet.submit("b", BurstSpec(app=SORT, concurrency=200))
+    fleet.submit("c", BurstSpec(app=STATELESS_COST, concurrency=50))
+
+    ledger = fleet.ledger()
+    assert ledger["a"].submitted == 100
+    assert ledger["b"].submitted == 200
+    assert ledger["c"].submitted == 50
+    assert all(acct.conserved() for acct in ledger.values())
+    assert check_tenant_conservation(ledger.values()) == []
+
+    results = fleet.run()
+    settled = fleet.ledger()
+    for tenant in ("a", "b"):
+        assert settled[tenant].billed_usd == results[tenant].expense.total_usd
+        assert settled[tenant].billed_usd > 0.0
+    assert settled["b"].billed_usd > settled["a"].billed_usd
+    assert check_tenant_conservation(settled.values()) == []

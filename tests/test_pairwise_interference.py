@@ -1,0 +1,118 @@
+"""PairwiseInterference: the directional-affinity interference matrix.
+
+The guarantee under test: with every γ = 1 the matrix reduces to the
+homogeneous mixed-app model (same formula, so equal to within one ulp of
+float summation order), and for a homogeneous group of ``p`` clones to
+the paper's Eq. 1 exponent — so the fusion planner's model is a strict
+generalization, never a new family.
+"""
+
+import math
+
+import pytest
+
+from repro.extensions.mixed import MixedGroup, MixedInterferenceModel
+from repro.interference.model import InterferenceModel, PairwiseInterference
+from repro.workloads import SORT, STATELESS_COST, VIDEO
+
+
+def residents(*pairs):
+    return list(pairs)
+
+
+# --------------------------------------------------------------------- #
+# reduction to the homogeneous models
+# --------------------------------------------------------------------- #
+def test_neutral_matrix_matches_mixed_model_exactly():
+    pairwise = PairwiseInterference(isolation_penalty=1.0)
+    mixed = MixedInterferenceModel(isolation_penalty=1.0)
+    group = MixedGroup(((SORT, 3), (VIDEO, 2), (STATELESS_COST, 4)))
+    for app in (SORT, VIDEO, STATELESS_COST):
+        assert pairwise.member_execution_seconds(
+            app, group.members
+        ) == pytest.approx(mixed.member_execution_seconds(group, app), rel=1e-14)
+    assert pairwise.makespan_seconds(group.members) == pytest.approx(
+        mixed.instance_execution_seconds(group), rel=1e-14
+    )
+
+
+def test_homogeneous_group_reduces_to_eq1():
+    """p clones of one app: exponent must be pressure · mem_gb · (p − 1)."""
+    pairwise = PairwiseInterference(isolation_penalty=1.0)
+    single_app = InterferenceModel(cores=2, isolation_penalty=1.0)
+    for p in (1, 2, 5, 15):
+        assert pairwise.makespan_seconds(
+            residents((SORT, p))
+        ) == pytest.approx(single_app.execution_seconds(SORT, p))
+
+
+def test_single_resident_runs_at_base_time():
+    pairwise = PairwiseInterference()
+    assert pairwise.makespan_seconds(residents((VIDEO, 1))) == VIDEO.base_seconds
+
+
+# --------------------------------------------------------------------- #
+# directional affinities
+# --------------------------------------------------------------------- #
+def test_gamma_defaults_to_one_and_is_directional():
+    pairwise = PairwiseInterference(affinity={("sort", "video"): 2.0})
+    assert pairwise.gamma("sort", "video") == 2.0
+    assert pairwise.gamma("video", "sort") == 1.0  # direction matters
+    assert pairwise.gamma("sort", "stateless-cost") == 1.0
+    assert not pairwise.is_neutral()
+    assert PairwiseInterference().is_neutral()
+    assert PairwiseInterference(affinity={("a", "b"): 1.0}).is_neutral()
+
+
+def test_hostile_affinity_slows_only_the_victim():
+    neutral = PairwiseInterference()
+    hostile = PairwiseInterference(affinity={("sort", "video"): 3.0})
+    group = residents((SORT, 2), (VIDEO, 2))
+    # Sort (the victim of video) slows down...
+    assert hostile.member_execution_seconds(
+        SORT, group
+    ) > neutral.member_execution_seconds(SORT, group)
+    # ...while video's own time is untouched (γ is directional).
+    assert hostile.member_execution_seconds(
+        VIDEO, group
+    ) == neutral.member_execution_seconds(VIDEO, group)
+
+
+def test_zero_affinity_isolates_the_victim_from_that_aggressor():
+    isolated = PairwiseInterference(
+        affinity={("sort", "video"): 0.0, ("sort", "sort"): 0.0}
+    )
+    group = residents((SORT, 1), (VIDEO, 5))
+    assert isolated.member_execution_seconds(SORT, group) == SORT.base_seconds
+
+
+def test_complementary_affinity_reduces_pressure():
+    neutral = PairwiseInterference()
+    friendly = PairwiseInterference(affinity={("sort", "video"): 0.25})
+    group = residents((SORT, 2), (VIDEO, 2))
+    assert friendly.pressure_on(SORT, group) < neutral.pressure_on(SORT, group)
+
+
+def test_self_pressure_excludes_the_victim_itself():
+    pairwise = PairwiseInterference()
+    # One sort clone alongside videos: the (sort, 1) entry contributes
+    # nothing to sort's own pressure (count − 1 = 0).
+    with_self = pairwise.pressure_on(SORT, residents((SORT, 1), (VIDEO, 2)))
+    without = pairwise.pressure_on(SORT, residents((VIDEO, 2),))
+    assert with_self == without
+
+
+# --------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------- #
+def test_validation():
+    with pytest.raises(ValueError, match="isolation"):
+        PairwiseInterference(isolation_penalty=0.0)
+    with pytest.raises(ValueError, match="affinity"):
+        PairwiseInterference(affinity={("a", "b"): -1.0})
+    with pytest.raises(ValueError, match="affinity"):
+        PairwiseInterference(affinity={("a", "b"): math.inf})
+    with pytest.raises(ValueError, match="at least one resident"):
+        PairwiseInterference().makespan_seconds([])
+    with pytest.raises(ValueError, match="non-negative"):
+        PairwiseInterference().pressure_on(SORT, residents((VIDEO, -1),))

@@ -1,0 +1,113 @@
+"""Property-based tests on the fusion planner's invariants.
+
+Two guarantees, over randomized multi-tenant demand sets and constraint
+regimes:
+
+1. every plan the optimizer emits — baseline or fused — respects the
+   memory ceiling, the tenant-isolation policy, and runtime-tag
+   compatibility, and conserves every admitted function exactly once;
+2. fusing is never chosen when the interference matrix makes it strictly
+   worse: the joint score never exceeds the unfused baseline's, and under
+   a uniformly hostile matrix the baseline comes back untouched.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.optimizer import FusionOptimizer
+from repro.fusion.spec import FusionConstraints, TenantDemand
+from repro.interference.model import PairwiseInterference
+from repro.platform.providers import AWS_LAMBDA
+from repro.workloads import SORT, STATELESS_COST, VIDEO, XAPIAN
+
+APPS = (SORT, VIDEO, STATELESS_COST, XAPIAN)
+TENANTS = ("acme", "globex", "initech")
+
+
+@st.composite
+def demand_sets(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(TENANTS),
+                st.sampled_from(APPS),
+                st.integers(min_value=1, max_value=40),
+            ),
+            min_size=1,
+            max_size=4,
+            unique_by=lambda row: (row[0], row[1].name),
+        )
+    )
+    return [TenantDemand(t, app, n) for t, app, n in rows]
+
+
+constraint_regimes = st.builds(
+    FusionConstraints,
+    max_memory_mb=st.just(AWS_LAMBDA.max_memory_mb),
+    max_execution_seconds=st.just(AWS_LAMBDA.max_execution_seconds),
+    isolation=st.sampled_from(("strict", "shared")),
+    allow_cross_runtime=st.booleans(),
+)
+
+
+@given(
+    demands=demand_sets(),
+    constraints=constraint_regimes,
+    user_side=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_plans_always_respect_constraints_and_conserve_functions(
+    demands, constraints, user_side
+):
+    optimizer = FusionOptimizer(AWS_LAMBDA, demands, constraints=constraints)
+    decision = optimizer.optimize(user_side=user_side)
+    for plan in (decision.baseline, decision.plan):
+        assert plan.constraint_violations(constraints, optimizer.model) == []
+        expected = {}
+        for demand in demands:
+            expected[demand.tenant] = expected.get(demand.tenant, 0) + demand.count
+        assert plan.tenant_functions() == expected
+    if constraints.isolation == "strict":
+        for group, _ in decision.plan.bundles:
+            assert len(group.tenants) == 1
+
+
+@given(demands=demand_sets(), user_side=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_fused_plan_never_scores_worse_than_the_baseline(demands, user_side):
+    decision = FusionOptimizer(AWS_LAMBDA, demands).optimize(user_side=user_side)
+    assert decision.score.joint <= 1.0 + 1e-9
+    if decision.merges == 0:
+        assert decision.score.joint == 1.0
+
+
+@given(
+    demands=demand_sets(),
+    gamma=st.floats(min_value=150.0, max_value=400.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_hostile_matrix_means_no_fusion(demands, gamma):
+    """When every pair (including self-pairs) is strongly hostile, any
+    merge inflates the exponent so much that it can never win — the
+    optimizer must return the baseline bundle-for-bundle.
+
+    Consolidating two instances into one can at best halve expense (and
+    never helps the makespan), so fusion is strictly worse once every
+    victim's slowdown factor exceeds 2×. The smallest pressure term among
+    the apps here is xapian's ≈ 0.03, so γ ≥ 150 forces a slowdown of at
+    least exp(150 · 0.03) ≈ 90× on every fused member — far past the
+    break-even. (At mild γ like 20 fusing two low-pressure functions
+    genuinely wins: a 1.8× slowdown is cheaper than two request fees —
+    which is the point of the model, not a bug.)"""
+    names = [app.name for app in APPS]
+    hostile = PairwiseInterference(
+        AWS_LAMBDA.isolation_penalty,
+        affinity={(v, a): gamma for v in names for a in names},
+    )
+    decision = FusionOptimizer(AWS_LAMBDA, demands, model=hostile).optimize(
+        user_side=False
+    )
+    assert decision.merges == 0
+    assert [
+        (g.signature(), r) for g, r in decision.plan.bundles
+    ] == [(g.signature(), r) for g, r in decision.baseline.bundles]
