@@ -58,6 +58,19 @@ def record_throughput(benchmark, key: str, per_round: int) -> None:
         BENCH_RESULTS[key] = per_round / mean
 
 
+def record_wall(benchmark, key: str) -> float:
+    """Record one benchmark's mean round wall time (seconds) for the export.
+
+    Used by the dispatch scale points (``burst_c1e4_wall_s`` …): the CI
+    perf gate reads these alongside the throughput keys. Returns the mean
+    so callers can assert absolute budgets (e.g. C=1e5 within 5 s).
+    """
+    mean = _mean_round_s(benchmark)
+    if mean > 0.0:
+        BENCH_RESULTS[key] = mean
+    return mean
+
+
 def record_serving_benchmark(benchmark, key: str, fig) -> None:
     """Record a serving sweep's wall time and simulated-requests rate.
 
@@ -99,7 +112,12 @@ def pytest_sessionfinish(session, exitstatus):
     if BENCH_RESULTS:
         (root / "BENCH_dispatch.json").write_text(
             json.dumps(
-                {k: round(v, 1) for k, v in sorted(BENCH_RESULTS.items())},
+                {
+                    # Wall-time keys are seconds (need sub-second precision);
+                    # everything else is a rate.
+                    k: round(v, 4 if k.endswith("_wall_s") else 1)
+                    for k, v in sorted(BENCH_RESULTS.items())
+                },
                 indent=2,
             ) + "\n"
         )

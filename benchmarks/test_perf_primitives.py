@@ -7,7 +7,7 @@ make every figure slower.
 """
 
 import pytest
-from conftest import record_throughput
+from conftest import record_throughput, record_wall, run_once
 
 from repro.platform.base import ServerlessPlatform
 from repro.platform.invoker import BurstSpec
@@ -59,21 +59,13 @@ def test_perf_fifo_queue(benchmark):
     assert benchmark(run) == 5_000
 
 
-def test_perf_dispatch_kernel_chain_throughput(benchmark):
-    """Attempt-chain arbitration rate of the shared dispatch kernel.
-
-    Walks 2k chains through ``run_synchronous_chain`` under a scenario
-    that exercises every kernel path — throttle verdicts, crash draws,
-    retry delays, straggler factors. This is the per-dispatch cost every
-    subsystem (burst, serving, streaming) now pays, so it bounds how many
-    faulted dispatches per second the harness can simulate.
-    """
-    from repro.engine import DispatchKernel
-    from repro.faults.retry import ImmediateRetry
+#: Scenario exercising every kernel path — throttle verdicts, crash
+#: draws, retry delays, straggler factors — shared by both chain-walk
+#: benchmarks below.
+def _bench_scenario():
     from repro.faults.scenario import FaultScenario
-    from repro.sim.randomness import RandomStreams
 
-    scenario = FaultScenario(
+    return FaultScenario(
         name="bench",
         crash_rate=0.2,
         throttle_capacity=64,
@@ -81,44 +73,80 @@ def test_perf_dispatch_kernel_chain_throughput(benchmark):
         straggler_rate=0.05,
     )
 
-    class _CountingEnv:
-        """Minimal consumer: monotone throttle clock + outcome counters."""
 
-        def __init__(self, kernel):
-            self.kernel = kernel
-            self.clock = 0.0
-            self.succeeded = 0
-            self.lost = 0
+class _CountingEnv:
+    """Minimal consumer: monotone throttle clock + outcome counters.
 
-        def throttle_clock(self, launch_at):
-            self.clock = max(self.clock, launch_at)
-            return self.clock
+    Serves both walkers: ``attempt_seconds`` is the chain-major hook
+    (env draws the noise), while ``exec_noise_sigma``/``work_seconds``
+    and the ``*_wave`` hooks are the wave-major protocol (the walker
+    draws per-wave arrays).
+    """
 
-        def on_throttled(self, chain):
-            pass
+    exec_noise_sigma = 0.25
 
-        def on_rejected(self, chain):
-            self.lost += 1
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.clock = 0.0
+        self.succeeded = 0
+        self.lost = 0
 
-        def is_warm(self, launch_at):
-            return False
+    def throttle_clock(self, launch_at):
+        self.clock = max(self.clock, launch_at)
+        return self.clock
 
-        def attempt_seconds(self, chain, warm):
-            factor = self.kernel.exec_noise_factor(0.25)
-            factor *= self.kernel.straggler_factor()
-            return chain.n_packed * 0.1 * factor
+    def on_throttled(self, chain):
+        pass
 
-        def on_success(self, chain, launch_at, warm, exec_seconds):
-            self.succeeded += 1
+    def on_rejected(self, chain):
+        self.lost += 1
 
-        def on_crash(self, chain, launch_at, warm, exec_seconds, crash):
-            return launch_at + crash.at_fraction * exec_seconds
+    def is_warm(self, launch_at):
+        return False
 
-        def on_retry(self, chain, delay):
-            pass
+    def attempt_seconds(self, chain, warm):
+        factor = self.kernel.exec_noise_factor(0.25)
+        factor *= self.kernel.straggler_factor()
+        return chain.n_packed * 0.1 * factor
 
-        def on_exhausted(self, chain):
-            self.lost += 1
+    def work_seconds(self, chain, warm):
+        return chain.n_packed * 0.1
+
+    def is_warm_wave(self, times):
+        return [False] * len(times)
+
+    def work_seconds_wave(self, chains, warm):
+        return [c.n_packed * 0.1 for c in chains]
+
+    def on_success(self, chain, launch_at, warm, exec_seconds):
+        self.succeeded += 1
+
+    def on_success_wave(self, chains, times, warm, exec_s):
+        self.succeeded += len(chains)
+
+    def on_crash(self, chain, launch_at, warm, exec_seconds, crash):
+        return launch_at + crash.at_fraction * exec_seconds
+
+    def on_retry(self, chain, delay):
+        pass
+
+    def on_exhausted(self, chain):
+        self.lost += 1
+
+
+def test_perf_dispatch_kernel_chain_throughput_scalar(benchmark):
+    """Attempt-chain arbitration rate of the chain-major (scalar) walk.
+
+    Walks 2k chains one at a time through ``run_synchronous_chain``.
+    This is the per-dispatch cost consumers that genuinely dispatch one
+    chain at a time (serving, streaming) pay; batch consumers use the
+    wave walker benchmarked below.
+    """
+    from repro.engine import DispatchKernel
+    from repro.faults.retry import ImmediateRetry
+    from repro.sim.randomness import RandomStreams
+
+    scenario = _bench_scenario()
 
     def run():
         rng = RandomStreams(17).spawn("kernel-bench")
@@ -132,7 +160,103 @@ def test_perf_dispatch_kernel_chain_throughput(benchmark):
         return env.succeeded + env.lost
 
     assert benchmark(run) == 2_000
+    record_throughput(benchmark, "chains_per_s_scalar", 2_000)
+
+
+def test_perf_dispatch_kernel_chain_throughput(benchmark):
+    """Attempt-chain arbitration rate of the wave-major (batched) walk.
+
+    Same 2k chains and fault scenario as the scalar benchmark, walked in
+    waves: one array draw per decision kind per wave instead of scalar
+    draws per attempt (see ``repro.engine.wave``). This is the headline
+    ``chains_per_s`` the CI perf gate tracks — the refactor's acceptance
+    bar is >=5x the PR-9 scalar baseline of ~93k chains/s.
+    """
+    from repro.engine import DispatchKernel
+    from repro.engine.wave import dispatch_wave_jobs, run_chain_waves
+    from repro.faults.retry import ImmediateRetry
+    from repro.sim.randomness import RandomStreams
+
+    scenario = _bench_scenario()
+
+    def run():
+        rng = RandomStreams(17).spawn("kernel-bench")
+        kernel = DispatchKernel(
+            rng, scenario=scenario, retry_policy=ImmediateRetry(3),
+            mode="batched",
+        )
+        env = _CountingEnv(kernel)
+        jobs = dispatch_wave_jobs(kernel, 2_000, n_packed=4, spacing_s=0.01)
+        run_chain_waves(kernel, env, jobs)
+        return env.succeeded + env.lost
+
+    assert benchmark(run) == 2_000
     record_throughput(benchmark, "chains_per_s", 2_000)
+
+
+def test_perf_compaction_crossover(benchmark):
+    """Agenda compaction on a cancel-heavy 100k-event heap.
+
+    90% of scheduled events are cancelled before the run (the shape
+    hedging/twin-cancellation produces at million scale). The garbage-
+    ratio trigger (rebuild once dead > live) with the 1024-event floor
+    was chosen from this workload's measurements: floor 64 wins ~10%
+    below ~8k events, 1024 wins ~6% at 1e5-1e6, compaction off is ~60%
+    slower at 1e6 (see the ``Simulator.COMPACT_MIN_EVENTS`` docs).
+    """
+
+    def run():
+        sim = Simulator()
+        events = [
+            sim.schedule(float(i % 997) + 1.0, lambda: None)
+            for i in range(100_000)
+        ]
+        for i, event in enumerate(events):
+            if i % 10:
+                event.cancel()
+        sim.run()
+        return sim.events_processed, sim.compactions
+
+    processed, compactions = benchmark(run)
+    assert processed == 10_000
+    assert compactions >= 1  # the trigger actually fired at this scale
+    record_throughput(benchmark, "cancel_heavy_events_per_s", 100_000)
+
+
+# --------------------------------------------------------------------- #
+# Dispatch scale points: wall time of one full burst at C=1e4/1e5/1e6.
+# The C>=1e5 points run on the fluid fast path (no faults/hedging/
+# telemetry -> closed-form completion replay, byte-identical to the
+# event-driven kernel); the CI perf gate tracks all three wall times.
+# --------------------------------------------------------------------- #
+
+def _scale_burst(concurrency, wave_size=None):
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=300)
+    result = platform.run_burst(
+        BurstSpec(app=SORT, concurrency=concurrency, wave_size=wave_size)
+    )
+    assert result.n_instances == concurrency
+    return result
+
+
+def test_perf_burst_scale_c1e4(benchmark):
+    run_once(benchmark, _scale_burst, 10_000)
+    record_wall(benchmark, "burst_c1e4_wall_s")
+
+
+def test_perf_burst_scale_c1e5(benchmark):
+    """The refactor's absolute budget: C=1e5 end-to-end within 5 s."""
+    run_once(benchmark, _scale_burst, 100_000)
+    wall = record_wall(benchmark, "burst_c1e5_wall_s")
+    assert 0.0 < wall <= 5.0, f"C=1e5 burst took {wall:.2f}s (budget 5s)"
+    record_throughput(benchmark, "fluid_chains_per_s", 100_000)
+
+
+def test_perf_burst_scale_c1e6(benchmark):
+    """Million-scale: wave_size caps live instances, exercising the
+    warm-reuse ring inside the fluid replay."""
+    run_once(benchmark, _scale_burst, 1_000_000, 60_000)
+    record_wall(benchmark, "burst_c1e6_wall_s")
 
 
 def test_perf_full_burst_c1000(benchmark):

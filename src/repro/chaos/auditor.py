@@ -2,9 +2,10 @@
 
 The auditor subscribes to the opt-in ``audit.*`` event family that
 :class:`~repro.telemetry.instruments.ServingInstrumentation` offers on
-every hook. Publication is gated per kind
-(:meth:`EventBus.has_kind_subscribers`), so a session without an auditor
-publishes nothing — the zero-cost-when-disabled contract the telemetry
+every hook. Publication is gated on a precomputed "any auditor attached?"
+flag (re-derived when the bus's subscription set changes; see
+``ServingInstrumentation._refresh_audit_gate``) plus a per-kind check, so
+a session without an auditor publishes nothing and allocates nothing — the zero-cost-when-disabled contract the telemetry
 overhead benchmark enforces — and a session *with* one checks invariants
 as the simulation runs, catching an accounting bug at the event where it
 first becomes visible instead of in a post-mortem diff.

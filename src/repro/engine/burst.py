@@ -140,8 +140,9 @@ class BurstDispatchKernel(DispatchKernel):
         interference: InterferenceModel,
         enforce_timeout: bool = True,
         telemetry: Optional["BurstInstrumentation"] = None,
+        mode: Optional[str] = None,
     ) -> None:
-        super().__init__(rng)
+        super().__init__(rng, mode=mode)
         self.sim = sim
         self.profile = profile
         self.scheduler = scheduler
@@ -278,7 +279,20 @@ class BurstDispatchKernel(DispatchKernel):
                 self._stats.wasted_billed_gb_seconds += gbs
 
     def run(self, spec: BurstSpec, image: FunctionImage) -> RunResult:
-        """Simulate the burst to completion and return its result."""
+        """Simulate the burst to completion and return its result.
+
+        In ``fluid`` mode an eligible burst (no faults, hedging, telemetry,
+        or subclass hooks — see :func:`repro.engine.fluid.fluid_ineligibility`)
+        skips the event loop and replays the pipeline's closed-form timeline
+        instead, producing a byte-identical result in O(instances) array
+        work; ineligible bursts fall back to the event-driven path.
+        """
+        if self.mode == "fluid":
+            from repro.engine.fluid import try_run_fluid
+
+            result = try_run_fluid(self, spec, image)
+            if result is not None:
+                return result
         self.begin(spec, image)
         self.sim.run()
         return self.collect()
@@ -324,7 +338,7 @@ class BurstDispatchKernel(DispatchKernel):
             retry_delay_s=retry_delay,
         )
         chain.throttle_tries = 0
-        chain.active.add(record.instance_id)
+        chain.track(record.instance_id)
         self._record_chain[record.instance_id] = chain
         self._records.append(record)
         if self._tel is not None:
@@ -411,7 +425,7 @@ class BurstDispatchKernel(DispatchKernel):
             # copy was still in the cold pipeline; abandon before executing.
             record.cancelled = True
             record.exec_start = record.exec_end = self.sim.now
-            chain.active.discard(record.instance_id)
+            chain.untrack(record.instance_id)
             self._release_instance(instance)
             if self._tel is not None:
                 self._tel.on_cancelled_before_exec(record)
@@ -524,7 +538,7 @@ class BurstDispatchKernel(DispatchKernel):
         self._stats.timed_out_attempts += 1
         self._release_instance(instance)
         chain = self._chain_for(record)
-        chain.active.discard(record.instance_id)
+        chain.untrack(record.instance_id)
         if self._tel is not None:
             self._tel.on_exec_end(record, "timeout")
         self.store.record_failed_attempt(self._spec.app, record.n_packed)
@@ -571,7 +585,7 @@ class BurstDispatchKernel(DispatchKernel):
         # transfer (and the egress fee, on providers that charge one).
         self.store.record_failed_attempt(self._spec.app, record.n_packed)
         chain = self._chain_for(record)
-        chain.active.discard(record.instance_id)
+        chain.untrack(record.instance_id)
         if self._tel is not None:
             self._tel.on_exec_end(record, "crash")
         self._retry_or_lose(chain, record)
@@ -606,7 +620,7 @@ class BurstDispatchKernel(DispatchKernel):
         self._inflight.pop(record.instance_id, None)
         record.exec_end = self.sim.now
         chain = self._chain_for(record)
-        chain.active.discard(record.instance_id)
+        chain.untrack(record.instance_id)
         if chain.satisfied:
             # Lost a hedge race after executing fully; billed, no result.
             record.cancelled = True
@@ -633,7 +647,7 @@ class BurstDispatchKernel(DispatchKernel):
     def _cancel_twins(self, chain: AttemptChain, winner: InstanceRecord) -> None:
         """Abandon the losing copies of a hedged group (billed for elapsed
         time; copies still in the cold pipeline cancel at execution start)."""
-        for rid in sorted(chain.active):
+        for rid in sorted(chain.active or ()):
             entry = self._inflight.pop(rid, None)
             if entry is None:
                 continue  # still in the pipeline; cancels in _start_execution
@@ -641,7 +655,7 @@ class BurstDispatchKernel(DispatchKernel):
             event.cancel()
             record.cancelled = True
             record.exec_end = self.sim.now
-            chain.active.discard(rid)
+            chain.untrack(rid)
             self._release_instance(instance)
             if self._tel is not None:
                 self._tel.on_exec_end(record, "cancelled")
@@ -658,7 +672,7 @@ class BurstDispatchKernel(DispatchKernel):
         )
         record.sched_done = self.sim.now
         chain = self.new_chain(n_packed=n_packed)
-        chain.active.add(record.instance_id)
+        chain.track(record.instance_id)
         self._record_chain[record.instance_id] = chain
         warm = FunctionInstance(
             instance_id=record.instance_id,

@@ -10,13 +10,13 @@ that make duplicate deliveries and double-retries impossible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.faults.retry import RetryPolicy
 
 
-@dataclass
+@dataclass(slots=True)
 class AttemptChain:
     """One packed group / batch across all its attempts (retries, hedges).
 
@@ -40,4 +40,20 @@ class AttemptChain:
     satisfied: bool = False     # some attempt completed successfully
     lost: bool = False          # retries exhausted; work counted lost
     hedges_launched: int = 0
-    active: set = field(default_factory=set)  # record ids in flight
+    #: Record ids in flight. Lazily allocated: most chains never hedge, so
+    #: at million-chain scale an eager per-chain set is pure GC pressure
+    #: (it measurably inflates wave-walk round times). ``None`` means
+    #: empty; use :meth:`track`/:meth:`untrack` rather than mutating.
+    active: Optional[set] = None
+
+    def track(self, record_id: int) -> None:
+        """Mark an instance record as in flight for this chain."""
+        if self.active is None:
+            self.active = {record_id}
+        else:
+            self.active.add(record_id)
+
+    def untrack(self, record_id: int) -> None:
+        """Drop an in-flight record (no-op if never tracked)."""
+        if self.active is not None:
+            self.active.discard(record_id)

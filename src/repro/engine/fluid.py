@@ -1,0 +1,581 @@
+"""The fluid burst fast path: closed-form pipeline replay, no event loop.
+
+An eligible burst (no fault scenario, hedging, telemetry, or subclass
+hooks) is a *deterministic* pipeline given its RNG draws: placement times
+are a cumulative sum, container builds are a k-slot FIFO recursion,
+shipping is processor sharing of equal-sized transfers (which completes in
+FIFO order), and execution/warm-wave reuse is a small event-merge. This
+module replays that arithmetic directly — float-op for float-op, draw for
+draw, in the same order as the discrete-event path — so the result is
+**byte-identical** to the event-driven kernel while doing O(instances)
+array/loop work instead of O(instances · ~10) heap events.
+
+Eligibility rules and the draw-order contract are documented in
+``docs/PERFORMANCE.md``; the identity tests in
+``tests/test_kernel_modes.py`` pin fluid == batched == scalar.
+
+Two entry points:
+
+* :func:`try_run_fluid` — used by ``BurstDispatchKernel.run`` in ``fluid``
+  mode: returns a fully materialized, byte-identical :class:`RunResult`,
+  or ``None`` when the burst is ineligible (caller falls back to the
+  event loop).
+* :func:`run_fluid_aggregates` — the million-scale variant: same replay,
+  but skips per-instance record materialization and returns
+  :class:`FluidAggregates` whose count/cost/makespan match the
+  materialized result exactly (same sequential arithmetic over the same
+  floats).
+
+On abort paths (billed timeout, fleet exhaustion) the fluid replay raises
+the same exception with the same message as the event-driven kernel, but
+may have consumed more prefetched RNG draws than the scalar path had at
+the abort point; a burst runs on a per-run RNG family, so this is
+unobservable outside the aborted run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.platform.billing import BillingModel
+from repro.platform.metrics import ExpenseBreakdown, FaultStats, InstanceRecord, RunResult
+from repro.platform.scheduler import PlacementScheduler
+
+if TYPE_CHECKING:  # annotation-only: avoid a cycle with engine.burst
+    from repro.cluster.registry import FunctionImage
+    from repro.engine.burst import BurstDispatchKernel, BurstSpec
+
+#: Template hooks and lifecycle methods that must be un-overridden for the
+#: closed-form replay to be faithful to what the event loop would do.
+_REQUIRED_BASE_METHODS = (
+    "_image_for",
+    "_modeled_exec_seconds",
+    "_make_instance",
+    "_release_instance",
+    "_record_completion",
+    "_admit",
+    "_placed",
+    "_built",
+    "_maybe_ship",
+    "_shipped",
+    "_start_execution",
+    "_exec_done",
+    "_reuse_warm",
+    "_warm_start",
+    "begin",
+    "collect",
+)
+
+
+def fluid_ineligibility(kernel: "BurstDispatchKernel", spec: "BurstSpec") -> Optional[str]:
+    """Why this burst cannot take the fluid path (``None`` = eligible).
+
+    The rules are conservative: anything that injects extra draws, extra
+    events, or consumer-specific behaviour into the lifecycle falls back
+    to the event-driven path, which is always correct.
+    """
+    from repro.engine.burst import BurstDispatchKernel
+    from repro.platform.container import ContainerPipeline
+
+    if spec.scenario is not None:
+        return "fault scenario active"
+    if spec.hedge is not None:
+        return "hedging active"
+    if kernel.profile.failure_rate > 0.0:
+        return "profile failure rate > 0"
+    if kernel._tel is not None:
+        return "telemetry instrumentation attached"
+    for name in _REQUIRED_BASE_METHODS:
+        if getattr(type(kernel), name) is not getattr(BurstDispatchKernel, name):
+            return f"subclass overrides {name}"
+    if type(kernel.scheduler) is not PlacementScheduler:
+        return "non-serial placement scheduler"
+    if kernel.scheduler._search_hist is not None:
+        return "scheduler metrics attached"
+    if kernel.scheduler._queue or kernel.scheduler._busy:
+        return "scheduler busy"
+    if type(kernel.pipeline) is not ContainerPipeline:
+        return "custom container pipeline"
+    if kernel.pipeline.builder.busy_servers or kernel.pipeline.builder.queued_jobs:
+        return "builder busy"
+    if kernel.pipeline.network.in_flight:
+        return "uplink busy"
+    if kernel.sim._now != 0.0 or kernel.sim._heap:
+        return "simulator not fresh"
+    pool = kernel.scheduler.pool
+    if pool.total_instances != 0:
+        return "server pool not empty"
+    return None
+
+
+@dataclass(frozen=True)
+class FluidAggregates:
+    """Aggregate result of an un-materialized fluid burst.
+
+    ``expense`` / ``makespan_s`` / ``scaling_time_s`` are computed with the
+    identical sequential arithmetic the materialized path uses, so they
+    equal the corresponding :class:`RunResult` values exactly.
+    """
+
+    platform_name: str
+    app_name: str
+    concurrency: int
+    packing_degree: int
+    n_records: int
+    n_warm_starts: int
+    scaling_time_s: float
+    makespan_s: float
+    expense: ExpenseBreakdown
+    total_billed_gb_seconds: float
+
+    @property
+    def total_expense_usd(self) -> float:
+        return self.expense.total_usd
+
+
+def try_run_fluid(
+    kernel: "BurstDispatchKernel", spec: "BurstSpec", image: "FunctionImage"
+):
+    """Run ``spec`` through the fluid replay, or ``None`` if ineligible."""
+    if fluid_ineligibility(kernel, spec) is not None:
+        return None
+    return _run_fluid(kernel, spec, image, materialize=True)
+
+
+def run_fluid_aggregates(
+    kernel: "BurstDispatchKernel", spec: "BurstSpec", image: "FunctionImage"
+) -> FluidAggregates:
+    """Million-scale entry point: replay without per-instance records.
+
+    Raises ``ValueError`` when the burst is ineligible — at the scales this
+    is meant for, silently falling back to the event loop would be a
+    thousand-fold slowdown, which should be an explicit caller decision.
+    """
+    reason = fluid_ineligibility(kernel, spec)
+    if reason is not None:
+        raise ValueError(f"burst is not fluid-eligible: {reason}")
+    return _run_fluid(kernel, spec, image, materialize=False)
+
+
+def _run_fluid(
+    kernel: "BurstDispatchKernel",
+    spec: "BurstSpec",
+    image: "FunctionImage",
+    materialize: bool,
+):
+    from repro.engine.burst import FunctionTimeoutError
+    from repro.faults.retry import ImmediateRetry
+    from repro.engine.kernel import resolve_retry_policy
+
+    profile = kernel.profile
+    pipeline = kernel.pipeline
+    scheduler = kernel.scheduler
+    rng = kernel.rng
+
+    # ------------------------------------------------------------------ #
+    # Mirror begin()'s configuration side effects.
+    # ------------------------------------------------------------------ #
+    kernel._spec = spec
+    kernel._image = image
+    n_inst = spec.n_instances
+    cold = n_inst if spec.wave_size is None else min(n_inst, spec.wave_size)
+    kernel._concurrency_level = cold
+    kernel._invoked_at = 0.0
+    kernel.retry_policy = resolve_retry_policy(
+        spec.retry_policy,
+        spec.scenario,
+        platform_default=ImmediateRetry(profile.max_retries),
+    )
+    kernel._retry_policy = kernel.fresh_retry()
+    kernel.configure_faults(None, profile.failure_rate)
+
+    provisioned = spec.provisioned_mb or profile.max_memory_mb
+    if provisioned > profile.max_memory_mb:
+        raise ValueError(
+            f"provisioned memory {provisioned} MB exceeds the platform "
+            f"maximum {profile.max_memory_mb} MB"
+        )
+    kernel._provisioned = provisioned
+    kernel._instances = {}
+
+    # Per-chain packing: every cold chain gets the full packing degree
+    # except possibly the last (when cold == n_inst takes the remainder).
+    packing = spec.packing_degree
+    npacked_cold = [packing] * cold
+    if cold == n_inst:
+        npacked_cold[-1] = spec.concurrency - packing * (cold - 1)
+    pending = spec.concurrency - sum(npacked_cold)
+
+    # ------------------------------------------------------------------ #
+    # Draw order contract, step 1: one "build" noise draw per cold chain,
+    # in chain order (the event path draws all of them at t=0 in _admit).
+    # ------------------------------------------------------------------ #
+    base_build = pipeline.build_seconds(image, spec.build_factor)
+    bsig = pipeline.build_noise_sigma
+    if bsig > 0.0:
+        bnoise = np.exp(rng.stream("build").normal(0.0, bsig, cold)).tolist()
+    else:
+        bnoise = [1.0] * cold
+    works = [base_build * z for z in bnoise]
+
+    # Placement completions: request k costs base + search * k, serially.
+    sched = np.cumsum(
+        scheduler.base_cost_s + scheduler.search_cost_s * np.arange(cold, dtype=np.float64)
+    ).tolist()
+
+    # Build completions: k-slot FIFO recursion over a finish-time heap.
+    slots = pipeline.builder.servers
+    built: list[float] = [0.0] * cold
+    if cold <= slots:
+        for i in range(cold):
+            built[i] = works[i]
+    else:
+        finish = works[:slots]
+        for i in range(slots):
+            built[i] = works[i]
+        heapq.heapify(finish)
+        for i in range(slots, cold):
+            t = heapq.heappop(finish)
+            b = t + works[i]
+            built[i] = b
+            heapq.heappush(finish, b)
+
+    # Ship-ready instants; stable sort matches the sim's FIFO tie-breaking.
+    ready = [(max(sched[i], built[i]), i) for i in range(cold)]
+    ready.sort()
+
+    # Shipping: processor-sharing replay (exact virtual-time arithmetic of
+    # ProcessorSharingResource). Equal transfer sizes => FIFO completions.
+    w_ship = pipeline.ship_size_mb(image, spec.ship_factor)
+    cap_ps = pipeline.network._uplink.capacity
+    ship_t: list[float] = [0.0] * cold   # completion time, in pop order
+    ship_i: list[int] = [0] * cold       # chain index, in pop order
+    fv: list[float] = [0.0] * cold       # finish virtual times (FIFO ring)
+    head = 0
+    tail = 0
+    vtime = 0.0
+    vupd = 0.0
+    active = 0
+    next_comp = math.inf
+    ai = 0
+    done = 0
+    inf = math.inf
+    while done < cold:
+        t_arr = ready[ai][0] if ai < cold else inf
+        if t_arr < next_comp:
+            # submit: advance vtime, admit, reschedule
+            if active > 0:
+                vtime += (t_arr - vupd) * (cap_ps / active)
+            vupd = t_arr
+            active += 1
+            fv[tail] = vtime + w_ship
+            tail += 1
+            ai += 1
+            remaining_v = fv[head] - vtime
+            if remaining_v < 0.0:
+                remaining_v = 0.0
+            next_comp = t_arr + remaining_v * active / cap_ps
+        else:
+            t = next_comp
+            if active > 0:
+                vtime += (t - vupd) * (cap_ps / active)
+            vupd = t
+            ship_t[done] = t
+            ship_i[done] = ready[head][1]
+            head += 1
+            done += 1
+            active -= 1
+            if head < tail:
+                remaining_v = fv[head] - vtime
+                if remaining_v < 0.0:
+                    remaining_v = 0.0
+                next_comp = t + remaining_v * active / cap_ps
+            else:
+                next_comp = inf
+    pipeline.network.bytes_shipped_mb = _repeat_add(
+        pipeline.network.bytes_shipped_mb, w_ship, cold
+    )
+    pipeline.network._uplink.total_jobs += cold
+    pipeline.builder.total_jobs += cold
+    pipeline.containers_built += cold
+    scheduler.placements_made += cold
+
+    # ------------------------------------------------------------------ #
+    # Execution model constants (identical op order to _start_execution).
+    # ------------------------------------------------------------------ #
+    def modeled_for(n: int) -> float:
+        return kernel.interference.execution_seconds(spec.app, n, cold)
+
+    def penalty_for(n: int) -> float:
+        mem_per_core = profile.max_memory_mb / profile.cores_per_instance
+        need_mb = n * mem_per_core
+        actual = max(1.0, need_mb / provisioned)
+        calibrated = max(1.0, need_mb / profile.max_memory_mb)
+        return actual / calibrated
+
+    modeled_cache = {n: modeled_for(n) for n in set(npacked_cold) | {packing}}
+    penalty_cache = {n: penalty_for(n) for n in modeled_cache}
+    overhead = spec.exec_overhead
+    cap_exec = profile.max_execution_seconds
+    enforce = kernel.enforce_timeout
+
+    # Draw order contract, step 2: "exec" noise, one draw per execution
+    # start, in execution-start event order (prefetched — i.i.d. draws, so
+    # the k-th stream value goes to the k-th execution start).
+    esig = profile.exec_noise_sigma
+    if esig > 0.0:
+        enoise = np.exp(rng.stream("exec").normal(0.0, esig, n_inst)).tolist()
+    else:
+        enoise = [1.0] * n_inst
+
+    # Draw order contract, step 3: "skew" lognormal blocks, n_packed draws
+    # per execution start, in execution-start event order.
+    skew_cv = spec.skew_cv
+    if skew_cv > 0.0:
+        ssig = float(np.sqrt(np.log1p(skew_cv * skew_cv)))
+        skew_draws = rng.stream("skew").lognormal(
+            -0.5 * ssig * ssig, ssig, spec.concurrency
+        )
+    else:
+        skew_draws = None
+    skew_cursor = 0
+
+    # Object-store accounting, accumulated in completion order.
+    app = spec.app
+    shared_mb = app.io_mb * app.io_shared_fraction
+    private_mb = app.io_mb * (1.0 - app.io_shared_fraction)
+    io_mb = spec.extra_io_mb_per_function
+    usage = kernel.store.usage
+    transferred = usage.transferred_mb
+    puts = usage.put_requests
+    gets = usage.get_requests
+
+    # Fleet capacity: uniform instance shapes + first-fit over uniform
+    # servers means exhaustion occurs exactly when occupancy hits the
+    # fleet-wide slot count.
+    pool = scheduler.pool
+    srv = pool.servers[0]
+    per_server = min(
+        srv.cores // profile.cores_per_instance, srv.memory_mb // provisioned
+    )
+    fleet_cap = len(pool.servers) * per_server
+
+    # Per-record output columns, indexed by record id (creation order).
+    invoked = [0.0] * cold
+    sched_done = sched[:]
+    built_at = built[:]
+    shipped_at: list[float] = [0.0] * cold
+    exec_start: list[float] = [0.0] * cold
+    exec_end: list[float] = [0.0] * cold
+    npacked = npacked_cold[:]
+    warm_flag = [False] * cold
+
+    # ------------------------------------------------------------------ #
+    # Master replay: merge placements (+occupancy), ship completions
+    # (cold execution starts), execution completions, and warm starts.
+    # ------------------------------------------------------------------ #
+    occupancy = 0
+    exec_idx = 0            # cursor into the prefetched exec-noise draws
+    pi = 0                  # next placement
+    si = 0                  # next ship completion
+    dyn: list[tuple[float, int, int, int]] = []  # (t, seq, kind, record id)
+    dseq = 0
+    DONE, WARM = 0, 1
+    n_warm = 0
+    makespan = 0.0
+    last_start = 0.0
+
+    def start_exec(rid: int, t: float) -> None:
+        nonlocal exec_idx, skew_cursor, dseq, makespan, last_start
+        n = npacked[rid]
+        exec_start[rid] = t
+        if t > last_start:
+            last_start = t
+        noise = enoise[exec_idx]
+        exec_idx += 1
+        if skew_draws is not None:
+            seg = skew_draws[skew_cursor:skew_cursor + n]
+            skew_cursor += n
+            skew = float(seg.max())
+        else:
+            skew = 1.0
+        duration = (
+            modeled_cache[n] * noise * overhead * skew * penalty_cache[n]
+        )
+        if enforce and duration > cap_exec:
+            end = t + cap_exec
+            exec_end[rid] = end
+            record = _make_record(
+                rid, n, invoked[rid], sched_done[rid], built_at[rid],
+                shipped_at[rid], t, end, provisioned, warm_flag[rid],
+            )
+            record.timed_out = True
+            bill = BillingModel(profile)
+            billed = bill.instance_compute_usd(record) + profile.per_request_usd
+            raise FunctionTimeoutError(
+                f"{app.name}: instance {rid} would run "
+                f"{duration:.0f}s > platform cap {cap_exec:.0f}s "
+                f"(packing degree {n})",
+                record=record,
+                billed_usd=billed,
+            )
+        end = t + duration
+        if end > makespan:
+            makespan = end
+        heapq.heappush(dyn, (end, dseq, DONE, rid))
+        dseq += 1
+
+    while pi < cold or si < cold or dyn:
+        tp = sched[pi] if pi < cold else inf
+        ts = ship_t[si] if si < cold else inf
+        td = dyn[0][0] if dyn else inf
+        if tp <= ts and tp <= td:
+            # Placement completes: the pool allocates one more slot.
+            if occupancy >= fleet_cap:
+                raise RuntimeError(
+                    f"fleet exhausted: {len(pool.servers)} servers, "
+                    f"{occupancy} instances placed"
+                )
+            occupancy += 1
+            pi += 1
+        elif ts <= td:
+            rid = ship_i[si]
+            shipped_at[rid] = ts
+            si += 1
+            start_exec(rid, ts)
+        else:
+            t, _s, kind, rid = heapq.heappop(dyn)
+            if kind == WARM:
+                built_at[rid] = t
+                shipped_at[rid] = t
+                start_exec(rid, t)
+                continue
+            # Execution done: account I/O, then reuse warm or release.
+            exec_end[rid] = t
+            n = npacked[rid]
+            puts += n
+            gets += n
+            transferred += shared_mb + private_mb * n
+            if io_mb > 0.0:
+                transferred += io_mb * n
+                puts += n
+            if pending > 0:
+                n_w = packing if pending >= packing else pending
+                pending -= n_w
+                wid = len(npacked)
+                npacked.append(n_w)
+                invoked.append(t)
+                sched_done.append(t)
+                built_at.append(0.0)
+                shipped_at.append(0.0)
+                exec_start.append(0.0)
+                exec_end.append(0.0)
+                warm_flag.append(True)
+                if n_w not in modeled_cache:
+                    modeled_cache[n_w] = modeled_for(n_w)
+                    penalty_cache[n_w] = penalty_for(n_w)
+                heapq.heappush(dyn, (t + spec.warm_dispatch_s, dseq, WARM, wid))
+                dseq += 1
+                n_warm += 1
+            else:
+                occupancy -= 1
+
+    usage.put_requests = puts
+    usage.get_requests = gets
+    usage.transferred_mb = transferred
+    kernel._pending_functions = 0
+    kernel.sim._now = makespan  # observational parity with the event path
+
+    n_records = len(npacked)
+    billing = BillingModel(profile)
+
+    if materialize:
+        records = kernel._records
+        for rid in range(n_records):
+            records.append(
+                _make_record(
+                    rid, npacked[rid], invoked[rid], sched_done[rid],
+                    built_at[rid], shipped_at[rid], exec_start[rid],
+                    exec_end[rid], provisioned, warm_flag[rid],
+                )
+            )
+        return kernel.collect()
+
+    # Aggregates-only: identical sequential arithmetic, no record objects.
+    billed_gb = billing.billed_memory_mb(provisioned) / 1024.0
+    fidelity = billing.fidelity
+    rate = profile.gb_second_usd
+    compute = 0.0
+    total_gbs = 0.0
+    if fidelity.exact:
+        for rid in range(n_records):
+            es = exec_end[rid] - exec_start[rid]
+            compute += es * billed_gb * rate
+            total_gbs += es * billed_gb
+    else:
+        for rid in range(n_records):
+            es = exec_end[rid] - exec_start[rid]
+            compute += fidelity.billed_seconds(es) * billed_gb * rate
+            total_gbs += es * billed_gb
+    expense = ExpenseBreakdown(
+        compute_usd=float(compute),
+        requests_usd=float(n_records * profile.per_request_usd),
+        storage_usd=float(
+            usage.put_requests * profile.storage_put_usd
+            + usage.get_requests * profile.storage_get_usd
+        ),
+        egress_usd=float((usage.transferred_mb / 1024.0) * profile.egress_usd_per_gb),
+    )
+    kernel._stats = FaultStats()
+    kernel._stats.total_billed_gb_seconds = total_gbs
+    return FluidAggregates(
+        platform_name=profile.name,
+        app_name=app.name,
+        concurrency=spec.concurrency,
+        packing_degree=packing,
+        n_records=n_records,
+        n_warm_starts=n_warm,
+        scaling_time_s=last_start,
+        makespan_s=makespan,
+        expense=expense,
+        total_billed_gb_seconds=total_gbs,
+    )
+
+
+def _make_record(
+    rid: int,
+    n_packed: int,
+    invoked_at: float,
+    sched_done: float,
+    built_at: float,
+    shipped_at: float,
+    exec_start: float,
+    exec_end: float,
+    provisioned: int,
+    warm: bool,
+) -> InstanceRecord:
+    return InstanceRecord(
+        instance_id=rid,
+        n_packed=n_packed,
+        invoked_at=invoked_at,
+        sched_done=sched_done,
+        built_at=built_at,
+        shipped_at=shipped_at,
+        exec_start=exec_start,
+        exec_end=exec_end,
+        provisioned_mb=provisioned,
+        warm_start=warm,
+    )
+
+
+def _repeat_add(start: float, addend: float, count: int) -> float:
+    """``count`` sequential float additions (matches the event path's sum)."""
+    total = start
+    for _ in range(count):
+        total += addend
+    return total

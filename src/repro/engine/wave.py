@@ -1,0 +1,338 @@
+"""Columnar attempt-chain walker: per-wave array draws, not per-attempt.
+
+:meth:`~repro.engine.kernel.DispatchKernel.run_synchronous_chain` walks one
+chain at a time, paying one scalar RNG call per decision. This module walks
+*all* chains of a dispatch round together — one numpy ``Generator`` call
+per wave per decision kind — which is what lifts the synchronous dispatch
+path to million-chain scale (see ``BENCH_dispatch.json``'s
+``chains_per_s``).
+
+Wave-major draw-order contract
+------------------------------
+
+Chain-major and wave-major walks consume the same streams but in a
+different order, so a wave walk is *not* byte-identical to a chain-major
+walk of the same seed under faults (it is distributionally identical, and
+exactly reproducible for a given seed). With no fault scenario the first
+wave is the only wave and the two walks coincide byte-for-byte (asserted
+by ``tests/test_wave_walker.py``). Per attempt round, over the admitted
+chains in wave order:
+
+1. ``exec``            — one ``normal(0, sigma, n)`` array; the noise
+                         factor is ``exp`` of it elementwise.
+2. ``fault.straggler`` — one ``random(n)`` verdict array; then one
+                         ``lognormal(mu, sigma, k)`` array over the
+                         ``k`` flagged chains, in wave order.
+3. ``fault.crash``     — one ``random(p)`` at-fraction array over the
+                         ``p`` poisoned chains; one ``random(n - p)``
+                         verdict array over the rest; one ``random(k)``
+                         at-fraction array over the ``k`` crashed; one
+                         ``random(k)`` persistence array (only when the
+                         scenario has a persistent fraction).
+4. ``retry``           — scalar policy draws per crashed chain, in wave
+                         order (identical to the chain-major contract).
+
+Throttle-gate arbitration stays sequential within the wave (the token
+bucket is shared state), exactly as in the chain-major walk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol, Union
+
+import numpy as np
+
+from repro.engine.chain import AttemptChain
+from repro.engine.kernel import DispatchKernel
+from repro.faults.injector import CrashDecision
+
+
+class WaveJobs:
+    """Columnar job batch: parallel ``chains`` / ``launch_at`` lists.
+
+    The walker's native input shape. Column layout avoids one boxed
+    ``(chain, time)`` tuple per job — at million-chain scale those tuples
+    are measurable garbage-collector pressure on every walk round.
+    """
+
+    __slots__ = ("chains", "launch_at")
+
+    def __init__(self, chains: list[AttemptChain], launch_at: list[float]) -> None:
+        if len(chains) != len(launch_at):
+            raise ValueError("chains and launch_at must be the same length")
+        self.chains = chains
+        self.launch_at = launch_at
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    def __iter__(self) -> Iterator[tuple[AttemptChain, float]]:
+        return zip(self.chains, self.launch_at)
+
+
+class WaveEnv(Protocol):
+    """Consumer hooks for :func:`run_chain_waves`.
+
+    The walker owns every RNG draw (the wave-major contract above); the
+    environment supplies the noise-free work model and per-outcome
+    accounting. ``exec_noise_sigma`` is the lognormal sigma the walker
+    applies to every attempt's work (0 disables the draw entirely).
+    """
+
+    exec_noise_sigma: float
+
+    def throttle_clock(self, launch_at: float) -> float: ...
+    def on_throttled(self, chain: AttemptChain) -> None: ...
+    def on_rejected(self, chain: AttemptChain) -> None: ...
+    def is_warm(self, launch_at: float) -> bool: ...
+    def work_seconds(self, chain: AttemptChain, warm: bool) -> float:
+        """Noise-free seconds of one attempt (no RNG — the walker draws)."""
+        ...
+    def on_success(
+        self, chain: AttemptChain, launch_at: float, warm: bool, exec_seconds: float
+    ) -> None: ...
+    def on_crash(
+        self,
+        chain: AttemptChain,
+        launch_at: float,
+        warm: bool,
+        exec_seconds: float,
+        crash: CrashDecision,
+    ) -> float: ...
+    def on_retry(self, chain: AttemptChain, delay: float) -> None: ...
+    def on_exhausted(self, chain: AttemptChain) -> None: ...
+
+
+def run_chain_waves(
+    kernel: DispatchKernel,
+    env: WaveEnv,
+    jobs: Union[WaveJobs, Iterable[tuple[AttemptChain, float]]],
+) -> int:
+    """Walk every ``(chain, launch_at)`` job to a terminal state in waves.
+
+    Semantically equivalent to calling
+    :meth:`DispatchKernel.run_synchronous_chain` per chain (throttle gate,
+    warm check, execution draw, crash draw, retry arbitration), but each
+    attempt round's RNG comes from one array draw per decision kind.
+    Returns the number of attempt rounds (waves) executed.
+    """
+    bucket = kernel.bucket
+    injector = kernel.injector
+    scenario = kernel.scenario
+    rng = kernel.rng
+    sigma = env.exec_noise_sigma
+    straggler_rate = scenario.straggler_rate if scenario is not None else 0.0
+    crash_rate = injector.crash_rate if injector is not None else 0.0
+    persistent_fraction = (
+        scenario.persistent_fraction if scenario is not None else 0.0
+    )
+    crash_metrics = injector._metrics if injector is not None else None
+    # Optional vectorized env hooks (fall back to the per-chain protocol).
+    is_warm_wave = getattr(env, "is_warm_wave", None)
+    work_wave = getattr(env, "work_seconds_wave", None)
+    success_wave = getattr(env, "on_success_wave", None)
+
+    if isinstance(jobs, WaveJobs):
+        act_chains = list(jobs.chains)
+        act_times = list(jobs.launch_at)
+    else:
+        pairs = list(jobs)
+        act_chains = [c for c, _ in pairs]
+        act_times = [t for _, t in pairs]
+    # Poison tracking: scanning every chain per wave would dominate the
+    # common all-clean case, so track a single dirty flag instead.
+    any_poisoned = any(c.poisoned for c in act_chains)
+    waves = 0
+    while act_chains:
+        waves += 1
+        # ---------------- throttle gate (sequential: shared bucket) ------ #
+        if bucket is not None:
+            # The token-bucket arithmetic of TokenBucket.try_acquire /
+            # seconds_until_token, inlined (identical float ops; state is
+            # written back after the wave) — the gate is per-chain work on
+            # every admission, so call overhead would dominate it.
+            cap_f = float(bucket.capacity)
+            refill = bucket.refill_per_s
+            tokens = bucket._tokens
+            last = bucket._last
+            n_admitted = 0
+            n_rejected = 0
+            backoff = scenario.throttle_backoff_s if scenario is not None else 0.0
+            max_tries = scenario.throttle_max_retries if scenario is not None else 0
+            chains: list[AttemptChain] = []
+            times: list[float] = []
+            for chain, t in zip(act_chains, act_times):
+                rejected = False
+                while True:
+                    now = env.throttle_clock(t)
+                    if now < last:
+                        raise ValueError("token bucket clock moved backwards")
+                    tokens = tokens + (now - last) * refill
+                    if tokens > cap_f:
+                        tokens = cap_f
+                    last = now
+                    if tokens >= 1.0:
+                        tokens -= 1.0
+                        n_admitted += 1
+                        break
+                    n_rejected += 1
+                    chain.throttle_tries += 1
+                    env.on_throttled(chain)
+                    if chain.throttle_tries > max_tries:
+                        chain.lost = True
+                        env.on_rejected(chain)
+                        rejected = True
+                        break
+                    t = now + (
+                        backoff * chain.throttle_tries + (1.0 - tokens) / refill
+                    )
+                if not rejected:
+                    chains.append(chain)
+                    times.append(t)
+            bucket._tokens = tokens
+            bucket._last = last
+            bucket.admitted += n_admitted
+            bucket.rejected += n_rejected
+        else:
+            chains = act_chains
+            times = act_times
+        n = len(chains)
+        if n == 0:
+            break
+
+        if is_warm_wave is not None:
+            warm = is_warm_wave(times)
+        else:
+            warm = [env.is_warm(t) for t in times]
+        if work_wave is not None:
+            exec_s = work_wave(chains, warm)
+        else:
+            exec_s = [env.work_seconds(c, w) for c, w in zip(chains, warm)]
+
+        # ---------------- wave draw 1: execution noise ------------------- #
+        if sigma > 0.0:
+            noise = np.exp(rng.stream("exec").normal(0.0, sigma, n)).tolist()
+            exec_s = [e * f for e, f in zip(exec_s, noise)]
+
+        # ---------------- wave draw 2: stragglers ------------------------ #
+        if straggler_rate > 0.0:
+            sstream = rng.stream("fault.straggler")
+            verdicts = sstream.random(n)
+            flagged = np.flatnonzero(verdicts < straggler_rate)
+            if flagged.size:
+                extras = sstream.lognormal(
+                    scenario.straggler_mu, scenario.straggler_sigma, flagged.size
+                ).tolist()
+                for i, extra in zip(flagged.tolist(), extras):
+                    exec_s[i] *= 1.0 + extra
+
+        # ---------------- wave draw 3: crash verdicts -------------------- #
+        decisions: list[CrashDecision | None] = [None] * n
+        n_crashed = 0
+        if injector is not None:
+            cstream = rng.stream("fault.crash")
+            poisoned_idx = (
+                [i for i in range(n) if chains[i].poisoned] if any_poisoned else []
+            )
+            if poisoned_idx:
+                ats = cstream.random(len(poisoned_idx)).tolist()
+                for i, at in zip(poisoned_idx, ats):
+                    decisions[i] = CrashDecision(at_fraction=at, persistent=True)
+                n_crashed += len(poisoned_idx)
+            if crash_rate > 0.0:
+                if poisoned_idx:
+                    clean_idx = [i for i in range(n) if not chains[i].poisoned]
+                    verdicts = cstream.random(len(clean_idx))
+                    hit = [
+                        clean_idx[j]
+                        for j in np.flatnonzero(verdicts < crash_rate).tolist()
+                    ]
+                else:
+                    verdicts = cstream.random(n)
+                    hit = np.flatnonzero(verdicts < crash_rate).tolist()
+                if hit:
+                    ats = cstream.random(len(hit)).tolist()
+                    if persistent_fraction > 0.0:
+                        pdraws = cstream.random(len(hit)).tolist()
+                        persists = [p < persistent_fraction for p in pdraws]
+                    else:
+                        persists = [False] * len(hit)
+                    for i, at, persistent in zip(hit, ats, persists):
+                        decisions[i] = CrashDecision(at_fraction=at, persistent=persistent)
+                    n_crashed += len(hit)
+            if crash_metrics is not None and n_crashed:
+                for decision in decisions:
+                    if decision is not None:
+                        injector._count_crash(decision)
+
+        # ---------------- outcomes + retry arbitration ------------------- #
+        next_chains: list[AttemptChain] = []
+        next_times: list[float] = []
+        if n_crashed == 0 and success_wave is not None:
+            for chain in chains:
+                chain.satisfied = True
+            success_wave(chains, times, warm, exec_s)
+            act_chains = next_chains
+            act_times = next_times
+            continue
+        ok_i: list[int] | None = [] if success_wave is not None else None
+        add_ok = ok_i.append if ok_i is not None else None
+        for i in range(n):
+            chain = chains[i]
+            decision = decisions[i]
+            if decision is None:
+                chain.satisfied = True
+                if add_ok is None:
+                    env.on_success(chain, times[i], warm[i], exec_s[i])
+                else:
+                    add_ok(i)
+                continue
+            if decision.persistent:
+                chain.poisoned = True
+                any_poisoned = True
+            crash_at = env.on_crash(chain, times[i], warm[i], exec_s[i], decision)
+            delay = kernel.next_retry_delay(chain)
+            if delay is None:
+                chain.lost = True
+                env.on_exhausted(chain)
+            else:
+                env.on_retry(chain, delay)
+                next_chains.append(chain)
+                next_times.append(crash_at + delay)
+        if ok_i:
+            success_wave(
+                [chains[i] for i in ok_i],
+                [times[i] for i in ok_i],
+                [warm[i] for i in ok_i],
+                [exec_s[i] for i in ok_i],
+            )
+        act_chains = next_chains
+        act_times = next_times
+    return waves
+
+
+def dispatch_wave_jobs(
+    kernel: DispatchKernel,
+    n_chains: int,
+    n_packed: int,
+    spacing_s: float = 0.0,
+    per_chain_retry: bool = True,
+) -> WaveJobs:
+    """Convenience: mint ``n_chains`` fresh chains with arithmetic launch
+    times ``i * spacing_s`` (the shape every synchronous consumer uses).
+
+    Bulk-mints: same ids/registration as ``n_chains`` calls to
+    :meth:`DispatchKernel.new_chain`, with one registry update."""
+    base = kernel._next_chain_id
+    policy = kernel.retry_policy if per_chain_retry else None
+    if policy is None:
+        chains = [AttemptChain(base + i, n_packed) for i in range(n_chains)]
+    else:
+        fresh = policy.fresh
+        chains = [
+            AttemptChain(base + i, n_packed, None, fresh())
+            for i in range(n_chains)
+        ]
+    kernel._next_chain_id = base + n_chains
+    kernel.chains.update((c.chain_id, c) for c in chains)
+    return WaveJobs(chains, [i * spacing_s for i in range(n_chains)])

@@ -133,9 +133,19 @@ class _MixedBurstKernel(BurstDispatchKernel):
 class MixedBurstSimulator:
     """Executes a :class:`MixedPlan` on the discrete-event substrate."""
 
-    def __init__(self, profile: PlatformProfile, seed: int = 0) -> None:
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        seed: int = 0,
+        kernel_mode: Optional[str] = None,
+    ) -> None:
         self.profile = profile
         self.seed = seed
+        #: RNG mode for the dispatch kernel (``None`` → the engine default,
+        #: batched). The mixed planner overrides kernel hooks, so the fluid
+        #: closed form never applies here; scalar/batched stay
+        #: byte-identical.
+        self.kernel_mode = kernel_mode
 
     def run(self, plan: MixedPlan, repetition: int = 0) -> MixedRunResult:
         if not plan.groups:
@@ -174,6 +184,7 @@ class MixedBurstSimulator:
             interference=None,  # the mixed model replaces the homogeneous one
             enforce_timeout=False,
             model=model,
+            mode=self.kernel_mode,
         )
         # Burst-wide defaults only: noise-neutral factors, max-memory
         # provisioning (the paper's setup); group sizing is per chain.

@@ -179,15 +179,21 @@ def rebill(report: FusionRunReport, profile: PlatformProfile) -> FusionRunReport
 class FusionScheduler:
     """Executes fusion plans on one seeded simulated datacenter."""
 
-    def __init__(self, profile: PlatformProfile, seed: int = 0) -> None:
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        seed: int = 0,
+        kernel_mode: Optional[str] = None,
+    ) -> None:
         self.profile = profile
         self.seed = seed
         self.billing = BillingModel(profile)
+        self.kernel_mode = kernel_mode
 
     def execute(self, plan: FusionPlan, repetition: int = 0) -> FusionRunReport:
-        result = MixedBurstSimulator(self.profile, self.seed).run(
-            plan.to_mixed_plan(), repetition
-        )
+        result = MixedBurstSimulator(
+            self.profile, self.seed, kernel_mode=self.kernel_mode
+        ).run(plan.to_mixed_plan(), repetition)
         assert result.storage is not None
         expense, bills = attribute_expense(
             plan, result.run.records, result.storage, self.billing

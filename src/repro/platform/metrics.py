@@ -24,7 +24,7 @@ import numpy as np
 from repro.sim.stats import percentile
 
 
-@dataclass
+@dataclass(slots=True)
 class InstanceRecord:
     """Lifecycle timestamps of one function instance within a burst."""
 

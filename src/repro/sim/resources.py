@@ -28,7 +28,7 @@ from repro.sim.engine import Event, SimulationError, Simulator
 Completion = Callable[..., None]
 
 
-@dataclass
+@dataclass(slots=True)
 class _FifoJob:
     work: float
     callback: Completion
@@ -84,7 +84,7 @@ class FifoResource:
         job.callback(*job.args)
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _PSJob:
     finish_v: float
     seq: int

@@ -92,8 +92,7 @@ class TraceRecorder:
             if nxt is None:
                 return original()
             # Capture the head event's identity before it executes.
-            head = recorder.sim._heap[0]
-            time, seq = head.time, head.seq
+            time, seq, head = recorder.sim._heap[0]
             callback = _callback_name(head.callback)
             executed = original()
             if executed:

@@ -52,6 +52,11 @@ class EventBus:
         self._by_kind: dict[str, list[Subscriber]] = {}
         self._all: list[Subscriber] = []
         self.published = 0
+        #: Bumped on every (un)subscribe. Hot-loop publishers cache their
+        #: "anyone listening?" verdict against this instead of re-asking
+        #: :meth:`has_kind_subscribers` per event (see
+        #: ``ServingInstrumentation._refresh_audit_gate``).
+        self.subscriptions_version = 0
 
     def subscribe(
         self, fn: Subscriber, kind: Optional[str] = None
@@ -62,12 +67,15 @@ class EventBus:
         """
         listing = self._all if kind is None else self._by_kind.setdefault(kind, [])
         listing.append(fn)
+        self.subscriptions_version += 1
 
         def unsubscribe() -> None:
             try:
                 listing.remove(fn)
             except ValueError:
                 pass
+            else:
+                self.subscriptions_version += 1
 
         return unsubscribe
 

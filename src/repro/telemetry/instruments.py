@@ -246,10 +246,12 @@ class ServingInstrumentation:
 
     Besides the tracer/metrics adapters, every hook also offers an
     ``audit.*`` event to the bus — but only when something subscribed to
-    that kind *specifically* (:meth:`EventBus.has_kind_subscribers`), so
+    that kind *specifically*. The "is any auditor attached?" verdict is
+    precomputed once per run (and re-derived only when the bus's
+    subscription set changes, at the latest on the next control tick), so
     sessions without a chaos :class:`~repro.chaos.auditor.InvariantAuditor`
-    pay one dict lookup and publish nothing, keeping JSONL exports
-    byte-identical.
+    pay one attribute load per hook — no field-dict allocation, no bus
+    lookup — and publish nothing, keeping JSONL exports byte-identical.
     """
 
     def __init__(
@@ -264,6 +266,13 @@ class ServingInstrumentation:
         self.bus = bus
         self._registry = registry
         self._now = lambda: sim.now  # audit events may run untraced
+        # Audit short-circuit: hooks fire per dispatch/arrival (hot loop),
+        # so "did anyone subscribe to audit.*?" is answered once here and
+        # re-derived only when the bus's subscription set changes — not
+        # per event (PR-8 wiring asked has_kind_subscribers every time).
+        self._audit_version = -1
+        self._audit_on = False
+        self._refresh_audit_gate()
         if tracer is not None:
             tracer.bind_clock(lambda: sim.now)
             self.pid = tracer.new_process(name)
@@ -329,15 +338,48 @@ class ServingInstrumentation:
             }
 
     # ------------------------------------------------------------------ #
+    def _refresh_audit_gate(self) -> bool:
+        """Recompute the cached "any ``audit.*`` subscriber?" verdict.
+
+        One bus scan, and only when the subscription set actually changed
+        since the last refresh (tracked via
+        :attr:`EventBus.subscriptions_version`). Runs at construction and
+        again at every (un)subscribe observed through :meth:`_audit`; an
+        auditor attached mid-run is picked up on the next hook that fires.
+        """
+        bus = self.bus
+        if bus is None:
+            self._audit_on = False
+            return False
+        version = bus.subscriptions_version
+        if version != self._audit_version:
+            self._audit_version = version
+            self._audit_on = any(
+                subs and kind.startswith("audit.")
+                for kind, subs in bus._by_kind.items()
+            )
+        return self._audit_on
+
     def _audit(self, kind: str, **fields) -> None:
-        """Publish an opt-in ``audit.*`` event iff someone subscribed to it."""
-        if self.bus is not None and self.bus.has_kind_subscribers(kind):
-            self.bus.publish(kind, self._now(), **fields)
+        """Publish an opt-in ``audit.*`` event iff someone subscribed to it.
+
+        Hot hooks guard on the precomputed :attr:`_audit_on` flag before
+        building their field dicts, so an auditor-less session pays one
+        attribute load per event — no dict allocation, no bus lookup.
+        """
+        bus = self.bus
+        if bus is None:
+            return
+        if bus.subscriptions_version != self._audit_version:
+            self._refresh_audit_gate()
+        if self._audit_on and bus.has_kind_subscribers(kind):
+            bus.publish(kind, self._now(), **fields)
 
     # ------------------------------------------------------------------ #
     def on_arrival(self, verdict: str) -> None:
         """``verdict`` is 'admitted', 'shed-admission', or 'shed-brownout'."""
-        self._audit("audit.arrival", verdict=verdict)
+        if self._audit_on:
+            self._audit("audit.arrival", verdict=verdict)
         if not self._m:
             return
         self._m["arrivals"].inc()
@@ -349,11 +391,12 @@ class ServingInstrumentation:
     def on_dispatch(
         self, dispatch_id: int, batch_size: int, warm: bool, domain: Optional[int]
     ) -> None:
-        self._audit(
-            "audit.dispatch",
-            dispatch=dispatch_id, batch=batch_size, warm=warm,
-            domain=-1 if domain is None else domain,
-        )
+        if self._audit_on:
+            self._audit(
+                "audit.dispatch",
+                dispatch=dispatch_id, batch=batch_size, warm=warm,
+                domain=-1 if domain is None else domain,
+            )
         if self._m:
             self._m["warm" if warm else "cold"].inc()
         if self.tracer is None:
@@ -379,12 +422,13 @@ class ServingInstrumentation:
         exec_s: Optional[float] = None,
         billed_s: Optional[float] = None,
     ) -> None:
-        self._audit(
-            "audit.complete",
-            dispatch=dispatch_id, n=len(sojourns),
-            exec_s=-1.0 if exec_s is None else exec_s,
-            billed_s=-1.0 if billed_s is None else billed_s,
-        )
+        if self._audit_on:
+            self._audit(
+                "audit.complete",
+                dispatch=dispatch_id, n=len(sojourns),
+                exec_s=-1.0 if exec_s is None else exec_s,
+                billed_s=-1.0 if billed_s is None else billed_s,
+            )
         if self._m:
             self._m["completed"].inc(len(sojourns))
             hist = self._m["sojourn"]
@@ -396,11 +440,12 @@ class ServingInstrumentation:
     def on_crash(
         self, dispatch_id: int, correlated: bool, domain: Optional[int] = None
     ) -> None:
-        self._audit(
-            "audit.crash",
-            dispatch=dispatch_id, correlated=correlated,
-            domain=-1 if domain is None else domain,
-        )
+        if self._audit_on:
+            self._audit(
+                "audit.crash",
+                dispatch=dispatch_id, correlated=correlated,
+                domain=-1 if domain is None else domain,
+            )
         if self._m:
             self._m["crashes"]["correlated" if correlated else "independent"].inc()
         if self.tracer is not None:
@@ -413,26 +458,32 @@ class ServingInstrumentation:
             )
 
     def on_retry(self, batch_size: int, delay: float) -> None:
-        self._audit("audit.retry", batch=batch_size, delay_s=delay)
+        if self._audit_on:
+            self._audit("audit.retry", batch=batch_size, delay_s=delay)
         if self._m:
             self._m["retries"].inc()
         if self.tracer is not None:
             self.tracer.instant("retry", "fault", batch=batch_size, delay_s=delay)
 
     def on_throttled(self) -> None:
-        self._audit("audit.throttled")
+        if self._audit_on:
+            self._audit("audit.throttled")
         if self._m:
             self._m["throttled"].inc()
 
     def on_fail_batch(self, batch_size: int) -> None:
-        self._audit("audit.fail", batch=batch_size)
+        if self._audit_on:
+            self._audit("audit.fail", batch=batch_size)
         if self._m:
             self._m["failed"].inc(batch_size)
         if self.bus is not None and self.tracer is not None:
             self.bus.publish("batch.failed", self.tracer.now, batch=batch_size)
 
     def on_tick(self, backlog: int, violation_fraction: float) -> None:
-        self._audit("audit.tick", backlog=backlog)
+        # Per-wave gate refresh: the control tick is the run's heartbeat,
+        # so a mid-run (un)subscribe is folded in here at the latest.
+        if self._refresh_audit_gate():
+            self._audit("audit.tick", backlog=backlog)
         if self._m:
             self._m["backlog"].set(backlog)
         if self.tracer is not None:
@@ -444,7 +495,8 @@ class ServingInstrumentation:
     def on_remediation(self, stage: str, **fields) -> None:
         """One remediation-loop event: ``stage`` is 'detection', 'proposal',
         'verdict', 'apply', or 'rollback'; ``fields`` are stage-specific."""
-        self._audit("audit.remediation", stage=stage, **fields)
+        if self._audit_on:
+            self._audit("audit.remediation", stage=stage, **fields)
         if self._registry is not None:
             self._registry.counter(
                 "propack_remediation_events_total",

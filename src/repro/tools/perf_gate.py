@@ -1,0 +1,148 @@
+"""CI perf-regression gate over the ``BENCH_*.json`` exports.
+
+Compares a freshly benchmarked export against the committed baseline and
+fails (exit 1) when any shared throughput key drops by more than the
+tolerance (default 20%). Wall-time keys (``*_wall_s``, lower is better)
+are reported for trend visibility but only gated when ``--wall-tolerance``
+is given — CI runner wall clocks are far noisier than relative rates on
+the same machine.
+
+Usage (what the ``perf-smoke`` CI job runs on every PR)::
+
+    cp BENCH_dispatch.json /tmp/baseline.json
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_primitives.py \
+        -k "chain_throughput or c1e4"
+    PYTHONPATH=src python -m repro.tools.perf_gate \
+        /tmp/baseline.json BENCH_dispatch.json
+
+Only keys present in *both* files are compared (a smoke run regenerates a
+subset of the keys); ``--require`` makes specific keys mandatory in the
+fresh export so a silently-skipped benchmark cannot pass the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class GateVerdict:
+    """One compared key: baseline vs fresh plus the gate's decision."""
+
+    key: str
+    baseline: float
+    fresh: float
+    ratio: float          # fresh / baseline
+    failed: bool
+    gated: bool           # False for informational-only (ungated wall) keys
+
+    @property
+    def is_wall(self) -> bool:
+        return self.key.endswith("_wall_s")
+
+    def line(self) -> str:
+        arrow = "FAIL" if self.failed else ("ok  " if self.gated else "info")
+        direction = "slower" if self.is_wall else "of baseline"
+        pct = self.ratio * 100.0
+        if self.is_wall:
+            pct -= 100.0
+            return (
+                f"  [{arrow}] {self.key}: {self.baseline:g}s -> "
+                f"{self.fresh:g}s ({pct:+.1f}% {direction})"
+            )
+        return (
+            f"  [{arrow}] {self.key}: {self.baseline:g}/s -> "
+            f"{self.fresh:g}/s ({pct:.1f}% {direction})"
+        )
+
+
+def compare(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    tolerance: float = 0.20,
+    wall_tolerance: Optional[float] = None,
+    require: tuple[str, ...] = (),
+) -> tuple[list[GateVerdict], list[str]]:
+    """Compare the two exports; returns (verdicts, hard errors).
+
+    Throughput keys fail when ``fresh < baseline * (1 - tolerance)``;
+    wall keys fail when ``fresh > baseline * (1 + wall_tolerance)`` and
+    ``wall_tolerance`` was supplied. Keys listed in ``require`` must be
+    present in ``fresh`` (missing => hard error).
+    """
+    errors = [f"required key {k!r} missing from fresh export"
+              for k in require if k not in fresh]
+    verdicts: list[GateVerdict] = []
+    for key in sorted(set(baseline) & set(fresh)):
+        base, new = float(baseline[key]), float(fresh[key])
+        if base <= 0.0:
+            errors.append(f"baseline key {key!r} is non-positive ({base!r})")
+            continue
+        ratio = new / base
+        if key.endswith("_wall_s"):
+            gated = wall_tolerance is not None
+            failed = gated and ratio > 1.0 + wall_tolerance
+        else:
+            gated = True
+            failed = ratio < 1.0 - tolerance
+        verdicts.append(GateVerdict(key, base, new, ratio, failed, gated))
+    return verdicts, errors
+
+
+def run_gate(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.perf_gate", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="committed BENCH_*.json baseline")
+    parser.add_argument("fresh", type=pathlib.Path,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="max fractional throughput drop (default 0.20)")
+    parser.add_argument("--wall-tolerance", type=float, default=None,
+                        help="gate *_wall_s keys at this fractional slowdown "
+                             "(default: report only)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="KEY",
+                        help="key that must exist in the fresh export "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    verdicts, errors = compare(
+        baseline, fresh,
+        tolerance=args.tolerance,
+        wall_tolerance=args.wall_tolerance,
+        require=tuple(args.require),
+    )
+
+    print(f"perf gate: {args.fresh} vs baseline {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    for v in verdicts:
+        print(v.line())
+    for err in errors:
+        print(f"  [FAIL] {err}")
+    if not verdicts and not errors:
+        print("  [FAIL] no shared keys between baseline and fresh export")
+        return 1
+
+    failures = [v for v in verdicts if v.failed]
+    if failures or errors:
+        print(f"perf gate FAILED: {len(failures) + len(errors)} regression(s)")
+        return 1
+    print(f"perf gate passed: {len(verdicts)} key(s) within tolerance")
+    return 0
+
+
+def main() -> None:
+    raise SystemExit(run_gate())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Byte-identity of the batched draw facade (see docs/PERFORMANCE.md).
+
+Every test drives a :class:`BufferedGenerator` and a raw generator with the
+same seed through the same call sequence and asserts float-for-float
+equality — including across distribution switches, array-draw interleaves,
+and delegated methods that must observe a realigned bit-generator state.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.sim.randomness import (
+    DEFAULT_BATCH_BLOCK,
+    BufferedGenerator,
+    RandomStreams,
+)
+
+
+def _raw(label: str = "x", seed: int = 7) -> np.random.Generator:
+    child = np.random.SeedSequence([seed, zlib.crc32(label.encode())])
+    return np.random.default_rng(child)
+
+
+def _pair(label: str = "x", seed: int = 7, block: int = DEFAULT_BATCH_BLOCK):
+    return BufferedGenerator(_raw(label, seed), block), _raw(label, seed)
+
+
+@pytest.mark.parametrize("block", [1, 2, 7, 256])
+def test_scalar_random_matches_raw(block):
+    buf, raw = _pair(block=block)
+    assert [buf.random() for _ in range(1000)] == [
+        float(raw.random()) for _ in range(1000)
+    ]
+
+
+def test_uniform_normal_lognormal_exponential_match_raw():
+    buf, raw = _pair()
+    got, want = [], []
+    for i in range(500):
+        low, high = -2.0 + (i % 7) * 0.3, 1.5 + (i % 5) * 2.0
+        loc, scale = -0.5 + (i % 3) * 0.4, 0.01 + (i % 4) * 0.7
+        got += [
+            buf.uniform(low, high),
+            buf.normal(loc, scale),
+            buf.lognormal(loc, scale),
+            buf.exponential(scale),
+        ]
+        want += [
+            float(raw.uniform(low, high)),
+            float(raw.normal(loc, scale)),
+            float(raw.lognormal(loc, scale)),
+            float(raw.exponential(scale)),
+        ]
+    assert got == want
+
+
+def test_distribution_switch_rewinds_exactly():
+    # The straggler-stream pattern: mostly uniforms, rare lognormals.
+    buf, raw = _pair()
+    got, want = [], []
+    for i in range(400):
+        if i % 37 == 13:
+            got.append(buf.lognormal(1.0, 0.5))
+            want.append(float(raw.lognormal(1.0, 0.5)))
+        else:
+            got.append(buf.random())
+            want.append(float(raw.random()))
+    assert got == want
+
+
+def test_array_draws_interleave_exactly():
+    buf, raw = _pair()
+    got, want = [], []
+    for i in range(50):
+        got += [buf.random() for _ in range(3)]
+        want += [float(raw.random()) for _ in range(3)]
+        got += list(buf.lognormal(-0.1, 0.4, 5))
+        want += list(raw.lognormal(-0.1, 0.4, 5))
+        got += list(buf.uniform(0.0, 9.0, 4))
+        want += list(raw.uniform(0.0, 9.0, 4))
+    assert got == want
+
+
+def test_delegated_methods_see_realigned_state():
+    buf, raw = _pair()
+    got = [buf.random() for _ in range(5)]
+    want = [float(raw.random()) for _ in range(5)]
+    # integers() is not buffered: it must observe the post-5-draws state.
+    got.append(int(buf.integers(0, 1 << 30)))
+    want.append(int(raw.integers(0, 1 << 30)))
+    got += [buf.random() for _ in range(5)]
+    want += [float(raw.random()) for _ in range(5)]
+    assert got == want
+
+
+def test_bit_generator_state_is_logical_position():
+    buf, raw = _pair()
+    for _ in range(3):
+        buf.random()
+        raw.random()
+    # Accessing bit_generator syncs; the states must agree exactly.
+    assert buf.bit_generator.state == raw.bit_generator.state
+
+
+def test_streams_batching_is_byte_identical():
+    scalar = RandomStreams(123)
+    batched = RandomStreams(123)
+    batched.enable_batching()
+    assert batched.batched and not scalar.batched
+    got, want = [], []
+    for i in range(300):
+        want.append(float(scalar.stream("exec").random()))
+        got.append(float(batched.stream("exec").random()))
+        want.append(scalar.lognormal_factor("build", 0.03))
+        got.append(batched.lognormal_factor("build", 0.03))
+        if i % 11 == 0:
+            want.append(float(scalar.stream("retry").uniform(0.2, 3.0)))
+            got.append(float(batched.stream("retry").uniform(0.2, 3.0)))
+    assert got == want
+
+
+def test_enable_batching_mid_run_preserves_sequences():
+    scalar = RandomStreams(9)
+    mid = RandomStreams(9)
+    want = [float(scalar.stream("exec").random()) for _ in range(10)]
+    got = [float(mid.stream("exec").random()) for _ in range(4)]
+    mid.enable_batching()
+    got += [float(mid.stream("exec").random()) for _ in range(6)]
+    assert got == want
+
+
+def test_spawn_propagates_batching():
+    parent = RandomStreams(5)
+    parent.enable_batching()
+    child = parent.spawn("rep0")
+    assert child.batched
+    scalar_child = RandomStreams(5).spawn("rep0")
+    assert [child.stream("exec").random() for _ in range(20)] == [
+        float(scalar_child.stream("exec").random()) for _ in range(20)
+    ]
+
+
+def test_sync_is_idempotent_and_cheap_when_clean():
+    buf, raw = _pair()
+    buf.sync()
+    buf.sync()
+    assert buf.random() == float(raw.random())
+    buf.sync()
+    assert buf.random() == float(raw.random())

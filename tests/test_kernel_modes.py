@@ -1,0 +1,218 @@
+"""Byte-identity of the three kernel modes (scalar / batched / fluid).
+
+The refactor's correctness contract: ``batched`` draws RNG values through
+the block-buffered facade (same floats, fewer Generator calls — see
+``tests/test_batched_draws.py`` for the facade's own identity suite) and
+``fluid`` replays eligible bursts in closed form. Neither may change a
+single bit of any result, so every test here runs the identical workload
+under two or three modes and asserts full equality — records, expense,
+fault stats, signatures — not approximate agreement.
+"""
+
+import pytest
+
+from repro.chaos.auditor import InvariantAuditor
+from repro.core.models import ExecutionTimeModel
+from repro.engine.fluid import run_fluid_aggregates
+from repro.extensions.mixed import MixedPacker
+from repro.extensions.mixed_sim import MixedBurstSimulator
+from repro.extensions.streaming import StreamingPolicy
+from repro.faults.retry import ExponentialBackoffRetry, HedgePolicy
+from repro.faults.scenario import FaultScenario
+from repro.platform.base import ServerlessPlatform
+from repro.platform.invoker import BurstSpec
+from repro.platform.providers import AWS_LAMBDA, GOOGLE_CLOUD_FUNCTIONS
+from repro.serving import FixedTTL, PoissonProcess, ServingSimulator, WarmPool
+from repro.telemetry import TelemetryConfig, TelemetrySession
+from repro.workloads import SORT, VIDEO, XAPIAN
+
+MODES = ("scalar", "batched", "fluid")
+
+FAULTS = FaultScenario(
+    name="modes",
+    crash_rate=0.08,
+    straggler_rate=0.05,
+    throttle_capacity=128,
+    throttle_refill_per_s=800.0,
+)
+
+
+def _burst(mode, spec, provider=AWS_LAMBDA, seed=77):
+    # repetition pinned so the RNG family is independent of call order
+    platform = ServerlessPlatform(provider, seed=seed, kernel_mode=mode)
+    return platform.run_burst(spec, repetition=0)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        BurstSpec(app=SORT, concurrency=500),
+        BurstSpec(app=VIDEO, concurrency=1000, packing_degree=8),
+        BurstSpec(app=SORT, concurrency=2000, wave_size=300),
+    ],
+    ids=["plain", "packed", "waved"],
+)
+def test_clean_burst_identical_across_all_modes(spec):
+    """Fault-free bursts are fluid-eligible: all three modes must agree on
+    every field of the RunResult (dataclass equality is recursive through
+    records, expense, and fault stats)."""
+    scalar, batched, fluid = (_burst(m, spec) for m in MODES)
+    assert scalar == batched
+    assert batched == fluid
+
+
+def test_faulted_burst_scalar_batched_identical_and_fluid_falls_back():
+    """With faults the fluid path is ineligible — mode='fluid' must fall
+    back to the event loop and still match scalar byte-for-byte."""
+    spec = BurstSpec(
+        app=SORT,
+        concurrency=800,
+        scenario=FAULTS,
+        retry_policy=ExponentialBackoffRetry(base_s=0.05, max_retries=3),
+    )
+    scalar, batched, fluid = (_burst(m, spec) for m in MODES)
+    assert scalar.fault_stats.signature() == batched.fault_stats.signature()
+    assert scalar == batched == fluid
+    assert scalar.fault_stats.crashed_attempts > 0  # the scenario bit
+
+
+def test_hedged_burst_identical_across_modes():
+    spec = BurstSpec(
+        app=XAPIAN,
+        concurrency=400,
+        scenario=FaultScenario(name="strag", straggler_rate=0.2),
+        hedge=HedgePolicy(trigger_factor=1.5),
+    )
+    scalar, batched, fluid = (_burst(m, spec) for m in MODES)
+    assert scalar == batched == fluid
+    assert scalar.fault_stats.hedged_attempts > 0
+
+
+def test_second_provider_identical_across_modes():
+    spec = BurstSpec(app=VIDEO, concurrency=600, packing_degree=4)
+    results = [_burst(m, spec, provider=GOOGLE_CLOUD_FUNCTIONS) for m in MODES]
+    assert results[0] == results[1] == results[2]
+
+
+def test_fluid_aggregates_match_materialized_result():
+    """The million-scale aggregate replay must reproduce the materialized
+    run's totals exactly — same arithmetic over the same floats."""
+    spec = BurstSpec(app=SORT, concurrency=1500, wave_size=400)
+    platform = ServerlessPlatform(AWS_LAMBDA, seed=42, kernel_mode="batched")
+    want = platform.run_burst(spec, repetition=0)
+
+    from repro.engine.burst import BurstDispatchKernel  # build a twin kernel
+    platform2 = ServerlessPlatform(AWS_LAMBDA, seed=42, kernel_mode="fluid")
+    # Drive the aggregates entry point through a real kernel the same way
+    # BurstInvoker does, by intercepting run(): simplest faithful route is
+    # a fluid-mode full run (byte-identical, asserted above) plus the
+    # aggregate twin for the totals.
+    got_full = platform2.run_burst(spec, repetition=0)
+    assert got_full == want
+
+    class _Capture(Exception):
+        pass
+
+    captured = {}
+    orig = BurstDispatchKernel.run
+
+    def capture(self, spec_, image):
+        captured["aggregates"] = run_fluid_aggregates(self, spec_, image)
+        raise _Capture
+
+    BurstDispatchKernel.run = capture
+    try:
+        platform3 = ServerlessPlatform(AWS_LAMBDA, seed=42, kernel_mode="fluid")
+        with pytest.raises(_Capture):
+            platform3.run_burst(spec, repetition=0)
+    finally:
+        BurstDispatchKernel.run = orig
+
+    agg = captured["aggregates"]
+    assert agg.n_records == want.n_instances
+    assert agg.n_warm_starts == sum(1 for r in want.records if r.warm_start)
+    assert agg.scaling_time_s == want.scaling_time
+    assert agg.makespan_s == want.service_time()
+    assert agg.expense == want.expense
+    assert agg.total_billed_gb_seconds == want.fault_stats.total_billed_gb_seconds
+
+
+def test_fluid_aggregates_rejects_ineligible_burst():
+    from repro.engine.burst import BurstDispatchKernel
+
+    spec = BurstSpec(app=SORT, concurrency=100, scenario=FAULTS)
+
+    class _Capture(Exception):
+        pass
+
+    orig = BurstDispatchKernel.run
+
+    def capture(self, spec_, image):
+        with pytest.raises(ValueError, match="not fluid-eligible"):
+            run_fluid_aggregates(self, spec_, image)
+        raise _Capture
+
+    BurstDispatchKernel.run = capture
+    try:
+        with pytest.raises(_Capture):
+            ServerlessPlatform(AWS_LAMBDA, seed=1).run_burst(spec, repetition=0)
+    finally:
+        BurstDispatchKernel.run = orig
+
+
+# --------------------------------------------------------------------- #
+# Serving / mixed-sim / chaos-audited consumers: same modes, same bits.
+# --------------------------------------------------------------------- #
+
+_EXEC = ExecutionTimeModel(
+    coeff_a=XAPIAN.base_seconds, coeff_b=0.03, mem_gb=XAPIAN.mem_gb
+)
+
+
+def _serving_run(mode, telemetry=None):
+    sim = ServingSimulator(
+        AWS_LAMBDA,
+        XAPIAN,
+        _EXEC,
+        pool=WarmPool(FixedTTL(60.0)),
+        seed=11,
+        telemetry=telemetry,
+        kernel_mode=mode,
+    )
+    return sim.run(
+        PoissonProcess(6.0),
+        StreamingPolicy(degree=6, batch_timeout_s=4.0),
+        1800.0,
+    )
+
+
+def test_serving_scalar_batched_identical():
+    assert _serving_run("scalar").signature() == _serving_run("batched").signature()
+
+
+def test_serving_chaos_audited_identical_and_clean():
+    """Mode must not change results even with a live auditor subscribed —
+    and the audited runs must be violation-free under both modes."""
+    signatures = []
+    for mode in ("scalar", "batched"):
+        session = TelemetrySession(
+            TelemetryConfig(tracing=False, metrics=False, events=False)
+        )
+        auditor = InvariantAuditor().attach(session.bus)
+        result = _serving_run(mode, telemetry=session)
+        report = auditor.finalize(result)
+        assert report.ok, report.summary()
+        assert report.events_seen > 0
+        signatures.append(result.signature())
+    assert signatures[0] == signatures[1]
+
+
+def test_mixed_sim_scalar_batched_identical():
+    packer = MixedPacker(AWS_LAMBDA)
+    plan = packer.pack_mixed({SORT: 60, VIDEO: 40})
+    results = [
+        MixedBurstSimulator(AWS_LAMBDA, seed=121, kernel_mode=m).run(plan)
+        for m in ("scalar", "batched")
+    ]
+    assert results[0].run == results[1].run
+    assert results[0].storage == results[1].storage

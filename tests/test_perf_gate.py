@@ -1,0 +1,101 @@
+"""The CI perf-regression gate: pure comparison logic plus the CLI exit
+codes the ``perf-smoke`` job depends on."""
+
+import json
+
+import pytest
+
+from repro.tools.perf_gate import compare, run_gate
+
+
+def test_throughput_within_tolerance_passes():
+    verdicts, errors = compare(
+        {"chains_per_s": 100_000.0}, {"chains_per_s": 85_000.0}
+    )
+    assert not errors
+    (v,) = verdicts
+    assert v.gated and not v.failed
+    assert v.ratio == pytest.approx(0.85)
+
+
+def test_throughput_drop_beyond_tolerance_fails():
+    verdicts, _ = compare(
+        {"chains_per_s": 100_000.0}, {"chains_per_s": 79_000.0}
+    )
+    assert verdicts[0].failed
+
+
+def test_throughput_gain_never_fails():
+    verdicts, _ = compare(
+        {"chains_per_s": 100_000.0}, {"chains_per_s": 500_000.0}
+    )
+    assert not verdicts[0].failed
+
+
+def test_wall_keys_informational_by_default():
+    """Wall clocks on shared CI runners are noisy: a 3x slowdown is
+    reported but does not gate unless --wall-tolerance opts in."""
+    verdicts, _ = compare(
+        {"burst_c1e4_wall_s": 0.05}, {"burst_c1e4_wall_s": 0.15}
+    )
+    (v,) = verdicts
+    assert v.is_wall and not v.gated and not v.failed
+
+
+def test_wall_tolerance_gates_when_requested():
+    verdicts, _ = compare(
+        {"burst_c1e4_wall_s": 0.05},
+        {"burst_c1e4_wall_s": 0.15},
+        wall_tolerance=0.5,
+    )
+    assert verdicts[0].failed
+    verdicts, _ = compare(
+        {"burst_c1e4_wall_s": 0.05},
+        {"burst_c1e4_wall_s": 0.06},
+        wall_tolerance=0.5,
+    )
+    assert not verdicts[0].failed
+
+
+def test_only_shared_keys_compared_and_require_enforces_presence():
+    baseline = {"chains_per_s": 1.0, "events_per_s": 1.0}
+    fresh = {"chains_per_s": 1.0, "brand_new_key": 9.9}
+    verdicts, errors = compare(baseline, fresh)
+    assert [v.key for v in verdicts] == ["chains_per_s"]
+    assert not errors
+
+    _, errors = compare(baseline, fresh, require=("events_per_s",))
+    assert errors and "events_per_s" in errors[0]
+
+
+def test_non_positive_baseline_is_hard_error():
+    _, errors = compare({"chains_per_s": 0.0}, {"chains_per_s": 5.0})
+    assert errors
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps({"chains_per_s": 100.0, "x_wall_s": 1.0}))
+
+    fresh.write_text(json.dumps({"chains_per_s": 95.0, "x_wall_s": 5.0}))
+    assert run_gate([str(base), str(fresh)]) == 0
+    assert "passed" in capsys.readouterr().out
+
+    fresh.write_text(json.dumps({"chains_per_s": 10.0}))
+    assert run_gate([str(base), str(fresh)]) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+    # missing required key fails even when shared keys are healthy
+    fresh.write_text(json.dumps({"chains_per_s": 100.0}))
+    assert run_gate(
+        [str(base), str(fresh), "--require", "fluid_chains_per_s"]
+    ) == 1
+
+
+def test_cli_no_shared_keys_fails(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps({"a": 1.0}))
+    fresh.write_text(json.dumps({"b": 1.0}))
+    assert run_gate([str(base), str(fresh)]) == 1

@@ -1,0 +1,247 @@
+"""The wave-major chain walker (``repro.engine.wave``).
+
+Pins the refactor's two behavioural guarantees:
+
+* **Zero-fault byte-parity** — with no crash/straggler draws a wave walk
+  makes exactly the draws the chain-major walk makes, in the same order,
+  so success logs match float-for-float.
+* **Faulted determinism** — with faults the wave-major draw order differs
+  from chain-major by design (see the module docstring's contract), but
+  the walk is fully deterministic for a seed and conserves every chain
+  (succeeded + lost == dispatched, every chain terminal).
+
+Plus the structural bits: WaveJobs column layout, bulk minting, throttle
+inlining equivalence, and poisoned-chain handling.
+"""
+
+import pytest
+
+from repro.engine import DispatchKernel
+from repro.engine.wave import WaveJobs, dispatch_wave_jobs, run_chain_waves
+from repro.faults.retry import ImmediateRetry
+from repro.faults.scenario import FaultScenario
+from repro.sim.randomness import RandomStreams
+
+QUIET = FaultScenario(
+    name="quiet", throttle_capacity=64, throttle_refill_per_s=500.0
+)
+STORMY = FaultScenario(
+    name="stormy",
+    crash_rate=0.2,
+    throttle_capacity=64,
+    throttle_refill_per_s=500.0,
+    straggler_rate=0.05,
+)
+
+
+class ScalarEnv:
+    """Chain-major consumer: draws its own noise via kernel scalar calls."""
+
+    def __init__(self, kernel, log=None):
+        self.kernel = kernel
+        self.clock = 0.0
+        self.succeeded = 0
+        self.lost = 0
+        self.log = log
+
+    def throttle_clock(self, launch_at):
+        self.clock = max(self.clock, launch_at)
+        return self.clock
+
+    def on_throttled(self, chain):
+        pass
+
+    def on_rejected(self, chain):
+        self.lost += 1
+
+    def is_warm(self, launch_at):
+        return False
+
+    def attempt_seconds(self, chain, warm):
+        factor = self.kernel.exec_noise_factor(0.25)
+        factor *= self.kernel.straggler_factor()
+        return chain.n_packed * 0.1 * factor
+
+    def on_success(self, chain, launch_at, warm, exec_seconds):
+        self.succeeded += 1
+        if self.log is not None:
+            self.log.append((chain.chain_id, launch_at, exec_seconds))
+
+    def on_crash(self, chain, launch_at, warm, exec_seconds, crash):
+        return launch_at + crash.at_fraction * exec_seconds
+
+    def on_retry(self, chain, delay):
+        pass
+
+    def on_exhausted(self, chain):
+        self.lost += 1
+
+
+class WaveEnvImpl(ScalarEnv):
+    """Wave-major consumer: the walker draws arrays, env supplies work."""
+
+    exec_noise_sigma = 0.25
+
+    def work_seconds(self, chain, warm):
+        return chain.n_packed * 0.1
+
+    def is_warm_wave(self, times):
+        return [False] * len(times)
+
+    def work_seconds_wave(self, chains, warm):
+        return [c.n_packed * 0.1 for c in chains]
+
+    def on_success_wave(self, chains, times, warm, exec_s):
+        self.succeeded += len(chains)
+        if self.log is not None:
+            for c, t, e in zip(chains, times, exec_s):
+                self.log.append((c.chain_id, t, e))
+
+
+class MinimalWaveEnv(ScalarEnv):
+    """No vectorized hooks at all: the walker must fall back to the
+    per-chain protocol (work_seconds / is_warm / on_success)."""
+
+    exec_noise_sigma = 0.25
+
+    def work_seconds(self, chain, warm):
+        return chain.n_packed * 0.1
+
+
+def _kernel(scenario, mode="batched", seed=17):
+    return DispatchKernel(
+        RandomStreams(seed).spawn("kernel-bench"),
+        scenario=scenario,
+        retry_policy=ImmediateRetry(3),
+        mode=mode,
+    )
+
+
+def test_zero_fault_wave_walk_matches_scalar_byte_for_byte():
+    log_scalar, log_wave = [], []
+    k1 = _kernel(QUIET, mode="scalar")
+    env1 = ScalarEnv(k1, log_scalar)
+    for i in range(500):
+        chain = k1.new_chain(n_packed=4, retry=k1.fresh_retry())
+        k1.run_synchronous_chain(chain, env1, launch_at=float(i) * 0.01)
+
+    k2 = _kernel(QUIET)
+    env2 = WaveEnvImpl(k2, log_wave)
+    run_chain_waves(k2, env2, dispatch_wave_jobs(k2, 500, 4, spacing_s=0.01))
+
+    assert log_scalar == log_wave  # float-for-float, same order
+    assert env2.succeeded == 500 and env2.lost == 0
+
+
+def test_zero_fault_parity_without_vectorized_hooks():
+    log_scalar, log_wave = [], []
+    k1 = _kernel(QUIET, mode="scalar")
+    env1 = ScalarEnv(k1, log_scalar)
+    for i in range(200):
+        chain = k1.new_chain(n_packed=4, retry=k1.fresh_retry())
+        k1.run_synchronous_chain(chain, env1, launch_at=float(i) * 0.01)
+
+    k2 = _kernel(QUIET)
+    env2 = MinimalWaveEnv(k2, log_wave)
+    run_chain_waves(k2, env2, dispatch_wave_jobs(k2, 200, 4, spacing_s=0.01))
+    assert log_scalar == log_wave
+
+
+def _faulted_run():
+    kernel = _kernel(STORMY)
+    env = WaveEnvImpl(kernel, [])
+    jobs = dispatch_wave_jobs(kernel, 2000, 4, spacing_s=0.01)
+    waves = run_chain_waves(kernel, env, jobs)
+    assert env.succeeded + env.lost == 2000  # conservation
+    for chain in kernel.chains.values():
+        assert chain.satisfied or chain.lost  # every chain terminal
+    return (env.succeeded, env.lost, waves, tuple(env.log))
+
+
+def test_faulted_walk_is_deterministic_and_conserving():
+    first, second = _faulted_run(), _faulted_run()
+    assert first == second
+    succeeded, lost, waves, _ = first
+    assert lost > 0          # the scenario actually exhausted some chains
+    assert waves > 1         # crashes forced retry waves
+    assert succeeded + lost == 2000
+
+
+def test_wave_jobs_container():
+    chains_placeholder = [object(), object()]
+    jobs = WaveJobs(chains_placeholder, [0.0, 0.5])
+    assert len(jobs) == 2
+    assert list(jobs) == [(chains_placeholder[0], 0.0),
+                          (chains_placeholder[1], 0.5)]
+    with pytest.raises(ValueError):
+        WaveJobs(chains_placeholder, [0.0])
+
+
+def test_walker_accepts_plain_tuple_iterable():
+    """Compatibility path: consumers may pass [(chain, t), ...] directly."""
+    k1 = _kernel(QUIET)
+    env1 = WaveEnvImpl(k1, [])
+    run_chain_waves(k1, env1, dispatch_wave_jobs(k1, 100, 4, spacing_s=0.01))
+
+    k2 = _kernel(QUIET)
+    env2 = WaveEnvImpl(k2, [])
+    jobs = dispatch_wave_jobs(k2, 100, 4, spacing_s=0.01)
+    run_chain_waves(k2, env2, list(jobs))  # as (chain, time) tuples
+    assert env1.log == env2.log
+
+
+def test_bulk_mint_matches_new_chain():
+    kernel = _kernel(QUIET)
+    jobs = dispatch_wave_jobs(kernel, 10, 4, spacing_s=0.25)
+    assert [c.chain_id for c in jobs.chains] == list(range(10))
+    assert jobs.launch_at == [i * 0.25 for i in range(10)]
+    assert all(c.n_packed == 4 for c in jobs.chains)
+    assert all(c.retry is not None for c in jobs.chains)
+    # registered with the kernel, and the id counter advanced
+    assert set(kernel.chains) == set(range(10))
+    assert kernel.new_chain(n_packed=1).chain_id == 10
+
+
+def test_bulk_mint_shared_retry():
+    kernel = _kernel(QUIET)
+    jobs = dispatch_wave_jobs(kernel, 5, 2, per_chain_retry=False)
+    assert all(c.retry is None for c in jobs.chains)
+
+
+def test_throttle_storm_rejects_like_scalar():
+    """A tiny token bucket must produce the same admit/reject pattern in
+    both walkers (the wave walker inlines the bucket arithmetic)."""
+    tight = FaultScenario(
+        name="tight", throttle_capacity=4, throttle_refill_per_s=10.0,
+        throttle_max_retries=2,
+    )
+    k1 = _kernel(tight, mode="scalar")
+    env1 = ScalarEnv(k1, [])
+    for i in range(100):
+        chain = k1.new_chain(n_packed=1, retry=k1.fresh_retry())
+        k1.run_synchronous_chain(chain, env1, launch_at=float(i) * 0.001)
+
+    k2 = _kernel(tight)
+    env2 = WaveEnvImpl(k2, [])
+    run_chain_waves(k2, env2, dispatch_wave_jobs(k2, 100, 1, spacing_s=0.001))
+
+    assert env1.log == env2.log
+    assert (env1.succeeded, env1.lost) == (env2.succeeded, env2.lost)
+    bucket1, bucket2 = k1.bucket, k2.bucket
+    assert (bucket1.admitted, bucket1.rejected) == (
+        bucket2.admitted, bucket2.rejected
+    )
+
+
+def test_backwards_clock_raises():
+    class BadClockEnv(WaveEnvImpl):
+        def throttle_clock(self, launch_at):
+            self.clock -= 1.0  # monotonicity violation
+            return self.clock
+
+    kernel = _kernel(QUIET)
+    env = BadClockEnv(kernel)
+    env.clock = 100.0
+    jobs = dispatch_wave_jobs(kernel, 3, 1, spacing_s=0.0)
+    with pytest.raises(ValueError, match="clock moved backwards"):
+        run_chain_waves(kernel, env, jobs)
